@@ -1,0 +1,85 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//! the fragment-export optimization ("lemma generation"), the pruning phase,
+//! and the `k_in` bound on digram rank. Each variant is measured on the same
+//! pre-compressed-then-updated grammar so the numbers compare the
+//! recompression loop itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datasets::catalog::Dataset;
+use datasets::workload::{random_insert_delete_sequence, WorkloadMix};
+use grammar_repair::repair::{GrammarRePair, GrammarRePairConfig};
+use grammar_repair::update::apply_update;
+use sltgrammar::Grammar;
+use treerepair::TreeRePair;
+
+/// Builds the shared workload: compress a document, apply 50 random updates.
+fn updated_grammar(dataset: Dataset) -> Grammar {
+    let xml = dataset.generate(0.05);
+    let (mut g, _) = TreeRePair::default().compress_xml(&xml);
+    let ops = random_insert_delete_sequence(&xml, 50, 7, WorkloadMix::default());
+    for op in &ops {
+        // Updates on positions that vanished after a delete are skipped — the
+        // workload is only meant to dirty the grammar.
+        let _ = apply_update(&mut g, op);
+    }
+    g
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recompression_ablation");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+
+    let variants: Vec<(&str, GrammarRePairConfig)> = vec![
+        ("default", GrammarRePairConfig::default()),
+        (
+            "no_fragment_export",
+            GrammarRePairConfig {
+                optimize: false,
+                ..GrammarRePairConfig::default()
+            },
+        ),
+        (
+            "no_pruning",
+            GrammarRePairConfig {
+                prune: false,
+                ..GrammarRePairConfig::default()
+            },
+        ),
+        (
+            "max_rank_2",
+            GrammarRePairConfig {
+                max_rank: 2,
+                ..GrammarRePairConfig::default()
+            },
+        ),
+        (
+            "max_rank_8",
+            GrammarRePairConfig {
+                max_rank: 8,
+                ..GrammarRePairConfig::default()
+            },
+        ),
+    ];
+
+    for dataset in [Dataset::ExiWeblog, Dataset::XMark] {
+        let dirty = updated_grammar(dataset);
+        for (name, config) in &variants {
+            group.bench_with_input(
+                BenchmarkId::new(*name, dataset.name()),
+                &(&dirty, *config),
+                |b, (dirty, config)| {
+                    b.iter(|| {
+                        let mut g = (*dirty).clone();
+                        GrammarRePair::new(*config).recompress(&mut g)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

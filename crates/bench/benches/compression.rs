@@ -1,0 +1,42 @@
+//! Criterion benches for static compression (Table III / Section V-B):
+//! TreeRePair vs GrammarRePair on the synthetic corpus at small scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datasets::catalog::Dataset;
+use grammar_repair::repair::GrammarRePair;
+use treerepair::TreeRePair;
+
+fn bench_compression(c: &mut Criterion) {
+    let mut group = c.benchmark_group("static_compression");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for dataset in [Dataset::ExiWeblog, Dataset::XMark] {
+        let xml = dataset.generate(0.05);
+        group.bench_with_input(
+            BenchmarkId::new("treerepair", dataset.name()),
+            &xml,
+            |b, xml| b.iter(|| TreeRePair::default().compress_xml(xml)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("grammarrepair_on_tree", dataset.name()),
+            &xml,
+            |b, xml| b.iter(|| GrammarRePair::default().compress_xml(xml)),
+        );
+        let (grammar, _) = TreeRePair::default().compress_xml(&xml);
+        group.bench_with_input(
+            BenchmarkId::new("grammarrepair_on_grammar", dataset.name()),
+            &grammar,
+            |b, grammar| {
+                b.iter(|| {
+                    let mut g = grammar.clone();
+                    GrammarRePair::default().recompress(&mut g)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compression);
+criterion_main!(benches);

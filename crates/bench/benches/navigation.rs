@@ -1,0 +1,82 @@
+//! Criterion benches for the read path: full traversals and path-query
+//! evaluation over the pointer DOM, the succinct DOM and the compressed
+//! grammar (extension experiment; not a table of the paper, but quantifies
+//! the cost of reading through the compression that the paper's DOM use case
+//! relies on).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datasets::catalog::Dataset;
+use grammar_repair::navigate::PreorderLabels;
+use grammar_repair::query::PathQuery;
+use grammar_repair::repair::GrammarRePair;
+use succinct_xml::SuccinctDom;
+
+fn bench_traversal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("traversal");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for dataset in [Dataset::ExiWeblog, Dataset::XMark] {
+        let xml = dataset.generate(0.1);
+        let dom = SuccinctDom::build(&xml);
+        let (grammar, _) = GrammarRePair::default().compress_xml(&xml);
+
+        group.bench_with_input(BenchmarkId::new("pointer_dom", dataset.name()), &xml, |b, xml| {
+            b.iter(|| {
+                let mut count = 0usize;
+                for n in xml.preorder() {
+                    count += xml.label(n).len();
+                }
+                count
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("succinct_dom", dataset.name()), &dom, |b, dom| {
+            b.iter(|| {
+                let mut count = 0usize;
+                for v in dom.preorder() {
+                    count += dom.label(v).len();
+                }
+                count
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("grammar_cursor", dataset.name()),
+            &grammar,
+            |b, grammar| {
+                b.iter(|| {
+                    let mut count = 0usize;
+                    for t in PreorderLabels::new(grammar) {
+                        count += grammar.symbols.name(t).len();
+                    }
+                    count
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("path_queries");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let xml = Dataset::XMark.generate(0.2);
+    let (grammar, _) = GrammarRePair::default().compress_xml(&xml);
+    for text in ["//item/name", "/site/regions//keyword", "//person"] {
+        let query = PathQuery::parse(text).unwrap();
+        group.bench_with_input(BenchmarkId::new("grammar_count", text), &query, |b, query| {
+            b.iter(|| query.count(&grammar))
+        });
+        group.bench_with_input(BenchmarkId::new("grammar_stream", text), &query, |b, query| {
+            b.iter(|| query.evaluate(&grammar).len())
+        });
+        group.bench_with_input(BenchmarkId::new("uncompressed", text), &query, |b, query| {
+            b.iter(|| query.evaluate_uncompressed(&xml).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_traversal, bench_queries);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench for the fragment-export optimization (Figure 3): the `G_n`
+//! family recompressed with and without the optimization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datasets::gn::g_n;
+use grammar_repair::repair::{GrammarRePair, GrammarRePairConfig};
+
+fn bench_optimization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gn_optimization");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for n in [6usize, 8, 10] {
+        let grammar = g_n(n);
+        for (label, optimize) in [("optimized", true), ("non_optimized", false)] {
+            group.bench_with_input(
+                BenchmarkId::new(label, n),
+                &grammar,
+                |b, grammar| {
+                    b.iter(|| {
+                        let mut g = grammar.clone();
+                        let config = GrammarRePairConfig {
+                            optimize,
+                            ..GrammarRePairConfig::default()
+                        };
+                        GrammarRePair::new(config).recompress(&mut g)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimization);
+criterion_main!(benches);

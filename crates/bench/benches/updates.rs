@@ -1,0 +1,65 @@
+//! Criterion benches for the dynamic part of the evaluation (Figures 4–6):
+//! applying updates on the grammar, GrammarRePair recompression of an updated
+//! grammar, and the update–decompress–compress baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datasets::catalog::Dataset;
+use datasets::workload::random_rename_sequence;
+use grammar_repair::repair::GrammarRePair;
+use grammar_repair::udc::update_decompress_compress;
+use grammar_repair::update::apply_update;
+use treerepair::{TreeRePair, TreeRePairConfig};
+
+fn bench_updates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("updates");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for dataset in [Dataset::ExiWeblog, Dataset::XMark] {
+        let xml = dataset.generate(0.05);
+        let ops = random_rename_sequence(&xml, 30, 1);
+        let (compressed, _) = TreeRePair::default().compress_xml(&xml);
+
+        group.bench_with_input(
+            BenchmarkId::new("apply_30_renames", dataset.name()),
+            &(&compressed, &ops),
+            |b, (g, ops)| {
+                b.iter(|| {
+                    let mut g = (*g).clone();
+                    for op in ops.iter() {
+                        apply_update(&mut g, op).unwrap();
+                    }
+                    g
+                })
+            },
+        );
+
+        let mut updated = compressed.clone();
+        for op in &ops {
+            apply_update(&mut updated, op).unwrap();
+        }
+        group.bench_with_input(
+            BenchmarkId::new("grammarrepair_recompress", dataset.name()),
+            &updated,
+            |b, updated| {
+                b.iter(|| {
+                    let mut g = updated.clone();
+                    GrammarRePair::default().recompress(&mut g)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("udc_decompress_compress", dataset.name()),
+            &updated,
+            |b, updated| {
+                b.iter(|| {
+                    update_decompress_compress(updated, &[], TreeRePairConfig::default()).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_updates);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Regenerates the static compression comparison of Section V-B: TreeRePair vs
+//! GrammarRePair applied to trees vs GrammarRePair applied to grammars.
+
+use bench_harness::{static_comparison_row, Options};
+use datasets::catalog::Dataset;
+
+fn main() {
+    let opts = Options::from_args();
+    println!("Static compression comparison (Section V-B), scale {:.2}\n", opts.scale);
+    println!(
+        "{:<14} {:>9} | {:>9} {:>9} | {:>9} {:>9} | {:>9} {:>9}",
+        "dataset", "#edges", "TR edges", "TR time", "GR(tree)", "time", "GR(gram)", "time"
+    );
+    for dataset in Dataset::all() {
+        let row = static_comparison_row(dataset, opts.scale);
+        println!(
+            "{:<14} {:>9} | {:>9} {:>8.2?} | {:>9} {:>8.2?} | {:>9} {:>8.2?}",
+            row.dataset.name(),
+            row.edges,
+            row.treerepair_edges,
+            row.treerepair_time,
+            row.grammarrepair_tree_edges,
+            row.grammarrepair_tree_time,
+            row.grammarrepair_grammar_edges,
+            row.grammarrepair_grammar_time,
+        );
+    }
+    println!("\nTR = TreeRePair, GR(tree) = GrammarRePair on the tree,");
+    println!("GR(gram) = GrammarRePair recompressing the TreeRePair grammar.");
+}

@@ -1,0 +1,28 @@
+//! Regenerates Table III: document statistics and GrammarRePair compression
+//! results for the six evaluation documents.
+
+use bench_harness::{table3_row, Options};
+use datasets::catalog::Dataset;
+
+fn main() {
+    let opts = Options::from_args();
+    println!("Table III — document statistics and GrammarRePair compression");
+    println!("(synthetic corpus at scale {:.2}; paper values in parentheses)\n", opts.scale);
+    println!(
+        "{:<14} {:>10} {:>5} {:>10} {:>12} {:>14} {:>10}",
+        "dataset", "#edges", "dp", "c-edges", "ratio (%)", "paper ratio", "time"
+    );
+    for dataset in Dataset::all() {
+        let row = table3_row(dataset, opts.scale);
+        println!(
+            "{:<14} {:>10} {:>5} {:>10} {:>12.2} {:>13.2}% {:>9.2?}",
+            row.dataset.name(),
+            row.edges,
+            row.depth,
+            row.c_edges,
+            row.ratio_percent,
+            dataset.paper_ratio_percent(),
+            row.time
+        );
+    }
+}

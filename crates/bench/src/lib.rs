@@ -1,0 +1,15 @@
+//! # bench-harness — regenerating the paper's tables and figures
+//!
+//! Shared experiment logic behind the `table3`, `static_comparison`,
+//! `fig2_blowup`, `fig3_optimization`, `fig4_updates`, `fig5_updates` and
+//! `fig6_runtime` binaries and the Criterion benches. Every experiment is a
+//! plain function returning a row structure, so it can be unit tested at small
+//! scale and printed by the binaries at full scale.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod options;
+
+pub use experiments::*;
+pub use options::Options;

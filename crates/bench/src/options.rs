@@ -1,0 +1,90 @@
+//! Tiny command-line / environment option parsing for the experiment binaries
+//! (no external dependencies).
+
+/// Options shared by all experiment binaries.
+#[derive(Debug, Clone, Copy)]
+pub struct Options {
+    /// Document scale factor (1.0 ≈ 1/20 of the paper's document sizes).
+    pub scale: f64,
+    /// Number of updates in the dynamic experiments.
+    pub updates: usize,
+    /// Recompression interval (the paper uses 100).
+    pub every: usize,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            scale: 1.0,
+            updates: 2000,
+            every: 100,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl Options {
+    /// Parses `--scale`, `--updates`, `--every` and `--seed` from the process
+    /// arguments, falling back to the `BENCH_SCALE`, `BENCH_UPDATES`,
+    /// `BENCH_EVERY` and `BENCH_SEED` environment variables and then to the
+    /// defaults.
+    pub fn from_args() -> Self {
+        let mut opts = Options::default();
+        if let Some(v) = std::env::var("BENCH_SCALE").ok().and_then(|s| s.parse().ok()) {
+            opts.scale = v;
+        }
+        if let Some(v) = std::env::var("BENCH_UPDATES").ok().and_then(|s| s.parse().ok()) {
+            opts.updates = v;
+        }
+        if let Some(v) = std::env::var("BENCH_EVERY").ok().and_then(|s| s.parse().ok()) {
+            opts.every = v;
+        }
+        if let Some(v) = std::env::var("BENCH_SEED").ok().and_then(|s| s.parse().ok()) {
+            opts.seed = v;
+        }
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i + 1 < args.len() {
+            match args[i].as_str() {
+                "--scale" => {
+                    if let Ok(v) = args[i + 1].parse() {
+                        opts.scale = v;
+                    }
+                }
+                "--updates" => {
+                    if let Ok(v) = args[i + 1].parse() {
+                        opts.updates = v;
+                    }
+                }
+                "--every" => {
+                    if let Ok(v) = args[i + 1].parse() {
+                        opts.every = v;
+                    }
+                }
+                "--seed" => {
+                    if let Ok(v) = args[i + 1].parse() {
+                        opts.seed = v;
+                    }
+                }
+                _ => {}
+            }
+            i += 2;
+        }
+        opts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sensible() {
+        let o = Options::default();
+        assert_eq!(o.every, 100);
+        assert!(o.scale > 0.0);
+        assert!(o.updates >= 100);
+    }
+}

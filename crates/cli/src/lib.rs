@@ -1,0 +1,655 @@
+//! Command implementations of the `sltxml` command-line tool.
+//!
+//! The binary is a thin wrapper around [`run`]; every subcommand is a pure
+//! function from parsed arguments to a textual report, which keeps the whole
+//! surface unit-testable without spawning processes.
+//!
+//! ```text
+//! sltxml compress   <in.xml>  -o <out.sltg> [--compressor grammar|tree] [--no-prune]
+//! sltxml decompress <in.sltg> -o <out.xml>
+//! sltxml stats      <in.xml | in.sltg>
+//! sltxml query      <in.xml | in.sltg> <path expression> [--positions]
+//! sltxml update     <in.sltg> -o <out.sltg> [--rename idx=label]... [--delete idx]...
+//!                   [--insert idx=<xml>]... [--recompress]
+//! sltxml sizes      <in.xml>
+//! sltxml generate   <dataset> [--scale f] -o <out.xml>
+//! ```
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+use dag_xml::Dag;
+use datasets::Dataset;
+use grammar_repair::navigate::{element_count, label_counts};
+use grammar_repair::query::PathQuery;
+use grammar_repair::update::{delete, insert_before, rename};
+use grammar_repair::{GrammarRePair, GrammarRePairConfig};
+use sltgrammar::{serialize, Grammar};
+use succinct_xml::SuccinctDom;
+use treerepair::TreeRePair;
+use xmltree::binary::{from_binary, to_binary};
+use xmltree::parse::parse_xml;
+use xmltree::XmlTree;
+
+/// Error type of the CLI: a message for the user plus a process exit code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError {
+    /// Message printed to stderr.
+    pub message: String,
+    /// Suggested process exit code.
+    pub exit_code: i32,
+}
+
+impl CliError {
+    fn usage(message: impl Into<String>) -> Self {
+        CliError {
+            message: format!("{}\n\n{}", message.into(), USAGE),
+            exit_code: 2,
+        }
+    }
+
+    fn failure(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+            exit_code: 1,
+        }
+    }
+}
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+sltxml — grammar-compressed XML toolbox (ICDE 2016 reproduction)
+
+USAGE:
+  sltxml compress   <in.xml>  -o <out.sltg> [--compressor grammar|tree] [--no-prune]
+  sltxml decompress <in.sltg> -o <out.xml>
+  sltxml stats      <in.xml | in.sltg>
+  sltxml query      <in.xml | in.sltg> <path> [--positions]
+  sltxml update     <in.sltg> -o <out.sltg> [--rename idx=label]... [--delete idx]...
+                    [--insert idx=<xml>]... [--recompress]
+  sltxml sizes      <in.xml>
+  sltxml generate   <dataset> [--scale f] -o <out.xml>
+      datasets: exi-weblog, xmark, exi-telecomp, treebank, medline, ncbi";
+
+/// Entry point shared by the binary and the tests: dispatches on the first
+/// argument and returns the report to print on stdout.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let Some(command) = args.first() else {
+        return Err(CliError::usage("missing subcommand"));
+    };
+    let rest = &args[1..];
+    match command.as_str() {
+        "compress" => cmd_compress(rest),
+        "decompress" => cmd_decompress(rest),
+        "stats" => cmd_stats(rest),
+        "query" => cmd_query(rest),
+        "update" => cmd_update(rest),
+        "sizes" => cmd_sizes(rest),
+        "generate" => cmd_generate(rest),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(CliError::usage(format!("unknown subcommand `{other}`"))),
+    }
+}
+
+// ----- argument helpers -----
+
+struct Parsed {
+    positionals: Vec<String>,
+    options: Vec<(String, Option<String>)>,
+}
+
+/// Options that take a value.
+const VALUE_OPTIONS: &[&str] = &[
+    "-o",
+    "--output",
+    "--compressor",
+    "--scale",
+    "--rename",
+    "--delete",
+    "--insert",
+];
+
+fn parse_args(args: &[String]) -> Result<Parsed, CliError> {
+    let mut parsed = Parsed {
+        positionals: Vec::new(),
+        options: Vec::new(),
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        if arg.starts_with('-') && arg.len() > 1 {
+            if VALUE_OPTIONS.contains(&arg.as_str()) {
+                let value = args.get(i + 1).cloned().ok_or_else(|| {
+                    CliError::usage(format!("option `{arg}` requires a value"))
+                })?;
+                parsed.options.push((arg.clone(), Some(value)));
+                i += 2;
+            } else {
+                parsed.options.push((arg.clone(), None));
+                i += 1;
+            }
+        } else {
+            parsed.positionals.push(arg.clone());
+            i += 1;
+        }
+    }
+    Ok(parsed)
+}
+
+impl Parsed {
+    fn option(&self, names: &[&str]) -> Option<&str> {
+        self.options
+            .iter()
+            .rev()
+            .find(|(n, _)| names.contains(&n.as_str()))
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn flag(&self, name: &str) -> bool {
+        self.options.iter().any(|(n, _)| n == name)
+    }
+
+    fn option_all(&self, name: &str) -> Vec<&str> {
+        self.options
+            .iter()
+            .filter(|(n, _)| n == name)
+            .filter_map(|(_, v)| v.as_deref())
+            .collect()
+    }
+
+    fn output(&self) -> Result<&str, CliError> {
+        self.option(&["-o", "--output"])
+            .ok_or_else(|| CliError::usage("missing `-o <output file>`"))
+    }
+}
+
+// ----- input loading -----
+
+/// A loaded input: either a plain document or an already-compressed grammar.
+enum Input {
+    Xml(XmlTree),
+    Grammar(Grammar),
+}
+
+fn load_input(path: &str) -> Result<Input, CliError> {
+    let bytes = fs::read(path)
+        .map_err(|e| CliError::failure(format!("cannot read `{path}`: {e}")))?;
+    if bytes.starts_with(serialize::MAGIC) {
+        let g = serialize::decode(&bytes)
+            .map_err(|e| CliError::failure(format!("cannot decode `{path}`: {e}")))?;
+        return Ok(Input::Grammar(g));
+    }
+    let text = String::from_utf8(bytes)
+        .map_err(|_| CliError::failure(format!("`{path}` is neither an SLTG file nor UTF-8 XML")))?;
+    let xml = parse_xml(&text)
+        .map_err(|e| CliError::failure(format!("cannot parse `{path}` as XML: {e}")))?;
+    Ok(Input::Xml(xml))
+}
+
+fn load_grammar(path: &str) -> Result<Grammar, CliError> {
+    match load_input(path)? {
+        Input::Grammar(g) => Ok(g),
+        Input::Xml(_) => Err(CliError::failure(format!(
+            "`{path}` is an XML document; this command needs a compressed .sltg file"
+        ))),
+    }
+}
+
+fn to_grammar(input: Input) -> Grammar {
+    match input {
+        Input::Grammar(g) => g,
+        Input::Xml(xml) => {
+            let (g, _) = GrammarRePair::default().compress_xml(&xml);
+            g
+        }
+    }
+}
+
+fn write_file(path: &str, bytes: &[u8]) -> Result<(), CliError> {
+    if let Some(parent) = Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)
+                .map_err(|e| CliError::failure(format!("cannot create `{}`: {e}", parent.display())))?;
+        }
+    }
+    fs::write(path, bytes).map_err(|e| CliError::failure(format!("cannot write `{path}`: {e}")))
+}
+
+// ----- subcommands -----
+
+fn cmd_compress(args: &[String]) -> Result<String, CliError> {
+    let parsed = parse_args(args)?;
+    let [input] = parsed.positionals.as_slice() else {
+        return Err(CliError::usage("compress expects exactly one input file"));
+    };
+    let output = parsed.output()?;
+    let Input::Xml(xml) = load_input(input)? else {
+        return Err(CliError::failure(format!("`{input}` is already compressed")));
+    };
+    let config = GrammarRePairConfig {
+        prune: !parsed.flag("--no-prune"),
+        ..GrammarRePairConfig::default()
+    };
+    let compressor = parsed.option(&["--compressor"]).unwrap_or("grammar");
+    let (grammar, label) = match compressor {
+        "grammar" => {
+            let (g, _) = GrammarRePair::new(config).compress_xml(&xml);
+            (g, "GrammarRePair")
+        }
+        "tree" => {
+            let (g, _) = TreeRePair::default().compress_xml(&xml);
+            (g, "TreeRePair")
+        }
+        other => {
+            return Err(CliError::usage(format!(
+                "unknown compressor `{other}` (expected `grammar` or `tree`)"
+            )))
+        }
+    };
+    let bytes = serialize::encode(&grammar);
+    write_file(output, &bytes)?;
+    let mut report = String::new();
+    let input_edges = 2 * xml.node_count();
+    writeln!(report, "compressor        {label}").unwrap();
+    writeln!(report, "document edges    {}", xml.edge_count()).unwrap();
+    writeln!(report, "binary tree edges {input_edges}").unwrap();
+    writeln!(report, "grammar rules     {}", grammar.rule_count()).unwrap();
+    writeln!(report, "grammar edges     {}", grammar.edge_count()).unwrap();
+    writeln!(
+        report,
+        "compression ratio {:.2} %",
+        100.0 * grammar.edge_count() as f64 / input_edges.max(1) as f64
+    )
+    .unwrap();
+    writeln!(report, "output bytes      {}", bytes.len()).unwrap();
+    writeln!(report, "wrote {output}").unwrap();
+    Ok(report)
+}
+
+fn cmd_decompress(args: &[String]) -> Result<String, CliError> {
+    let parsed = parse_args(args)?;
+    let [input] = parsed.positionals.as_slice() else {
+        return Err(CliError::usage("decompress expects exactly one input file"));
+    };
+    let output = parsed.output()?;
+    let grammar = load_grammar(input)?;
+    let bin = sltgrammar::derive::val(&grammar)
+        .map_err(|e| CliError::failure(format!("cannot materialize the document: {e}")))?;
+    let xml = from_binary(&bin, &grammar.symbols)
+        .map_err(|e| CliError::failure(format!("grammar does not encode a document: {e}")))?;
+    write_file(output, xml.to_xml().as_bytes())?;
+    Ok(format!(
+        "decompressed {} grammar edges into {} elements\nwrote {output}\n",
+        grammar.edge_count(),
+        xml.node_count()
+    ))
+}
+
+fn cmd_stats(args: &[String]) -> Result<String, CliError> {
+    let parsed = parse_args(args)?;
+    let [input] = parsed.positionals.as_slice() else {
+        return Err(CliError::usage("stats expects exactly one input file"));
+    };
+    let mut report = String::new();
+    match load_input(input)? {
+        Input::Xml(xml) => {
+            writeln!(report, "kind              XML document").unwrap();
+            writeln!(report, "elements          {}", xml.node_count()).unwrap();
+            writeln!(report, "edges             {}", xml.edge_count()).unwrap();
+            writeln!(report, "depth             {}", xml.depth()).unwrap();
+            writeln!(report, "distinct labels   {}", xml.labels().len()).unwrap();
+        }
+        Input::Grammar(g) => {
+            writeln!(report, "kind              SLCF grammar").unwrap();
+            report.push_str(&sltgrammar::stats::grammar_stats(&g).report());
+            writeln!(report, "encoded bytes     {}", serialize::encoded_size(&g)).unwrap();
+            writeln!(report, "document elements {}", element_count(&g)).unwrap();
+            let mut labels: Vec<(String, u128)> = label_counts(&g)
+                .into_iter()
+                .filter(|(name, _)| name != sltgrammar::NULL_SYMBOL_NAME)
+                .collect();
+            labels.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            writeln!(report, "top labels:").unwrap();
+            for (name, count) in labels.into_iter().take(10) {
+                writeln!(report, "  {name:<20} {count}").unwrap();
+            }
+        }
+    }
+    Ok(report)
+}
+
+fn cmd_query(args: &[String]) -> Result<String, CliError> {
+    let parsed = parse_args(args)?;
+    let [input, path] = parsed.positionals.as_slice() else {
+        return Err(CliError::usage("query expects an input file and a path expression"));
+    };
+    let query = PathQuery::parse(path).map_err(|e| CliError::failure(e.to_string()))?;
+    let grammar = to_grammar(load_input(input)?);
+    let count = query.count(&grammar);
+    let mut report = format!("query             {path}\nmatches           {count}\n");
+    if parsed.flag("--positions") {
+        let matches = query.evaluate(&grammar);
+        for (pos, label) in matches.positions.iter().zip(matches.labels.iter()) {
+            writeln!(report, "  element #{pos:<10} <{label}>").unwrap();
+        }
+    }
+    Ok(report)
+}
+
+fn cmd_update(args: &[String]) -> Result<String, CliError> {
+    let parsed = parse_args(args)?;
+    let [input] = parsed.positionals.as_slice() else {
+        return Err(CliError::usage("update expects exactly one input file"));
+    };
+    let output = parsed.output()?;
+    let mut grammar = load_grammar(input)?;
+    let edges_before = grammar.edge_count();
+    let mut ops = 0usize;
+
+    for spec in parsed.option_all("--rename") {
+        let (idx, label) = spec.split_once('=').ok_or_else(|| {
+            CliError::usage(format!("--rename expects `index=label`, got `{spec}`"))
+        })?;
+        let idx: u128 = idx
+            .parse()
+            .map_err(|_| CliError::usage(format!("invalid index `{idx}`")))?;
+        rename(&mut grammar, idx, label).map_err(|e| CliError::failure(e.to_string()))?;
+        ops += 1;
+    }
+    for spec in parsed.option_all("--insert") {
+        let (idx, fragment) = spec.split_once('=').ok_or_else(|| {
+            CliError::usage(format!("--insert expects `index=<xml>`, got `{spec}`"))
+        })?;
+        let idx: u128 = idx
+            .parse()
+            .map_err(|_| CliError::usage(format!("invalid index `{idx}`")))?;
+        let fragment = parse_xml(fragment)
+            .map_err(|e| CliError::failure(format!("invalid fragment: {e}")))?;
+        insert_before(&mut grammar, idx, &fragment).map_err(|e| CliError::failure(e.to_string()))?;
+        ops += 1;
+    }
+    for spec in parsed.option_all("--delete") {
+        let idx: u128 = spec
+            .parse()
+            .map_err(|_| CliError::usage(format!("invalid index `{spec}`")))?;
+        delete(&mut grammar, idx).map_err(|e| CliError::failure(e.to_string()))?;
+        ops += 1;
+    }
+    if ops == 0 {
+        return Err(CliError::usage(
+            "update needs at least one --rename, --insert or --delete",
+        ));
+    }
+    let edges_updated = grammar.edge_count();
+    let mut report = String::new();
+    writeln!(report, "updates applied   {ops}").unwrap();
+    writeln!(report, "edges before      {edges_before}").unwrap();
+    writeln!(report, "edges after       {edges_updated}").unwrap();
+    if parsed.flag("--recompress") {
+        let stats = GrammarRePair::default().recompress(&mut grammar);
+        writeln!(report, "recompressed to   {} edges", stats.output_edges).unwrap();
+    }
+    write_file(output, &serialize::encode(&grammar))?;
+    writeln!(report, "wrote {output}").unwrap();
+    Ok(report)
+}
+
+fn cmd_sizes(args: &[String]) -> Result<String, CliError> {
+    let parsed = parse_args(args)?;
+    let [input] = parsed.positionals.as_slice() else {
+        return Err(CliError::usage("sizes expects exactly one XML input file"));
+    };
+    let Input::Xml(xml) = load_input(input)? else {
+        return Err(CliError::failure("sizes expects an uncompressed XML document"));
+    };
+    let n = xml.node_count();
+
+    // Pointer DOM estimate: label pointer + parent + child vector per node.
+    let pointer_bytes: usize = xml
+        .preorder()
+        .iter()
+        .map(|&v| 8 + 24 + xml.children(v).len() * 4 + xml.label(v).len())
+        .sum();
+
+    let succinct = SuccinctDom::build(&xml);
+
+    let mut symbols = sltgrammar::SymbolTable::new();
+    let bin = to_binary(&xml, &mut symbols)
+        .map_err(|e| CliError::failure(format!("binary encoding failed: {e}")))?;
+    let dag = Dag::build(&bin, &symbols);
+
+    let (tree_grammar, _) = TreeRePair::default().compress_binary(symbols.clone(), bin.clone());
+    let (mut grammar, _) = GrammarRePair::default().compress_xml(&xml);
+    grammar.compact();
+
+    let mut report = String::new();
+    writeln!(report, "document: {n} elements, {} edges", xml.edge_count()).unwrap();
+    writeln!(report, "{:<28}{:>14}{:>12}", "representation", "size", "per node").unwrap();
+    let mut row = |name: &str, bytes: usize| {
+        writeln!(
+            report,
+            "{:<28}{:>12} B{:>10.2} B",
+            name,
+            bytes,
+            bytes as f64 / n as f64
+        )
+        .unwrap();
+    };
+    row("pointer DOM (estimate)", pointer_bytes);
+    row("succinct DOM (BP + labels)", succinct.size_bytes());
+    row("minimal DAG", dag.size_bytes());
+    row("TreeRePair grammar (.sltg)", serialize::encoded_size(&tree_grammar));
+    row("GrammarRePair grammar (.sltg)", serialize::encoded_size(&grammar));
+    writeln!(report).unwrap();
+    writeln!(report, "{:<28}{:>14}", "representation", "edges").unwrap();
+    let mut row = |name: &str, edges: usize| {
+        writeln!(report, "{:<28}{:>14}", name, edges).unwrap();
+    };
+    row("binary tree", 2 * n);
+    row("minimal DAG", dag.edge_count());
+    row("TreeRePair grammar", tree_grammar.edge_count());
+    row("GrammarRePair grammar", grammar.edge_count());
+    Ok(report)
+}
+
+fn cmd_generate(args: &[String]) -> Result<String, CliError> {
+    let parsed = parse_args(args)?;
+    let [name] = parsed.positionals.as_slice() else {
+        return Err(CliError::usage("generate expects exactly one dataset name"));
+    };
+    let output = parsed.output()?;
+    let scale: f64 = parsed
+        .option(&["--scale"])
+        .unwrap_or("0.2")
+        .parse()
+        .map_err(|_| CliError::usage("--scale expects a number"))?;
+    if !(scale > 0.0) || scale > 100.0 {
+        return Err(CliError::usage("--scale must be in (0, 100]"));
+    }
+    let dataset = match name.to_lowercase().as_str() {
+        "exi-weblog" | "weblog" | "ew" => Dataset::ExiWeblog,
+        "xmark" | "xm" => Dataset::XMark,
+        "exi-telecomp" | "telecomp" | "et" => Dataset::ExiTelecomp,
+        "treebank" | "tb" => Dataset::Treebank,
+        "medline" | "md" => Dataset::Medline,
+        "ncbi" | "nc" => Dataset::Ncbi,
+        other => return Err(CliError::usage(format!("unknown dataset `{other}`"))),
+    };
+    let xml = dataset.generate(scale);
+    write_file(output, xml.to_xml().as_bytes())?;
+    Ok(format!(
+        "generated {} ({} elements, depth {})\nwrote {output}\n",
+        dataset.name(),
+        xml.node_count(),
+        xml.depth()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn temp_path(name: &str) -> String {
+        let dir = std::env::temp_dir().join("sltxml-cli-tests");
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    const DOC: &str = "<catalog><item><name/><price/></item><item><name/><price/></item>\
+                       <item><name/><price/></item><item><name/><price/></item></catalog>";
+
+    fn write_doc(name: &str) -> String {
+        let path = temp_path(name);
+        fs::write(&path, DOC).unwrap();
+        path
+    }
+
+    #[test]
+    fn help_and_unknown_commands() {
+        assert!(run(&args(&["help"])).unwrap().contains("USAGE"));
+        let err = run(&args(&["frobnicate"])).unwrap_err();
+        assert_eq!(err.exit_code, 2);
+        assert!(err.message.contains("unknown subcommand"));
+        assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn compress_stats_decompress_roundtrip() {
+        let input = write_doc("roundtrip.xml");
+        let compressed = temp_path("roundtrip.sltg");
+        let restored = temp_path("restored.xml");
+
+        let report = run(&args(&["compress", &input, "-o", &compressed])).unwrap();
+        assert!(report.contains("GrammarRePair"));
+        assert!(report.contains("grammar edges"));
+
+        let report = run(&args(&["stats", &compressed])).unwrap();
+        assert!(report.contains("SLCF grammar"));
+        assert!(report.contains("document elements 13"));
+
+        let report = run(&args(&["decompress", &compressed, "-o", &restored])).unwrap();
+        assert!(report.contains("13 elements"));
+        let text = fs::read_to_string(&restored).unwrap();
+        assert_eq!(text, DOC.replace("  ", "").replace('\n', ""));
+    }
+
+    #[test]
+    fn compress_with_treerepair_backend() {
+        let input = write_doc("tree-backend.xml");
+        let compressed = temp_path("tree-backend.sltg");
+        let report = run(&args(&[
+            "compress",
+            &input,
+            "-o",
+            &compressed,
+            "--compressor",
+            "tree",
+        ]))
+        .unwrap();
+        assert!(report.contains("TreeRePair"));
+        let err = run(&args(&[
+            "compress",
+            &input,
+            "-o",
+            &compressed,
+            "--compressor",
+            "zip",
+        ]))
+        .unwrap_err();
+        assert!(err.message.contains("unknown compressor"));
+    }
+
+    #[test]
+    fn stats_on_plain_xml() {
+        let input = write_doc("stats.xml");
+        let report = run(&args(&["stats", &input])).unwrap();
+        assert!(report.contains("XML document"));
+        assert!(report.contains("elements          13"));
+    }
+
+    #[test]
+    fn query_counts_and_positions() {
+        let input = write_doc("query.xml");
+        let report = run(&args(&["query", &input, "//item/name"])).unwrap();
+        assert!(report.contains("matches           4"));
+        let report = run(&args(&["query", &input, "//price", "--positions"])).unwrap();
+        assert!(report.contains("matches           4"));
+        assert!(report.contains("<price>"));
+        let err = run(&args(&["query", &input, "not-a-path"])).unwrap_err();
+        assert!(err.message.contains("absolute"));
+    }
+
+    #[test]
+    fn update_then_query_sees_the_change() {
+        let input = write_doc("update.xml");
+        let compressed = temp_path("update.sltg");
+        let updated = temp_path("updated.sltg");
+        run(&args(&["compress", &input, "-o", &compressed])).unwrap();
+
+        // Element at binary preorder index 1 is the first <item>.
+        let report = run(&args(&[
+            "update",
+            &compressed,
+            "-o",
+            &updated,
+            "--rename",
+            "1=offer",
+            "--recompress",
+        ]))
+        .unwrap();
+        assert!(report.contains("updates applied   1"));
+        assert!(report.contains("recompressed"));
+
+        let report = run(&args(&["query", &updated, "//offer"])).unwrap();
+        assert!(report.contains("matches           1"));
+        let report = run(&args(&["query", &updated, "//item"])).unwrap();
+        assert!(report.contains("matches           3"));
+
+        // No-op update is rejected.
+        let err = run(&args(&["update", &updated, "-o", &updated])).unwrap_err();
+        assert!(err.message.contains("at least one"));
+    }
+
+    #[test]
+    fn sizes_lists_all_representations() {
+        let input = write_doc("sizes.xml");
+        let report = run(&args(&["sizes", &input])).unwrap();
+        for needle in [
+            "pointer DOM",
+            "succinct DOM",
+            "minimal DAG",
+            "TreeRePair grammar",
+            "GrammarRePair grammar",
+        ] {
+            assert!(report.contains(needle), "missing `{needle}` in:\n{report}");
+        }
+    }
+
+    #[test]
+    fn generate_produces_parseable_datasets() {
+        let out = temp_path("generated.xml");
+        let report = run(&args(&["generate", "xmark", "--scale", "0.05", "-o", &out])).unwrap();
+        assert!(report.contains("XMark"));
+        let text = fs::read_to_string(&out).unwrap();
+        assert!(parse_xml(&text).is_ok());
+        let err = run(&args(&["generate", "unknown", "-o", &out])).unwrap_err();
+        assert!(err.message.contains("unknown dataset"));
+    }
+
+    #[test]
+    fn missing_files_and_outputs_are_reported() {
+        let err = run(&args(&["stats", "/nonexistent/file.xml"])).unwrap_err();
+        assert_eq!(err.exit_code, 1);
+        assert!(err.message.contains("cannot read"));
+        let input = write_doc("no-output.xml");
+        let err = run(&args(&["compress", &input])).unwrap_err();
+        assert!(err.message.contains("-o"));
+    }
+}

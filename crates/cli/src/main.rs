@@ -1,0 +1,12 @@
+//! `sltxml` — command-line front end for the grammar-compressed XML toolbox.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match sltxml_cli::run(&args) {
+        Ok(report) => print!("{report}"),
+        Err(err) => {
+            eprintln!("{}", err.message);
+            std::process::exit(err.exit_code);
+        }
+    }
+}

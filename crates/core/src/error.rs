@@ -1,0 +1,80 @@
+//! Error types for GrammarRePair and grammar updates.
+
+use std::fmt;
+
+/// Errors raised by grammar recompression and update operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RepairError {
+    /// A target preorder index does not exist in the derived tree.
+    TargetOutOfRange {
+        /// The requested 0-based preorder index.
+        index: u128,
+        /// Number of nodes in the derived tree.
+        size: u128,
+    },
+    /// The targeted node cannot be updated this way (e.g. renaming a null node).
+    InvalidUpdate {
+        /// Description of the violation.
+        detail: String,
+    },
+    /// A path query could not be parsed or evaluated.
+    InvalidQuery {
+        /// Description of the violation.
+        detail: String,
+    },
+    /// An underlying grammar error (validation, derivation limit, …).
+    Grammar(sltgrammar::GrammarError),
+    /// An underlying XML error (fragment conversion, …).
+    Xml(xmltree::XmlError),
+}
+
+impl fmt::Display for RepairError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RepairError::TargetOutOfRange { index, size } => write!(
+                f,
+                "target preorder index {index} is out of range (derived tree has {size} nodes)"
+            ),
+            RepairError::InvalidUpdate { detail } => write!(f, "invalid update: {detail}"),
+            RepairError::InvalidQuery { detail } => write!(f, "invalid query: {detail}"),
+            RepairError::Grammar(e) => write!(f, "grammar error: {e}"),
+            RepairError::Xml(e) => write!(f, "xml error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RepairError {}
+
+impl From<sltgrammar::GrammarError> for RepairError {
+    fn from(e: sltgrammar::GrammarError) -> Self {
+        RepairError::Grammar(e)
+    }
+}
+
+impl From<xmltree::XmlError> for RepairError {
+    fn from(e: xmltree::XmlError) -> Self {
+        RepairError::Xml(e)
+    }
+}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, RepairError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e = RepairError::TargetOutOfRange { index: 10, size: 5 };
+        assert!(e.to_string().contains("10"));
+        let g: RepairError = sltgrammar::GrammarError::Parse {
+            line: 1,
+            detail: "x".into(),
+        }
+        .into();
+        assert!(matches!(g, RepairError::Grammar(_)));
+        let x: RepairError = xmltree::XmlError::Empty.into();
+        assert!(matches!(x, RepairError::Xml(_)));
+    }
+}

@@ -1,0 +1,220 @@
+//! Path isolation (paper Section III-A).
+//!
+//! To update a node `u` of the derived tree `val(G)` we first make `u` appear
+//! as an explicit terminal node in the start rule: starting from the start
+//! rule's root we navigate towards `u` using the precomputed segment sizes
+//! `size(A, 0..k)` and inline exactly the nonterminal references on the path
+//! that produce `u`. Lemma 1 of the paper bounds the growth caused by a single
+//! isolation by a factor of two, because every rule is inlined at most once.
+
+use std::collections::HashMap;
+
+use sltgrammar::derive::{own_sizes, segment_sizes, subtree_derived_sizes};
+use sltgrammar::fingerprint::derived_size;
+use sltgrammar::{Grammar, NodeId, NodeKind, NtId};
+
+use crate::error::{RepairError, Result};
+
+/// Statistics of one path isolation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IsolationStats {
+    /// Number of rules inlined into the start rule.
+    pub inlinings: usize,
+}
+
+/// Makes the node with 0-based preorder index `target` of the derived tree
+/// `val(G)` explicit in the start rule and returns its node id there — the
+/// paper's `iso(G, u)`.
+pub fn isolate(g: &mut Grammar, target: u128) -> Result<(NodeId, IsolationStats)> {
+    let total = derived_size(g);
+    if target >= total {
+        return Err(RepairError::TargetOutOfRange {
+            index: target,
+            size: total,
+        });
+    }
+    let mut stats = IsolationStats::default();
+    let own = own_sizes(g);
+    let segments: HashMap<NtId, Vec<u128>> = segment_sizes(g);
+    let start = g.start();
+
+    let mut sizes = subtree_derived_sizes(&g.rule(start).rhs, &own);
+    let mut node = g.rule(start).rhs.root();
+    let mut remaining = target;
+
+    loop {
+        let kind = g.rule(start).rhs.kind(node);
+        match kind {
+            NodeKind::Term(_) => {
+                if remaining == 0 {
+                    return Ok((node, stats));
+                }
+                remaining -= 1;
+                let children = g.rule(start).rhs.children(node).to_vec();
+                let mut descended = false;
+                for c in children {
+                    let s = sizes[&c];
+                    if remaining < s {
+                        node = c;
+                        descended = true;
+                        break;
+                    }
+                    remaining -= s;
+                }
+                if !descended {
+                    return Err(RepairError::TargetOutOfRange {
+                        index: target,
+                        size: total,
+                    });
+                }
+            }
+            NodeKind::Nt(callee) => {
+                // Decide whether the target is produced by the callee itself or
+                // by one of its argument subtrees; in the former case inline the
+                // callee and continue inside the copy with the same offset.
+                let segs = &segments[&callee];
+                let args = g.rule(start).rhs.children(node).to_vec();
+                let mut offset: u128 = 0;
+                let mut decided: Option<NodeId> = None;
+                let mut produced_by_callee = false;
+                for (j, seg) in segs.iter().enumerate() {
+                    if remaining < offset + seg {
+                        produced_by_callee = true;
+                        break;
+                    }
+                    offset += seg;
+                    if j < args.len() {
+                        let arg = args[j];
+                        let s = sizes[&arg];
+                        if remaining < offset + s {
+                            decided = Some(arg);
+                            break;
+                        }
+                        offset += s;
+                    }
+                }
+                if produced_by_callee {
+                    let new_root = {
+                        let callee_rhs = g.rule(callee).rhs.clone();
+                        g.rule_mut(start).rhs.inline_at(node, &callee_rhs)
+                    };
+                    stats.inlinings += 1;
+                    // Sizes of the freshly inlined nodes are missing; recompute.
+                    sizes = subtree_derived_sizes(&g.rule(start).rhs, &own);
+                    node = new_root;
+                } else if let Some(arg) = decided {
+                    remaining -= offset;
+                    node = arg;
+                } else {
+                    return Err(RepairError::TargetOutOfRange {
+                        index: target,
+                        size: total,
+                    });
+                }
+            }
+            NodeKind::Param(_) => {
+                unreachable!("the start rule has rank 0 and contains no parameters")
+            }
+        }
+    }
+}
+
+/// Reads the terminal label at preorder index `target` of the derived tree,
+/// isolating the path to it as a side effect.
+pub fn label_at(g: &mut Grammar, target: u128) -> Result<String> {
+    let (node, _) = isolate(g, target)?;
+    let kind = g.rule(g.start()).rhs.kind(node);
+    match kind {
+        NodeKind::Term(t) => Ok(g.symbols.name(t).to_string()),
+        _ => unreachable!("isolate always returns a terminal node"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sltgrammar::fingerprint::fingerprint;
+    use sltgrammar::text::parse_grammar;
+
+    #[test]
+    fn isolation_preserves_the_derived_tree_and_bounds_growth() {
+        let mut g = parse_grammar(
+            "S -> f(A(B,B),#)\n\
+             B -> A(#,#)\n\
+             A -> a(#, a(y1, y2))",
+        )
+        .unwrap();
+        let before = fingerprint(&g);
+        let size_before = g.edge_count();
+        let (_, stats) = isolate(&mut g, 7).unwrap();
+        g.validate().unwrap();
+        assert_eq!(fingerprint(&g), before);
+        assert!(stats.inlinings >= 1);
+        // Lemma 1: |iso(G, u)| <= 2 |G| (edge counts; allow the small additive
+        // slack caused by counting per-rule edges).
+        assert!(g.edge_count() <= 2 * size_before + 2);
+    }
+
+    #[test]
+    fn labels_along_the_derived_tree_match_val() {
+        let g0 = parse_grammar(
+            "S -> f(A(B,B),#)\n\
+             B -> A(#,#)\n\
+             A -> a(#, a(y1, y2))",
+        )
+        .unwrap();
+        let val = sltgrammar::derive::val(&g0).unwrap();
+        let expected: Vec<String> = val
+            .preorder()
+            .iter()
+            .map(|&n| match val.kind(n) {
+                NodeKind::Term(t) => g0.symbols.name(t).to_string(),
+                _ => unreachable!(),
+            })
+            .collect();
+        for (i, want) in expected.iter().enumerate() {
+            let mut g = g0.clone();
+            let got = label_at(&mut g, i as u128).unwrap();
+            assert_eq!(&got, want, "label mismatch at preorder index {i}");
+        }
+    }
+
+    #[test]
+    fn exponential_grammar_positions_are_reachable() {
+        // The paper's G_exp example: a chain of doubling rules deriving a^1024
+        // (as a monadic tree with a null leaf).
+        let mut text = String::from("S -> A1(A1(#))\n");
+        for i in 1..=9 {
+            text.push_str(&format!("A{i} -> A{}(A{}(y1))\n", i + 1, i + 1));
+        }
+        text.push_str("A10 -> a(y1)");
+        let g0 = parse_grammar(&text).unwrap();
+        assert_eq!(derived_size(&g0), 1025);
+        // Rename position 333 (0-based 332): only a logarithmic number of rules
+        // must be inlined.
+        let mut g = g0.clone();
+        let before = fingerprint(&g);
+        let (node, stats) = isolate(&mut g, 332).unwrap();
+        assert!(g.rule(g.start()).rhs.kind(node).is_term());
+        assert_eq!(fingerprint(&g), before);
+        assert!(stats.inlinings <= 11);
+        assert!(g.edge_count() <= 2 * g0.edge_count() + 2);
+    }
+
+    #[test]
+    fn out_of_range_targets_are_rejected() {
+        let mut g = parse_grammar("S -> a(#,#)").unwrap();
+        assert!(matches!(
+            isolate(&mut g, 3),
+            Err(RepairError::TargetOutOfRange { .. })
+        ));
+        assert!(isolate(&mut g, 2).is_ok());
+    }
+
+    #[test]
+    fn isolating_an_already_explicit_node_does_not_inline() {
+        let mut g = parse_grammar("S -> f(a(#,#),#)").unwrap();
+        let (_, stats) = isolate(&mut g, 1).unwrap();
+        assert_eq!(stats.inlinings, 0);
+    }
+}

@@ -1,0 +1,62 @@
+//! # grammar-repair — incremental updates on compressed XML
+//!
+//! A from-scratch Rust implementation of the ICDE 2016 paper *Incremental
+//! Updates on Compressed XML* (Böttcher, Hartel, Jacobs, Maneth): RePair
+//! compression executed **directly on an SLCF tree grammar** (GrammarRePair)
+//! combined with update operations that never decompress the document.
+//!
+//! The crate provides four layers:
+//!
+//! * [`repair`] — the [`repair::GrammarRePair`] recompressor (Algorithm 1 with
+//!   the optimized replacement of Algorithms 6–8), built on
+//!   [`occurrences`] (usage-weighted digram occurrence generators,
+//!   TREEPARENT / TREECHILD / RETRIEVEOCCS) and [`replace`] (localization by
+//!   minimal inlining, greedy local replacement, fragment export).
+//! * [`isolate`] / [`update`] — path isolation and the three atomic update
+//!   operations (rename, insert-before, delete-subtree) on the grammar.
+//! * [`udc`] — the update–decompress–compress baseline the paper compares against.
+//! * [`session`] — [`session::CompressedDom`], a mutable always-compressed
+//!   document handle with an automatic recompression policy.
+//! * [`navigate`] / [`query`] — the read path: cursor navigation, streaming
+//!   preorder traversal, label statistics and child/descendant path queries,
+//!   all evaluated directly on the grammar without decompression.
+//!
+//! ## Example
+//!
+//! ```
+//! use grammar_repair::session::CompressedDom;
+//! use xmltree::parse::parse_xml;
+//! use xmltree::updates::UpdateOp;
+//!
+//! let xml = parse_xml(
+//!     "<log><e><t/><m/></e><e><t/><m/></e><e><t/><m/></e><e><t/><m/></e></log>"
+//! ).unwrap();
+//! let mut dom = CompressedDom::from_xml(&xml, 100);
+//! // The grammar represents the full binary tree (2·13 + 1 nodes) of the document.
+//! assert_eq!(dom.derived_size(), 27);
+//!
+//! // Rename the first <e> element (preorder index 1 of the binary tree)
+//! // without decompressing the document.
+//! dom.apply(&UpdateOp::Rename { target: 1, label: "entry".into() }).unwrap();
+//! assert_eq!(dom.label_at(1).unwrap(), "entry");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod isolate;
+pub mod navigate;
+pub mod occurrences;
+pub mod query;
+pub mod repair;
+pub mod replace;
+pub mod session;
+pub mod udc;
+pub mod update;
+
+pub use error::{RepairError, Result};
+pub use navigate::{Cursor, PreorderLabels};
+pub use query::{PathQuery, QueryMatches};
+pub use repair::{GrammarRePair, GrammarRePairConfig, RepairStats};
+pub use session::CompressedDom;
+pub use udc::{update_decompress_compress, UdcStats};

@@ -1,0 +1,520 @@
+//! Read-only navigation over the derived tree of a grammar — no decompression.
+//!
+//! The paper motivates grammar-compressed XML as a drop-in replacement for
+//! memory-hungry DOM trees; reads must therefore work directly on the grammar.
+//! This module provides a [`Cursor`] that walks the derived binary tree
+//! `val(G)` by maintaining a stack of rule frames: descending into a
+//! nonterminal reference pushes the callee rule, reaching a formal parameter
+//! pops back into the caller and continues in the corresponding argument
+//! subtree. Navigation therefore costs `O(grammar depth)` per step and never
+//! modifies the grammar (unlike [`crate::isolate`], which inlines rules as a
+//! side effect) and never materializes `val(G)` (unlike
+//! [`sltgrammar::derive::val`], which is exponential in the worst case).
+//!
+//! On top of the binary-tree cursor, the module offers document-view
+//! navigation (first child / next sibling / parent of *elements*), a streaming
+//! preorder iterator over terminal labels, and usage-weighted label statistics
+//! computed in a single pass over the grammar.
+
+use std::collections::HashMap;
+
+use sltgrammar::{Grammar, NodeId, NodeKind, NtId, TermId};
+
+/// One stack frame of a [`Cursor`]: a rule and the current node inside its
+/// right-hand side. For every frame except the innermost, `node` is the
+/// nonterminal reference whose callee is the frame above it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Frame {
+    nt: NtId,
+    node: NodeId,
+}
+
+/// A read-only position in the derived binary tree `val(G)`.
+///
+/// The cursor always rests on a *terminal* node of the derived tree; moving
+/// through nonterminal references and parameters is handled internally.
+#[derive(Debug, Clone)]
+pub struct Cursor<'g> {
+    grammar: &'g Grammar,
+    stack: Vec<Frame>,
+}
+
+impl<'g> Cursor<'g> {
+    /// Creates a cursor positioned at the root of the derived tree.
+    pub fn new(grammar: &'g Grammar) -> Self {
+        let start = grammar.start();
+        let mut cursor = Cursor {
+            grammar,
+            stack: vec![Frame {
+                nt: start,
+                node: grammar.rule(start).rhs.root(),
+            }],
+        };
+        cursor.resolve();
+        cursor
+    }
+
+    fn rhs(&self, nt: NtId) -> &'g sltgrammar::RhsTree {
+        &self.grammar.rule(nt).rhs
+    }
+
+    /// Moves the innermost position through nonterminal references and
+    /// parameters until it rests on a terminal node.
+    fn resolve(&mut self) {
+        loop {
+            let top = *self.stack.last().expect("cursor stack is never empty");
+            match self.rhs(top.nt).kind(top.node) {
+                NodeKind::Term(_) => return,
+                NodeKind::Nt(callee) => {
+                    self.stack.push(Frame {
+                        nt: callee,
+                        node: self.rhs(callee).root(),
+                    });
+                }
+                NodeKind::Param(j) => {
+                    // Continue in the j-th argument of the call site one frame below.
+                    self.stack.pop();
+                    let caller = *self.stack.last().expect("parameters only occur in callees");
+                    let arg = self.rhs(caller.nt).children(caller.node)[j as usize];
+                    self.stack.last_mut().expect("non-empty").node = arg;
+                }
+            }
+        }
+    }
+
+    /// Terminal symbol at the current position.
+    pub fn term(&self) -> TermId {
+        let top = self.stack.last().expect("cursor stack is never empty");
+        match self.rhs(top.nt).kind(top.node) {
+            NodeKind::Term(t) => t,
+            _ => unreachable!("cursor always rests on a terminal"),
+        }
+    }
+
+    /// Label at the current position.
+    pub fn label(&self) -> &'g str {
+        self.grammar.symbols.name(self.term())
+    }
+
+    /// Whether the current node is the null (`#` / `⊥`) leaf.
+    pub fn is_null(&self) -> bool {
+        self.grammar.symbols.is_null(self.term())
+    }
+
+    /// Rank (number of children in the derived tree) of the current node.
+    pub fn rank(&self) -> usize {
+        self.grammar.symbols.rank(self.term())
+    }
+
+    /// Descends to the `i`-th child of the current node. Returns `false` (and
+    /// stays put) if the current node has fewer than `i + 1` children.
+    pub fn down(&mut self, i: usize) -> bool {
+        if i >= self.rank() {
+            return false;
+        }
+        let top = self.stack.last_mut().expect("cursor stack is never empty");
+        let child = self.grammar.rule(top.nt).rhs.children(top.node)[i];
+        top.node = child;
+        self.resolve();
+        true
+    }
+
+    /// Ascends to the parent of the current node in the derived tree. Returns
+    /// the child index the cursor came from, or `None` at the root.
+    pub fn up(&mut self) -> Option<usize> {
+        loop {
+            let top = *self.stack.last().expect("cursor stack is never empty");
+            let rhs = self.rhs(top.nt);
+            match rhs.parent(top.node) {
+                Some(p) => match rhs.kind(p) {
+                    NodeKind::Term(_) => {
+                        let idx = rhs
+                            .children(p)
+                            .iter()
+                            .position(|&c| c == top.node)
+                            .expect("parent/child links consistent");
+                        self.stack.last_mut().expect("non-empty").node = p;
+                        return Some(idx);
+                    }
+                    NodeKind::Nt(callee) => {
+                        // The current node is the j-th argument of a call; its
+                        // derived parent is the parent of parameter y_j inside
+                        // the callee. Position the caller frame at the call node
+                        // and continue searching from the parameter leaf.
+                        let j = rhs
+                            .children(p)
+                            .iter()
+                            .position(|&c| c == top.node)
+                            .expect("parent/child links consistent");
+                        self.stack.last_mut().expect("non-empty").node = p;
+                        let param = self
+                            .rhs(callee)
+                            .find_param(j as u32)
+                            .expect("linear grammars contain every parameter exactly once");
+                        self.stack.push(Frame {
+                            nt: callee,
+                            node: param,
+                        });
+                    }
+                    NodeKind::Param(_) => {
+                        unreachable!("parameters are leaves and cannot be parents")
+                    }
+                },
+                None => {
+                    // At the root of this rule's right-hand side.
+                    if self.stack.len() == 1 {
+                        return None;
+                    }
+                    self.stack.pop();
+                    // The caller frame's node is the call site; continue there.
+                }
+            }
+        }
+    }
+
+    /// Whether the cursor is at the root of the derived tree.
+    pub fn at_root(&self) -> bool {
+        let mut probe = self.clone();
+        probe.up().is_none()
+    }
+
+    /// Depth of the rule-frame stack — a measure of how deeply the current
+    /// position is nested in the grammar (not the derived-tree depth).
+    pub fn frame_depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    // ----- document (element) view over the binary encoding -----
+
+    /// Moves to the first child *element* of the current element. Returns
+    /// `false` and stays put if there is none.
+    pub fn doc_first_child(&mut self) -> bool {
+        let saved = self.stack.clone();
+        if self.down(0) && !self.is_null() {
+            return true;
+        }
+        self.stack = saved;
+        false
+    }
+
+    /// Moves to the next sibling *element* of the current element. Returns
+    /// `false` and stays put if there is none.
+    pub fn doc_next_sibling(&mut self) -> bool {
+        let saved = self.stack.clone();
+        if self.down(1) && !self.is_null() {
+            return true;
+        }
+        self.stack = saved;
+        false
+    }
+
+    /// Moves to the parent *element* of the current element. Returns `false`
+    /// and stays put at the document root.
+    pub fn doc_parent(&mut self) -> bool {
+        let saved = self.stack.clone();
+        loop {
+            match self.up() {
+                Some(0) => return true,
+                Some(_) => continue,
+                None => {
+                    self.stack = saved;
+                    return false;
+                }
+            }
+        }
+    }
+}
+
+/// Streaming preorder iterator over the terminal labels of `val(G)`.
+///
+/// The iterator visits every node of the derived tree exactly once without
+/// materializing it; memory use is bounded by the cursor's frame stack.
+pub struct PreorderLabels<'g> {
+    cursor: Option<Cursor<'g>>,
+}
+
+impl<'g> PreorderLabels<'g> {
+    /// Creates the iterator positioned before the root.
+    pub fn new(grammar: &'g Grammar) -> Self {
+        PreorderLabels {
+            cursor: Some(Cursor::new(grammar)),
+        }
+    }
+}
+
+impl<'g> Iterator for PreorderLabels<'g> {
+    type Item = TermId;
+
+    fn next(&mut self) -> Option<TermId> {
+        let cursor = self.cursor.as_mut()?;
+        let term = cursor.term();
+        // Advance: descend if possible, otherwise climb until a next sibling exists.
+        let mut exhausted = false;
+        if cursor.rank() > 0 {
+            cursor.down(0);
+        } else {
+            loop {
+                match cursor.up() {
+                    None => {
+                        exhausted = true;
+                        break;
+                    }
+                    Some(idx) => {
+                        if idx + 1 < cursor.rank() {
+                            cursor.down(idx + 1);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        if exhausted {
+            self.cursor = None;
+        }
+        Some(term)
+    }
+}
+
+/// Usage-weighted number of occurrences of every terminal label in `val(G)`,
+/// computed in one pass over the grammar (no traversal of the derived tree).
+pub fn label_counts(g: &Grammar) -> HashMap<String, u128> {
+    let usage = g.usage();
+    let mut counts: HashMap<TermId, u128> = HashMap::new();
+    for nt in g.nonterminals() {
+        let weight = usage.get(&nt).copied().unwrap_or(0) as u128;
+        if weight == 0 {
+            continue;
+        }
+        let rhs = &g.rule(nt).rhs;
+        for node in rhs.preorder() {
+            if let NodeKind::Term(t) = rhs.kind(node) {
+                *counts.entry(t).or_insert(0) += weight;
+            }
+        }
+    }
+    counts
+        .into_iter()
+        .map(|(t, c)| (g.symbols.name(t).to_string(), c))
+        .collect()
+}
+
+/// Number of *element* nodes (non-null terminals) of the derived tree,
+/// computed without decompression.
+pub fn element_count(g: &Grammar) -> u128 {
+    label_counts(g)
+        .into_iter()
+        .filter(|(name, _)| name != sltgrammar::NULL_SYMBOL_NAME)
+        .map(|(_, c)| c)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sltgrammar::derive::val;
+    use sltgrammar::fingerprint::derived_size;
+    use sltgrammar::text::parse_grammar;
+    use treerepair::TreeRePair;
+    use xmltree::parse::parse_xml;
+
+    fn paper_grammar() -> Grammar {
+        parse_grammar("S -> f(A(B,B),#)\nB -> A(#,#)\nA -> a(#, a(y1, y2))").unwrap()
+    }
+
+    fn compressed(doc: &str) -> (Grammar, xmltree::XmlTree) {
+        let xml = parse_xml(doc).unwrap();
+        let (g, _) = TreeRePair::default().compress_xml(&xml);
+        (g, xml)
+    }
+
+    #[test]
+    fn preorder_labels_match_the_materialized_tree() {
+        let g = paper_grammar();
+        let tree = val(&g).unwrap();
+        let expected: Vec<String> = tree
+            .preorder()
+            .iter()
+            .map(|&n| match tree.kind(n) {
+                NodeKind::Term(t) => g.symbols.name(t).to_string(),
+                _ => unreachable!(),
+            })
+            .collect();
+        let got: Vec<String> = PreorderLabels::new(&g)
+            .map(|t| g.symbols.name(t).to_string())
+            .collect();
+        assert_eq!(got, expected);
+        assert_eq!(got.len() as u128, derived_size(&g));
+    }
+
+    #[test]
+    fn cursor_down_up_are_inverse_everywhere() {
+        let (g, _) = compressed(
+            "<lib><book><ch><p/><p/></ch><ch/></book><book><ch><p/><p/></ch><ch/></book></lib>",
+        );
+        // Walk the whole derived tree; at every node check that down(i) then up()
+        // returns to the same label and child index.
+        let mut cursor = Cursor::new(&g);
+        let mut visited = 0u128;
+        let mut done = false;
+        while !done {
+            visited += 1;
+            let label_before = cursor.label().to_string();
+            for i in 0..cursor.rank() {
+                assert!(cursor.down(i));
+                let idx = cursor.up().expect("child has a parent");
+                assert_eq!(idx, i);
+                assert_eq!(cursor.label(), label_before);
+            }
+            // Advance in preorder.
+            if cursor.rank() > 0 {
+                cursor.down(0);
+            } else {
+                loop {
+                    match cursor.up() {
+                        None => {
+                            done = true;
+                            break;
+                        }
+                        Some(idx) => {
+                            if idx + 1 < cursor.rank() {
+                                cursor.down(idx + 1);
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(visited, derived_size(&g));
+    }
+
+    #[test]
+    fn document_navigation_matches_the_original_document() {
+        let doc = "<lib><book><title/><ch/><ch/></book><mag><title/></mag><book/></lib>";
+        let (g, xml) = compressed(doc);
+        let mut cursor = Cursor::new(&g);
+        assert_eq!(cursor.label(), "lib");
+        assert!(!cursor.doc_parent(), "document root has no parent");
+
+        // First child chain: lib -> book -> title.
+        assert!(cursor.doc_first_child());
+        assert_eq!(cursor.label(), "book");
+        assert!(cursor.doc_first_child());
+        assert_eq!(cursor.label(), "title");
+        assert!(!cursor.doc_first_child(), "title is a leaf");
+
+        // Sibling chain of title: ch, ch.
+        assert!(cursor.doc_next_sibling());
+        assert_eq!(cursor.label(), "ch");
+        assert!(cursor.doc_next_sibling());
+        assert_eq!(cursor.label(), "ch");
+        assert!(!cursor.doc_next_sibling());
+
+        // Parent of the last ch is book; its siblings are mag and book.
+        assert!(cursor.doc_parent());
+        assert_eq!(cursor.label(), "book");
+        assert!(cursor.doc_next_sibling());
+        assert_eq!(cursor.label(), "mag");
+        assert!(cursor.doc_next_sibling());
+        assert_eq!(cursor.label(), "book");
+        assert!(!cursor.doc_next_sibling());
+        assert!(cursor.doc_parent());
+        assert_eq!(cursor.label(), "lib");
+
+        let _ = xml;
+    }
+
+    #[test]
+    fn document_navigation_covers_every_element() {
+        // DFS over the document view must visit exactly the elements of the XML.
+        let doc = "<a><b><c/><d><e/></d></b><f/><g><h/><i/><j/></g></a>";
+        let (g, xml) = compressed(doc);
+        let mut cursor = Cursor::new(&g);
+        let mut labels = Vec::new();
+        // Iterative DFS using doc_first_child / doc_next_sibling / doc_parent.
+        'outer: loop {
+            labels.push(cursor.label().to_string());
+            if cursor.doc_first_child() {
+                continue;
+            }
+            loop {
+                if cursor.doc_next_sibling() {
+                    break;
+                }
+                if !cursor.doc_parent() {
+                    break 'outer;
+                }
+            }
+        }
+        let expected: Vec<String> = xml
+            .preorder()
+            .iter()
+            .map(|&n| xml.label(n).to_string())
+            .collect();
+        assert_eq!(labels, expected);
+    }
+
+    #[test]
+    fn navigation_works_on_exponentially_compressed_grammars() {
+        // A chain of doubling rules deriving a monadic tree of 2^20 a-nodes plus
+        // a null leaf: far too large to materialize, trivial to navigate.
+        let mut text = String::from("S -> A1(A1(#))\n");
+        for i in 1..=19 {
+            text.push_str(&format!("A{i} -> A{}(A{}(y1))\n", i + 1, i + 1));
+        }
+        text.push_str("A20 -> a(y1)");
+        let g = parse_grammar(&text).unwrap();
+        assert_eq!(derived_size(&g), (1u128 << 20) + 1);
+
+        let mut cursor = Cursor::new(&g);
+        assert_eq!(cursor.label(), "a");
+        // Descend 1000 levels and come back.
+        for _ in 0..1000 {
+            assert!(cursor.down(0));
+            assert_eq!(cursor.label(), "a");
+        }
+        for _ in 0..1000 {
+            assert_eq!(cursor.up(), Some(0));
+        }
+        assert!(cursor.up().is_none());
+        // The frame stack stays logarithmic in the derived size.
+        assert!(cursor.frame_depth() <= 25);
+
+        // Label statistics without traversal.
+        let counts = label_counts(&g);
+        assert_eq!(counts["a"], 1u128 << 20);
+        assert_eq!(counts["#"], 1);
+        assert_eq!(element_count(&g), 1u128 << 20);
+    }
+
+    #[test]
+    fn label_counts_match_traversal_on_small_documents() {
+        let (g, xml) = compressed(
+            "<db><r><k/><v/></r><r><k/><v/></r><r><k/><v/></r><r><k/><v/></r><x/></db>",
+        );
+        let counts = label_counts(&g);
+        let mut expected: HashMap<String, u128> = HashMap::new();
+        for n in xml.preorder() {
+            *expected.entry(xml.label(n).to_string()).or_insert(0) += 1;
+        }
+        // Null leaves: one per element (missing first child or sibling) + 1.
+        let nulls = counts.get("#").copied().unwrap_or(0);
+        assert_eq!(nulls, xml.node_count() as u128 + 1);
+        for (label, count) in expected {
+            assert_eq!(counts.get(&label).copied().unwrap_or(0), count, "label {label}");
+        }
+        assert_eq!(element_count(&g), xml.node_count() as u128);
+    }
+
+    #[test]
+    fn at_root_and_frame_depth_basics() {
+        let g = paper_grammar();
+        let mut cursor = Cursor::new(&g);
+        assert!(cursor.at_root());
+        assert!(cursor.down(0));
+        assert!(!cursor.at_root());
+        assert!(cursor.frame_depth() >= 1);
+        cursor.up();
+        assert!(cursor.at_root());
+    }
+}

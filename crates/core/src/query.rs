@@ -1,0 +1,460 @@
+//! Path queries over grammar-compressed XML (child / descendant axes).
+//!
+//! The paper lists XPath evaluation over SLCF grammars among the operations
+//! that make grammar compression attractive for in-memory XML processing
+//! (Lohrey & Maneth, *The complexity of tree automata and XPath on
+//! grammar-compressed trees*). This module implements the core of that
+//! capability for absolute path expressions built from the child (`/`) and
+//! descendant-or-self (`//`) axes with element name tests and `*` wildcards,
+//! e.g. `/site/regions//item/name` or `//book/*`.
+//!
+//! Two evaluation modes are provided:
+//!
+//! * [`PathQuery::count`] — a memoized dynamic program **over the grammar**:
+//!   each rule is evaluated once per distinct *context* (the set of query
+//!   states reaching its root), so the running time depends on the grammar
+//!   size, not on the document size. This works even when the derived
+//!   document is exponentially larger than the grammar.
+//! * [`PathQuery::evaluate`] — a streaming evaluation over the document view
+//!   of a [`Cursor`](crate::navigate::Cursor), returning the document-order
+//!   positions of all matching elements (linear in the document size; intended
+//!   for result materialization on moderately sized documents).
+
+use std::collections::HashMap;
+
+use sltgrammar::{Grammar, NodeId, NodeKind, NtId};
+
+use crate::error::{RepairError, Result};
+use crate::navigate::Cursor;
+
+/// Axis of one query step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    /// `/label` — the element must be a child of the previous match.
+    Child,
+    /// `//label` — the element must be a descendant of the previous match.
+    Descendant,
+}
+
+/// One step of a path query: an axis plus a name test (`None` = `*`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Step {
+    /// The axis connecting this step to the previous one.
+    pub axis: Axis,
+    /// Element name to match; `None` matches any element.
+    pub label: Option<String>,
+}
+
+impl Step {
+    fn matches(&self, label: &str) -> bool {
+        match &self.label {
+            Some(want) => want == label,
+            None => true,
+        }
+    }
+}
+
+/// A parsed absolute path query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathQuery {
+    steps: Vec<Step>,
+}
+
+/// Result of materializing a query: the matching elements in document order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QueryMatches {
+    /// 0-based document-order indices (among *elements*) of every match.
+    pub positions: Vec<u64>,
+    /// Labels of the matching elements, parallel to `positions`.
+    pub labels: Vec<String>,
+}
+
+impl QueryMatches {
+    /// Number of matches.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether the query matched nothing.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+}
+
+/// Maximum number of steps: contexts are bitmasks in a `u32`.
+const MAX_STEPS: usize = 31;
+
+impl PathQuery {
+    /// Parses an absolute path expression such as `/site//item/name`,
+    /// `//keyword` or `/db/*/value`.
+    pub fn parse(text: &str) -> Result<Self> {
+        let text = text.trim();
+        if !text.starts_with('/') {
+            return Err(RepairError::InvalidQuery {
+                detail: "query must be absolute (start with '/' or '//')".to_string(),
+            });
+        }
+        let mut steps = Vec::new();
+        let mut rest = text;
+        while !rest.is_empty() {
+            let axis = if let Some(r) = rest.strip_prefix("//") {
+                rest = r;
+                Axis::Descendant
+            } else if let Some(r) = rest.strip_prefix('/') {
+                rest = r;
+                Axis::Child
+            } else {
+                return Err(RepairError::InvalidQuery {
+                    detail: format!("expected '/' or '//' before `{rest}`"),
+                });
+            };
+            let end = rest.find('/').unwrap_or(rest.len());
+            let name = &rest[..end];
+            rest = &rest[end..];
+            if name.is_empty() {
+                return Err(RepairError::InvalidQuery {
+                    detail: "empty step (trailing slash or '///')".to_string(),
+                });
+            }
+            if !name
+                .chars()
+                .all(|c| c.is_alphanumeric() || c == '_' || c == '-' || c == '.' || c == '*')
+            {
+                return Err(RepairError::InvalidQuery {
+                    detail: format!("invalid characters in step `{name}`"),
+                });
+            }
+            let label = if name == "*" { None } else { Some(name.to_string()) };
+            steps.push(Step { axis, label });
+        }
+        if steps.is_empty() {
+            return Err(RepairError::InvalidQuery {
+                detail: "query has no steps".to_string(),
+            });
+        }
+        if steps.len() > MAX_STEPS {
+            return Err(RepairError::InvalidQuery {
+                detail: format!("queries are limited to {MAX_STEPS} steps"),
+            });
+        }
+        Ok(PathQuery { steps })
+    }
+
+    /// The parsed steps.
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// State transition: given the states reaching an element (bitmask over
+    /// step indices) and the element's label, returns `(states for its
+    /// children, whether the element is a match)`.
+    fn transition(&self, ctx: u32, label: &str) -> (u32, bool) {
+        let mut next = 0u32;
+        let mut matched = false;
+        for i in 0..self.steps.len() {
+            if ctx & (1 << i) == 0 {
+                continue;
+            }
+            let step = &self.steps[i];
+            if step.axis == Axis::Descendant {
+                // `//` may skip this element entirely.
+                next |= 1 << i;
+            }
+            if step.matches(label) {
+                if i + 1 == self.steps.len() {
+                    matched = true;
+                } else {
+                    next |= 1 << (i + 1);
+                }
+            }
+        }
+        (next, matched)
+    }
+
+    /// Initial state set for the document root element.
+    fn initial_context(&self) -> u32 {
+        1
+    }
+
+    /// Counts the matching elements by a memoized dynamic program over the
+    /// grammar. Works on arbitrarily (even exponentially) compressed binary
+    /// XML grammars without touching the derived tree.
+    pub fn count(&self, g: &Grammar) -> u128 {
+        let mut memo: HashMap<(NtId, u32), RuleOutcome> = HashMap::new();
+        let start = g.start();
+        let outcome = self.eval_rule(g, start, self.initial_context(), &mut memo);
+        outcome.matches
+    }
+
+    /// Evaluates one rule under an incoming context.
+    ///
+    /// `ctx_root` is the state set reaching the root node of `val(A)`. In the
+    /// first-child/next-sibling encoding an element's *first* binary child
+    /// receives the element's own transition result, while its *second* binary
+    /// child (the next sibling) shares the element's incoming context — so one
+    /// context per node is enough and it flows strictly downwards. Returns the
+    /// match count inside `val(A)` (excluding parameter subtrees) and the
+    /// context flowing out to each parameter position.
+    fn eval_rule(
+        &self,
+        g: &Grammar,
+        nt: NtId,
+        ctx_root: u32,
+        memo: &mut HashMap<(NtId, u32), RuleOutcome>,
+    ) -> RuleOutcome {
+        if let Some(hit) = memo.get(&(nt, ctx_root)) {
+            return hit.clone();
+        }
+        let rule = g.rule(nt);
+        let rhs = &rule.rhs;
+        let mut outcome = RuleOutcome {
+            matches: 0,
+            param_contexts: vec![0u32; rule.rank],
+        };
+        // Work stack of (node, element context).
+        let mut stack: Vec<(NodeId, u32)> = vec![(rhs.root(), ctx_root)];
+        while let Some((node, ctx)) = stack.pop() {
+            match rhs.kind(node) {
+                NodeKind::Term(t) => {
+                    if g.symbols.is_null(t) {
+                        continue;
+                    }
+                    let label = g.symbols.name(t);
+                    let (child_ctx, matched) = self.transition(ctx, label);
+                    if matched {
+                        outcome.matches += 1;
+                    }
+                    let children = rhs.children(node);
+                    debug_assert_eq!(
+                        children.len(),
+                        2,
+                        "path queries require binary XML grammars"
+                    );
+                    // First child: the element's first document child.
+                    stack.push((children[0], child_ctx));
+                    // Second child: the element's next sibling, which shares the
+                    // element's own incoming (parent) context.
+                    stack.push((children[1], ctx));
+                }
+                NodeKind::Nt(callee) => {
+                    let sub = self.eval_rule(g, callee, ctx, memo);
+                    outcome.matches += sub.matches;
+                    let args = rhs.children(node);
+                    for (j, &arg) in args.iter().enumerate() {
+                        stack.push((arg, sub.param_contexts[j]));
+                    }
+                }
+                NodeKind::Param(j) => {
+                    outcome.param_contexts[j as usize] = ctx;
+                }
+            }
+        }
+        memo.insert((nt, ctx_root), outcome.clone());
+        outcome
+    }
+
+    /// Materializes the matches by streaming over the document view of the
+    /// grammar. Returns positions (document order over elements) and labels.
+    pub fn evaluate(&self, g: &Grammar) -> QueryMatches {
+        let mut out = QueryMatches::default();
+        let mut cursor = Cursor::new(g);
+        // DFS over elements carrying the context stack.
+        let mut ctx_stack: Vec<u32> = vec![self.initial_context()];
+        let mut position: u64 = 0;
+        'outer: loop {
+            let ctx = *ctx_stack.last().expect("context stack is never empty");
+            let (child_ctx, matched) = self.transition(ctx, cursor.label());
+            if matched {
+                out.positions.push(position);
+                out.labels.push(cursor.label().to_string());
+            }
+            position += 1;
+            if cursor.doc_first_child() {
+                ctx_stack.push(child_ctx);
+                continue;
+            }
+            loop {
+                if cursor.doc_next_sibling() {
+                    break;
+                }
+                ctx_stack.pop();
+                if !cursor.doc_parent() {
+                    break 'outer;
+                }
+            }
+        }
+        out
+    }
+
+    /// Reference evaluation against an uncompressed [`xmltree::XmlTree`]; used
+    /// by tests and the benchmark harness as the oracle.
+    pub fn evaluate_uncompressed(&self, xml: &xmltree::XmlTree) -> QueryMatches {
+        let mut out = QueryMatches::default();
+        let order = xml.preorder();
+        let index_of: HashMap<xmltree::XmlNodeId, u64> = order
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (n, i as u64))
+            .collect();
+        // DFS carrying contexts.
+        let mut stack = vec![(xml.root(), self.initial_context())];
+        let mut hits = Vec::new();
+        while let Some((node, ctx)) = stack.pop() {
+            let (child_ctx, matched) = self.transition(ctx, xml.label(node));
+            if matched {
+                hits.push((index_of[&node], xml.label(node).to_string()));
+            }
+            for &c in xml.children(node) {
+                stack.push((c, child_ctx));
+            }
+        }
+        hits.sort();
+        for (p, l) in hits {
+            out.positions.push(p);
+            out.labels.push(l);
+        }
+        out
+    }
+}
+
+/// Memoized result of evaluating one rule under one incoming context.
+#[derive(Debug, Clone)]
+struct RuleOutcome {
+    matches: u128,
+    /// Context flowing into each parameter position.
+    param_contexts: Vec<u32>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treerepair::TreeRePair;
+    use xmltree::parse::parse_xml;
+
+    const DOC: &str = "<site><regions><region><item><name/><price/></item>\
+                       <item><name/></item></region><region><item><name/><price/></item>\
+                       </region></regions><people><person><name/><address/></person>\
+                       <person><name/></person></people></site>";
+
+    fn compressed(doc: &str) -> (Grammar, xmltree::XmlTree) {
+        let xml = parse_xml(doc).unwrap();
+        let (g, _) = TreeRePair::default().compress_xml(&xml);
+        (g, xml)
+    }
+
+    #[test]
+    fn parser_accepts_and_rejects() {
+        let q = PathQuery::parse("/site/regions//item/name").unwrap();
+        assert_eq!(q.steps().len(), 4);
+        assert_eq!(q.steps()[0].axis, Axis::Child);
+        assert_eq!(q.steps()[2].axis, Axis::Descendant);
+        assert_eq!(q.steps()[2].label.as_deref(), Some("item"));
+
+        let q = PathQuery::parse("//name").unwrap();
+        assert_eq!(q.steps().len(), 1);
+        assert_eq!(q.steps()[0].axis, Axis::Descendant);
+
+        let q = PathQuery::parse("/db/*/value").unwrap();
+        assert!(q.steps()[1].label.is_none());
+
+        assert!(PathQuery::parse("relative/path").is_err());
+        assert!(PathQuery::parse("/").is_err());
+        assert!(PathQuery::parse("/a//").is_err());
+        assert!(PathQuery::parse("/a/b[1]").is_err());
+        let long = format!("/{}", vec!["x"; 40].join("/"));
+        assert!(PathQuery::parse(&long).is_err());
+    }
+
+    #[test]
+    fn counts_match_streaming_and_uncompressed_evaluation() {
+        let (g, xml) = compressed(DOC);
+        for query in [
+            "/site",
+            "/site/regions/region/item/name",
+            "//name",
+            "//item/name",
+            "/site//name",
+            "/site/*",
+            "//*",
+            "//region//name",
+            "/site/people/person/address",
+            "//absent",
+            "/absent//name",
+        ] {
+            let q = PathQuery::parse(query).unwrap();
+            let reference = q.evaluate_uncompressed(&xml);
+            let streamed = q.evaluate(&g);
+            assert_eq!(streamed, reference, "streaming mismatch for {query}");
+            assert_eq!(
+                q.count(&g),
+                reference.len() as u128,
+                "grammar count mismatch for {query}"
+            );
+        }
+    }
+
+    #[test]
+    fn specific_counts_are_correct() {
+        let (g, _) = compressed(DOC);
+        assert_eq!(PathQuery::parse("//name").unwrap().count(&g), 5);
+        assert_eq!(PathQuery::parse("//item/name").unwrap().count(&g), 3);
+        assert_eq!(PathQuery::parse("//person/name").unwrap().count(&g), 2);
+        assert_eq!(PathQuery::parse("/site/regions//price").unwrap().count(&g), 2);
+        assert_eq!(PathQuery::parse("/name").unwrap().count(&g), 0);
+        assert_eq!(PathQuery::parse("//*").unwrap().count(&g), 18);
+    }
+
+    #[test]
+    fn evaluate_returns_document_order_positions() {
+        let (g, xml) = compressed(DOC);
+        let q = PathQuery::parse("//item").unwrap();
+        let matches = q.evaluate(&g);
+        assert_eq!(matches.len(), 3);
+        assert!(!matches.is_empty());
+        // Positions are strictly increasing and all labelled `item`.
+        assert!(matches.positions.windows(2).all(|w| w[0] < w[1]));
+        assert!(matches.labels.iter().all(|l| l == "item"));
+        // Cross-check against the original document order.
+        let order = xml.preorder();
+        for &p in &matches.positions {
+            assert_eq!(xml.label(order[p as usize]), "item");
+        }
+    }
+
+    #[test]
+    fn counting_works_on_exponentially_compressed_documents() {
+        // A doubling chain deriving 2^16 <item><name/></item> records under a root:
+        // the derived document has ~196k elements; counting must not materialize it.
+        let mut text = String::from("S -> root(L1(#),#)\n");
+        text.push_str("L1 -> C1(C1(y1))\n");
+        for i in 1..=15 {
+            text.push_str(&format!("C{i} -> C{}(C{}(y1))\n", i + 1, i + 1));
+        }
+        text.push_str("C16 -> item(name(#,#), y1)\n");
+        let g = sltgrammar::text::parse_grammar(&text).unwrap();
+        g.validate().unwrap();
+        let items = PathQuery::parse("/root/item").unwrap().count(&g);
+        assert_eq!(items, 1 << 16);
+        let names = PathQuery::parse("//name").unwrap().count(&g);
+        assert_eq!(names, 1 << 16);
+        let nested = PathQuery::parse("/root/item/name").unwrap().count(&g);
+        assert_eq!(nested, 1 << 16);
+        let miss = PathQuery::parse("/root/name").unwrap().count(&g);
+        assert_eq!(miss, 0);
+    }
+
+    #[test]
+    fn queries_survive_recompression_and_updates() {
+        use crate::update::rename;
+        let (mut g, _) = compressed(DOC);
+        let before = PathQuery::parse("//name").unwrap().count(&g);
+        // Rename the first element (document root stays put at index 0 of the
+        // binary preorder; rename element at binary preorder index 1).
+        rename(&mut g, 1, "zones").unwrap();
+        let q = PathQuery::parse("/site/zones//name").unwrap();
+        assert_eq!(q.count(&g), 3);
+        crate::repair::GrammarRePair::default().recompress(&mut g);
+        assert_eq!(q.count(&g), 3);
+        assert_eq!(PathQuery::parse("//name").unwrap().count(&g), before);
+    }
+}

@@ -1,0 +1,486 @@
+//! Replacing all occurrences of a digram directly on a grammar
+//! (paper Section IV-B/IV-E, Algorithms 5–8).
+//!
+//! Rules are processed callees-first (anti-straight-line order). For every rule
+//! that contains occurrence generators of the chosen digram, three phases run:
+//!
+//! 1. **Localization** — the minimal inlining steps that make the `a`- and
+//!    `b`-nodes of every crossing occurrence explicit within the rule
+//!    (Algorithm 5 / the inlining part of Algorithm 7).
+//! 2. **Local replacement** — a single preorder (top-down greedy) pass that
+//!    replaces every local occurrence by the fresh pattern nonterminal, exactly
+//!    as TreeRePair does on trees.
+//! 3. **Fragment export** (optimized mode only, Algorithm 8) — connected
+//!    fragments that are not needed by callers are moved into new rules, so that
+//!    later inlinings of this rule stay small ("lemma generation").
+
+use std::collections::{HashMap, HashSet};
+
+use sltgrammar::{Grammar, NodeId, NodeKind, NtId, RhsTree};
+use treerepair::Digram;
+
+use crate::occurrences::{is_transparent_nt, tree_child, tree_parent, FrozenSet, Generator};
+
+/// Statistics of one digram replacement pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplaceStats {
+    /// Number of inlining steps performed during localization.
+    pub inlinings: usize,
+    /// Number of occurrences replaced by the pattern nonterminal.
+    pub replacements: usize,
+    /// Number of fragment rules exported (optimized mode only).
+    pub exported_rules: usize,
+}
+
+/// Replaces all occurrences of `digram` in the grammar by references to the
+/// (already created, frozen) pattern rule `x`.
+///
+/// `generators` are the occurrence generators collected by
+/// [`crate::occurrences::retrieve_occs`] for this digram; only their rules are
+/// visited. With `optimize` set, fragment export keeps intermediate rules small.
+pub fn replace_all_occurrences(
+    g: &mut Grammar,
+    digram: &Digram,
+    x: NtId,
+    generators: &[Generator],
+    frozen: &FrozenSet,
+    optimize: bool,
+) -> ReplaceStats {
+    let mut stats = ReplaceStats::default();
+    let rules_with_generators: HashSet<NtId> = generators.iter().map(|gen| gen.rule).collect();
+    let order = g
+        .anti_sl_order()
+        .expect("replacement requires a straight-line grammar");
+    // Rules already reduced by fragment export in this round ("lemma generation"
+    // cache): reducing a multiply-referenced rule once benefits every later
+    // inlining of it.
+    let mut reduced: HashSet<NtId> = HashSet::new();
+
+    for rule in order {
+        if !rules_with_generators.contains(&rule) || frozen.contains(&rule) {
+            continue;
+        }
+        stats.inlinings += localize(g, rule, digram, frozen, optimize, &mut reduced, &mut stats.exported_rules);
+        stats.replacements += replace_local(g, rule, digram, x);
+        if optimize {
+            stats.exported_rules += export_fragments(g, rule);
+            reduced.insert(rule);
+        }
+    }
+    stats
+}
+
+/// Phase 1: inline transparent nonterminals until every occurrence of `digram`
+/// whose generator lies in `rule` has both its `a`- and `b`-node inside `rule`.
+///
+/// In optimized mode, a multiply-referenced callee is first reduced by fragment
+/// export (once per round) so that every inlined copy of it stays small — the
+/// paper's "lemma generation".
+#[allow(clippy::too_many_arguments)]
+pub fn localize(
+    g: &mut Grammar,
+    rule: NtId,
+    digram: &Digram,
+    frozen: &FrozenSet,
+    optimize: bool,
+    reduced: &mut HashSet<NtId>,
+    exported_rules: &mut usize,
+) -> usize {
+    let mut inlinings = 0;
+    loop {
+        let mut targets: Vec<NodeId> = Vec::new();
+        {
+            let rhs = &g.rule(rule).rhs;
+            let root = rhs.root();
+            for node in rhs.preorder() {
+                if node == root || rhs.kind(node).is_param() {
+                    continue;
+                }
+                let Some((tp, index)) = tree_parent(g, rule, node, frozen) else {
+                    continue;
+                };
+                if index != digram.child_index {
+                    continue;
+                }
+                let tc = tree_child(g, rule, node, frozen);
+                let tp_kind = g.rule(tp.0).rhs.kind(tp.1);
+                let tc_kind = g.rule(tc.0).rhs.kind(tc.1);
+                if tp_kind != digram.parent || tc_kind != digram.child {
+                    continue;
+                }
+                // Equal-label occurrences crossing a rule root are never replaced.
+                if digram.equal_labels() && is_transparent_nt(rhs.kind(node), frozen) {
+                    continue;
+                }
+                let parent = rhs.parent(node).expect("non-root node has a parent");
+                if is_transparent_nt(rhs.kind(parent), frozen) {
+                    targets.push(parent);
+                } else if is_transparent_nt(rhs.kind(node), frozen) {
+                    targets.push(node);
+                }
+            }
+        }
+        targets.sort();
+        targets.dedup();
+        if targets.is_empty() {
+            return inlinings;
+        }
+        for node in targets {
+            let (attached, kind) = {
+                let rhs = &g.rule(rule).rhs;
+                (
+                    node == rhs.root() || rhs.parent(node).is_some(),
+                    rhs.kind(node),
+                )
+            };
+            if !attached || !is_transparent_nt(kind, frozen) {
+                continue;
+            }
+            if optimize {
+                let callee = kind.as_nt().expect("transparent nonterminal reference");
+                if !reduced.contains(&callee) {
+                    *exported_rules += export_fragments(g, callee);
+                    reduced.insert(callee);
+                }
+            }
+            g.inline_at(rule, node);
+            inlinings += 1;
+        }
+    }
+}
+
+/// Phase 2: one preorder pass replacing every local occurrence of `digram`
+/// inside `rule` by a reference to the pattern rule `x` (top-down greedy,
+/// non-overlapping). Returns the number of replacements.
+pub fn replace_local(g: &mut Grammar, rule: NtId, digram: &Digram, x: NtId) -> usize {
+    let rhs = &mut g.rule_mut(rule).rhs;
+    let order = rhs.preorder();
+    let mut replacements = 0;
+    for node in order {
+        // Skip nodes that a previous replacement detached.
+        let Some(parent) = rhs.parent(node) else { continue };
+        if rhs.kind(parent) != digram.parent
+            || rhs.kind(node) != digram.child
+            || rhs.child_index(node) != Some(digram.child_index)
+        {
+            continue;
+        }
+        let i = digram.child_index;
+        let parent_children = rhs.children(parent).to_vec();
+        let node_children = rhs.children(node).to_vec();
+        for &c in &parent_children {
+            rhs.detach(c);
+        }
+        for &c in &node_children {
+            rhs.detach(c);
+        }
+        let mut new_children =
+            Vec::with_capacity(parent_children.len() + node_children.len() - 1);
+        new_children.extend_from_slice(&parent_children[..i]);
+        new_children.extend_from_slice(&node_children);
+        new_children.extend_from_slice(&parent_children[i + 1..]);
+        let x_node = rhs.add_node(NodeKind::Nt(x), new_children);
+        rhs.replace_subtree(parent, x_node);
+        replacements += 1;
+    }
+    replacements
+}
+
+/// Phase 3 (Algorithm 8): exports maximal connected fragments of nodes that are
+/// not needed by callers into fresh rules, provided the rule is referenced more
+/// than once. The "needed" (marked) nodes are the rule's root and the parents of
+/// its parameters — the nodes callers may have to isolate when they inline this
+/// rule. Returns the number of exported rules.
+pub fn export_fragments(g: &mut Grammar, rule: NtId) -> usize {
+    let refs = g.ref_counts();
+    if refs.get(&rule).copied().unwrap_or(0) <= 1 {
+        return 0;
+    }
+
+    // Collect marks and fragment roots on an immutable view first.
+    let (fragments, _marks) = {
+        let rhs = &g.rule(rule).rhs;
+        let mut marks: HashSet<NodeId> = HashSet::new();
+        marks.insert(rhs.root());
+        for (_, pnode) in rhs.param_nodes() {
+            if let Some(parent) = rhs.parent(pnode) {
+                marks.insert(parent);
+            }
+        }
+        let mut fragments: Vec<NodeId> = Vec::new();
+        for node in rhs.preorder() {
+            if marks.contains(&node) || rhs.kind(node).is_param() {
+                continue;
+            }
+            let parent = rhs.parent(node).expect("only the root lacks a parent");
+            let parent_in_fragment =
+                !marks.contains(&parent) && !rhs.kind(parent).is_param();
+            if !parent_in_fragment {
+                fragments.push(node);
+            }
+        }
+        (fragments, marks)
+    };
+
+    let mut exported = 0;
+    for fragment_root in fragments {
+        // Re-derive marks: earlier exports in this rule changed the tree, but
+        // they never touch other fragments, so the fragment root is still valid
+        // unless it was already cut away (defensive check below).
+        let (fragment_nodes, cut_points) = {
+            let rhs = &g.rule(rule).rhs;
+            let attached = fragment_root == rhs.root() || rhs.parent(fragment_root).is_some();
+            if !attached {
+                continue;
+            }
+            let mut marks: HashSet<NodeId> = HashSet::new();
+            marks.insert(rhs.root());
+            for (_, pnode) in rhs.param_nodes() {
+                if let Some(parent) = rhs.parent(pnode) {
+                    marks.insert(parent);
+                }
+            }
+            if marks.contains(&fragment_root) {
+                continue;
+            }
+            collect_fragment(rhs, fragment_root, &marks)
+        };
+        if fragment_nodes.len() < 2 {
+            continue;
+        }
+
+        // Build the exported rule body: a copy of the fragment with each cut
+        // subtree replaced by a fresh parameter (in preorder order).
+        let new_rhs = {
+            let rhs = &g.rule(rule).rhs;
+            build_exported_rhs(rhs, fragment_root, &fragment_nodes, &cut_points)
+        };
+        let rank = cut_points.len();
+        let new_rule = g.add_rule_fresh("F", rank, new_rhs);
+
+        // Replace the fragment inside the original rule by a reference to the
+        // new rule applied to the cut subtrees.
+        let rhs = &mut g.rule_mut(rule).rhs;
+        for &c in &cut_points {
+            rhs.detach(c);
+        }
+        let call = rhs.add_node(NodeKind::Nt(new_rule), cut_points.clone());
+        rhs.replace_subtree(fragment_root, call);
+        exported += 1;
+    }
+    exported
+}
+
+/// Collects the connected fragment of non-marked, non-parameter nodes rooted at
+/// `root`, together with the cut points (children of fragment nodes that are
+/// marked or parameters), both in preorder order.
+fn collect_fragment(
+    rhs: &RhsTree,
+    root: NodeId,
+    marks: &HashSet<NodeId>,
+) -> (Vec<NodeId>, Vec<NodeId>) {
+    let mut fragment = Vec::new();
+    let mut cuts = Vec::new();
+    // True preorder walk: both fragment nodes and cut points are pushed, but
+    // cut points are never descended into. This keeps the cut points (and thus
+    // the exported rule's parameters) in preorder order.
+    let mut stack = vec![root];
+    while let Some(node) = stack.pop() {
+        let is_cut = marks.contains(&node) || rhs.kind(node).is_param();
+        if is_cut {
+            cuts.push(node);
+            continue;
+        }
+        fragment.push(node);
+        for &c in rhs.children(node).iter().rev() {
+            stack.push(c);
+        }
+    }
+    (fragment, cuts)
+}
+
+/// Builds the right-hand side of the exported rule: the fragment with cut
+/// subtrees replaced by parameters `y1..yk` in preorder order.
+fn build_exported_rhs(
+    rhs: &RhsTree,
+    root: NodeId,
+    fragment: &[NodeId],
+    cuts: &[NodeId],
+) -> RhsTree {
+    let fragment_set: HashSet<NodeId> = fragment.iter().copied().collect();
+    let cut_index: HashMap<NodeId, u32> = cuts
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| (n, i as u32))
+        .collect();
+    let mut out = RhsTree::singleton(NodeKind::Param(u32::MAX));
+
+    // Bottom-up copy: children before parents (reverse preorder of the fragment
+    // including cut leaves).
+    let mut new_ids: HashMap<NodeId, NodeId> = HashMap::new();
+    let mut order: Vec<NodeId> = Vec::new();
+    let mut walk = vec![root];
+    while let Some(node) = walk.pop() {
+        order.push(node);
+        if fragment_set.contains(&node) {
+            for &c in rhs.children(node).iter().rev() {
+                walk.push(c);
+            }
+        }
+    }
+    for &node in order.iter().rev() {
+        if let Some(&i) = cut_index.get(&node) {
+            let id = out.add_leaf(NodeKind::Param(i));
+            new_ids.insert(node, id);
+        } else {
+            let children: Vec<NodeId> = rhs.children(node).iter().map(|c| new_ids[c]).collect();
+            let id = out.add_node(rhs.kind(node), children);
+            new_ids.insert(node, id);
+        }
+    }
+    out.set_root(new_ids[&root]);
+    out.compact();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::occurrences::retrieve_occs;
+    use sltgrammar::fingerprint::fingerprint;
+    use sltgrammar::text::parse_grammar;
+    use treerepair::digram::pattern_rhs;
+
+    fn digram(g: &Grammar, parent: &str, index: usize, child: &str) -> Digram {
+        Digram {
+            parent: NodeKind::Term(g.symbols.get(parent).unwrap()),
+            child_index: index,
+            child: NodeKind::Term(g.symbols.get(child).unwrap()),
+        }
+    }
+
+    /// Runs one replacement round for the given digram and checks the derived
+    /// tree is unchanged. Returns the statistics and the fresh pattern rule.
+    fn run_round_with_rule(g: &mut Grammar, d: &Digram, optimize: bool) -> (ReplaceStats, NtId) {
+        let before = fingerprint(g);
+        let frozen = FrozenSet::new();
+        let occs = retrieve_occs(g, &frozen);
+        let gens = occs.get(d).map(|o| o.generators.clone()).unwrap_or_default();
+        let rank = d.pattern_rank(g);
+        let x = g.add_rule_fresh("X", rank, pattern_rhs(g, d));
+        let mut frozen_after = frozen;
+        frozen_after.insert(x);
+        let stats = replace_all_occurrences(g, d, x, &gens, &frozen_after, optimize);
+        g.gc();
+        g.validate().unwrap();
+        assert_eq!(fingerprint(g), before, "derived tree must be preserved");
+        (stats, x)
+    }
+
+    fn run_round(g: &mut Grammar, d: &Digram, optimize: bool) -> ReplaceStats {
+        run_round_with_rule(g, d, optimize).0
+    }
+
+    #[test]
+    fn local_occurrences_are_replaced_within_one_rule() {
+        let mut g = parse_grammar("S -> f(a(b(#,#),#), a(b(#,#),#))").unwrap();
+        let d = digram(&g, "a", 0, "b");
+        let stats = run_round(&mut g, &d, false);
+        assert_eq!(stats.replacements, 2);
+        assert_eq!(stats.inlinings, 0);
+    }
+
+    #[test]
+    fn crossing_occurrence_triggers_inlining_of_the_callee() {
+        // The b-node is the root of rule B; the a-parents are in S.
+        let mut g = parse_grammar("S -> f(a(B,#), a(B,#))\nB -> b(c,#)").unwrap();
+        let d = digram(&g, "a", 0, "b");
+        let stats = run_round(&mut g, &d, false);
+        assert_eq!(stats.replacements, 2);
+        assert!(stats.inlinings >= 2);
+    }
+
+    #[test]
+    fn crossing_occurrence_through_parameters_inlines_the_caller_side() {
+        // The a-node is inside rule A (parent of y1); the b-node is the argument
+        // supplied by S: occurrences cross the parameter boundary.
+        let mut g = parse_grammar("S -> f(A(b(#,#)), A(b(#,#)))\nA -> a(y1,#)").unwrap();
+        let d = digram(&g, "a", 0, "b");
+        let stats = run_round(&mut g, &d, false);
+        assert_eq!(stats.replacements, 2);
+        assert!(stats.inlinings >= 2);
+    }
+
+    #[test]
+    fn concluding_example_of_section_iv() {
+        // Grammar 1 of the paper (embedded under a start rule so that A, B, C
+        // are all referenced "elsewhere" as the paper assumes).
+        let mut g = parse_grammar(
+            "S -> r(C, r(C, r(A(c,c), B(c))))\n\
+             C -> A(B(#),#)\n\
+             A -> a(y1, a(B(#), a(#, y2)))\n\
+             B -> b(y1,#)",
+        )
+        .unwrap();
+        let d = digram(&g, "a", 0, "b");
+        let (stats, x) = run_round_with_rule(&mut g, &d, true);
+        // Two generators: (A,4) and (C,2); both get replaced.
+        assert_eq!(stats.replacements, 2);
+        // The X rule exists and is used.
+        assert!(g.ref_counts()[&x] >= 2);
+    }
+
+    #[test]
+    fn equal_label_digrams_never_cross_rule_roots() {
+        let mut g = parse_grammar("S -> a(#, a(#, A))\nA -> a(#, a(#, #))").unwrap();
+        let d = digram(&g, "a", 1, "a");
+        let stats = run_round(&mut g, &d, false);
+        // One occurrence inside S and one inside A are replaced; the crossing
+        // S→A pair is left alone, so no inlining happens at all.
+        assert_eq!(stats.replacements, 2);
+        assert_eq!(stats.inlinings, 0);
+    }
+
+    #[test]
+    fn fragment_export_keeps_multiply_referenced_rules_small() {
+        // Rule A is called twice and contains a large unneeded middle part.
+        let mut g = parse_grammar(
+            "S -> f(A(b(#,#)), A(b(#,#)))\n\
+             A -> a(y1, c(d(#,#), c(d(#,#), e(#,#))))",
+        )
+        .unwrap();
+        let d = digram(&g, "a", 0, "b");
+        let edges_unoptimized = {
+            let mut g2 = g.clone();
+            run_round(&mut g2, &d, false);
+            g2.edge_count()
+        };
+        let stats = run_round(&mut g, &d, true);
+        assert!(stats.exported_rules >= 1, "expected at least one exported fragment");
+        assert!(
+            g.edge_count() <= edges_unoptimized,
+            "optimized replacement must not be larger: {} vs {}",
+            g.edge_count(),
+            edges_unoptimized
+        );
+    }
+
+    #[test]
+    fn replacement_handles_digrams_with_null_children() {
+        let mut g = parse_grammar("S -> f(a(#,#), f(a(#,#), a(#,#)))").unwrap();
+        let d = digram(&g, "a", 0, "#");
+        let stats = run_round(&mut g, &d, false);
+        assert_eq!(stats.replacements, 3);
+    }
+
+    #[test]
+    fn root_occurrence_of_a_rule_is_replaced_in_place() {
+        // The a(b(..)..) occurrence is entirely inside rule R whose root is the
+        // a-node: replacement happens locally and all callers benefit.
+        let mut g = parse_grammar("S -> f(R, R)\nR -> a(b(#,#),#)").unwrap();
+        let d = digram(&g, "a", 0, "b");
+        let stats = run_round(&mut g, &d, false);
+        assert_eq!(stats.replacements, 1);
+        assert_eq!(stats.inlinings, 0);
+    }
+}

@@ -1,0 +1,210 @@
+//! `CompressedDom` — a mutable, always-compressed document handle.
+//!
+//! This is the application-facing API the paper motivates (a DOM replacement
+//! for memory-hungry browsers): load an XML document once, keep only the SLCF
+//! grammar in memory, apply updates directly on the grammar, and let
+//! GrammarRePair restore compression every `recompress_every` updates.
+
+use sltgrammar::fingerprint::derived_size;
+use sltgrammar::Grammar;
+use xmltree::binary::from_binary;
+use xmltree::updates::UpdateOp;
+use xmltree::XmlTree;
+
+use crate::error::Result;
+use crate::isolate::label_at;
+use crate::repair::{GrammarRePair, GrammarRePairConfig, RepairStats};
+use crate::update::{apply_update, UpdateStats};
+
+/// Policy and state of a mutable compressed document.
+#[derive(Debug, Clone)]
+pub struct CompressedDom {
+    grammar: Grammar,
+    repair: GrammarRePair,
+    /// Recompress after this many updates (0 disables automatic recompression).
+    pub recompress_every: usize,
+    updates_since_recompress: usize,
+    total_updates: usize,
+    recompressions: usize,
+}
+
+impl CompressedDom {
+    /// Compresses `xml` and wraps it in a DOM handle that recompresses after
+    /// every `recompress_every` updates (the paper uses 100).
+    pub fn from_xml(xml: &XmlTree, recompress_every: usize) -> Self {
+        let (grammar, _) = GrammarRePair::default().compress_xml(xml);
+        CompressedDom::from_grammar(grammar, recompress_every)
+    }
+
+    /// Wraps an existing grammar.
+    pub fn from_grammar(grammar: Grammar, recompress_every: usize) -> Self {
+        CompressedDom {
+            grammar,
+            repair: GrammarRePair::default(),
+            recompress_every,
+            updates_since_recompress: 0,
+            total_updates: 0,
+            recompressions: 0,
+        }
+    }
+
+    /// Uses a custom recompression configuration.
+    pub fn with_config(mut self, config: GrammarRePairConfig) -> Self {
+        self.repair = GrammarRePair::new(config);
+        self
+    }
+
+    /// Read-only access to the underlying grammar.
+    pub fn grammar(&self) -> &Grammar {
+        &self.grammar
+    }
+
+    /// Consumes the handle and returns the grammar.
+    pub fn into_grammar(self) -> Grammar {
+        self.grammar
+    }
+
+    /// Current grammar size in edges (the paper's size measure).
+    pub fn edge_count(&self) -> usize {
+        self.grammar.edge_count()
+    }
+
+    /// Number of nodes of the represented (uncompressed) binary tree.
+    pub fn derived_size(&self) -> u128 {
+        derived_size(&self.grammar)
+    }
+
+    /// Number of updates applied so far.
+    pub fn total_updates(&self) -> usize {
+        self.total_updates
+    }
+
+    /// Number of automatic recompressions performed so far.
+    pub fn recompressions(&self) -> usize {
+        self.recompressions
+    }
+
+    /// Label of the node at the given preorder index of the represented binary
+    /// tree (isolates the path as a side effect, like any read-modify access).
+    pub fn label_at(&mut self, preorder_index: u128) -> Result<String> {
+        label_at(&mut self.grammar, preorder_index)
+    }
+
+    /// Applies one update; recompresses automatically when the policy says so.
+    /// Returns the update statistics and, if triggered, the recompression stats.
+    pub fn apply(&mut self, op: &UpdateOp) -> Result<(UpdateStats, Option<RepairStats>)> {
+        let stats = apply_update(&mut self.grammar, op)?;
+        self.total_updates += 1;
+        self.updates_since_recompress += 1;
+        let repair = if self.recompress_every > 0
+            && self.updates_since_recompress >= self.recompress_every
+        {
+            Some(self.recompress_now())
+        } else {
+            None
+        };
+        Ok((stats, repair))
+    }
+
+    /// Forces a GrammarRePair recompression.
+    pub fn recompress_now(&mut self) -> RepairStats {
+        self.updates_since_recompress = 0;
+        self.recompressions += 1;
+        self.repair.recompress(&mut self.grammar)
+    }
+
+    /// Materializes the document back to an [`XmlTree`]. Only intended for
+    /// small documents (tests, exports); errors if the document exceeds the
+    /// default derivation limit.
+    pub fn to_xml(&self) -> Result<XmlTree> {
+        let bin = sltgrammar::derive::val(&self.grammar)?;
+        Ok(from_binary(&bin, &self.grammar.symbols)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmltree::parse::parse_xml;
+
+    fn doc(n: usize) -> XmlTree {
+        let mut s = String::from("<feed>");
+        for _ in 0..n {
+            s.push_str("<item><title/><body><p/><p/></body></item>");
+        }
+        s.push_str("</feed>");
+        parse_xml(&s).unwrap()
+    }
+
+    /// Preorder indices (in the binary tree) of all element nodes of `xml`.
+    fn element_positions(xml: &XmlTree) -> Vec<usize> {
+        let mut symbols = sltgrammar::SymbolTable::new();
+        let bin = xmltree::binary::to_binary(xml, &mut symbols).unwrap();
+        bin.preorder()
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| {
+                matches!(bin.kind(n), sltgrammar::NodeKind::Term(t) if !symbols.is_null(t))
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    #[test]
+    fn dom_roundtrips_to_xml() {
+        let xml = doc(10);
+        let dom = CompressedDom::from_xml(&xml, 100);
+        assert_eq!(dom.to_xml().unwrap().to_xml(), xml.to_xml());
+        assert!(dom.edge_count() < xml.edge_count());
+    }
+
+    #[test]
+    fn updates_apply_and_auto_recompression_triggers() {
+        let xml = doc(20);
+        let elements = element_positions(&xml);
+        let mut dom = CompressedDom::from_xml(&xml, 5);
+        let baseline = dom.edge_count();
+        for i in 0..12 {
+            let op = UpdateOp::Rename {
+                target: elements[2 * i + 1],
+                label: format!("tag{}", i % 3),
+            };
+            dom.apply(&op).unwrap();
+        }
+        assert_eq!(dom.total_updates(), 12);
+        assert_eq!(dom.recompressions(), 2);
+        // Recompression keeps the grammar within a small factor of the original.
+        assert!(dom.edge_count() < 4 * baseline + 50);
+        dom.grammar().validate().unwrap();
+    }
+
+    #[test]
+    fn label_access_reads_through_the_compression() {
+        let xml = doc(3);
+        let mut dom = CompressedDom::from_xml(&xml, 0);
+        assert_eq!(dom.label_at(0).unwrap(), "feed");
+        assert_eq!(dom.label_at(1).unwrap(), "item");
+        let size = dom.derived_size();
+        assert_eq!(dom.label_at(size - 1).unwrap(), "#");
+    }
+
+    #[test]
+    fn manual_recompression_restores_compression() {
+        let xml = doc(30);
+        let elements = element_positions(&xml);
+        let mut dom = CompressedDom::from_xml(&xml, 0);
+        let compressed = dom.edge_count();
+        for i in 0..10 {
+            let op = UpdateOp::Rename {
+                target: elements[3 * i + 1],
+                label: format!("fresh{i}"),
+            };
+            dom.apply(&op).unwrap();
+        }
+        let blown_up = dom.edge_count();
+        assert!(blown_up > compressed);
+        dom.recompress_now();
+        assert!(dom.edge_count() <= blown_up);
+        assert_eq!(dom.to_xml().unwrap().node_count(), xml.node_count());
+    }
+}

@@ -1,0 +1,287 @@
+//! The minimal DAG of a binary XML tree, built by hash consing.
+
+use std::collections::HashMap;
+
+use sltgrammar::{NodeKind, RhsTree, SymbolTable, TermId};
+
+/// Index of a node in a [`Dag`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DagIdx(pub u32);
+
+impl DagIdx {
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct DagNode {
+    label: TermId,
+    children: Vec<DagIdx>,
+}
+
+/// Size statistics of a minimal DAG relative to the tree it represents.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DagStats {
+    /// Nodes of the input tree.
+    pub tree_nodes: usize,
+    /// Edges of the input tree.
+    pub tree_edges: usize,
+    /// Distinct DAG nodes.
+    pub dag_nodes: usize,
+    /// DAG edges (sum of out-degrees over distinct nodes).
+    pub dag_edges: usize,
+}
+
+impl DagStats {
+    /// `dag_edges / tree_edges` — the sharing ratio the paper's introduction
+    /// quotes as ~10 % for typical XML.
+    pub fn ratio(&self) -> f64 {
+        if self.tree_edges == 0 {
+            return 1.0;
+        }
+        self.dag_edges as f64 / self.tree_edges as f64
+    }
+}
+
+/// The minimal DAG of a ranked labelled tree: every distinct subtree is stored
+/// exactly once and identified by its [`DagIdx`].
+#[derive(Debug, Clone)]
+pub struct Dag {
+    nodes: Vec<DagNode>,
+    root: DagIdx,
+    stats: DagStats,
+}
+
+impl Dag {
+    /// Builds the minimal DAG of `tree` (a terminal-only [`RhsTree`], typically
+    /// the binary encoding of an XML document). Runs in one bottom-up pass with
+    /// hash consing of `(label, children)` signatures.
+    pub fn build(tree: &RhsTree, _symbols: &SymbolTable) -> Self {
+        let order = tree.preorder();
+        let mut interned: HashMap<DagNode, DagIdx> = HashMap::new();
+        let mut nodes: Vec<DagNode> = Vec::new();
+        let mut dag_of: HashMap<sltgrammar::NodeId, DagIdx> = HashMap::with_capacity(order.len());
+
+        for &n in order.iter().rev() {
+            let label = match tree.kind(n) {
+                NodeKind::Term(t) => t,
+                other => panic!("Dag::build expects a terminal-only tree, found {other:?}"),
+            };
+            let children: Vec<DagIdx> = tree.children(n).iter().map(|c| dag_of[c]).collect();
+            let key = DagNode { label, children };
+            let idx = match interned.get(&key) {
+                Some(&idx) => idx,
+                None => {
+                    let idx = DagIdx(nodes.len() as u32);
+                    nodes.push(key.clone());
+                    interned.insert(key, idx);
+                    idx
+                }
+            };
+            dag_of.insert(n, idx);
+        }
+        let root = dag_of[&tree.root()];
+        let dag_edges = nodes.iter().map(|n| n.children.len()).sum();
+        let stats = DagStats {
+            tree_nodes: order.len(),
+            tree_edges: order.len().saturating_sub(1),
+            dag_nodes: nodes.len(),
+            dag_edges,
+        };
+        Dag { nodes, root, stats }
+    }
+
+    /// The root node.
+    pub fn root(&self) -> DagIdx {
+        self.root
+    }
+
+    /// Number of distinct DAG nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of DAG edges — the size measure compared against grammar edges.
+    pub fn edge_count(&self) -> usize {
+        self.stats.dag_edges
+    }
+
+    /// Size statistics relative to the input tree.
+    pub fn stats(&self) -> DagStats {
+        self.stats
+    }
+
+    /// Terminal label of a DAG node.
+    pub fn label(&self, v: DagIdx) -> TermId {
+        self.nodes[v.index()].label
+    }
+
+    /// Children of a DAG node.
+    pub fn children(&self, v: DagIdx) -> &[DagIdx] {
+        &self.nodes[v.index()].children
+    }
+
+    /// Number of references to each DAG node from other DAG nodes (the root has
+    /// an implicit extra reference). Nodes with more than one reference are the
+    /// shared subtrees.
+    pub fn ref_counts(&self) -> Vec<usize> {
+        let mut refs = vec![0usize; self.nodes.len()];
+        for n in &self.nodes {
+            for &c in &n.children {
+                refs[c.index()] += 1;
+            }
+        }
+        refs[self.root.index()] += 1;
+        refs
+    }
+
+    /// Number of nodes of the tree this DAG unfolds to (may be exponentially
+    /// larger than the DAG itself).
+    pub fn derived_node_count(&self) -> u128 {
+        // Bottom-up: children have larger indices? Not guaranteed — build order
+        // is reverse preorder, so children were interned before parents and thus
+        // have *smaller* indices. Process in index order.
+        let mut sizes = vec![0u128; self.nodes.len()];
+        for i in 0..self.nodes.len() {
+            let sum: u128 = self.nodes[i]
+                .children
+                .iter()
+                .map(|c| sizes[c.index()])
+                .fold(0u128, |a, b| a.saturating_add(b));
+            sizes[i] = sum.saturating_add(1);
+        }
+        sizes[self.root.index()]
+    }
+
+    /// Unfolds the DAG back into an explicit tree (for round-trip tests; only
+    /// sensible when the derived tree is small).
+    pub fn unfold(&self) -> RhsTree {
+        let root_kind = NodeKind::Term(self.label(self.root));
+        let mut out = RhsTree::singleton(root_kind);
+        let out_root = out.root();
+        // Depth-first expansion; children are attached in order.
+        let mut stack: Vec<(DagIdx, sltgrammar::NodeId)> = vec![(self.root, out_root)];
+        while let Some((v, at)) = stack.pop() {
+            // Attach children in reverse so that pushing onto the stack keeps
+            // document order when popped... children are attached immediately,
+            // so order of attachment must be left-to-right.
+            for &c in self.children(v) {
+                let child_id = out.add_leaf(NodeKind::Term(self.label(c)));
+                out.push_child(at, child_id);
+                stack.push((c, child_id));
+            }
+        }
+        out
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| std::mem::size_of::<DagNode>() + n.children.len() * std::mem::size_of::<DagIdx>())
+            .sum::<usize>()
+            + std::mem::size_of::<Self>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sltgrammar::SymbolTable;
+    use xmltree::binary::{to_binary, tree_fingerprint};
+    use xmltree::parse::parse_xml;
+
+    fn binary_of(doc: &str) -> (RhsTree, SymbolTable) {
+        let xml = parse_xml(doc).unwrap();
+        let mut symbols = SymbolTable::new();
+        let bin = to_binary(&xml, &mut symbols).unwrap();
+        (bin, symbols)
+    }
+
+    #[test]
+    fn figure1_tree_shares_repeated_subtrees() {
+        // The paper's Figure 1 document: two identical <a><a/><a/></a> subtrees.
+        let (bin, symbols) = binary_of("<f><a><a/><a/></a><a><a/><a/></a></f>");
+        let dag = Dag::build(&bin, &symbols);
+        assert_eq!(dag.stats().tree_nodes, 15);
+        // Distinct subtrees of the binary tree: #, a(#,#), a(#,a(#,#)),
+        // a(a(#,a(#,#)),#), a(a(#,a(#,#)),a(a(#,a(#,#)),#)), f(...,#) = 6.
+        assert_eq!(dag.node_count(), 6);
+        assert!(dag.edge_count() < bin.edge_count());
+        assert_eq!(dag.derived_node_count(), 15);
+    }
+
+    #[test]
+    fn fully_repetitive_list_compresses_dramatically() {
+        let mut doc = String::from("<log>");
+        for _ in 0..256 {
+            doc.push_str("<e/>");
+        }
+        doc.push_str("</log>");
+        let (bin, symbols) = binary_of(&doc);
+        let dag = Dag::build(&bin, &symbols);
+        // The binary tree is a right spine of identical <e/> suffixes: every
+        // suffix of the list is a distinct subtree, so a DAG shares only the
+        // null leaves — sharing is weak on lists (unlike grammar compression).
+        assert!(dag.node_count() <= 258);
+        assert_eq!(dag.derived_node_count(), bin.node_count() as u128);
+    }
+
+    #[test]
+    fn nested_repetition_is_shared() {
+        // Repeated identical record subtrees hanging from distinct positions.
+        let mut doc = String::from("<db>");
+        for _ in 0..50 {
+            doc.push_str("<rec><k/><v><x/><y/></v></rec>");
+        }
+        doc.push_str("</db>");
+        let (bin, symbols) = binary_of(&doc);
+        let dag = Dag::build(&bin, &symbols);
+        let stats = dag.stats();
+        assert!(
+            stats.ratio() < 0.75,
+            "expected some sharing, got ratio {:.2}",
+            stats.ratio()
+        );
+        // Shared nodes are referenced more than once.
+        let refs = dag.ref_counts();
+        assert!(refs.iter().any(|&r| r > 1));
+    }
+
+    #[test]
+    fn unfold_reproduces_the_input_tree() {
+        let (bin, symbols) = binary_of("<r><a><b/><c/></a><a><b/><c/></a><d/></r>");
+        let dag = Dag::build(&bin, &symbols);
+        let unfolded = dag.unfold();
+        assert_eq!(
+            tree_fingerprint(&unfolded, &symbols),
+            tree_fingerprint(&bin, &symbols)
+        );
+    }
+
+    #[test]
+    fn distinct_trees_produce_distinct_roots() {
+        // Share one symbol table so label ids are comparable across documents.
+        let mut symbols = SymbolTable::new();
+        let xml_a = parse_xml("<r><a/><b/></r>").unwrap();
+        let xml_b = parse_xml("<r><b/><a/></r>").unwrap();
+        let bin_a = to_binary(&xml_a, &mut symbols).unwrap();
+        let bin_b = to_binary(&xml_b, &mut symbols).unwrap();
+        let dag_a = Dag::build(&bin_a, &symbols);
+        let dag_b = Dag::build(&bin_b, &symbols);
+        assert_ne!(
+            tree_fingerprint(&dag_a.unfold(), &symbols),
+            tree_fingerprint(&dag_b.unfold(), &symbols)
+        );
+    }
+
+    #[test]
+    fn stats_ratio_handles_degenerate_trees() {
+        let (bin, symbols) = binary_of("<only/>");
+        let dag = Dag::build(&bin, &symbols);
+        assert_eq!(dag.stats().tree_nodes, 3);
+        assert!(dag.stats().ratio() <= 1.0);
+        assert!(dag.size_bytes() > 0);
+    }
+}

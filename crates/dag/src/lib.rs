@@ -1,0 +1,42 @@
+//! # dag-xml — minimal DAG compression of XML trees
+//!
+//! The subtree-sharing baseline of the ICDE 2016 paper's introduction: Buneman,
+//! Grohe and Koch showed that typical XML document trees shrink to about 10 %
+//! of their edges when every repeated *subtree* is represented only once — the
+//! tree's minimal directed acyclic graph. SLT grammars (TreeRePair /
+//! GrammarRePair) generalize this by also sharing repeated connected subgraphs
+//! ("patterns with holes"), typically reaching ~3 % of the edges.
+//!
+//! This crate provides:
+//!
+//! * [`dag::Dag`] — the minimal DAG of a binary XML tree, built by hash
+//!   consing in one bottom-up pass,
+//! * [`to_grammar::dag_to_grammar`] — the equivalent SLCF grammar in which
+//!   every shared DAG node becomes a rank-0 rule. This is the natural
+//!   "DAG-compressed grammar" input on which the paper's GrammarRePair can be
+//!   run directly (static compression of a grammar rather than of a tree).
+//!
+//! ## Example
+//!
+//! ```
+//! use dag_xml::dag::Dag;
+//! use xmltree::parse::parse_xml;
+//! use sltgrammar::SymbolTable;
+//! use xmltree::binary::to_binary;
+//!
+//! let doc = parse_xml("<f><a><a/><a/></a><a><a/><a/></a></f>").unwrap();
+//! let mut symbols = SymbolTable::new();
+//! let bin = to_binary(&doc, &mut symbols).unwrap();
+//! let dag = Dag::build(&bin, &symbols);
+//! // The two identical <a><a/><a/></a> subtrees are shared.
+//! assert!(dag.edge_count() < bin.edge_count());
+//! assert_eq!(dag.derived_node_count(), bin.node_count() as u128);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dag;
+pub mod to_grammar;
+
+pub use dag::{Dag, DagIdx, DagStats};
+pub use to_grammar::dag_to_grammar;

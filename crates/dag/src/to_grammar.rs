@@ -1,0 +1,165 @@
+//! Conversion of a minimal DAG into an equivalent SLCF tree grammar.
+//!
+//! Every DAG node that is referenced more than once (and is not a bare leaf)
+//! becomes a grammar rule of rank 0; all other nodes are expanded in place.
+//! The resulting grammar derives exactly the original tree and is the natural
+//! "DAG-compressed grammar" input on which GrammarRePair can be run directly,
+//! as the paper does when it compares compression started from grammars rather
+//! than from trees.
+
+use std::collections::HashMap;
+
+use sltgrammar::{Grammar, NodeKind, NtId, RhsTree, SymbolTable};
+
+use crate::dag::{Dag, DagIdx};
+
+/// Converts `dag` into an SLCF grammar over `symbols` with `val(G)` equal to
+/// the tree the DAG unfolds to.
+pub fn dag_to_grammar(dag: &Dag, symbols: &SymbolTable) -> Grammar {
+    let refs = dag.ref_counts();
+    // Shared nodes become rules; bare leaves are never worth a rule.
+    let is_shared = |v: DagIdx| -> bool {
+        v != dag.root() && refs[v.0 as usize] > 1 && !dag.children(v).is_empty()
+    };
+
+    // Phase 1: create the grammar with a placeholder start rule and one
+    // placeholder rule per shared DAG node, recording their NtIds.
+    let placeholder = |symbols: &SymbolTable| -> RhsTree {
+        let null = symbols
+            .get(sltgrammar::NULL_SYMBOL_NAME)
+            .expect("binary XML alphabets always intern the null symbol");
+        RhsTree::singleton(NodeKind::Term(null))
+    };
+    let mut grammar = Grammar::new(symbols.clone(), placeholder(symbols));
+    let mut nt_of: HashMap<DagIdx, NtId> = HashMap::new();
+    for i in 0..dag.node_count() {
+        let v = DagIdx(i as u32);
+        if is_shared(v) {
+            let nt = grammar.add_rule_fresh("D", 0, placeholder(symbols));
+            nt_of.insert(v, nt);
+        }
+    }
+
+    // Phase 2: build the real right-hand sides. Children of a DAG node always
+    // have smaller indices, so processing shared nodes in index order would
+    // also work; expansion stops at shared children in either case.
+    for (&v, &nt) in &nt_of {
+        let rhs = expand(dag, v, &nt_of);
+        grammar.rule_mut(nt).rhs = rhs;
+    }
+    let start = grammar.start();
+    grammar.rule_mut(start).rhs = expand(dag, dag.root(), &nt_of);
+    grammar
+}
+
+/// Expands the subgraph rooted at `v` into a right-hand-side tree, emitting a
+/// rank-0 nonterminal reference whenever a *shared* child is reached.
+fn expand(dag: &Dag, v: DagIdx, nt_of: &HashMap<DagIdx, NtId>) -> RhsTree {
+    let mut rhs = RhsTree::singleton(NodeKind::Term(dag.label(v)));
+    let root = rhs.root();
+    // Work stack of (dag node, parent in the rhs); children are pushed in
+    // reverse so siblings are attached in document order.
+    let mut stack: Vec<(DagIdx, sltgrammar::NodeId)> = Vec::new();
+    for &c in dag.children(v).iter().rev() {
+        stack.push((c, root));
+    }
+    while let Some((d, parent)) = stack.pop() {
+        if let Some(&nt) = nt_of.get(&d) {
+            let node = rhs.add_leaf(NodeKind::Nt(nt));
+            rhs.push_child(parent, node);
+        } else {
+            let node = rhs.add_leaf(NodeKind::Term(dag.label(d)));
+            rhs.push_child(parent, node);
+            for &c in dag.children(d).iter().rev() {
+                stack.push((c, node));
+            }
+        }
+    }
+    rhs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::Dag;
+    use sltgrammar::fingerprint::fingerprint;
+    use xmltree::binary::{to_binary, tree_fingerprint};
+    use xmltree::parse::parse_xml;
+
+    fn setup(doc: &str) -> (sltgrammar::RhsTree, SymbolTable) {
+        let xml = parse_xml(doc).unwrap();
+        let mut symbols = SymbolTable::new();
+        let bin = to_binary(&xml, &mut symbols).unwrap();
+        (bin, symbols)
+    }
+
+    #[test]
+    fn grammar_derives_the_original_tree() {
+        let (bin, symbols) =
+            setup("<db><rec><k/><v/></rec><rec><k/><v/></rec><rec><k/><v/></rec></db>");
+        let dag = Dag::build(&bin, &symbols);
+        let g = dag_to_grammar(&dag, &symbols);
+        g.validate().unwrap();
+        assert_eq!(fingerprint(&g), tree_fingerprint(&bin, &symbols));
+    }
+
+    #[test]
+    fn shared_subtrees_become_rules() {
+        let (bin, symbols) = setup("<f><a><a/><a/></a><a><a/><a/></a></f>");
+        let dag = Dag::build(&bin, &symbols);
+        let g = dag_to_grammar(&dag, &symbols);
+        g.validate().unwrap();
+        // At least one rule beyond the start rule (the repeated <a> subtree).
+        assert!(g.rule_count() >= 2, "expected sharing rules, got {}", g.rule_count());
+        assert_eq!(fingerprint(&g), tree_fingerprint(&bin, &symbols));
+    }
+
+    #[test]
+    fn grammar_size_does_not_exceed_dag_size_by_much() {
+        let mut doc = String::from("<db>");
+        for _ in 0..40 {
+            doc.push_str("<rec><k/><v><x/><y/></v></rec>");
+        }
+        doc.push_str("</db>");
+        let (bin, symbols) = setup(&doc);
+        let dag = Dag::build(&bin, &symbols);
+        let g = dag_to_grammar(&dag, &symbols);
+        g.validate().unwrap();
+        // Every DAG edge becomes at most one grammar edge; nonterminal
+        // references add no children, so the sizes agree up to the edges of
+        // bare leaf nodes that are duplicated instead of shared.
+        assert!(g.edge_count() <= dag.edge_count() + dag.node_count());
+        assert_eq!(fingerprint(&g), tree_fingerprint(&bin, &symbols));
+    }
+
+    #[test]
+    fn document_without_repetition_yields_single_rule() {
+        let (bin, symbols) = setup("<a><b><c/></b><d/></a>");
+        let dag = Dag::build(&bin, &symbols);
+        let g = dag_to_grammar(&dag, &symbols);
+        g.validate().unwrap();
+        // Nothing worth sharing except null leaves, which are inlined.
+        assert_eq!(g.rule_count(), 1);
+        assert_eq!(fingerprint(&g), tree_fingerprint(&bin, &symbols));
+    }
+
+    #[test]
+    fn treerepair_compresses_lists_better_than_the_dag() {
+        // Long sibling lists: the DAG cannot share suffixes of the binary right
+        // spine, but RePair-style grammar compression shares them exponentially.
+        let mut doc = String::from("<log>");
+        for _ in 0..128 {
+            doc.push_str("<e/>");
+        }
+        doc.push_str("</log>");
+        let (bin, symbols) = setup(&doc);
+        let dag = Dag::build(&bin, &symbols);
+        let (g, _) = treerepair::TreeRePair::default().compress_binary(symbols.clone(), bin.clone());
+        assert!(
+            g.edge_count() * 2 < dag.edge_count(),
+            "TreeRePair ({}) should beat the DAG ({}) on lists",
+            g.edge_count(),
+            dag.edge_count()
+        );
+    }
+}

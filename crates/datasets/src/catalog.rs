@@ -1,0 +1,155 @@
+//! The evaluation corpus catalogue.
+//!
+//! One entry per document of the paper's Table III, mapping to the synthetic
+//! generator that reproduces its structural regime. The `scale` knob controls
+//! document size: `scale = 1.0` produces laptop-friendly defaults of roughly
+//! 1/20 of the original edge counts; the experiment binaries accept a scale
+//! factor to grow them towards the paper's sizes.
+
+use xmltree::XmlTree;
+
+use crate::random::{medline_like, treebank_like, xmark_like};
+use crate::regular::{exi_telecomp_like, exi_weblog_like, ncbi_like};
+
+/// The six documents of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// EXI-Weblog: flat, perfectly regular access log (93 434 edges, ratio 0.04 %).
+    ExiWeblog,
+    /// XMark: auction-site benchmark data (167 864 edges, ratio 13.17 %).
+    XMark,
+    /// EXI-Telecomp: regular measurement records (177 633 edges, ratio 0.06 %).
+    ExiTelecomp,
+    /// Treebank: parsed English sentences (2 437 665 edges, ratio 20.67 %).
+    Treebank,
+    /// Medline: bibliographic citations (2 866 079 edges, ratio 4.12 %).
+    Medline,
+    /// NCBI: SNP records (3 642 224 edges, ratio < 0.01 %).
+    Ncbi,
+}
+
+impl Dataset {
+    /// All datasets in the order of Table III.
+    pub fn all() -> [Dataset; 6] {
+        [
+            Dataset::ExiWeblog,
+            Dataset::XMark,
+            Dataset::ExiTelecomp,
+            Dataset::Treebank,
+            Dataset::Medline,
+            Dataset::Ncbi,
+        ]
+    }
+
+    /// The three moderately compressing files of Figure 4.
+    pub fn moderate() -> [Dataset; 3] {
+        [Dataset::XMark, Dataset::Medline, Dataset::Treebank]
+    }
+
+    /// The three extremely compressing files of Figure 5.
+    pub fn extreme() -> [Dataset; 3] {
+        [Dataset::ExiWeblog, Dataset::ExiTelecomp, Dataset::Ncbi]
+    }
+
+    /// Display name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Dataset::ExiWeblog => "EXI-Weblog",
+            Dataset::XMark => "XMark",
+            Dataset::ExiTelecomp => "EXI-Telecomp",
+            Dataset::Treebank => "Treebank",
+            Dataset::Medline => "Medline",
+            Dataset::Ncbi => "NCBI",
+        }
+    }
+
+    /// Short two-letter tag used in the figures (XM, MD, TB, EW, ET, NC).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Dataset::ExiWeblog => "EW",
+            Dataset::XMark => "XM",
+            Dataset::ExiTelecomp => "ET",
+            Dataset::Treebank => "TB",
+            Dataset::Medline => "MD",
+            Dataset::Ncbi => "NC",
+        }
+    }
+
+    /// Edge count of the original corpus file (Table III), for reference.
+    pub fn paper_edges(&self) -> usize {
+        match self {
+            Dataset::ExiWeblog => 93_434,
+            Dataset::XMark => 167_864,
+            Dataset::ExiTelecomp => 177_633,
+            Dataset::Treebank => 2_437_665,
+            Dataset::Medline => 2_866_079,
+            Dataset::Ncbi => 3_642_224,
+        }
+    }
+
+    /// Compression ratio (c-edges / edges, in percent) reported in Table III.
+    pub fn paper_ratio_percent(&self) -> f64 {
+        match self {
+            Dataset::ExiWeblog => 0.04,
+            Dataset::XMark => 13.17,
+            Dataset::ExiTelecomp => 0.06,
+            Dataset::Treebank => 20.67,
+            Dataset::Medline => 4.12,
+            Dataset::Ncbi => 0.01,
+        }
+    }
+
+    /// Generates the synthetic stand-in at the given scale (1.0 ≈ 1/20 of the
+    /// original edge count; see DESIGN.md for the substitution rationale).
+    pub fn generate(&self, scale: f64) -> XmlTree {
+        let scaled = |base: usize| ((base as f64 * scale).round() as usize).max(4);
+        match self {
+            Dataset::ExiWeblog => exi_weblog_like(scaled(600)),
+            Dataset::XMark => xmark_like(scaled(55), 0xA1),
+            Dataset::ExiTelecomp => exi_telecomp_like(scaled(450)),
+            Dataset::Treebank => treebank_like(scaled(1_400), 0xA2),
+            Dataset::Medline => medline_like(scaled(3_100), 0xA3),
+            Dataset::Ncbi => ncbi_like(scaled(30_000)),
+        }
+    }
+
+    /// Generates the dataset at the default scale used by tests and benches.
+    pub fn generate_default(&self) -> XmlTree {
+        self.generate(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_is_complete_and_consistent() {
+        assert_eq!(Dataset::all().len(), 6);
+        let mut names = std::collections::HashSet::new();
+        for d in Dataset::all() {
+            assert!(names.insert(d.name()));
+            assert!(d.paper_edges() > 90_000);
+            assert!(d.paper_ratio_percent() > 0.0);
+            assert_eq!(d.tag().len(), 2);
+        }
+        assert_eq!(Dataset::moderate().len(), 3);
+        assert_eq!(Dataset::extreme().len(), 3);
+    }
+
+    #[test]
+    fn default_scale_produces_sizeable_documents() {
+        // Keep this test quick: only the small regular generators at tiny scale.
+        let t = Dataset::ExiWeblog.generate(0.1);
+        assert!(t.edge_count() > 400);
+        let t = Dataset::XMark.generate(0.1);
+        assert!(t.edge_count() > 500);
+    }
+
+    #[test]
+    fn scaling_grows_documents_roughly_linearly() {
+        let small = Dataset::ExiWeblog.generate(0.05).edge_count();
+        let large = Dataset::ExiWeblog.generate(0.2).edge_count();
+        assert!(large > 3 * small);
+    }
+}

@@ -1,0 +1,100 @@
+//! The grammar families used in the paper's worked examples and in the
+//! optimization experiment of Figure 3.
+//!
+//! * `G_8` (Section III-A): `{A → BB, B → CC, C → DD, D → ab}` — the string
+//!   `(ab)^8`, here encoded as a monadic tree grammar.
+//! * `G_exp` (Section III-A): a chain of ten doubling rules deriving `a^1024`.
+//! * `G_n` (Section V-B): `{S → a A_n A_n b, A_i → A_{i−1} A_{i−1}, A_0 → ba}`
+//!   — a list of `2^(n+1)+1` alternating `a`/`b` siblings that compresses
+//!   exponentially; recompressing it exercises the fragment-export
+//!   optimization ("lemma generation").
+//!
+//! Strings `w = w_1 … w_k` are encoded as monadic trees
+//! `w_1(w_2(…w_k(#)…))`, which is the one-additional-root-symbol encoding the
+//! paper suggests for reading its string examples as tree grammars.
+
+use sltgrammar::text::parse_grammar;
+use sltgrammar::Grammar;
+
+/// The grammar `G_8` of Section III-A, deriving the string `(ab)^8`.
+pub fn g8() -> Grammar {
+    parse_grammar(
+        "S -> A(#)\n\
+         A -> B(B(y1))\n\
+         B -> C(C(y1))\n\
+         C -> D(D(y1))\n\
+         D -> a(b(y1))",
+    )
+    .expect("static grammar text is valid")
+}
+
+/// The updated grammar of Section III-B, `{A → bBBa, …}`, deriving `b(ab)^8a`.
+pub fn g8_updated() -> Grammar {
+    parse_grammar(
+        "S -> b(B(B(a(#))))\n\
+         B -> C(C(y1))\n\
+         C -> D(D(y1))\n\
+         D -> a(b(y1))",
+    )
+    .expect("static grammar text is valid")
+}
+
+/// The exponential grammar `G_exp` of Section III-A, deriving `a^1024`.
+pub fn g_exp() -> Grammar {
+    let mut text = String::from("S -> A1(A1(#))\n");
+    for i in 1..=9 {
+        text.push_str(&format!("A{i} -> A{}(A{}(y1))\n", i + 1, i + 1));
+    }
+    text.push_str("A10 -> a(y1)");
+    parse_grammar(&text).expect("generated grammar text is valid")
+}
+
+/// The family `G_n` of Section V-B: `S → a A_n A_n b`, `A_i → A_{i−1} A_{i−1}`,
+/// `A_0 → ba`, deriving a list of `2^(n+1)` sibling pairs `b a` wrapped in `a…b`.
+///
+/// `n` is the chain length; the paper uses n = 6 … 12 (lists of 64 … 4096 pairs).
+pub fn g_n(n: usize) -> Grammar {
+    let mut text = String::from(&format!("S -> a(A{n}(A{n}(b(#))))\n"));
+    for i in (1..=n).rev() {
+        text.push_str(&format!("A{i} -> A{}(A{}(y1))\n", i - 1, i - 1));
+    }
+    text.push_str("A0 -> b(a(y1))");
+    parse_grammar(&text).expect("generated grammar text is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sltgrammar::fingerprint::derived_size;
+
+    #[test]
+    fn g8_derives_the_sixteen_letter_string() {
+        // (ab)^8 has 16 letters plus the null leaf.
+        assert_eq!(derived_size(&g8()), 17);
+        g8().validate().unwrap();
+    }
+
+    #[test]
+    fn g8_updated_has_two_more_letters() {
+        // b(ab)^8a has 18 letters plus the null leaf.
+        assert_eq!(derived_size(&g8_updated()), 19);
+    }
+
+    #[test]
+    fn g_exp_derives_a_power_of_two() {
+        assert_eq!(derived_size(&g_exp()), 1025);
+    }
+
+    #[test]
+    fn g_n_size_is_linear_while_its_derivation_is_exponential() {
+        for n in [3usize, 6, 8] {
+            let g = g_n(n);
+            g.validate().unwrap();
+            // String length: 2 (outer a, b) + 2 * 2^n letters per A_n, + null.
+            let expected = 2u128 + 2 * (1u128 << (n + 1)) / 2 * 2 + 1;
+            assert_eq!(derived_size(&g), expected, "n = {n}");
+            // The grammar itself stays linear in n.
+            assert!(g.edge_count() <= 6 * (n + 2));
+        }
+    }
+}

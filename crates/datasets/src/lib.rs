@@ -1,0 +1,32 @@
+//! # datasets — the synthetic evaluation corpus
+//!
+//! Synthetic stand-ins for the six XMLCompBench documents used in the paper's
+//! evaluation (see `DESIGN.md` for the substitution rationale), the `G_n`
+//! grammar family of Section V-B, and the random update workloads of
+//! Section V-C.
+//!
+//! All generators are deterministic given their seed, so every experiment in
+//! the benchmark harness is reproducible.
+//!
+//! ## Example
+//!
+//! ```
+//! use datasets::catalog::Dataset;
+//! use datasets::workload::{random_insert_delete_sequence, WorkloadMix};
+//!
+//! let doc = Dataset::ExiWeblog.generate(0.05);
+//! assert!(doc.edge_count() > 200);
+//! let ops = random_insert_delete_sequence(&doc, 50, 42, WorkloadMix::default());
+//! assert_eq!(ops.len(), 50);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod gn;
+pub mod random;
+pub mod regular;
+pub mod workload;
+
+pub use catalog::Dataset;
+pub use workload::{random_insert_delete_sequence, random_rename_sequence, WorkloadMix};

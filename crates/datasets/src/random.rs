@@ -1,0 +1,302 @@
+//! Semi-regular and irregular datasets: synthetic stand-ins for XMark,
+//! Medline and Treebank.
+//!
+//! * **XMark** — auction-site data: template-driven records with randomized
+//!   fan-outs and optional elements; moderate compressibility (Table III: 13 %).
+//! * **Medline** — bibliographic citations: mostly fixed field structure with
+//!   variable-length author lists and a few optional fields (4 %).
+//! * **Treebank** — deep, high-entropy parse trees; the least compressible
+//!   file of the corpus (21 %) and the deepest (depth 35).
+//!
+//! All generators are deterministic given a seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xmltree::{XmlNodeId, XmlTree};
+
+/// Synthetic XMark: an auction site with regions, open auctions, bidders and
+/// people. `items` is the number of items per region.
+pub fn xmark_like(items: usize, seed: u64) -> XmlTree {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = XmlTree::new("site");
+    let root = t.root();
+
+    let regions = t.add_child(root, "regions");
+    for region in ["africa", "asia", "europe", "namerica", "samerica"] {
+        let r = t.add_child(regions, region);
+        for _ in 0..items {
+            let item = t.add_child(r, "item");
+            t.add_child(item, "location");
+            t.add_child(item, "quantity");
+            t.add_child(item, "name");
+            let payment = t.add_child(item, "payment");
+            for _ in 0..rng.gen_range(0..3usize) {
+                t.add_child(payment, "option");
+            }
+            let desc = t.add_child(item, "description");
+            random_text_structure(&mut t, desc, &mut rng, 2);
+            if rng.gen_bool(0.6) {
+                t.add_child(item, "shipping");
+            }
+            let incat = rng.gen_range(1..4usize);
+            for _ in 0..incat {
+                t.add_child(item, "incategory");
+            }
+            if rng.gen_bool(0.3) {
+                let mail = t.add_child(item, "mailbox");
+                for _ in 0..rng.gen_range(1..3usize) {
+                    let m = t.add_child(mail, "mail");
+                    t.add_child(m, "from");
+                    t.add_child(m, "to");
+                    t.add_child(m, "date");
+                    let text = t.add_child(m, "text");
+                    random_text_structure(&mut t, text, &mut rng, 1);
+                }
+            }
+        }
+    }
+
+    let auctions = t.add_child(root, "open_auctions");
+    for _ in 0..items * 2 {
+        let a = t.add_child(auctions, "open_auction");
+        t.add_child(a, "initial");
+        t.add_child(a, "current");
+        if rng.gen_bool(0.5) {
+            t.add_child(a, "reserve");
+        }
+        for _ in 0..rng.gen_range(0..5usize) {
+            let b = t.add_child(a, "bidder");
+            t.add_child(b, "date");
+            t.add_child(b, "time");
+            t.add_child(b, "increase");
+        }
+        t.add_child(a, "itemref");
+        t.add_child(a, "seller");
+        t.add_child(a, "quantity");
+        t.add_child(a, "type");
+        let interval = t.add_child(a, "interval");
+        t.add_child(interval, "start");
+        t.add_child(interval, "end");
+    }
+
+    let people = t.add_child(root, "people");
+    for _ in 0..items * 3 {
+        let p = t.add_child(people, "person");
+        t.add_child(p, "name");
+        t.add_child(p, "emailaddress");
+        if rng.gen_bool(0.4) {
+            t.add_child(p, "phone");
+        }
+        if rng.gen_bool(0.5) {
+            let addr = t.add_child(p, "address");
+            for f in ["street", "city", "country", "zipcode"] {
+                t.add_child(addr, f);
+            }
+        }
+        if rng.gen_bool(0.3) {
+            t.add_child(p, "homepage");
+        }
+        if rng.gen_bool(0.7) {
+            let w = t.add_child(p, "watches");
+            for _ in 0..rng.gen_range(1..4usize) {
+                t.add_child(w, "watch");
+            }
+        }
+    }
+    t
+}
+
+/// Small randomized "rich text" structure used by XMark descriptions.
+fn random_text_structure(t: &mut XmlTree, parent: XmlNodeId, rng: &mut StdRng, depth: usize) {
+    let n = rng.gen_range(1..4usize);
+    for _ in 0..n {
+        match rng.gen_range(0..3u8) {
+            0 => {
+                t.add_child(parent, "text");
+            }
+            1 => {
+                let k = t.add_child(parent, "keyword");
+                if depth > 0 && rng.gen_bool(0.3) {
+                    random_text_structure(t, k, rng, depth - 1);
+                }
+            }
+            _ => {
+                let p = t.add_child(parent, "parlist");
+                if depth > 0 {
+                    let items = rng.gen_range(1..3usize);
+                    for _ in 0..items {
+                        let li = t.add_child(p, "listitem");
+                        if rng.gen_bool(0.4) && depth > 1 {
+                            random_text_structure(t, li, rng, depth - 1);
+                        } else {
+                            t.add_child(li, "text");
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Synthetic Medline: bibliographic citation records with a fixed core,
+/// variable-length author lists and optional fields.
+pub fn medline_like(citations: usize, seed: u64) -> XmlTree {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = XmlTree::new("medline_citation_set");
+    let root = t.root();
+    for _ in 0..citations {
+        let c = t.add_child(root, "citation");
+        t.add_child(c, "pmid");
+        let created = t.add_child(c, "date_created");
+        for f in ["year", "month", "day"] {
+            t.add_child(created, f);
+        }
+        let article = t.add_child(c, "article");
+        let journal = t.add_child(article, "journal");
+        t.add_child(journal, "issn");
+        let issue = t.add_child(journal, "journal_issue");
+        t.add_child(issue, "volume");
+        if rng.gen_bool(0.8) {
+            t.add_child(issue, "issue");
+        }
+        let pubdate = t.add_child(issue, "pub_date");
+        t.add_child(pubdate, "year");
+        if rng.gen_bool(0.7) {
+            t.add_child(pubdate, "month");
+        }
+        t.add_child(article, "article_title");
+        if rng.gen_bool(0.75) {
+            let pagination = t.add_child(article, "pagination");
+            t.add_child(pagination, "medline_pgn");
+        }
+        if rng.gen_bool(0.65) {
+            t.add_child(article, "abstract");
+        }
+        let authors = t.add_child(article, "author_list");
+        for _ in 0..rng.gen_range(1..8usize) {
+            let a = t.add_child(authors, "author");
+            t.add_child(a, "last_name");
+            t.add_child(a, "fore_name");
+            if rng.gen_bool(0.9) {
+                t.add_child(a, "initials");
+            }
+        }
+        let mesh = t.add_child(c, "mesh_heading_list");
+        for _ in 0..rng.gen_range(2..10usize) {
+            let h = t.add_child(mesh, "mesh_heading");
+            t.add_child(h, "descriptor_name");
+            if rng.gen_bool(0.3) {
+                t.add_child(h, "qualifier_name");
+            }
+        }
+    }
+    t
+}
+
+/// Grammatical categories used by the synthetic Treebank generator.
+const TREEBANK_LABELS: &[&str] = &[
+    "S", "NP", "VP", "PP", "SBAR", "ADJP", "ADVP", "QP", "WHNP", "PRN", "NX", "NAC", "FRAG",
+    "UCP", "SINV", "SQ", "X", "INTJ", "LST", "CONJP", "RRC", "WHADVP", "WHPP",
+];
+
+/// Part-of-speech leaves used by the synthetic Treebank generator.
+const TREEBANK_POS: &[&str] = &[
+    "NN", "NNS", "NNP", "DT", "JJ", "VB", "VBD", "VBZ", "VBN", "IN", "RB", "PRP", "CC", "CD",
+    "TO", "MD", "POS", "WDT", "EX",
+];
+
+/// Synthetic Treebank: deep, high-entropy parse trees. `sentences` is the
+/// number of top-level sentence trees.
+pub fn treebank_like(sentences: usize, seed: u64) -> XmlTree {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = XmlTree::new("corpus");
+    let root = t.root();
+    for _ in 0..sentences {
+        let s = t.add_child(root, "S");
+        grow_parse_tree(&mut t, s, &mut rng, 0, 12);
+    }
+    t
+}
+
+fn grow_parse_tree(t: &mut XmlTree, node: XmlNodeId, rng: &mut StdRng, depth: usize, max_depth: usize) {
+    let fanout = match depth {
+        0 => rng.gen_range(2..5usize),
+        _ => rng.gen_range(1..4usize),
+    };
+    for _ in 0..fanout {
+        // Deeper levels become leaves (part-of-speech tags) with rising probability.
+        let leaf_probability = 0.15 + 0.07 * depth as f64;
+        if depth >= max_depth || rng.gen_bool(leaf_probability.min(0.95)) {
+            let pos = TREEBANK_POS[rng.gen_range(0..TREEBANK_POS.len())];
+            t.add_child(node, pos);
+        } else {
+            let label = TREEBANK_LABELS[rng.gen_range(0..TREEBANK_LABELS.len())];
+            let child = t.add_child(node, label);
+            grow_parse_tree(t, child, rng, depth + 1, max_depth);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treerepair::TreeRePair;
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = xmark_like(5, 7).to_xml();
+        let b = xmark_like(5, 7).to_xml();
+        assert_eq!(a, b);
+        assert_ne!(a, xmark_like(5, 8).to_xml());
+        assert_eq!(medline_like(5, 1).to_xml(), medline_like(5, 1).to_xml());
+        assert_eq!(treebank_like(5, 1).to_xml(), treebank_like(5, 1).to_xml());
+    }
+
+    #[test]
+    fn xmark_compresses_moderately() {
+        let t = xmark_like(40, 42);
+        assert!(t.edge_count() > 3_000);
+        let (_, stats) = TreeRePair::default().compress_xml(&t);
+        let ratio = stats.ratio();
+        assert!(
+            (0.02..0.45).contains(&ratio),
+            "XMark-like ratio out of the moderate range: {ratio}"
+        );
+    }
+
+    #[test]
+    fn medline_compresses_well_but_not_extremely() {
+        let t = medline_like(150, 42);
+        let (_, stats) = TreeRePair::default().compress_xml(&t);
+        let ratio = stats.ratio();
+        assert!(
+            (0.01..0.35).contains(&ratio),
+            "Medline-like ratio out of range: {ratio}"
+        );
+    }
+
+    #[test]
+    fn treebank_is_deep_and_hard_to_compress() {
+        let t = treebank_like(60, 42);
+        assert!(t.depth() >= 8, "depth {}", t.depth());
+        let (_, stats) = TreeRePair::default().compress_xml(&t);
+        let ratio = stats.ratio();
+        assert!(
+            ratio > 0.10,
+            "Treebank-like data should resist compression, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn compression_ordering_matches_table_iii() {
+        // Weblog-style regular data compresses better than Medline-style data,
+        // which compresses better than Treebank-style data.
+        let weblog = crate::regular::exi_weblog_like(300);
+        let medline = medline_like(120, 3);
+        let treebank = treebank_like(50, 3);
+        let ratio = |t: &XmlTree| TreeRePair::default().compress_xml(t).1.ratio();
+        let (rw, rm, rt) = (ratio(&weblog), ratio(&medline), ratio(&treebank));
+        assert!(rw < rm, "weblog {rw} should compress better than medline {rm}");
+        assert!(rm < rt, "medline {rm} should compress better than treebank {rt}");
+    }
+}

@@ -1,0 +1,105 @@
+//! Highly regular datasets: synthetic stand-ins for EXI-Weblog, EXI-Telecomp
+//! and NCBI.
+//!
+//! These three corpus files share one structural regime: a huge, almost
+//! perfectly regular list of records with little or no per-record variation.
+//! TreeRePair/GrammarRePair compress such lists *exponentially* (the grammar
+//! ends up with only a few dozen edges — compare the `< 0.1 %` ratios of
+//! Table III), which is exactly the regime where naive updates are most
+//! destructive (Figure 5).
+
+use xmltree::XmlTree;
+
+/// Synthetic EXI-Weblog: a flat list of identical access-log entries
+/// (depth 2, like the original file). `records` entries × 7 fields.
+pub fn exi_weblog_like(records: usize) -> XmlTree {
+    let mut t = XmlTree::new("log");
+    let root = t.root();
+    for _ in 0..records {
+        let e = t.add_child(root, "entry");
+        for field in [
+            "host", "ident", "authuser", "date", "request", "status", "bytes",
+        ] {
+            t.add_child(e, field);
+        }
+    }
+    t
+}
+
+/// Synthetic EXI-Telecomp: regular measurement records with a deeper (depth 6)
+/// but still completely repetitive structure.
+pub fn exi_telecomp_like(records: usize) -> XmlTree {
+    let mut t = XmlTree::new("telecomp");
+    let root = t.root();
+    for _ in 0..records {
+        let rec = t.add_child(root, "record");
+        let hdr = t.add_child(rec, "header");
+        t.add_child(hdr, "timestamp");
+        t.add_child(hdr, "station");
+        let body = t.add_child(rec, "measurements");
+        for _ in 0..3 {
+            let m = t.add_child(body, "measurement");
+            let v = t.add_child(m, "value");
+            t.add_child(v, "unit");
+            t.add_child(v, "scale");
+            t.add_child(m, "quality");
+        }
+    }
+    t
+}
+
+/// Synthetic NCBI: a shallow (depth 3) but extremely long list of identical
+/// SNP-like records — the most compressible file of the evaluation.
+pub fn ncbi_like(records: usize) -> XmlTree {
+    let mut t = XmlTree::new("snp_db");
+    let root = t.root();
+    for _ in 0..records {
+        let rec = t.add_child(root, "snp");
+        t.add_child(rec, "rsid");
+        let pos = t.add_child(rec, "position");
+        t.add_child(pos, "chromosome");
+        t.add_child(pos, "offset");
+        t.add_child(rec, "alleles");
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treerepair::TreeRePair;
+
+    #[test]
+    fn weblog_has_the_expected_shape() {
+        let t = exi_weblog_like(100);
+        assert_eq!(t.depth(), 2);
+        assert_eq!(t.edge_count(), 100 * 8);
+    }
+
+    #[test]
+    fn telecomp_is_deeper_but_regular() {
+        let t = exi_telecomp_like(50);
+        assert_eq!(t.depth(), 5);
+        assert_eq!(t.edge_count(), 50 * 20);
+    }
+
+    #[test]
+    fn ncbi_is_shallow() {
+        let t = ncbi_like(100);
+        assert_eq!(t.depth(), 3);
+        assert_eq!(t.edge_count(), 100 * 6);
+    }
+
+    #[test]
+    fn regular_datasets_compress_extremely_well() {
+        for t in [exi_weblog_like(512), exi_telecomp_like(256), ncbi_like(512)] {
+            let (_, stats) = TreeRePair::default().compress_xml(&t);
+            let ratio = stats.ratio();
+            assert!(
+                ratio < 0.05,
+                "expected an extreme compression ratio, got {ratio} for {} edges",
+                stats.input_edges
+            );
+        }
+    }
+}

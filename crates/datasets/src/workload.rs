@@ -1,0 +1,202 @@
+//! Random update workloads (paper Section V-C).
+//!
+//! The paper evaluates sequences of random insert/delete operations (90 %
+//! inserts, 10 % deletes) and sequences of random renames to fresh labels. The
+//! generator below produces such sequences against an evolving document: every
+//! generated operation is applied to an uncompressed reference copy so that the
+//! next operation's target index is valid, mirroring how the paper derives its
+//! workloads from the original documents.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sltgrammar::{NodeKind, RhsTree, SymbolTable};
+use xmltree::binary::to_binary;
+use xmltree::updates::{apply_update, UpdateOp};
+use xmltree::{XmlNodeId, XmlTree};
+
+/// Mix of operations in a generated workload.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadMix {
+    /// Probability of an insert (the remainder are deletes).
+    pub insert_probability: f64,
+    /// Maximum number of elements in an inserted fragment.
+    pub max_fragment_size: usize,
+}
+
+impl Default for WorkloadMix {
+    fn default() -> Self {
+        // The paper's mix: 90 % inserts, 10 % deletes.
+        WorkloadMix {
+            insert_probability: 0.9,
+            max_fragment_size: 6,
+        }
+    }
+}
+
+/// Generates a sequence of `count` random insert/delete operations against
+/// `xml`, 90 % inserts / 10 % deletes by default. Operations are valid when
+/// applied in order starting from `xml`.
+pub fn random_insert_delete_sequence(
+    xml: &XmlTree,
+    count: usize,
+    seed: u64,
+    mix: WorkloadMix,
+) -> Vec<UpdateOp> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let labels = xml.labels();
+    let mut symbols = SymbolTable::new();
+    let mut reference = to_binary(xml, &mut symbols).expect("valid document");
+    let mut ops = Vec::with_capacity(count);
+
+    for _ in 0..count {
+        let op = if rng.gen_bool(mix.insert_probability) {
+            let target = random_node(&reference, &mut rng, |_, _| true);
+            let fragment = random_fragment(&labels, &mut rng, mix.max_fragment_size);
+            UpdateOp::InsertBefore { target, fragment }
+        } else {
+            // Delete a random non-root element; if none exists fall back to insert.
+            match try_random_node(&reference, &mut rng, |bin, n| {
+                n != bin.root()
+                    && matches!(bin.kind(n), NodeKind::Term(t) if !symbols.is_null(t))
+            }) {
+                Some(target) => UpdateOp::Delete { target },
+                None => {
+                    let target = random_node(&reference, &mut rng, |_, _| true);
+                    let fragment = random_fragment(&labels, &mut rng, mix.max_fragment_size);
+                    UpdateOp::InsertBefore { target, fragment }
+                }
+            }
+        };
+        apply_update(&mut reference, &mut symbols, &op)
+            .expect("generated operations are valid by construction");
+        ops.push(op);
+    }
+    ops
+}
+
+/// Generates `count` random rename operations to fresh labels (the Figure 6
+/// workload), valid when applied in order starting from `xml`.
+pub fn random_rename_sequence(xml: &XmlTree, count: usize, seed: u64) -> Vec<UpdateOp> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut symbols = SymbolTable::new();
+    let mut reference = to_binary(xml, &mut symbols).expect("valid document");
+    let mut ops = Vec::with_capacity(count);
+    for k in 0..count {
+        let target = random_node(&reference, &mut rng, |bin, n| {
+            matches!(bin.kind(n), NodeKind::Term(t) if !symbols.is_null(t))
+        });
+        let op = UpdateOp::Rename {
+            target,
+            label: format!("fresh_label_{k}"),
+        };
+        apply_update(&mut reference, &mut symbols, &op)
+            .expect("generated operations are valid by construction");
+        ops.push(op);
+    }
+    ops
+}
+
+fn try_random_node(
+    bin: &RhsTree,
+    rng: &mut StdRng,
+    accept: impl Fn(&RhsTree, sltgrammar::NodeId) -> bool,
+) -> Option<usize> {
+    let pre = bin.preorder();
+    let candidates: Vec<usize> = pre
+        .iter()
+        .enumerate()
+        .filter(|(_, &n)| accept(bin, n))
+        .map(|(i, _)| i)
+        .collect();
+    if candidates.is_empty() {
+        return None;
+    }
+    Some(candidates[rng.gen_range(0..candidates.len())])
+}
+
+fn random_node(
+    bin: &RhsTree,
+    rng: &mut StdRng,
+    accept: impl Fn(&RhsTree, sltgrammar::NodeId) -> bool,
+) -> usize {
+    try_random_node(bin, rng, accept).expect("document always has at least one node")
+}
+
+/// Builds a small random element fragment using the document's own labels.
+fn random_fragment(labels: &[String], rng: &mut StdRng, max_size: usize) -> XmlTree {
+    let pick = |rng: &mut StdRng| labels[rng.gen_range(0..labels.len())].clone();
+    let mut t = XmlTree::new(&pick(rng));
+    let mut nodes: Vec<XmlNodeId> = vec![t.root()];
+    let extra = rng.gen_range(0..max_size.max(1));
+    for _ in 0..extra {
+        let parent = nodes[rng.gen_range(0..nodes.len())];
+        let child = t.add_child(parent, &pick(rng));
+        nodes.push(child);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmltree::binary::from_binary;
+
+    fn doc() -> XmlTree {
+        crate::regular::exi_weblog_like(30)
+    }
+
+    #[test]
+    fn sequences_are_deterministic_and_have_the_right_mix() {
+        let xml = doc();
+        let a = random_insert_delete_sequence(&xml, 200, 11, WorkloadMix::default());
+        let b = random_insert_delete_sequence(&xml, 200, 11, WorkloadMix::default());
+        assert_eq!(a.len(), 200);
+        let signature = |ops: &[UpdateOp]| {
+            ops.iter()
+                .map(|op| match op {
+                    UpdateOp::InsertBefore { target, .. } => format!("i{target}"),
+                    UpdateOp::Delete { target } => format!("d{target}"),
+                    UpdateOp::Rename { target, .. } => format!("r{target}"),
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(signature(&a), signature(&b));
+        let inserts = a
+            .iter()
+            .filter(|op| matches!(op, UpdateOp::InsertBefore { .. }))
+            .count();
+        assert!(
+            (150..=200).contains(&inserts),
+            "expected roughly 90% inserts, got {inserts}/200"
+        );
+    }
+
+    #[test]
+    fn generated_sequences_apply_cleanly_to_the_reference_tree() {
+        let xml = doc();
+        let ops = random_insert_delete_sequence(&xml, 150, 3, WorkloadMix::default());
+        let mut symbols = SymbolTable::new();
+        let mut bin = to_binary(&xml, &mut symbols).unwrap();
+        for op in &ops {
+            apply_update(&mut bin, &mut symbols, op).unwrap();
+        }
+        // Still a well-formed document.
+        let back = from_binary(&bin, &symbols).unwrap();
+        assert!(back.node_count() > xml.node_count());
+    }
+
+    #[test]
+    fn rename_sequences_only_touch_elements() {
+        let xml = doc();
+        let ops = random_rename_sequence(&xml, 50, 5);
+        assert_eq!(ops.len(), 50);
+        let mut symbols = SymbolTable::new();
+        let mut bin = to_binary(&xml, &mut symbols).unwrap();
+        for op in &ops {
+            assert!(matches!(op, UpdateOp::Rename { .. }));
+            apply_update(&mut bin, &mut symbols, op).unwrap();
+        }
+        // Renames to fresh labels never change the node count.
+        assert_eq!(bin.node_count(), 2 * xml.node_count() + 1);
+    }
+}

@@ -1,0 +1,166 @@
+//! Derivation: materializing `val_G(S)` and derived-size computations.
+
+use std::collections::HashMap;
+
+use crate::error::{GrammarError, Result};
+use crate::fingerprint::{summaries, RuleSummary};
+use crate::grammar::Grammar;
+use crate::node::{NodeId, NodeKind};
+use crate::rhs::RhsTree;
+use crate::symbol::NtId;
+
+/// Default node limit for [`val`]; grammars deriving larger trees must use
+/// [`val_limited`] explicitly.
+pub const DEFAULT_VAL_LIMIT: u64 = 50_000_000;
+
+/// Per-rule number of nodes `val(A)` contributes on its own (excluding the
+/// trees substituted for its parameters) — the building block of the paper's
+/// `size(A, i)` precomputation.
+pub fn own_sizes(g: &Grammar) -> HashMap<NtId, u128> {
+    summaries(g)
+        .into_iter()
+        .map(|(nt, s)| (nt, s.own_size))
+        .collect()
+}
+
+/// Per-rule segment sizes `size(A, 0) .. size(A, k)` of the paper: the number of
+/// nodes of `val(A)` appearing before `y1`, between consecutive parameters, and
+/// after `yk` in preorder.
+pub fn segment_sizes(g: &Grammar) -> HashMap<NtId, Vec<u128>> {
+    let all: HashMap<NtId, RuleSummary> = summaries(g);
+    all.into_iter()
+        .map(|(nt, s)| {
+            let rank = g.rule(nt).rank;
+            (nt, s.segment_sizes(rank))
+        })
+        .collect()
+}
+
+/// For every node of `rhs`, the number of nodes of the derived tree rooted at
+/// that node (nonterminal references contribute their full `own_size` plus their
+/// argument subtrees; parameters contribute 0 because their content is supplied
+/// by the caller).
+pub fn subtree_derived_sizes(
+    rhs: &RhsTree,
+    own: &HashMap<NtId, u128>,
+) -> HashMap<NodeId, u128> {
+    let order = rhs.preorder();
+    let mut out: HashMap<NodeId, u128> = HashMap::with_capacity(order.len());
+    for &node in order.iter().rev() {
+        let children_sum: u128 = rhs
+            .children(node)
+            .iter()
+            .map(|c| out[c])
+            .fold(0u128, |a, b| a.saturating_add(b));
+        let size = match rhs.kind(node) {
+            NodeKind::Term(_) => children_sum.saturating_add(1),
+            NodeKind::Nt(b) => children_sum.saturating_add(own[&b]),
+            NodeKind::Param(_) => 0,
+        };
+        out.insert(node, size);
+    }
+    out
+}
+
+/// Materializes the derived tree `val_G(S)` as a plain [`RhsTree`] containing
+/// only terminal nodes, provided it does not exceed `limit` nodes.
+pub fn val_limited(g: &Grammar, limit: u64) -> Result<RhsTree> {
+    let size = crate::fingerprint::derived_size(g);
+    if size > limit as u128 {
+        return Err(GrammarError::DerivationTooLarge { limit });
+    }
+    let mut tree = g.rule(g.start()).rhs.clone();
+    loop {
+        let nts: Vec<NodeId> = tree
+            .preorder()
+            .into_iter()
+            .filter(|&n| tree.kind(n).is_nt())
+            .collect();
+        if nts.is_empty() {
+            break;
+        }
+        for node in nts {
+            let callee = tree
+                .kind(node)
+                .as_nt()
+                .expect("collected nodes are nonterminal references");
+            let callee_rhs = g.rule(callee).rhs.clone();
+            tree.inline_at(node, &callee_rhs);
+        }
+    }
+    tree.compact();
+    Ok(tree)
+}
+
+/// Materializes `val_G(S)` with the default limit of [`DEFAULT_VAL_LIMIT`] nodes.
+pub fn val(g: &Grammar) -> Result<RhsTree> {
+    val_limited(g, DEFAULT_VAL_LIMIT)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fingerprint::{fingerprint, label_code, Segment};
+    use crate::text::parse_grammar;
+
+    fn paper_grammar() -> Grammar {
+        parse_grammar("S -> f(A(B,B),#)\nB -> A(#,#)\nA -> a(#, a(y1, y2))").unwrap()
+    }
+
+    #[test]
+    fn val_materializes_the_paper_example() {
+        let g = paper_grammar();
+        let t = val(&g).unwrap();
+        assert_eq!(t.node_count(), 15);
+        // No nonterminals or parameters remain.
+        assert!(t
+            .preorder()
+            .iter()
+            .all(|&n| t.kind(n).is_term()));
+        // The preorder hash of the materialized tree equals the grammar fingerprint.
+        let mut seg = Segment::empty();
+        for n in t.preorder() {
+            let term = t.kind(n).as_term().unwrap();
+            seg.push_label(label_code(g.symbols.name(term)));
+        }
+        let fp = fingerprint(&g);
+        assert_eq!(seg.hash, fp.hash);
+        assert_eq!(seg.len, fp.size);
+    }
+
+    #[test]
+    fn val_respects_the_limit() {
+        let mut text = String::from("S -> f(A1,#)\n");
+        for i in 1..30 {
+            text.push_str(&format!("A{i} -> g(A{},A{})\n", i + 1, i + 1));
+        }
+        text.push_str("A30 -> a");
+        let g = parse_grammar(&text).unwrap();
+        let err = val_limited(&g, 1_000).unwrap_err();
+        assert!(matches!(err, GrammarError::DerivationTooLarge { .. }));
+    }
+
+    #[test]
+    fn own_sizes_and_subtree_sizes_are_consistent() {
+        let g = paper_grammar();
+        let own = own_sizes(&g);
+        let a = g.nt_by_name("A").unwrap();
+        let b = g.nt_by_name("B").unwrap();
+        assert_eq!(own[&a], 3); // a, #, a — parameters excluded
+        assert_eq!(own[&b], 5); // A(#,#) derives a(#, a(#, #))
+        assert_eq!(own[&g.start()], 15);
+
+        let start_rhs = &g.rule(g.start()).rhs;
+        let sizes = subtree_derived_sizes(start_rhs, &own);
+        assert_eq!(sizes[&start_rhs.root()], 15);
+    }
+
+    #[test]
+    fn segment_sizes_for_paper_running_example() {
+        let g = paper_grammar();
+        let a = g.nt_by_name("A").unwrap();
+        let sizes = segment_sizes(&g);
+        // val(A) = a(#, a(y1, y2)): before y1 -> a,#,a = 3 nodes; between y1,y2 -> 0; after -> 0.
+        assert_eq!(sizes[&a], vec![3, 0, 0]);
+    }
+}

@@ -1,0 +1,160 @@
+//! Error types for the SLCF grammar substrate.
+
+use std::fmt;
+
+/// Errors produced by grammar construction, validation, parsing and derivation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GrammarError {
+    /// A symbol was interned twice with two different ranks.
+    RankMismatch {
+        /// Symbol name.
+        name: String,
+        /// Rank recorded first.
+        expected: usize,
+        /// Conflicting rank.
+        found: usize,
+    },
+    /// A node has a number of children that does not match the rank of its label.
+    ArityMismatch {
+        /// Human readable description of the offending node.
+        node: String,
+        /// Rank of the label.
+        expected: usize,
+        /// Number of children found.
+        found: usize,
+    },
+    /// A rule right-hand side does not use the parameters `y1..yk` exactly once each.
+    BadParameters {
+        /// Name of the rule.
+        rule: String,
+        /// Description of the problem.
+        detail: String,
+    },
+    /// The grammar is recursive, i.e. not straight-line.
+    NotStraightLine {
+        /// Name of a nonterminal on a cycle.
+        nonterminal: String,
+    },
+    /// A nonterminal is referenced but has no rule.
+    MissingRule {
+        /// Name (or id) of the missing nonterminal.
+        nonterminal: String,
+    },
+    /// The start rule must have rank 0 and must not be referenced by any rule.
+    BadStartRule {
+        /// Description of the violation.
+        detail: String,
+    },
+    /// A right-hand side consists of a single parameter node, which the model forbids.
+    SingleParameterRhs {
+        /// Name of the rule.
+        rule: String,
+    },
+    /// Parse error in the textual grammar format.
+    Parse {
+        /// Line number (1-based) where the error occurred, 0 if unknown.
+        line: usize,
+        /// Description of the problem.
+        detail: String,
+    },
+    /// Materializing `val(G)` would exceed the configured node limit.
+    DerivationTooLarge {
+        /// The configured limit.
+        limit: u64,
+    },
+    /// The binary serialization could not be decoded.
+    Decode {
+        /// Byte offset at which decoding failed, if known.
+        offset: usize,
+        /// Description of the problem.
+        detail: String,
+    },
+}
+
+impl fmt::Display for GrammarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GrammarError::RankMismatch {
+                name,
+                expected,
+                found,
+            } => write!(
+                f,
+                "symbol `{name}` interned with rank {found}, but was previously rank {expected}"
+            ),
+            GrammarError::ArityMismatch {
+                node,
+                expected,
+                found,
+            } => write!(
+                f,
+                "node {node} has {found} children but its label has rank {expected}"
+            ),
+            GrammarError::BadParameters { rule, detail } => {
+                write!(f, "rule `{rule}` has invalid parameters: {detail}")
+            }
+            GrammarError::NotStraightLine { nonterminal } => {
+                write!(f, "grammar is recursive: nonterminal `{nonterminal}` reaches itself")
+            }
+            GrammarError::MissingRule { nonterminal } => {
+                write!(f, "nonterminal `{nonterminal}` is referenced but has no rule")
+            }
+            GrammarError::BadStartRule { detail } => write!(f, "invalid start rule: {detail}"),
+            GrammarError::SingleParameterRhs { rule } => write!(
+                f,
+                "rule `{rule}` consists of a single parameter node, which is not allowed"
+            ),
+            GrammarError::Parse { line, detail } => {
+                write!(f, "grammar parse error at line {line}: {detail}")
+            }
+            GrammarError::DerivationTooLarge { limit } => write!(
+                f,
+                "materializing the derived tree would exceed the limit of {limit} nodes"
+            ),
+            GrammarError::Decode { offset, detail } => {
+                write!(f, "binary grammar decode error at byte {offset}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GrammarError {}
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, GrammarError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_key_information() {
+        let e = GrammarError::RankMismatch {
+            name: "a".into(),
+            expected: 2,
+            found: 3,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains('a') && msg.contains('2') && msg.contains('3'));
+
+        let e = GrammarError::NotStraightLine {
+            nonterminal: "A".into(),
+        };
+        assert!(e.to_string().contains("recursive"));
+
+        let e = GrammarError::Parse {
+            line: 7,
+            detail: "unexpected token".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        let e = GrammarError::MissingRule {
+            nonterminal: "B".into(),
+        };
+        assert_err(&e);
+    }
+}

@@ -1,0 +1,53 @@
+//! # sltgrammar — straight-line linear context-free tree grammars
+//!
+//! This crate is the substrate for the reproduction of *Incremental Updates on
+//! Compressed XML* (Böttcher, Hartel, Jacobs, Maneth; ICDE 2016). It provides:
+//!
+//! * a ranked terminal alphabet ([`SymbolTable`]),
+//! * arena-based rule right-hand sides ([`RhsTree`]) with the splice operations
+//!   the compression and update algorithms need (inlining, subtree replacement,
+//!   fragment extraction),
+//! * the [`Grammar`] type with reference/usage counts, anti-straight-line
+//!   ordering, validation and garbage collection,
+//! * derivation utilities ([`derive::val`], [`derive::segment_sizes`]) and a
+//!   composable [`fingerprint::Fingerprint`] of the derived tree that works even
+//!   when the derived tree is exponentially larger than the grammar,
+//! * savings-based [`pruning`] of unproductive rules, and
+//! * a textual grammar format ([`text::parse_grammar`], [`text::print_grammar`])
+//!   used throughout the tests, examples and documentation.
+//!
+//! ## Example
+//!
+//! ```
+//! use sltgrammar::text::parse_grammar;
+//! use sltgrammar::fingerprint::fingerprint;
+//!
+//! // The running example of the paper's preliminaries.
+//! let g = parse_grammar(
+//!     "S -> f(A(B,B),#)\n\
+//!      B -> A(#,#)\n\
+//!      A -> a(#, a(y1, y2))",
+//! ).unwrap();
+//! assert_eq!(g.edge_count(), 10);
+//! assert_eq!(fingerprint(&g).size, 15); // val(S) has 15 nodes
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod derive;
+pub mod error;
+pub mod fingerprint;
+pub mod grammar;
+pub mod node;
+pub mod pruning;
+pub mod rhs;
+pub mod serialize;
+pub mod stats;
+pub mod symbol;
+pub mod text;
+
+pub use error::{GrammarError, Result};
+pub use grammar::{Grammar, Rule};
+pub use node::{NodeId, NodeKind};
+pub use rhs::{RhsNode, RhsTree};
+pub use symbol::{NtId, SymbolTable, TermId, NULL_SYMBOL_NAME};

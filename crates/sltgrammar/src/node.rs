@@ -1,0 +1,94 @@
+//! Node kinds and node identifiers for rule right-hand sides.
+
+use crate::symbol::{NtId, TermId};
+
+/// Identifier of a node inside one [`crate::rhs::RhsTree`] arena.
+///
+/// Node ids are stable across splice operations (inlining, digram replacement):
+/// a node keeps its id for as long as it is attached to the tree. Ids of
+/// detached nodes must not be reused by callers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Index into the arena.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The label of a node in a rule right-hand side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// A terminal symbol of the ranked alphabet.
+    Term(TermId),
+    /// A reference to another rule (nonterminal); its children are the
+    /// argument subtrees substituted for the rule's parameters.
+    Nt(NtId),
+    /// Formal parameter `y_{i+1}` (0-based index stored).
+    Param(u32),
+}
+
+impl NodeKind {
+    /// Returns the terminal id if this node is a terminal.
+    pub fn as_term(self) -> Option<TermId> {
+        match self {
+            NodeKind::Term(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Returns the nonterminal id if this node is a rule reference.
+    pub fn as_nt(self) -> Option<NtId> {
+        match self {
+            NodeKind::Nt(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// Returns the 0-based parameter index if this node is a parameter.
+    pub fn as_param(self) -> Option<u32> {
+        match self {
+            NodeKind::Param(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// Whether this node is a terminal.
+    pub fn is_term(self) -> bool {
+        matches!(self, NodeKind::Term(_))
+    }
+
+    /// Whether this node is a nonterminal reference.
+    pub fn is_nt(self) -> bool {
+        matches!(self, NodeKind::Nt(_))
+    }
+
+    /// Whether this node is a formal parameter.
+    pub fn is_param(self) -> bool {
+        matches!(self, NodeKind::Param(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_match_kind() {
+        let t = NodeKind::Term(TermId(3));
+        assert_eq!(t.as_term(), Some(TermId(3)));
+        assert!(t.is_term() && !t.is_nt() && !t.is_param());
+
+        let n = NodeKind::Nt(NtId(1));
+        assert_eq!(n.as_nt(), Some(NtId(1)));
+        assert!(n.is_nt());
+        assert_eq!(n.as_term(), None);
+
+        let p = NodeKind::Param(0);
+        assert_eq!(p.as_param(), Some(0));
+        assert!(p.is_param());
+        assert_eq!(p.as_nt(), None);
+    }
+}

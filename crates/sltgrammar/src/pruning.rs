@@ -1,0 +1,159 @@
+//! Savings-based pruning of unproductive rules (paper Section IV-D).
+//!
+//! A rule `R → t_R` is *unproductive* if keeping it does not pay for itself:
+//! `sav_G(R) = |ref_G(R)| · (size(t_R) − rank(R)) − size(t_R) < 0`,
+//! where `size(t)` is the number of edges of `t`. Unproductive rules are removed
+//! by inlining them at every reference. Following TreeRePair's greedy strategy,
+//! rules referenced at most once are removed first, then the remaining rules are
+//! examined in anti-straight-line order (callees first), recomputing savings as
+//! inlining changes rule sizes.
+
+use crate::grammar::Grammar;
+use crate::symbol::NtId;
+
+/// Statistics of one pruning pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PruneStats {
+    /// Rules removed because they were referenced at most once.
+    pub removed_single_ref: usize,
+    /// Rules removed because their savings value was negative.
+    pub removed_unproductive: usize,
+    /// Rules removed because they became unreachable.
+    pub removed_unreachable: usize,
+}
+
+impl PruneStats {
+    /// Total number of removed rules.
+    pub fn total(&self) -> usize {
+        self.removed_single_ref + self.removed_unproductive + self.removed_unreachable
+    }
+}
+
+/// The savings value `sav_G(R)` of the paper, using edge counts as sizes.
+pub fn savings(g: &Grammar, nt: NtId) -> i64 {
+    let refs = g.ref_counts();
+    savings_with(g, nt, refs.get(&nt).copied().unwrap_or(0))
+}
+
+fn savings_with(g: &Grammar, nt: NtId, ref_count: usize) -> i64 {
+    let rule = g.rule(nt);
+    let size = rule.rhs.edge_count() as i64;
+    let rank = rule.rank as i64;
+    (ref_count as i64) * (size - rank) - size
+}
+
+/// Removes unproductive rules from the grammar. The derived tree is unchanged.
+pub fn prune(g: &mut Grammar) -> PruneStats {
+    let mut stats = PruneStats::default();
+    stats.removed_unreachable += g.gc();
+
+    // Phase 1: rules with a single reference never pay for themselves.
+    loop {
+        let refs = g.ref_counts();
+        let mut candidate = None;
+        for nt in g.nonterminals() {
+            if nt == g.start() {
+                continue;
+            }
+            if refs.get(&nt).copied().unwrap_or(0) <= 1 {
+                candidate = Some(nt);
+                break;
+            }
+        }
+        match candidate {
+            Some(nt) => {
+                if g.ref_counts().get(&nt).copied().unwrap_or(0) == 0 {
+                    g.remove_rule(nt);
+                    stats.removed_unreachable += 1;
+                } else {
+                    g.inline_everywhere_and_remove(nt);
+                    stats.removed_single_ref += 1;
+                }
+            }
+            None => break,
+        }
+    }
+
+    // Phase 2: greedy anti-SL pass over the remaining rules.
+    let order = g
+        .anti_sl_order()
+        .expect("pruning requires a straight-line grammar");
+    for nt in order {
+        if nt == g.start() || !g.has_rule(nt) {
+            continue;
+        }
+        let refs = g.ref_counts();
+        let rc = refs.get(&nt).copied().unwrap_or(0);
+        if rc == 0 {
+            g.remove_rule(nt);
+            stats.removed_unreachable += 1;
+            continue;
+        }
+        if savings_with(g, nt, rc) < 0 {
+            g.inline_everywhere_and_remove(nt);
+            stats.removed_unproductive += 1;
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fingerprint::fingerprint;
+    use crate::text::parse_grammar;
+
+    #[test]
+    fn single_reference_rules_are_inlined_away() {
+        let mut g = parse_grammar("S -> f(A,#)\nA -> g(a(#,#))").unwrap();
+        let before = fingerprint(&g);
+        let stats = prune(&mut g);
+        assert_eq!(stats.removed_single_ref, 1);
+        assert_eq!(g.rule_count(), 1);
+        assert_eq!(fingerprint(&g), before);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn productive_rules_are_kept() {
+        // A is used 4 times and saves plenty.
+        let mut g = parse_grammar(
+            "S -> f(f(A,A),f(A,A))\nA -> g(a(#,#), a(#,#))",
+        )
+        .unwrap();
+        let before = fingerprint(&g);
+        let stats = prune(&mut g);
+        assert_eq!(stats.removed_unproductive, 0);
+        assert_eq!(g.rule_count(), 2);
+        assert_eq!(fingerprint(&g), before);
+    }
+
+    #[test]
+    fn unproductive_small_rules_are_removed() {
+        // B has size 1 (one edge) and rank 1: sav = 2*(1-1) - 1 = -1 < 0.
+        let mut g = parse_grammar("S -> f(B(a), B(b))\nB -> g(y1)").unwrap();
+        let before = fingerprint(&g);
+        let stats = prune(&mut g);
+        assert!(stats.removed_unproductive >= 1);
+        assert_eq!(g.rule_count(), 1);
+        assert_eq!(fingerprint(&g), before);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn savings_formula_matches_paper() {
+        let g = parse_grammar("S -> f(B(a), B(b))\nB -> g(y1)").unwrap();
+        let b = g.nt_by_name("B").unwrap();
+        // |ref| = 2, size = 1 edge, rank = 1: 2*(1-1) - 1 = -1.
+        assert_eq!(savings(&g, b), -1);
+    }
+
+    #[test]
+    fn unreachable_rules_are_collected() {
+        let mut g = parse_grammar("S -> f(a,#)\nDead -> g(b(#,#), b(#,#), b(#,#))").unwrap();
+        // "Dead" is parsed but unreachable (never referenced).
+        let stats = prune(&mut g);
+        assert_eq!(stats.removed_unreachable, 1);
+        assert_eq!(g.rule_count(), 1);
+    }
+}

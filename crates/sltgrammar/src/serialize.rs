@@ -1,0 +1,435 @@
+//! Compact binary serialization of SLCF grammars.
+//!
+//! Grammars are the *persistent* form of a compressed document (the paper's
+//! scenario keeps the grammar in memory, but any DOM replacement also needs to
+//! be loadable from and writable to disk). The format is byte-oriented and
+//! deliberately simple:
+//!
+//! ```text
+//! magic "SLTG"  version u8
+//! symbol count          (varint)
+//!   per symbol: rank (varint), name length (varint), name bytes (UTF-8)
+//! rule count            (varint)
+//!   per rule:   rank (varint), name length (varint), name bytes
+//!   per rule:   node count (varint), nodes in preorder:
+//!                 tag 0 = terminal  + symbol index (varint)
+//!                 tag 1 = nonterminal + rule index (varint)
+//!                 tag 2 = parameter + parameter index (varint)
+//! ```
+//!
+//! Child counts are not stored: every label's rank is known from the header,
+//! so the tree is reconstructed from the preorder stream alone. Rule indices
+//! refer to the order in which rules are written (start rule first), making
+//! the encoding independent of internal `NtId` values.
+//!
+//! All integers use LEB128 variable-length encoding, so small grammars stay
+//! small: the encoded size is roughly `nodes + names` bytes.
+
+use crate::error::{GrammarError, Result};
+use crate::grammar::Grammar;
+use crate::node::{NodeId, NodeKind};
+use crate::rhs::RhsTree;
+use crate::symbol::{NtId, SymbolTable, TermId};
+
+/// Magic bytes identifying the format.
+pub const MAGIC: &[u8; 4] = b"SLTG";
+/// Current format version.
+pub const VERSION: u8 = 1;
+
+// ----- varint primitives -----
+
+fn write_varint(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Reader { data, pos: 0 }
+    }
+
+    fn error(&self, detail: &str) -> GrammarError {
+        GrammarError::Decode {
+            offset: self.pos,
+            detail: detail.to_string(),
+        }
+    }
+
+    fn byte(&mut self) -> Result<u8> {
+        let b = *self
+            .data
+            .get(self.pos)
+            .ok_or_else(|| self.error("unexpected end of input"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn varint(&mut self) -> Result<u64> {
+        let mut value: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.byte()?;
+            if shift >= 63 && byte > 1 {
+                return Err(self.error("varint overflows 64 bits"));
+            }
+            value |= ((byte & 0x7f) as u64) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+        }
+    }
+
+    fn bytes(&mut self, len: usize) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(len)
+            .filter(|&e| e <= self.data.len())
+            .ok_or_else(|| self.error("unexpected end of input"))?;
+        let slice = &self.data[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn string(&mut self) -> Result<String> {
+        let len = self.varint()? as usize;
+        let bytes = self.bytes(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| self.error("name is not valid UTF-8"))
+    }
+
+    fn finished(&self) -> bool {
+        self.pos == self.data.len()
+    }
+}
+
+// ----- encoding -----
+
+/// Encodes a grammar into the compact binary format.
+pub fn encode(g: &Grammar) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+
+    // Symbol table.
+    write_varint(&mut out, g.symbols.len() as u64);
+    for (_, name, rank) in g.symbols.iter() {
+        write_varint(&mut out, rank as u64);
+        write_varint(&mut out, name.len() as u64);
+        out.extend_from_slice(name.as_bytes());
+    }
+
+    // Rule order: start rule first, remaining live rules in NtId order.
+    let mut order: Vec<NtId> = vec![g.start()];
+    order.extend(g.nonterminals().into_iter().filter(|&nt| nt != g.start()));
+    let index_of = |nt: NtId| -> u64 {
+        order
+            .iter()
+            .position(|&x| x == nt)
+            .expect("every referenced rule is live") as u64
+    };
+
+    write_varint(&mut out, order.len() as u64);
+    for &nt in &order {
+        let rule = g.rule(nt);
+        write_varint(&mut out, rule.rank as u64);
+        write_varint(&mut out, rule.name.len() as u64);
+        out.extend_from_slice(rule.name.as_bytes());
+    }
+    for &nt in &order {
+        let rhs = &g.rule(nt).rhs;
+        let preorder = rhs.preorder();
+        write_varint(&mut out, preorder.len() as u64);
+        for node in preorder {
+            match rhs.kind(node) {
+                NodeKind::Term(t) => {
+                    out.push(0);
+                    write_varint(&mut out, t.0 as u64);
+                }
+                NodeKind::Nt(callee) => {
+                    out.push(1);
+                    write_varint(&mut out, index_of(callee));
+                }
+                NodeKind::Param(i) => {
+                    out.push(2);
+                    write_varint(&mut out, i as u64);
+                }
+            }
+        }
+    }
+    out
+}
+
+// ----- decoding -----
+
+/// Rank of a node label given the decoded headers.
+fn label_rank(
+    kind: &DecodedKind,
+    symbol_ranks: &[usize],
+    rule_ranks: &[usize],
+) -> usize {
+    match *kind {
+        DecodedKind::Term(t) => symbol_ranks[t],
+        DecodedKind::Nt(r) => rule_ranks[r],
+        DecodedKind::Param(_) => 0,
+    }
+}
+
+#[derive(Clone, Copy)]
+enum DecodedKind {
+    Term(usize),
+    Nt(usize),
+    Param(u32),
+}
+
+/// Decodes a grammar from its binary form. The result is validated before it
+/// is returned, so a successful decode always yields a well-formed grammar.
+pub fn decode(data: &[u8]) -> Result<Grammar> {
+    let mut r = Reader::new(data);
+    let magic = r.bytes(4)?;
+    if magic != MAGIC {
+        return Err(r.error("bad magic bytes (not an SLTG file)"));
+    }
+    let version = r.byte()?;
+    if version != VERSION {
+        return Err(r.error(&format!("unsupported format version {version}")));
+    }
+
+    // Symbol table.
+    let symbol_count = r.varint()? as usize;
+    let mut symbols = SymbolTable::new();
+    let mut symbol_ranks = Vec::with_capacity(symbol_count);
+    for _ in 0..symbol_count {
+        let rank = r.varint()? as usize;
+        let name = r.string()?;
+        let id = symbols.intern(&name, rank)?;
+        if id.index() + 1 != symbols.len() {
+            return Err(r.error(&format!("duplicate symbol `{name}` in symbol table")));
+        }
+        symbol_ranks.push(rank);
+    }
+
+    // Rule headers.
+    let rule_count = r.varint()? as usize;
+    if rule_count == 0 {
+        return Err(r.error("grammar must have at least a start rule"));
+    }
+    let mut rule_names = Vec::with_capacity(rule_count);
+    let mut rule_ranks = Vec::with_capacity(rule_count);
+    for _ in 0..rule_count {
+        rule_ranks.push(r.varint()? as usize);
+        rule_names.push(r.string()?);
+    }
+
+    // Rule bodies.
+    let mut bodies: Vec<RhsTree> = Vec::with_capacity(rule_count);
+    for rule_idx in 0..rule_count {
+        let node_count = r.varint()? as usize;
+        if node_count == 0 {
+            return Err(r.error(&format!("rule `{}` has an empty body", rule_names[rule_idx])));
+        }
+        // Read the preorder stream.
+        let mut kinds = Vec::with_capacity(node_count);
+        for _ in 0..node_count {
+            let tag = r.byte()?;
+            let value = r.varint()? as usize;
+            let kind = match tag {
+                0 => {
+                    if value >= symbol_count {
+                        return Err(r.error("terminal index out of range"));
+                    }
+                    DecodedKind::Term(value)
+                }
+                1 => {
+                    if value >= rule_count {
+                        return Err(r.error("rule index out of range"));
+                    }
+                    DecodedKind::Nt(value)
+                }
+                2 => DecodedKind::Param(value as u32),
+                other => return Err(r.error(&format!("unknown node tag {other}"))),
+            };
+            kinds.push(kind);
+        }
+        bodies.push(rebuild_tree(&r, &kinds, &symbol_ranks, &rule_ranks)?);
+    }
+    if !r.finished() {
+        return Err(r.error("trailing bytes after the grammar"));
+    }
+
+    // Assemble the grammar: the start rule (index 0) first, then the rest.
+    let mut grammar = Grammar::new(symbols, bodies[0].clone());
+    let start = grammar.start();
+    grammar.rename_rule(start, &rule_names[0]);
+    for i in 1..rule_count {
+        grammar.add_rule(&rule_names[i], rule_ranks[i], bodies[i].clone());
+    }
+    grammar.validate()?;
+    Ok(grammar)
+}
+
+/// Rebuilds an [`RhsTree`] from its preorder label stream; the rank of every
+/// label dictates how many of the following nodes are its children.
+fn rebuild_tree(
+    r: &Reader<'_>,
+    kinds: &[DecodedKind],
+    symbol_ranks: &[usize],
+    rule_ranks: &[usize],
+) -> Result<RhsTree> {
+    let to_kind = |k: &DecodedKind| -> NodeKind {
+        match *k {
+            DecodedKind::Term(t) => NodeKind::Term(TermId(t as u32)),
+            DecodedKind::Nt(n) => NodeKind::Nt(NtId(n as u32)),
+            DecodedKind::Param(i) => NodeKind::Param(i),
+        }
+    };
+    let mut tree = RhsTree::singleton(to_kind(&kinds[0]));
+    let root = tree.root();
+    // Stack of (node, children still expected).
+    let mut stack: Vec<(NodeId, usize)> = vec![(root, label_rank(&kinds[0], symbol_ranks, rule_ranks))];
+    for kind in &kinds[1..] {
+        // Attach under the innermost node that still expects children.
+        while let Some(&(_, 0)) = stack.last() {
+            stack.pop();
+        }
+        let parent = match stack.last_mut() {
+            Some(top) => {
+                top.1 -= 1;
+                top.0
+            }
+            None => {
+                return Err(GrammarError::Decode {
+                    offset: r.pos,
+                    detail: "preorder stream has more nodes than the ranks allow".to_string(),
+                })
+            }
+        };
+        let node = tree.add_leaf(to_kind(kind));
+        tree.push_child(parent, node);
+        stack.push((node, label_rank(kind, symbol_ranks, rule_ranks)));
+    }
+    // Every node must have received all its children.
+    while let Some(&(_, 0)) = stack.last() {
+        stack.pop();
+    }
+    if !stack.is_empty() {
+        return Err(GrammarError::Decode {
+            offset: r.pos,
+            detail: "preorder stream ended before all children were supplied".to_string(),
+        });
+    }
+    Ok(tree)
+}
+
+/// Encoded size in bytes of a grammar (convenience wrapper around [`encode`]).
+pub fn encoded_size(g: &Grammar) -> usize {
+    encode(g).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fingerprint::fingerprint;
+    use crate::text::{parse_grammar, print_grammar};
+
+    fn paper_grammar() -> Grammar {
+        parse_grammar("S -> f(A(B,B),#)\nB -> A(#,#)\nA -> a(#, a(y1, y2))").unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure_names_and_derived_tree() {
+        let g = paper_grammar();
+        let bytes = encode(&g);
+        let back = decode(&bytes).unwrap();
+        assert_eq!(fingerprint(&g), fingerprint(&back));
+        assert_eq!(g.rule_count(), back.rule_count());
+        assert_eq!(g.edge_count(), back.edge_count());
+        assert_eq!(print_grammar(&g), print_grammar(&back));
+    }
+
+    #[test]
+    fn roundtrip_of_an_exponential_grammar() {
+        let mut text = String::from("S -> A1(A1(#))\n");
+        for i in 1..=9 {
+            text.push_str(&format!("A{i} -> A{}(A{}(y1))\n", i + 1, i + 1));
+        }
+        text.push_str("A10 -> a(y1)");
+        let g = parse_grammar(&text).unwrap();
+        let back = decode(&encode(&g)).unwrap();
+        assert_eq!(fingerprint(&g), fingerprint(&back));
+        assert_eq!(print_grammar(&g), print_grammar(&back));
+    }
+
+    #[test]
+    fn encoding_is_compact() {
+        let g = paper_grammar();
+        let bytes = encode(&g);
+        // 13 nodes, 6 symbols/rule names: stays well below 100 bytes.
+        assert!(bytes.len() < 100, "unexpectedly large encoding: {} bytes", bytes.len());
+        assert_eq!(encoded_size(&g), bytes.len());
+    }
+
+    #[test]
+    fn rejects_corrupted_input() {
+        let g = paper_grammar();
+        let bytes = encode(&g);
+
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(matches!(decode(&bad), Err(GrammarError::Decode { .. })));
+
+        // Bad version.
+        let mut bad = bytes.clone();
+        bad[4] = 99;
+        assert!(matches!(decode(&bad), Err(GrammarError::Decode { .. })));
+
+        // Truncations at every length must error, never panic.
+        for len in 0..bytes.len() {
+            let truncated = &bytes[..len];
+            assert!(decode(truncated).is_err(), "truncation to {len} bytes must fail");
+        }
+
+        // Trailing garbage.
+        let mut bad = bytes.clone();
+        bad.push(0);
+        assert!(decode(&bad).is_err());
+    }
+
+    #[test]
+    fn varint_roundtrip_edge_cases() {
+        for value in [0u64, 1, 127, 128, 300, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, value);
+            let mut r = Reader::new(&buf);
+            assert_eq!(r.varint().unwrap(), value);
+            assert!(r.finished());
+        }
+    }
+
+    #[test]
+    fn decode_validates_the_grammar() {
+        // Hand-craft an encoding whose body references a parameter out of range;
+        // validation must reject it instead of producing a broken grammar.
+        let g = parse_grammar("S -> f(a(#,#),#)").unwrap();
+        let mut bytes = encode(&g);
+        // The last node of the only rule is a terminal `#` (tag 0). Overwrite it
+        // with a parameter reference (tag 2, index 5): arity stays right but the
+        // grammar becomes invalid (start rule has rank 0).
+        let len = bytes.len();
+        bytes[len - 2] = 2;
+        bytes[len - 1] = 5;
+        assert!(decode(&bytes).is_err());
+    }
+}

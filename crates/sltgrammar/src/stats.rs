@@ -1,0 +1,231 @@
+//! Grammar introspection: size, shape and sharing statistics.
+//!
+//! These statistics back the `sltxml stats` command and the experiment
+//! harness, and give library users a quick way to understand *why* a grammar
+//! is as large as it is: how many rules exist, how big their right-hand sides
+//! are, how deeply rules are nested, and how much each rule is shared.
+
+use std::collections::HashMap;
+
+use crate::fingerprint::derived_size;
+use crate::grammar::Grammar;
+use crate::node::NodeKind;
+use crate::symbol::NtId;
+
+/// Aggregate statistics of one grammar.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GrammarStats {
+    /// Number of live rules (including the start rule).
+    pub rules: usize,
+    /// Total number of right-hand-side edges — the paper's grammar size.
+    pub edges: usize,
+    /// Total number of right-hand-side nodes.
+    pub nodes: usize,
+    /// Number of nodes of the derived tree `val(G)`.
+    pub derived_nodes: u128,
+    /// Compression ratio: `edges / (derived_nodes - 1)`.
+    pub ratio: f64,
+    /// Largest rule right-hand side (in nodes).
+    pub max_rule_nodes: usize,
+    /// Mean rule right-hand side size (in nodes).
+    pub mean_rule_nodes: f64,
+    /// Highest rule rank (number of parameters).
+    pub max_rank: usize,
+    /// Depth of the rule call hierarchy (start rule = 1).
+    pub hierarchy_depth: usize,
+    /// Number of rules referenced more than once (actually shared).
+    pub shared_rules: usize,
+    /// Largest reference count of any rule.
+    pub max_refs: usize,
+    /// Number of distinct terminal symbols (including the null symbol).
+    pub terminals: usize,
+}
+
+/// Computes the aggregate statistics of a grammar in one pass plus the
+/// derived-size fingerprint pass.
+pub fn grammar_stats(g: &Grammar) -> GrammarStats {
+    let nts = g.nonterminals();
+    let rules = nts.len();
+    let mut nodes = 0usize;
+    let mut max_rule_nodes = 0usize;
+    let mut max_rank = 0usize;
+    for &nt in &nts {
+        let rule = g.rule(nt);
+        let n = rule.rhs.node_count();
+        nodes += n;
+        max_rule_nodes = max_rule_nodes.max(n);
+        max_rank = max_rank.max(rule.rank);
+    }
+    let edges = g.edge_count();
+    let derived_nodes = derived_size(g);
+    let ratio = if derived_nodes > 1 {
+        edges as f64 / (derived_nodes - 1) as f64
+    } else {
+        1.0
+    };
+    let ref_counts = g.ref_counts();
+    let shared_rules = ref_counts.values().filter(|&&c| c > 1).count();
+    let max_refs = ref_counts.values().copied().max().unwrap_or(0);
+
+    GrammarStats {
+        rules,
+        edges,
+        nodes,
+        derived_nodes,
+        ratio,
+        max_rule_nodes,
+        mean_rule_nodes: nodes as f64 / rules.max(1) as f64,
+        max_rank,
+        hierarchy_depth: hierarchy_depth(g),
+        shared_rules,
+        max_refs,
+        terminals: g.symbols.len(),
+    }
+}
+
+/// Length of the longest chain of nested rule calls, starting from (and
+/// including) the start rule. A trivial single-rule grammar has depth 1.
+pub fn hierarchy_depth(g: &Grammar) -> usize {
+    let order = g
+        .anti_sl_order()
+        .expect("statistics require a straight-line grammar");
+    // Process callees before callers: depth(rule) = 1 + max(depth(callee)).
+    let mut depth: HashMap<NtId, usize> = HashMap::new();
+    for &nt in &order {
+        let rhs = &g.rule(nt).rhs;
+        let mut d = 1usize;
+        for node in rhs.preorder() {
+            if let NodeKind::Nt(callee) = rhs.kind(node) {
+                d = d.max(1 + depth.get(&callee).copied().unwrap_or(1));
+            }
+        }
+        depth.insert(nt, d);
+    }
+    depth.get(&g.start()).copied().unwrap_or(1)
+}
+
+/// Histogram of rule right-hand-side sizes (in nodes), as `(bucket upper
+/// bound, count)` pairs with power-of-two buckets: ≤2, ≤4, ≤8, …
+pub fn rule_size_histogram(g: &Grammar) -> Vec<(usize, usize)> {
+    let mut sizes: Vec<usize> = g
+        .nonterminals()
+        .iter()
+        .map(|&nt| g.rule(nt).rhs.node_count())
+        .collect();
+    sizes.sort_unstable();
+    let max = sizes.last().copied().unwrap_or(0);
+    let mut buckets = Vec::new();
+    let mut bound = 2usize;
+    while bound / 2 < max.max(1) {
+        let count = sizes
+            .iter()
+            .filter(|&&s| s <= bound && s > bound / 2)
+            .count()
+            + if bound == 2 { sizes.iter().filter(|&&s| s <= 1).count() } else { 0 };
+        buckets.push((bound, count));
+        bound *= 2;
+    }
+    buckets
+}
+
+impl GrammarStats {
+    /// Renders the statistics as an aligned multi-line report.
+    pub fn report(&self) -> String {
+        format!(
+            "rules             {}\n\
+             grammar edges     {}\n\
+             grammar nodes     {}\n\
+             derived nodes     {}\n\
+             compression       {:.4} ({:.2} %)\n\
+             largest rule      {} nodes\n\
+             mean rule size    {:.1} nodes\n\
+             max rank          {}\n\
+             hierarchy depth   {}\n\
+             shared rules      {}\n\
+             max references    {}\n\
+             terminal symbols  {}\n",
+            self.rules,
+            self.edges,
+            self.nodes,
+            self.derived_nodes,
+            self.ratio,
+            100.0 * self.ratio,
+            self.max_rule_nodes,
+            self.mean_rule_nodes,
+            self.max_rank,
+            self.hierarchy_depth,
+            self.shared_rules,
+            self.max_refs,
+            self.terminals,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::text::parse_grammar;
+
+    fn paper_grammar() -> Grammar {
+        parse_grammar("S -> f(A(B,B),#)\nB -> A(#,#)\nA -> a(#, a(y1, y2))").unwrap()
+    }
+
+    #[test]
+    fn stats_of_the_paper_example() {
+        let g = paper_grammar();
+        let s = grammar_stats(&g);
+        assert_eq!(s.rules, 3);
+        assert_eq!(s.edges, 10);
+        assert_eq!(s.nodes, 13);
+        assert_eq!(s.derived_nodes, 15);
+        assert!(s.ratio > 0.7 && s.ratio < 0.72, "ratio {}", s.ratio);
+        assert_eq!(s.max_rule_nodes, 5);
+        assert_eq!(s.max_rank, 2);
+        // S calls B calls A: depth 3.
+        assert_eq!(s.hierarchy_depth, 3);
+        // A (2 refs) and B (2 refs) are shared.
+        assert_eq!(s.shared_rules, 2);
+        assert_eq!(s.max_refs, 2);
+        assert_eq!(s.terminals, 3); // f, a, #
+        let report = s.report();
+        assert!(report.contains("rules             3"));
+        assert!(report.contains("hierarchy depth   3"));
+    }
+
+    #[test]
+    fn trivial_grammar_has_depth_one_and_no_sharing() {
+        let g = parse_grammar("S -> a(b(#,#), #)").unwrap();
+        let s = grammar_stats(&g);
+        assert_eq!(s.rules, 1);
+        assert_eq!(s.hierarchy_depth, 1);
+        assert_eq!(s.shared_rules, 0);
+        assert_eq!(s.max_refs, 0);
+        assert_eq!(s.derived_nodes, 5);
+    }
+
+    #[test]
+    fn exponential_grammar_has_tiny_ratio_and_deep_hierarchy() {
+        let mut text = String::from("S -> A1(A1(#))\n");
+        for i in 1..=9 {
+            text.push_str(&format!("A{i} -> A{}(A{}(y1))\n", i + 1, i + 1));
+        }
+        text.push_str("A10 -> a(y1)");
+        let g = parse_grammar(&text).unwrap();
+        let s = grammar_stats(&g);
+        assert_eq!(s.rules, 11);
+        assert_eq!(s.derived_nodes, 1025);
+        assert!(s.ratio < 0.05);
+        assert_eq!(s.hierarchy_depth, 11);
+        assert_eq!(s.shared_rules, 10);
+    }
+
+    #[test]
+    fn histogram_buckets_cover_all_rules() {
+        let g = paper_grammar();
+        let hist = rule_size_histogram(&g);
+        let total: usize = hist.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, g.rule_count());
+        // Rule sizes are 5, 3, 5: buckets (2,0), (4,1), (8,2).
+        assert_eq!(hist, vec![(2, 0), (4, 1), (8, 2)]);
+    }
+}

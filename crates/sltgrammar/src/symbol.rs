@@ -1,0 +1,169 @@
+//! Ranked terminal alphabet with string interning.
+//!
+//! A [`SymbolTable`] maps terminal names to compact [`TermId`]s and records the
+//! rank (number of children) of each terminal. Binary XML trees use terminals of
+//! rank 2 plus the distinguished *null* symbol `#` (the paper's `⊥`) of rank 0.
+
+use std::collections::HashMap;
+
+use crate::error::{GrammarError, Result};
+
+/// Name used for the null / empty-node symbol (the paper writes `⊥`).
+pub const NULL_SYMBOL_NAME: &str = "#";
+
+/// Identifier of a terminal symbol inside a [`SymbolTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TermId(pub u32);
+
+impl TermId {
+    /// Index into the table's internal vectors.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifier of a nonterminal (a grammar rule).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NtId(pub u32);
+
+impl NtId {
+    /// Index into the grammar's rule vector.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Interned ranked alphabet of terminal symbols.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable {
+    names: Vec<String>,
+    ranks: Vec<usize>,
+    by_name: HashMap<String, TermId>,
+}
+
+impl SymbolTable {
+    /// Creates an empty symbol table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name` with the given `rank`.
+    ///
+    /// Returns the existing id if the symbol is already present with the same
+    /// rank, and an error if it was previously interned with a different rank.
+    pub fn intern(&mut self, name: &str, rank: usize) -> Result<TermId> {
+        if let Some(&id) = self.by_name.get(name) {
+            let existing = self.ranks[id.index()];
+            if existing != rank {
+                return Err(GrammarError::RankMismatch {
+                    name: name.to_string(),
+                    expected: existing,
+                    found: rank,
+                });
+            }
+            return Ok(id);
+        }
+        let id = TermId(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.ranks.push(rank);
+        self.by_name.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// Interns (or returns) the null symbol `#` of rank 0.
+    pub fn null(&mut self) -> TermId {
+        self.intern(NULL_SYMBOL_NAME, 0)
+            .expect("null symbol always has rank 0")
+    }
+
+    /// Looks up a symbol by name without interning it.
+    pub fn get(&self, name: &str) -> Option<TermId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Returns `true` if `id` is the null symbol.
+    pub fn is_null(&self, id: TermId) -> bool {
+        self.names[id.index()] == NULL_SYMBOL_NAME
+    }
+
+    /// Name of a terminal.
+    pub fn name(&self, id: TermId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Rank (number of children) of a terminal.
+    pub fn rank(&self, id: TermId) -> usize {
+        self.ranks[id.index()]
+    }
+
+    /// Number of interned symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over all `(id, name, rank)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &str, usize)> + '_ {
+        self.names
+            .iter()
+            .zip(self.ranks.iter())
+            .enumerate()
+            .map(|(i, (n, &r))| (TermId(i as u32), n.as_str(), r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("a", 2).unwrap();
+        let a2 = t.intern("a", 2).unwrap();
+        assert_eq!(a, a2);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.name(a), "a");
+        assert_eq!(t.rank(a), 2);
+    }
+
+    #[test]
+    fn rank_conflict_is_rejected() {
+        let mut t = SymbolTable::new();
+        t.intern("a", 2).unwrap();
+        let err = t.intern("a", 3).unwrap_err();
+        assert!(matches!(err, GrammarError::RankMismatch { .. }));
+    }
+
+    #[test]
+    fn null_symbol_has_rank_zero() {
+        let mut t = SymbolTable::new();
+        let null = t.null();
+        assert!(t.is_null(null));
+        assert_eq!(t.rank(null), 0);
+        assert_eq!(t.null(), null);
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut t = SymbolTable::new();
+        assert!(t.get("a").is_none());
+        let a = t.intern("a", 0).unwrap();
+        assert_eq!(t.get("a"), Some(a));
+    }
+
+    #[test]
+    fn iter_lists_all_symbols() {
+        let mut t = SymbolTable::new();
+        t.intern("a", 2).unwrap();
+        t.intern("b", 0).unwrap();
+        let all: Vec<_> = t.iter().map(|(_, n, r)| (n.to_string(), r)).collect();
+        assert_eq!(all, vec![("a".to_string(), 2), ("b".to_string(), 0)]);
+    }
+}

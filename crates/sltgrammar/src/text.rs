@@ -1,0 +1,420 @@
+//! Textual grammar format: parsing and printing.
+//!
+//! The format is one rule per line, the first rule being the start rule:
+//!
+//! ```text
+//! S -> f(A(B,B),#)
+//! B -> A(#,#)
+//! A -> a(#, a(y1, y2))
+//! ```
+//!
+//! Identifiers that appear on the left of `->` are nonterminals; `y1`, `y2`, …
+//! are parameters; `#` is the null symbol `⊥`; everything else is a terminal
+//! whose rank is inferred from its first use and checked on later uses. Lines
+//! starting with `//` and blank lines are ignored.
+
+use std::fmt;
+
+use crate::error::{GrammarError, Result};
+use crate::grammar::Grammar;
+use crate::node::{NodeId, NodeKind};
+use crate::rhs::RhsTree;
+use crate::symbol::{NtId, SymbolTable};
+
+/// Intermediate parse tree.
+#[derive(Debug)]
+struct PExpr {
+    name: String,
+    children: Vec<PExpr>,
+}
+
+struct Tokenizer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+#[derive(Debug, PartialEq, Eq, Clone)]
+enum Token {
+    Ident(String),
+    LParen,
+    RParen,
+    Comma,
+    End,
+}
+
+impl<'a> Tokenizer<'a> {
+    fn new(src: &'a str, line: usize) -> Self {
+        Tokenizer {
+            src: src.as_bytes(),
+            pos: 0,
+            line,
+        }
+    }
+
+    fn next(&mut self) -> Result<Token> {
+        while self.pos < self.src.len() && (self.src[self.pos] as char).is_whitespace() {
+            self.pos += 1;
+        }
+        if self.pos >= self.src.len() {
+            return Ok(Token::End);
+        }
+        let c = self.src[self.pos] as char;
+        match c {
+            '(' => {
+                self.pos += 1;
+                Ok(Token::LParen)
+            }
+            ')' => {
+                self.pos += 1;
+                Ok(Token::RParen)
+            }
+            ',' => {
+                self.pos += 1;
+                Ok(Token::Comma)
+            }
+            _ => {
+                let start = self.pos;
+                while self.pos < self.src.len() {
+                    let ch = self.src[self.pos] as char;
+                    if ch.is_whitespace() || ch == '(' || ch == ')' || ch == ',' {
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                if self.pos == start {
+                    return Err(GrammarError::Parse {
+                        line: self.line,
+                        detail: format!("unexpected character `{c}`"),
+                    });
+                }
+                Ok(Token::Ident(
+                    String::from_utf8_lossy(&self.src[start..self.pos]).into_owned(),
+                ))
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<Token> {
+        let save = self.pos;
+        let t = self.next()?;
+        self.pos = save;
+        Ok(t)
+    }
+}
+
+fn parse_expr(tok: &mut Tokenizer<'_>) -> Result<PExpr> {
+    let name = match tok.next()? {
+        Token::Ident(s) => s,
+        other => {
+            return Err(GrammarError::Parse {
+                line: tok.line,
+                detail: format!("expected an identifier, found {other:?}"),
+            })
+        }
+    };
+    let mut children = Vec::new();
+    if tok.peek()? == Token::LParen {
+        tok.next()?; // consume '('
+        if tok.peek()? == Token::RParen {
+            tok.next()?;
+        } else {
+            loop {
+                children.push(parse_expr(tok)?);
+                match tok.next()? {
+                    Token::Comma => continue,
+                    Token::RParen => break,
+                    other => {
+                        return Err(GrammarError::Parse {
+                            line: tok.line,
+                            detail: format!("expected `,` or `)`, found {other:?}"),
+                        })
+                    }
+                }
+            }
+        }
+    }
+    Ok(PExpr { name, children })
+}
+
+fn param_index(name: &str) -> Option<u32> {
+    let rest = name.strip_prefix('y')?;
+    if rest.is_empty() || !rest.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    let i: u32 = rest.parse().ok()?;
+    if i == 0 {
+        return None;
+    }
+    Some(i - 1)
+}
+
+fn build_rhs(
+    pexpr: &PExpr,
+    symbols: &mut SymbolTable,
+    nt_ids: &dyn Fn(&str) -> Option<NtId>,
+    line: usize,
+) -> Result<RhsTree> {
+    // Placeholder root replaced below; compacted away at the end.
+    let mut tree = RhsTree::singleton(NodeKind::Param(u32::MAX));
+    let root = build_node(pexpr, &mut tree, symbols, nt_ids, line)?;
+    tree.set_root(root);
+    tree.compact();
+    Ok(tree)
+}
+
+fn build_node(
+    pexpr: &PExpr,
+    tree: &mut RhsTree,
+    symbols: &mut SymbolTable,
+    nt_ids: &dyn Fn(&str) -> Option<NtId>,
+    line: usize,
+) -> Result<NodeId> {
+    let mut children = Vec::with_capacity(pexpr.children.len());
+    for c in &pexpr.children {
+        children.push(build_node(c, tree, symbols, nt_ids, line)?);
+    }
+    let kind = if let Some(nt) = nt_ids(&pexpr.name) {
+        NodeKind::Nt(nt)
+    } else if let Some(i) = param_index(&pexpr.name) {
+        if !pexpr.children.is_empty() {
+            return Err(GrammarError::Parse {
+                line,
+                detail: format!("parameter `{}` cannot have children", pexpr.name),
+            });
+        }
+        NodeKind::Param(i)
+    } else {
+        NodeKind::Term(symbols.intern(&pexpr.name, pexpr.children.len())?)
+    };
+    Ok(tree.add_node(kind, children))
+}
+
+/// Parses a whole grammar from its textual representation.
+pub fn parse_grammar(text: &str) -> Result<Grammar> {
+    let mut lines: Vec<(usize, &str, &str)> = Vec::new(); // (line no, name, body)
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with("//") {
+            continue;
+        }
+        let (name, body) = line.split_once("->").ok_or_else(|| GrammarError::Parse {
+            line: i + 1,
+            detail: "missing `->`".to_string(),
+        })?;
+        lines.push((i + 1, name.trim(), body.trim()));
+    }
+    if lines.is_empty() {
+        return Err(GrammarError::Parse {
+            line: 0,
+            detail: "empty grammar".to_string(),
+        });
+    }
+    // Assign nonterminal ids in order of appearance; the first rule is the start.
+    let names: Vec<String> = lines.iter().map(|(_, n, _)| n.to_string()).collect();
+    for (i, n) in names.iter().enumerate() {
+        if names[..i].contains(n) {
+            return Err(GrammarError::Parse {
+                line: lines[i].0,
+                detail: format!("duplicate rule `{n}`"),
+            });
+        }
+    }
+
+    let mut grammar2 = {
+        let mut symbols = SymbolTable::new();
+        let null = symbols.null();
+        let placeholder = RhsTree::singleton(NodeKind::Term(null));
+        Grammar::new(symbols, placeholder)
+    };
+    // NtId(0) is the start rule; rename it to the first rule's name and create
+    // placeholder rules for the remaining names so bodies can reference them.
+    let mut ids: Vec<NtId> = Vec::with_capacity(names.len());
+    for (i, name) in names.iter().enumerate() {
+        if i == 0 {
+            // Rename the start rule.
+            let start = grammar2.start();
+            grammar2.rename_rule(start, name);
+            ids.push(start);
+        } else {
+            let rhs = RhsTree::singleton(NodeKind::Term(
+                grammar2.symbols.get("#").expect("null interned"),
+            ));
+            ids.push(grammar2.add_rule(name, 0, rhs));
+        }
+    }
+    let name_to_id: std::collections::HashMap<String, NtId> = names
+        .iter()
+        .cloned()
+        .zip(ids.iter().copied())
+        .collect();
+
+    for (idx, (line_no, _, body)) in lines.iter().enumerate() {
+        let mut tok = Tokenizer::new(body, *line_no);
+        let pexpr = parse_expr(&mut tok)?;
+        if tok.next()? != Token::End {
+            return Err(GrammarError::Parse {
+                line: *line_no,
+                detail: "trailing input after rule body".to_string(),
+            });
+        }
+        let lookup = |n: &str| name_to_id.get(n).copied();
+        let rhs = build_rhs(&pexpr, &mut grammar2.symbols, &lookup, *line_no)?;
+        // Rank = number of distinct parameters used.
+        let rank = rhs
+            .param_nodes()
+            .iter()
+            .map(|(i, _)| *i + 1)
+            .max()
+            .unwrap_or(0) as usize;
+        let nt = ids[idx];
+        let rule = grammar2.rule_mut(nt);
+        rule.rhs = rhs;
+        rule.rank = rank;
+    }
+    grammar2.validate()?;
+    Ok(grammar2)
+}
+
+/// Parses a single tree expression (terminals and parameters only, no
+/// nonterminals) against the given symbol table.
+pub fn parse_tree(symbols: &mut SymbolTable, text: &str) -> Result<RhsTree> {
+    let mut tok = Tokenizer::new(text, 1);
+    let pexpr = parse_expr(&mut tok)?;
+    if tok.next()? != Token::End {
+        return Err(GrammarError::Parse {
+            line: 1,
+            detail: "trailing input after tree".to_string(),
+        });
+    }
+    let lookup = |_: &str| None;
+    build_rhs(&pexpr, symbols, &lookup, 1)
+}
+
+fn write_node(
+    g: &Grammar,
+    rhs: &RhsTree,
+    node: NodeId,
+    out: &mut String,
+) {
+    // Iterative pretty-printer to cope with very deep right-hand sides.
+    enum W {
+        Open(NodeId),
+        Text(&'static str),
+    }
+    let mut stack = vec![W::Open(node)];
+    while let Some(w) = stack.pop() {
+        match w {
+            W::Text(s) => out.push_str(s),
+            W::Open(n) => {
+                match rhs.kind(n) {
+                    NodeKind::Term(t) => out.push_str(g.symbols.name(t)),
+                    NodeKind::Nt(nt) => out.push_str(&g.rule(nt).name),
+                    NodeKind::Param(i) => out.push_str(&format!("y{}", i + 1)),
+                }
+                let children = rhs.children(n);
+                if !children.is_empty() {
+                    out.push('(');
+                    stack.push(W::Text(")"));
+                    for (i, &c) in children.iter().enumerate().rev() {
+                        stack.push(W::Open(c));
+                        if i > 0 {
+                            stack.push(W::Text(","));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Prints a grammar in the textual format accepted by [`parse_grammar`].
+pub fn print_grammar(g: &Grammar) -> String {
+    let mut out = String::new();
+    let mut order = vec![g.start()];
+    for nt in g.nonterminals() {
+        if nt != g.start() {
+            order.push(nt);
+        }
+    }
+    for nt in order {
+        let rule = g.rule(nt);
+        out.push_str(&rule.name);
+        out.push_str(" -> ");
+        write_node(g, &rule.rhs, rule.rhs.root(), &mut out);
+        out.push('\n');
+    }
+    out
+}
+
+impl fmt::Display for Grammar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&print_grammar(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fingerprint::fingerprint;
+
+    #[test]
+    fn roundtrip_parse_print_parse() {
+        let text = "S -> f(A(B,B),#)\nB -> A(#,#)\nA -> a(#, a(y1, y2))";
+        let g = parse_grammar(text).unwrap();
+        let printed = print_grammar(&g);
+        let g2 = parse_grammar(&printed).unwrap();
+        assert_eq!(fingerprint(&g), fingerprint(&g2));
+        assert_eq!(g.rule_count(), g2.rule_count());
+        assert_eq!(g.edge_count(), g2.edge_count());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let g = parse_grammar("// the start rule\n\nS -> a(#,#)\n// done\n").unwrap();
+        assert_eq!(g.rule_count(), 1);
+    }
+
+    #[test]
+    fn missing_arrow_is_an_error() {
+        let err = parse_grammar("S f(a)").unwrap_err();
+        assert!(matches!(err, GrammarError::Parse { .. }));
+    }
+
+    #[test]
+    fn duplicate_rule_names_are_rejected() {
+        let err = parse_grammar("S -> a\nA -> b\nA -> c").unwrap_err();
+        assert!(matches!(err, GrammarError::Parse { .. }));
+    }
+
+    #[test]
+    fn parameters_cannot_have_children() {
+        let err = parse_grammar("S -> f(A(#))\nA -> g(y1(#))").unwrap_err();
+        assert!(matches!(err, GrammarError::Parse { .. }));
+    }
+
+    #[test]
+    fn parse_tree_builds_plain_trees() {
+        let mut symbols = SymbolTable::new();
+        let t = parse_tree(&mut symbols, "f(a(#,#), b)").unwrap();
+        assert_eq!(t.node_count(), 5);
+        assert_eq!(symbols.rank(symbols.get("f").unwrap()), 2);
+        assert_eq!(symbols.rank(symbols.get("b").unwrap()), 0);
+    }
+
+    #[test]
+    fn y_prefixed_terminals_are_not_confused_with_parameters() {
+        // `year` is a terminal, `y1` is a parameter.
+        let g = parse_grammar("S -> f(A(year),#)\nA -> g(y1)").unwrap();
+        assert!(g.symbols.get("year").is_some());
+        assert!(g.symbols.get("y1").is_none());
+    }
+
+    #[test]
+    fn display_is_parseable() {
+        let g = parse_grammar("S -> f(a(#,#),#)").unwrap();
+        let shown = format!("{g}");
+        assert!(shown.contains("S -> "));
+        parse_grammar(&shown).unwrap();
+    }
+}

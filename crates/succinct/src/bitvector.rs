@@ -1,0 +1,425 @@
+//! Bit vectors with rank and select support.
+//!
+//! The representation follows the classic two-level rank directory: bits are
+//! packed into `u64` words, and a cumulative popcount is stored for every
+//! *block* of [`WORDS_PER_BLOCK`] words. `rank1` is then a block lookup, at most
+//! seven word popcounts, and one masked popcount — constant time for all
+//! practical purposes. `select` binary-searches the block directory and scans at
+//! most one block.
+
+/// Number of 64-bit words per rank-directory block (512 bits per block).
+pub const WORDS_PER_BLOCK: usize = 8;
+
+/// An immutable bit vector with rank/select support.
+///
+/// Positions are 0-based. `rank1(i)` counts ones strictly before position `i`;
+/// `select1(k)` returns the position of the `k`-th one (1-based), mirroring the
+/// conventions of Navarro's *Compact Data Structures*.
+#[derive(Debug, Clone)]
+pub struct BitVector {
+    words: Vec<u64>,
+    len: usize,
+    /// `block_ranks[b]` = number of ones in words `[0, b * WORDS_PER_BLOCK)`.
+    block_ranks: Vec<u64>,
+    ones: u64,
+}
+
+/// Incrementally builds a [`BitVector`].
+#[derive(Debug, Clone, Default)]
+pub struct BitVectorBuilder {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVectorBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder with capacity for `bits` bits.
+    pub fn with_capacity(bits: usize) -> Self {
+        BitVectorBuilder {
+            words: Vec::with_capacity(bits / 64 + 1),
+            len: 0,
+        }
+    }
+
+    /// Appends one bit.
+    pub fn push(&mut self, bit: bool) {
+        let word = self.len / 64;
+        let offset = self.len % 64;
+        if word == self.words.len() {
+            self.words.push(0);
+        }
+        if bit {
+            self.words[word] |= 1u64 << offset;
+        }
+        self.len += 1;
+    }
+
+    /// Number of bits appended so far.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no bits have been appended.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Finalizes the bit vector and builds its rank directory.
+    pub fn build(self) -> BitVector {
+        BitVector::from_words(self.words, self.len)
+    }
+}
+
+impl BitVector {
+    /// Builds a bit vector from an iterator of bits.
+    pub fn from_bits<I: IntoIterator<Item = bool>>(bits: I) -> Self {
+        let mut b = BitVectorBuilder::new();
+        for bit in bits {
+            b.push(bit);
+        }
+        b.build()
+    }
+
+    /// Builds a bit vector from packed words and a bit length.
+    pub fn from_words(mut words: Vec<u64>, len: usize) -> Self {
+        // Zero any bits beyond `len` so popcounts are exact.
+        let needed = (len + 63) / 64;
+        words.truncate(needed.max(0));
+        while words.len() < needed {
+            words.push(0);
+        }
+        if len % 64 != 0 {
+            if let Some(last) = words.last_mut() {
+                let keep = len % 64;
+                *last &= (1u64 << keep) - 1;
+            }
+        }
+        let blocks = words.len() / WORDS_PER_BLOCK + 1;
+        let mut block_ranks = Vec::with_capacity(blocks + 1);
+        let mut acc: u64 = 0;
+        for (i, w) in words.iter().enumerate() {
+            if i % WORDS_PER_BLOCK == 0 {
+                block_ranks.push(acc);
+            }
+            acc += w.count_ones() as u64;
+        }
+        // Sentinel block covering the tail.
+        block_ranks.push(acc);
+        BitVector {
+            words,
+            len,
+            block_ranks,
+            ones: acc,
+        }
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of one bits.
+    #[inline]
+    pub fn count_ones(&self) -> u64 {
+        self.ones
+    }
+
+    /// Number of zero bits.
+    #[inline]
+    pub fn count_zeros(&self) -> u64 {
+        self.len as u64 - self.ones
+    }
+
+    /// The bit at position `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of ones in positions `[0, i)`. `i` may equal `len`.
+    pub fn rank1(&self, i: usize) -> u64 {
+        assert!(i <= self.len, "rank index {i} out of range (len {})", self.len);
+        let word = i / 64;
+        let block = word / WORDS_PER_BLOCK;
+        let mut r = self.block_ranks[block.min(self.block_ranks.len() - 1)];
+        for w in (block * WORDS_PER_BLOCK)..word {
+            r += self.words[w].count_ones() as u64;
+        }
+        let offset = i % 64;
+        if offset > 0 && word < self.words.len() {
+            let mask = (1u64 << offset) - 1;
+            r += (self.words[word] & mask).count_ones() as u64;
+        }
+        r
+    }
+
+    /// Number of zeros in positions `[0, i)`.
+    pub fn rank0(&self, i: usize) -> u64 {
+        i as u64 - self.rank1(i)
+    }
+
+    /// Position of the `k`-th one (1-based). Returns `None` if `k` is 0 or
+    /// exceeds the number of ones.
+    pub fn select1(&self, k: u64) -> Option<usize> {
+        if k == 0 || k > self.ones {
+            return None;
+        }
+        // Binary search the block directory for the last block with rank < k.
+        let mut lo = 0usize;
+        let mut hi = self.block_ranks.len() - 1;
+        while lo < hi {
+            let mid = (lo + hi + 1) / 2;
+            if self.block_ranks[mid] < k {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        let mut remaining = k - self.block_ranks[lo];
+        let mut word = lo * WORDS_PER_BLOCK;
+        loop {
+            let ones = self.words[word].count_ones() as u64;
+            if remaining <= ones {
+                break;
+            }
+            remaining -= ones;
+            word += 1;
+        }
+        Some(word * 64 + select_in_word(self.words[word], remaining))
+    }
+
+    /// Position of the `k`-th zero (1-based). Returns `None` if `k` is 0 or
+    /// exceeds the number of zeros.
+    pub fn select0(&self, k: u64) -> Option<usize> {
+        if k == 0 || k > self.count_zeros() {
+            return None;
+        }
+        // Blocks store ranks of ones; convert to zeros on the fly.
+        let zeros_before_block = |b: usize| (b * WORDS_PER_BLOCK * 64) as u64 - self.block_ranks[b];
+        let mut lo = 0usize;
+        let mut hi = self.block_ranks.len() - 1;
+        while lo < hi {
+            let mid = (lo + hi + 1) / 2;
+            // The sentinel block may start beyond `len`; clamp by using word count.
+            let start_bits = (mid * WORDS_PER_BLOCK * 64).min(self.words.len() * 64);
+            let zeros = start_bits as u64 - self.block_ranks[mid];
+            let _ = zeros_before_block;
+            if zeros < k {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        let start_bits = lo * WORDS_PER_BLOCK * 64;
+        let mut remaining = k - (start_bits as u64 - self.block_ranks[lo]);
+        let mut word = lo * WORDS_PER_BLOCK;
+        loop {
+            let zeros = self.words[word].count_zeros() as u64;
+            if remaining <= zeros {
+                break;
+            }
+            remaining -= zeros;
+            word += 1;
+        }
+        let pos = word * 64 + select_in_word(!self.words[word], remaining);
+        if pos < self.len {
+            Some(pos)
+        } else {
+            None
+        }
+    }
+
+    /// Approximate heap footprint in bytes (words + rank directory).
+    pub fn size_bytes(&self) -> usize {
+        self.words.len() * 8 + self.block_ranks.len() * 8 + std::mem::size_of::<Self>()
+    }
+}
+
+/// Position (0-based, within the word) of the `k`-th set bit of `word`
+/// (`k` is 1-based). The caller guarantees the word has at least `k` ones.
+fn select_in_word(mut word: u64, k: u64) -> usize {
+    debug_assert!(k >= 1 && word.count_ones() as u64 >= k);
+    let mut remaining = k;
+    loop {
+        let tz = word.trailing_zeros() as usize;
+        if remaining == 1 {
+            return tz;
+        }
+        word &= word - 1; // clear lowest set bit
+        remaining -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_rank1(bits: &[bool], i: usize) -> u64 {
+        bits[..i].iter().filter(|&&b| b).count() as u64
+    }
+
+    fn naive_select1(bits: &[bool], k: u64) -> Option<usize> {
+        let mut seen = 0;
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                seen += 1;
+                if seen == k {
+                    return Some(i);
+                }
+            }
+        }
+        None
+    }
+
+    fn naive_select0(bits: &[bool], k: u64) -> Option<usize> {
+        let mut seen = 0;
+        for (i, &b) in bits.iter().enumerate() {
+            if !b {
+                seen += 1;
+                if seen == k {
+                    return Some(i);
+                }
+            }
+        }
+        None
+    }
+
+    fn pattern(n: usize) -> Vec<bool> {
+        // Deterministic irregular pattern mixing long runs and alternations.
+        (0..n)
+            .map(|i| (i * i + i / 3) % 7 < 3 || (i / 97) % 5 == 0)
+            .collect()
+    }
+
+    #[test]
+    fn empty_vector() {
+        let bv = BitVector::from_bits(std::iter::empty());
+        assert_eq!(bv.len(), 0);
+        assert_eq!(bv.count_ones(), 0);
+        assert_eq!(bv.rank1(0), 0);
+        assert_eq!(bv.select1(1), None);
+        assert_eq!(bv.select0(1), None);
+    }
+
+    #[test]
+    fn small_handbuilt_vector() {
+        // 1 0 1 1 0 0 1
+        let bits = vec![true, false, true, true, false, false, true];
+        let bv = BitVector::from_bits(bits.clone());
+        assert_eq!(bv.len(), 7);
+        assert_eq!(bv.count_ones(), 4);
+        assert_eq!(bv.count_zeros(), 3);
+        for i in 0..=7 {
+            assert_eq!(bv.rank1(i), naive_rank1(&bits, i), "rank1({i})");
+            assert_eq!(bv.rank0(i), i as u64 - naive_rank1(&bits, i), "rank0({i})");
+        }
+        assert_eq!(bv.select1(1), Some(0));
+        assert_eq!(bv.select1(2), Some(2));
+        assert_eq!(bv.select1(4), Some(6));
+        assert_eq!(bv.select1(5), None);
+        assert_eq!(bv.select0(1), Some(1));
+        assert_eq!(bv.select0(3), Some(5));
+        assert_eq!(bv.select0(4), None);
+        assert!(bv.get(0) && !bv.get(1) && bv.get(6));
+    }
+
+    #[test]
+    fn rank_matches_naive_across_block_boundaries() {
+        for n in [1usize, 63, 64, 65, 511, 512, 513, 1500, 4096] {
+            let bits = pattern(n);
+            let bv = BitVector::from_bits(bits.clone());
+            for i in (0..=n).step_by(7) {
+                assert_eq!(bv.rank1(i), naive_rank1(&bits, i), "n={n}, i={i}");
+            }
+            assert_eq!(bv.rank1(n), naive_rank1(&bits, n));
+        }
+    }
+
+    #[test]
+    fn select_matches_naive_across_block_boundaries() {
+        for n in [1usize, 64, 65, 511, 512, 513, 1500, 4096] {
+            let bits = pattern(n);
+            let bv = BitVector::from_bits(bits.clone());
+            let ones = bv.count_ones();
+            for k in 1..=ones {
+                assert_eq!(bv.select1(k), naive_select1(&bits, k), "n={n}, k={k}");
+            }
+            assert_eq!(bv.select1(ones + 1), None);
+            let zeros = bv.count_zeros();
+            for k in (1..=zeros).step_by(3) {
+                assert_eq!(bv.select0(k), naive_select0(&bits, k), "n={n}, k={k}");
+            }
+            assert_eq!(bv.select0(zeros + 1), None);
+        }
+    }
+
+    #[test]
+    fn rank_and_select_are_inverse() {
+        let bits = pattern(2000);
+        let bv = BitVector::from_bits(bits);
+        for k in 1..=bv.count_ones() {
+            let pos = bv.select1(k).unwrap();
+            assert!(bv.get(pos));
+            assert_eq!(bv.rank1(pos), k - 1);
+            assert_eq!(bv.rank1(pos + 1), k);
+        }
+    }
+
+    #[test]
+    fn all_ones_and_all_zeros() {
+        let bv = BitVector::from_bits(std::iter::repeat(true).take(300));
+        assert_eq!(bv.count_ones(), 300);
+        assert_eq!(bv.select1(300), Some(299));
+        assert_eq!(bv.select0(1), None);
+        let bv = BitVector::from_bits(std::iter::repeat(false).take(300));
+        assert_eq!(bv.count_ones(), 0);
+        assert_eq!(bv.select0(300), Some(299));
+        assert_eq!(bv.select1(1), None);
+    }
+
+    #[test]
+    fn builder_and_from_words_agree() {
+        let bits = pattern(777);
+        let mut builder = BitVectorBuilder::with_capacity(777);
+        for &b in &bits {
+            builder.push(b);
+        }
+        assert_eq!(builder.len(), 777);
+        assert!(!builder.is_empty());
+        let a = builder.build();
+        let b = BitVector::from_bits(bits);
+        assert_eq!(a.count_ones(), b.count_ones());
+        for i in 0..=777 {
+            assert_eq!(a.rank1(i), b.rank1(i));
+        }
+    }
+
+    #[test]
+    fn from_words_masks_trailing_garbage() {
+        // Words carry set bits beyond the declared length; they must be ignored.
+        let bv = BitVector::from_words(vec![u64::MAX], 3);
+        assert_eq!(bv.len(), 3);
+        assert_eq!(bv.count_ones(), 3);
+        assert_eq!(bv.rank1(3), 3);
+    }
+
+    #[test]
+    fn size_bytes_is_close_to_one_bit_per_bit() {
+        let bv = BitVector::from_bits(pattern(80_000));
+        let bytes = bv.size_bytes();
+        // 80 000 bits = 10 000 bytes; directory adds ~2%.
+        assert!(bytes >= 10_000 && bytes < 12_000, "unexpected size {bytes}");
+    }
+}

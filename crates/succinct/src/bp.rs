@@ -1,0 +1,594 @@
+//! Balanced-parentheses (BP) encoding of ordered trees.
+//!
+//! A tree with `n` nodes is encoded as a sequence of `2n` parentheses produced
+//! by a depth-first traversal: an opening parenthesis (`1` bit) when a node is
+//! entered, a closing parenthesis (`0` bit) when it is left (Munro & Raman,
+//! *Succinct Representation of Balanced Parentheses and Static Trees*). Every
+//! node is identified by the position of its opening parenthesis.
+//!
+//! Matching (`find_close`, `find_open`) and enclosing (`enclose`) parentheses
+//! are found with forward/backward *excess search*. Excess is the number of
+//! open minus closed parentheses up to a position; because it changes by ±1 per
+//! step, a word or block can be skipped whenever the target excess lies outside
+//! the `[min, max]` excess range attained inside it. The structure stores these
+//! per-word and per-block aggregates, giving `O(polylog)` searches in practice
+//! while keeping the space at `2n + o(n)` bits plus the rank directory.
+
+use crate::bitvector::{BitVector, BitVectorBuilder};
+use xmltree::{XmlNodeId, XmlTree};
+
+/// Number of 64-bit words aggregated per excess block (4096 parentheses).
+const WORDS_PER_EXCESS_BLOCK: usize = 64;
+
+/// A node of a [`BpTree`], identified by the position of its opening parenthesis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BpNode(pub usize);
+
+/// A static ordered tree in balanced-parentheses form.
+#[derive(Debug, Clone)]
+pub struct BpTree {
+    bits: BitVector,
+    /// Total excess contributed by each word (fits in `i8`: at most ±64).
+    word_total: Vec<i8>,
+    /// Minimum prefix excess attained inside each word (relative to the word start).
+    word_min: Vec<i8>,
+    /// Maximum prefix excess attained inside each word (relative to the word start).
+    word_max: Vec<i8>,
+    /// Per-block aggregates over [`WORDS_PER_EXCESS_BLOCK`] words.
+    block_total: Vec<i64>,
+    block_min: Vec<i64>,
+    block_max: Vec<i64>,
+}
+
+impl BpTree {
+    /// Builds the BP encoding of an [`XmlTree`] by depth-first traversal.
+    /// Node `i` of the BP tree corresponds to the `i`-th node of `xml` in
+    /// document (preorder) order.
+    pub fn from_xml(xml: &XmlTree) -> Self {
+        let n = xml.node_count();
+        let mut builder = BitVectorBuilder::with_capacity(2 * n);
+        // Iterative DFS emitting open on entry, close after children.
+        enum W {
+            Enter(XmlNodeId),
+            Leave,
+        }
+        let mut stack = vec![W::Enter(xml.root())];
+        while let Some(w) = stack.pop() {
+            match w {
+                W::Enter(v) => {
+                    builder.push(true);
+                    stack.push(W::Leave);
+                    for &c in xml.children(v).iter().rev() {
+                        stack.push(W::Enter(c));
+                    }
+                }
+                W::Leave => builder.push(false),
+            }
+        }
+        Self::from_bitvector(builder.build())
+    }
+
+    /// Builds a BP tree from an already-encoded parenthesis sequence
+    /// (`true` = open). The sequence must be balanced and non-empty.
+    pub fn from_bits<I: IntoIterator<Item = bool>>(bits: I) -> Self {
+        Self::from_bitvector(BitVector::from_bits(bits))
+    }
+
+    fn from_bitvector(bits: BitVector) -> Self {
+        assert!(!bits.is_empty(), "a BP tree needs at least one node");
+        assert_eq!(
+            bits.count_ones(),
+            bits.count_zeros(),
+            "parenthesis sequence must be balanced"
+        );
+        let n_words = (bits.len() + 63) / 64;
+        let mut word_total = Vec::with_capacity(n_words);
+        let mut word_min = Vec::with_capacity(n_words);
+        let mut word_max = Vec::with_capacity(n_words);
+        for w in 0..n_words {
+            let mut excess: i8 = 0;
+            let mut min = i8::MAX;
+            let mut max = i8::MIN;
+            let start = w * 64;
+            let end = (start + 64).min(bits.len());
+            for i in start..end {
+                excess += if bits.get(i) { 1 } else { -1 };
+                min = min.min(excess);
+                max = max.max(excess);
+            }
+            word_total.push(excess);
+            word_min.push(min);
+            word_max.push(max);
+        }
+        let n_blocks = (n_words + WORDS_PER_EXCESS_BLOCK - 1) / WORDS_PER_EXCESS_BLOCK;
+        let mut block_total = Vec::with_capacity(n_blocks);
+        let mut block_min = Vec::with_capacity(n_blocks);
+        let mut block_max = Vec::with_capacity(n_blocks);
+        for b in 0..n_blocks {
+            let mut excess: i64 = 0;
+            let mut min = i64::MAX;
+            let mut max = i64::MIN;
+            let start = b * WORDS_PER_EXCESS_BLOCK;
+            let end = (start + WORDS_PER_EXCESS_BLOCK).min(n_words);
+            for w in start..end {
+                min = min.min(excess + word_min[w] as i64);
+                max = max.max(excess + word_max[w] as i64);
+                excess += word_total[w] as i64;
+            }
+            block_total.push(excess);
+            block_min.push(min);
+            block_max.push(max);
+        }
+        BpTree {
+            bits,
+            word_total,
+            word_min,
+            word_max,
+            block_total,
+            block_min,
+            block_max,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.bits.count_ones() as usize
+    }
+
+    /// Length of the parenthesis sequence (`2 * node_count`).
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether the tree is empty (never true: construction requires ≥ 1 node).
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// The underlying parenthesis bit vector.
+    pub fn bits(&self) -> &BitVector {
+        &self.bits
+    }
+
+    /// Whether position `i` holds an opening parenthesis.
+    #[inline]
+    pub fn is_open(&self, i: usize) -> bool {
+        self.bits.get(i)
+    }
+
+    /// Excess (open minus closed parentheses) of positions `[0, i]`.
+    #[inline]
+    pub fn excess(&self, i: usize) -> i64 {
+        2 * self.bits.rank1(i + 1) as i64 - (i as i64 + 1)
+    }
+
+    /// Smallest position `j > from` with `excess(j) == target`, if any.
+    fn fwd_search(&self, from: usize, target: i64) -> Option<usize> {
+        let len = self.bits.len();
+        let mut excess = self.excess(from);
+        // Scan the remainder of `from`'s word bit by bit.
+        let word_end = ((from / 64) + 1) * 64;
+        let mut i = from + 1;
+        while i < word_end.min(len) {
+            excess += if self.bits.get(i) { 1 } else { -1 };
+            if excess == target {
+                return Some(i);
+            }
+            i += 1;
+        }
+        if i >= len {
+            return None;
+        }
+        // Skip whole words / blocks whose excess range cannot contain the target.
+        let mut word = i / 64;
+        while word < self.word_total.len() {
+            if word % WORDS_PER_EXCESS_BLOCK == 0 {
+                // Try to skip an entire block.
+                let block = word / WORDS_PER_EXCESS_BLOCK;
+                let lo = excess + self.block_min[block];
+                let hi = excess + self.block_max[block];
+                if target < lo || target > hi {
+                    excess += self.block_total[block];
+                    word += WORDS_PER_EXCESS_BLOCK;
+                    continue;
+                }
+            }
+            let lo = excess + self.word_min[word] as i64;
+            let hi = excess + self.word_max[word] as i64;
+            if target >= lo && target <= hi {
+                // The answer is inside this word.
+                let start = word * 64;
+                let end = (start + 64).min(len);
+                let mut e = excess;
+                for j in start..end {
+                    e += if self.bits.get(j) { 1 } else { -1 };
+                    if e == target {
+                        return Some(j);
+                    }
+                }
+                unreachable!("excess range said the target is attainable in this word");
+            }
+            excess += self.word_total[word] as i64;
+            word += 1;
+        }
+        None
+    }
+
+    /// Largest position `j < from` with `excess(j) == target`; `Some(-1)` stands
+    /// for the imaginary position before the sequence (excess 0).
+    fn bwd_search(&self, from: usize, target: i64) -> Option<i64> {
+        // Scan the prefix of `from`'s word backwards bit by bit.
+        let word_start = (from / 64) * 64;
+        let mut excess = self.excess(from);
+        let mut i = from as i64;
+        while i > word_start as i64 {
+            // excess(i-1) = excess(i) - delta(i)
+            excess -= if self.bits.get(i as usize) { 1 } else { -1 };
+            i -= 1;
+            if excess == target {
+                return Some(i);
+            }
+        }
+        if i == 0 {
+            // excess(-1) = 0
+            return if target == 0 { Some(-1) } else { None };
+        }
+        // `excess` currently equals excess(word_start - 1 + something)? After the
+        // loop, i == word_start and excess == excess(word_start ... ) hmm — after
+        // the loop excess == excess(word_start) minus nothing: we decremented down
+        // to excess(word_start). The remaining candidates are j < word_start.
+        let mut word = (word_start / 64) as i64 - 1;
+        // excess at the end of `word` (i.e. excess(word*64 + 63)) equals excess(word_start)
+        // minus nothing — it *is* excess(word_start - 1)? No: excess(word_start) includes
+        // the bit at word_start. Recompute cleanly from rank to avoid off-by-one.
+        let mut end_excess = self.excess(word_start) - if self.bits.get(word_start) { 1 } else { -1 };
+        // end_excess == excess(word_start - 1), the excess at the last position of `word`.
+        while word >= 0 {
+            let w = word as usize;
+            if (w + 1) % WORDS_PER_EXCESS_BLOCK == 0 {
+                // Try to skip the whole block ending at this word.
+                let block = w / WORDS_PER_EXCESS_BLOCK;
+                let start_excess = end_excess - self.block_total[block];
+                let lo = start_excess + self.block_min[block];
+                let hi = start_excess + self.block_max[block];
+                // The block can be skipped when the target excess is attained
+                // neither inside the block nor at the position just before it
+                // (that position is re-checked while scanning the previous block).
+                if (target < lo || target > hi) && target != start_excess {
+                    end_excess = start_excess;
+                    word -= WORDS_PER_EXCESS_BLOCK as i64;
+                    continue;
+                }
+            }
+            let start_excess = end_excess - self.word_total[w] as i64;
+            let lo = start_excess + self.word_min[w] as i64;
+            let hi = start_excess + self.word_max[w] as i64;
+            if (target >= lo && target <= hi) || target == start_excess {
+                // Scan this word backwards.
+                let start = w * 64;
+                let mut e = end_excess;
+                let mut j = (start + 63).min(self.bits.len() - 1) as i64;
+                while j >= start as i64 {
+                    if e == target {
+                        return Some(j);
+                    }
+                    e -= if self.bits.get(j as usize) { 1 } else { -1 };
+                    j -= 1;
+                }
+                if e == target {
+                    // excess(start - 1)
+                    return Some(start as i64 - 1);
+                }
+            }
+            end_excess = start_excess;
+            word -= 1;
+        }
+        if target == 0 {
+            Some(-1)
+        } else {
+            None
+        }
+    }
+
+    /// Position of the closing parenthesis matching the open parenthesis at `i`.
+    pub fn find_close(&self, i: usize) -> usize {
+        debug_assert!(self.is_open(i), "find_close expects an open parenthesis");
+        self.fwd_search(i, self.excess(i) - 1)
+            .expect("balanced sequence always has a matching close")
+    }
+
+    /// Position of the opening parenthesis matching the close parenthesis at `j`.
+    pub fn find_open(&self, j: usize) -> usize {
+        debug_assert!(!self.is_open(j), "find_open expects a closing parenthesis");
+        let r = self
+            .bwd_search(j, self.excess(j))
+            .expect("balanced sequence always has a matching open");
+        (r + 1) as usize
+    }
+
+    /// Opening parenthesis of the node enclosing the node at open position `i`
+    /// (its parent), or `None` for the root.
+    pub fn enclose(&self, i: usize) -> Option<usize> {
+        debug_assert!(self.is_open(i), "enclose expects an open parenthesis");
+        if i == 0 {
+            return None;
+        }
+        let r = self.bwd_search(i, self.excess(i) - 2)?;
+        Some((r + 1) as usize)
+    }
+
+    // ----- tree navigation -----
+
+    /// The root node.
+    pub fn root(&self) -> BpNode {
+        BpNode(0)
+    }
+
+    /// Whether `v` is a leaf.
+    pub fn is_leaf(&self, v: BpNode) -> bool {
+        !self.bits.get(v.0 + 1)
+    }
+
+    /// First child of `v` in document order.
+    pub fn first_child(&self, v: BpNode) -> Option<BpNode> {
+        if self.bits.get(v.0 + 1) {
+            Some(BpNode(v.0 + 1))
+        } else {
+            None
+        }
+    }
+
+    /// Next sibling of `v`.
+    pub fn next_sibling(&self, v: BpNode) -> Option<BpNode> {
+        let close = self.find_close(v.0);
+        let next = close + 1;
+        if next < self.bits.len() && self.bits.get(next) {
+            Some(BpNode(next))
+        } else {
+            None
+        }
+    }
+
+    /// Parent of `v` (`None` for the root).
+    pub fn parent(&self, v: BpNode) -> Option<BpNode> {
+        self.enclose(v.0).map(BpNode)
+    }
+
+    /// Number of nodes in the subtree rooted at `v`.
+    pub fn subtree_size(&self, v: BpNode) -> usize {
+        (self.find_close(v.0) - v.0 + 1) / 2
+    }
+
+    /// Depth of `v` (root has depth 0).
+    pub fn depth(&self, v: BpNode) -> usize {
+        (self.excess(v.0) - 1) as usize
+    }
+
+    /// Number of children of `v`.
+    pub fn degree(&self, v: BpNode) -> usize {
+        let mut n = 0;
+        let mut child = self.first_child(v);
+        while let Some(c) = child {
+            n += 1;
+            child = self.next_sibling(c);
+        }
+        n
+    }
+
+    /// 0-based preorder index of `v`.
+    pub fn preorder_index(&self, v: BpNode) -> usize {
+        self.bits.rank1(v.0) as usize
+    }
+
+    /// Node with the given 0-based preorder index.
+    pub fn node_at_preorder(&self, index: usize) -> Option<BpNode> {
+        self.bits.select1(index as u64 + 1).map(BpNode)
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.bits.size_bytes()
+            + self.word_total.len() * 3
+            + self.block_total.len() * 8 * 3
+            + std::mem::size_of::<Self>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmltree::parse::parse_xml;
+
+    /// Naive matching-parenthesis computation used as the oracle.
+    fn naive_find_close(bits: &[bool], i: usize) -> usize {
+        let mut depth = 0i64;
+        for (j, &b) in bits.iter().enumerate().skip(i) {
+            depth += if b { 1 } else { -1 };
+            if depth == 0 {
+                return j;
+            }
+        }
+        panic!("unbalanced");
+    }
+
+    fn sample_doc() -> XmlTree {
+        parse_xml(
+            "<library><section><book><title/><chapter/><chapter/></book><book><title/></book>\
+             </section><section><journal/><journal/><journal/></section><index/></library>",
+        )
+        .unwrap()
+    }
+
+    fn bits_of(t: &BpTree) -> Vec<bool> {
+        (0..t.len()).map(|i| t.is_open(i)).collect()
+    }
+
+    #[test]
+    fn builds_balanced_sequence_from_xml() {
+        let xml = sample_doc();
+        let bp = BpTree::from_xml(&xml);
+        assert_eq!(bp.node_count(), xml.node_count());
+        assert_eq!(bp.len(), 2 * xml.node_count());
+        assert!(!bp.is_empty());
+        // Sequence is balanced: excess at the end is zero, never negative.
+        let bits = bits_of(&bp);
+        let mut e = 0i64;
+        for b in bits {
+            e += if b { 1 } else { -1 };
+            assert!(e >= 0);
+        }
+        assert_eq!(e, 0);
+    }
+
+    #[test]
+    fn find_close_and_open_match_naive() {
+        let xml = sample_doc();
+        let bp = BpTree::from_xml(&xml);
+        let bits = bits_of(&bp);
+        for i in 0..bits.len() {
+            if bits[i] {
+                let close = naive_find_close(&bits, i);
+                assert_eq!(bp.find_close(i), close, "find_close({i})");
+                assert_eq!(bp.find_open(close), i, "find_open({close})");
+            }
+        }
+    }
+
+    #[test]
+    fn navigation_matches_the_pointer_tree() {
+        let xml = sample_doc();
+        let bp = BpTree::from_xml(&xml);
+        let order = xml.preorder();
+        // preorder index <-> BP node correspondence
+        for (idx, &xn) in order.iter().enumerate() {
+            let v = bp.node_at_preorder(idx).unwrap();
+            assert_eq!(bp.preorder_index(v), idx);
+            assert_eq!(bp.degree(v), xml.children(xn).len(), "degree at {idx}");
+            assert_eq!(bp.is_leaf(v), xml.children(xn).is_empty());
+            // first child
+            match xml.children(xn).first() {
+                Some(&c) => {
+                    let child = bp.first_child(v).unwrap();
+                    let child_idx = order.iter().position(|&x| x == c).unwrap();
+                    assert_eq!(bp.preorder_index(child), child_idx);
+                }
+                None => assert!(bp.first_child(v).is_none()),
+            }
+            // parent
+            match xml.parent(xn) {
+                Some(p) => {
+                    let parent = bp.parent(v).unwrap();
+                    let p_idx = order.iter().position(|&x| x == p).unwrap();
+                    assert_eq!(bp.preorder_index(parent), p_idx);
+                }
+                None => assert!(bp.parent(v).is_none()),
+            }
+        }
+    }
+
+    #[test]
+    fn next_sibling_walks_each_child_list() {
+        let xml = sample_doc();
+        let bp = BpTree::from_xml(&xml);
+        let order = xml.preorder();
+        for (idx, &xn) in order.iter().enumerate() {
+            let v = bp.node_at_preorder(idx).unwrap();
+            let mut got = Vec::new();
+            let mut child = bp.first_child(v);
+            while let Some(c) = child {
+                got.push(bp.preorder_index(c));
+                child = bp.next_sibling(c);
+            }
+            let want: Vec<usize> = xml
+                .children(xn)
+                .iter()
+                .map(|c| order.iter().position(|x| x == c).unwrap())
+                .collect();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn subtree_size_and_depth() {
+        let xml = sample_doc();
+        let bp = BpTree::from_xml(&xml);
+        let root = bp.root();
+        assert_eq!(bp.subtree_size(root), xml.node_count());
+        assert_eq!(bp.depth(root), 0);
+        // <title/> under the first book has depth 3 and subtree size 1.
+        let order = xml.preorder();
+        let title_idx = order
+            .iter()
+            .position(|&n| xml.label(n) == "title")
+            .unwrap();
+        let v = bp.node_at_preorder(title_idx).unwrap();
+        assert_eq!(bp.depth(v), 3);
+        assert_eq!(bp.subtree_size(v), 1);
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let xml = parse_xml("<only/>").unwrap();
+        let bp = BpTree::from_xml(&xml);
+        assert_eq!(bp.node_count(), 1);
+        let root = bp.root();
+        assert!(bp.is_leaf(root));
+        assert!(bp.first_child(root).is_none());
+        assert!(bp.next_sibling(root).is_none());
+        assert!(bp.parent(root).is_none());
+        assert_eq!(bp.subtree_size(root), 1);
+    }
+
+    #[test]
+    fn deep_chain_crosses_many_words() {
+        // A chain of 5000 nodes: the parenthesis sequence is 5000 opens followed
+        // by 5000 closes, exercising block skipping in fwd/bwd search.
+        let mut xml = XmlTree::new("n0");
+        let mut cur = xml.root();
+        for i in 1..5000 {
+            cur = xml.add_child(cur, &format!("n{i}"));
+        }
+        let bp = BpTree::from_xml(&xml);
+        assert_eq!(bp.find_close(0), 2 * 5000 - 1);
+        assert_eq!(bp.find_open(2 * 5000 - 1), 0);
+        let deepest = bp.node_at_preorder(4999).unwrap();
+        assert_eq!(bp.depth(deepest), 4999);
+        assert_eq!(bp.parent(deepest).map(|p| bp.preorder_index(p)), Some(4998));
+        assert_eq!(bp.subtree_size(deepest), 1);
+    }
+
+    #[test]
+    fn wide_star_crosses_many_words() {
+        let mut xml = XmlTree::new("root");
+        let root = xml.root();
+        for i in 0..5000 {
+            xml.add_child(root, &format!("c{}", i % 3));
+        }
+        let bp = BpTree::from_xml(&xml);
+        assert_eq!(bp.degree(bp.root()), 5000);
+        // Walk the sibling chain from the first to the last child.
+        let mut v = bp.first_child(bp.root()).unwrap();
+        let mut count = 1;
+        while let Some(next) = bp.next_sibling(v) {
+            v = next;
+            count += 1;
+        }
+        assert_eq!(count, 5000);
+        assert_eq!(bp.parent(v), Some(bp.root()));
+    }
+
+    #[test]
+    fn size_is_roughly_two_bits_per_node() {
+        let mut xml = XmlTree::new("root");
+        let root = xml.root();
+        for _ in 0..50_000 {
+            xml.add_child(root, "item");
+        }
+        let bp = BpTree::from_xml(&xml);
+        let bits_per_node = 8.0 * bp.size_bytes() as f64 / bp.node_count() as f64;
+        assert!(
+            bits_per_node < 4.0,
+            "BP should be close to 2 bits/node, got {bits_per_node:.2}"
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! # succinct-xml — succinct tree representations
+//!
+//! Succinct (pointer-free) tree data structures, reproducing the *static*
+//! related-work baseline discussed in the ICDE 2016 paper *Incremental Updates
+//! on Compressed XML* (Section "Related Work", references \[12\]–\[15\]):
+//! Munro–Raman balanced-parentheses trees and the engineering of a succinct DOM
+//! à la Delpratt, Raman and Rahman.
+//!
+//! The paper's argument is that succinct trees give a compact, navigable
+//! in-memory representation of an XML document but — unlike SLCF grammars with
+//! GrammarRePair — do **not** support efficient updates (dynamic succinct trees
+//! "are more complicated and efficient implementations are still missing").
+//! This crate provides exactly that static baseline, so the benchmark harness
+//! can compare:
+//!
+//! * in-memory size: succinct DOM (≈ 2 bits per node + label array) versus an
+//!   SLCF grammar (which exploits *repetition*, not just pointer elimination),
+//! * navigation speed: first-child / next-sibling / parent on the succinct DOM
+//!   versus the grammar-compressed cursor of `grammar-repair::navigate`.
+//!
+//! ## Modules
+//!
+//! * [`bitvector`] — plain bit vectors with constant-time `rank` and
+//!   logarithmic `select` support,
+//! * [`bp`] — balanced-parentheses encoding of an ordered tree with
+//!   `find_close` / `find_open` / `enclose` via a min-excess tree,
+//! * [`louds`] — the level-order unary degree sequence encoding,
+//! * [`dom`] — [`dom::SuccinctDom`], a navigable, labelled, read-only XML DOM
+//!   built from balanced parentheses plus a label array.
+//!
+//! ## Example
+//!
+//! ```
+//! use succinct_xml::dom::SuccinctDom;
+//! use xmltree::parse::parse_xml;
+//!
+//! let doc = parse_xml("<library><book><chapter/></book><book/></library>").unwrap();
+//! let dom = SuccinctDom::build(&doc);
+//! let root = dom.root();
+//! assert_eq!(dom.label(root), "library");
+//! let first_book = dom.first_child(root).unwrap();
+//! assert_eq!(dom.label(first_book), "book");
+//! assert_eq!(dom.degree(root), 2);
+//! assert!(dom.size_bytes() > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bitvector;
+pub mod bp;
+pub mod dom;
+pub mod louds;
+
+pub use bitvector::BitVector;
+pub use bp::BpTree;
+pub use dom::SuccinctDom;
+pub use louds::LoudsTree;

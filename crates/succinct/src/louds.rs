@@ -1,0 +1,292 @@
+//! LOUDS — level-order unary degree sequence encoding of ordered trees.
+//!
+//! LOUDS lists the nodes of the tree in breadth-first (level) order and encodes
+//! the degree of each node in unary: a node with `d` children contributes
+//! `1^d 0`. A virtual *super-root* with exactly one child (the real root) is
+//! prepended so that every node — including the root — is "described" by
+//! exactly one `1` bit. Navigation reduces to `rank`/`select` on the bit
+//! vector:
+//!
+//! * node identifiers are the positions of the `1` bits describing them,
+//! * `child(v, i)` and `parent(v)` are constant-time rank/select arithmetic.
+//!
+//! LOUDS supports parent/child navigation and degree queries but, unlike
+//! balanced parentheses, no constant-time subtree size. It is included as a
+//! second classical succinct representation, used in the benchmark harness for
+//! size comparisons.
+
+use crate::bitvector::{BitVector, BitVectorBuilder};
+use xmltree::XmlTree;
+
+/// A node of a [`LoudsTree`]: the position of the `1` bit that describes the
+/// node in its parent's unary degree sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LoudsNode(pub usize);
+
+/// A static ordered tree in LOUDS encoding.
+#[derive(Debug, Clone)]
+pub struct LoudsTree {
+    bits: BitVector,
+    node_count: usize,
+}
+
+impl LoudsTree {
+    /// Builds the LOUDS encoding of `xml`. Node numbering follows *level order*
+    /// (breadth-first), not document order.
+    pub fn from_xml(xml: &XmlTree) -> Self {
+        let n = xml.node_count();
+        let mut builder = BitVectorBuilder::with_capacity(2 * n + 2);
+        // Super-root: degree 1.
+        builder.push(true);
+        builder.push(false);
+        // BFS over the document, emitting each node's degree in unary.
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(xml.root());
+        while let Some(v) = queue.pop_front() {
+            for &c in xml.children(v) {
+                builder.push(true);
+                queue.push_back(c);
+            }
+            builder.push(false);
+        }
+        LoudsTree {
+            bits: builder.build(),
+            node_count: n,
+        }
+    }
+
+    /// Number of nodes (excluding the virtual super-root).
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// The underlying bit vector (`2n + 2` bits for `n` nodes).
+    pub fn bits(&self) -> &BitVector {
+        &self.bits
+    }
+
+    /// The root node.
+    pub fn root(&self) -> LoudsNode {
+        // The root is described by the first `1` bit (position 0, inside the
+        // super-root's degree sequence).
+        LoudsNode(0)
+    }
+
+    /// 0-based level-order index of a node.
+    pub fn level_order_index(&self, v: LoudsNode) -> usize {
+        // The describing 1-bit of the i-th node (0-based, level order) is the
+        // (i+1)-th 1 bit overall.
+        (self.bits.rank1(v.0 + 1) - 1) as usize
+    }
+
+    /// Node with the given 0-based level-order index.
+    pub fn node_at_level_order(&self, index: usize) -> Option<LoudsNode> {
+        if index >= self.node_count {
+            return None;
+        }
+        self.bits.select1(index as u64 + 1).map(LoudsNode)
+    }
+
+    /// Position of the `0` bit terminating `v`'s own degree sequence, i.e. the
+    /// start of that sequence is the preceding `0` plus one.
+    fn degree_sequence_start(&self, v: LoudsNode) -> usize {
+        // Node v is described by the (rank1(v.0+1))-th 1 bit; its own degree
+        // sequence starts right after the (index)-th 0 bit where index =
+        // level_order_index(v) + 1 (the super-root owns the first 0).
+        let idx = self.level_order_index(v) + 1;
+        self.bits
+            .select0(idx as u64)
+            .map(|p| p + 1)
+            .expect("every node has a degree sequence")
+    }
+
+    /// Number of children of `v`.
+    pub fn degree(&self, v: LoudsNode) -> usize {
+        let start = self.degree_sequence_start(v);
+        let mut d = 0;
+        while start + d < self.bits.len() && self.bits.get(start + d) {
+            d += 1;
+        }
+        d
+    }
+
+    /// Whether `v` is a leaf.
+    pub fn is_leaf(&self, v: LoudsNode) -> bool {
+        let start = self.degree_sequence_start(v);
+        start >= self.bits.len() || !self.bits.get(start)
+    }
+
+    /// The `i`-th child (0-based) of `v`, if it exists.
+    pub fn child(&self, v: LoudsNode, i: usize) -> Option<LoudsNode> {
+        let start = self.degree_sequence_start(v);
+        let pos = start + i;
+        if pos < self.bits.len() && self.bits.get(pos) {
+            Some(LoudsNode(pos))
+        } else {
+            None
+        }
+    }
+
+    /// First child of `v`.
+    pub fn first_child(&self, v: LoudsNode) -> Option<LoudsNode> {
+        self.child(v, 0)
+    }
+
+    /// Next sibling of `v`.
+    pub fn next_sibling(&self, v: LoudsNode) -> Option<LoudsNode> {
+        let pos = v.0 + 1;
+        if pos < self.bits.len() && self.bits.get(pos) {
+            Some(LoudsNode(pos))
+        } else {
+            None
+        }
+    }
+
+    /// Parent of `v` (`None` for the root).
+    pub fn parent(&self, v: LoudsNode) -> Option<LoudsNode> {
+        if v == self.root() {
+            return None;
+        }
+        // The describing bit of v lies inside its parent's degree sequence; the
+        // parent is the node whose sequence contains position v.0: it is the
+        // (number of 0s before v.0)-th node in level order, minus the super-root.
+        let zeros_before = self.bits.rank0(v.0) as usize;
+        // zeros_before >= 1 because the super-root's terminating 0 precedes all
+        // real degree sequences.
+        self.node_at_level_order(zeros_before - 1)
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.bits.size_bytes() + std::mem::size_of::<Self>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmltree::parse::parse_xml;
+    use xmltree::XmlNodeId;
+
+    fn sample_doc() -> XmlTree {
+        parse_xml(
+            "<a><b><d/><e><h/></e></b><c><f/><g/></c></a>",
+        )
+        .unwrap()
+    }
+
+    /// Level-order listing of the pointer tree, the oracle for node numbering.
+    fn level_order(xml: &XmlTree) -> Vec<XmlNodeId> {
+        let mut out = Vec::new();
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(xml.root());
+        while let Some(v) = queue.pop_front() {
+            out.push(v);
+            for &c in xml.children(v) {
+                queue.push_back(c);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn encoding_has_expected_length() {
+        let xml = sample_doc();
+        let t = LoudsTree::from_xml(&xml);
+        assert_eq!(t.node_count(), 8);
+        // 2n + 1 bits: one describing `1` per node (the super-root's single `1`
+        // describes the document root) and one terminating `0` per node plus
+        // the super-root's own terminator.
+        assert_eq!(t.bits().len(), 2 * 8 + 1);
+        assert_eq!(t.bits().count_ones() as usize, 8);
+        assert_eq!(t.bits().count_zeros() as usize, 8 + 1);
+    }
+
+    #[test]
+    fn degree_and_leaf_match_the_pointer_tree() {
+        let xml = sample_doc();
+        let t = LoudsTree::from_xml(&xml);
+        let order = level_order(&xml);
+        for (i, &xn) in order.iter().enumerate() {
+            let v = t.node_at_level_order(i).unwrap();
+            assert_eq!(t.level_order_index(v), i);
+            assert_eq!(t.degree(v), xml.children(xn).len(), "degree of node {i}");
+            assert_eq!(t.is_leaf(v), xml.children(xn).is_empty());
+        }
+        assert!(t.node_at_level_order(order.len()).is_none());
+    }
+
+    #[test]
+    fn child_and_parent_are_inverse() {
+        let xml = sample_doc();
+        let t = LoudsTree::from_xml(&xml);
+        let order = level_order(&xml);
+        for (i, &xn) in order.iter().enumerate() {
+            let v = t.node_at_level_order(i).unwrap();
+            for (ci, &xc) in xml.children(xn).iter().enumerate() {
+                let child = t.child(v, ci).unwrap();
+                let child_lo = order.iter().position(|&x| x == xc).unwrap();
+                assert_eq!(t.level_order_index(child), child_lo);
+                assert_eq!(t.parent(child), Some(v));
+            }
+            assert!(t.child(v, xml.children(xn).len()).is_none());
+        }
+        assert!(t.parent(t.root()).is_none());
+    }
+
+    #[test]
+    fn sibling_chain_matches_child_lists() {
+        let xml = sample_doc();
+        let t = LoudsTree::from_xml(&xml);
+        let order = level_order(&xml);
+        for (i, &xn) in order.iter().enumerate() {
+            let v = t.node_at_level_order(i).unwrap();
+            let mut got = Vec::new();
+            let mut c = t.first_child(v);
+            while let Some(x) = c {
+                got.push(t.level_order_index(x));
+                c = t.next_sibling(x);
+            }
+            let want: Vec<usize> = xml
+                .children(xn)
+                .iter()
+                .map(|c| order.iter().position(|x| x == c).unwrap())
+                .collect();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn single_node_and_star_trees() {
+        let xml = parse_xml("<only/>").unwrap();
+        let t = LoudsTree::from_xml(&xml);
+        assert_eq!(t.node_count(), 1);
+        assert!(t.is_leaf(t.root()));
+        assert!(t.first_child(t.root()).is_none());
+        assert!(t.next_sibling(t.root()).is_none());
+
+        let mut xml = XmlTree::new("root");
+        let root = xml.root();
+        for _ in 0..1000 {
+            xml.add_child(root, "item");
+        }
+        let t = LoudsTree::from_xml(&xml);
+        assert_eq!(t.degree(t.root()), 1000);
+        let last = t.child(t.root(), 999).unwrap();
+        assert!(t.is_leaf(last));
+        assert_eq!(t.parent(last), Some(t.root()));
+        assert!(t.next_sibling(last).is_none());
+    }
+
+    #[test]
+    fn size_is_roughly_two_bits_per_node() {
+        let mut xml = XmlTree::new("root");
+        let root = xml.root();
+        for _ in 0..50_000 {
+            xml.add_child(root, "item");
+        }
+        let t = LoudsTree::from_xml(&xml);
+        let bits_per_node = 8.0 * t.size_bytes() as f64 / t.node_count() as f64;
+        assert!(bits_per_node < 4.0, "LOUDS should be ~2 bits/node, got {bits_per_node:.2}");
+    }
+}

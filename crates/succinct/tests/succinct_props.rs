@@ -1,0 +1,117 @@
+//! Property-based tests: the succinct representations must agree with the
+//! pointer-based [`XmlTree`] on arbitrary random documents.
+
+use proptest::prelude::*;
+use succinct_xml::bitvector::BitVector;
+use succinct_xml::bp::BpTree;
+use succinct_xml::dom::SuccinctDom;
+use succinct_xml::louds::LoudsTree;
+use xmltree::{XmlNodeId, XmlTree};
+
+/// Builds a random tree from a shape vector: entry `i` is the parent index
+/// (drawn in `0..=i`) of node `i + 1`, guaranteeing a connected acyclic shape.
+fn tree_from_shape(parents: &[usize], labels: &[u8]) -> XmlTree {
+    let mut xml = XmlTree::new("r");
+    let mut ids: Vec<XmlNodeId> = vec![xml.root()];
+    for (i, &p) in parents.iter().enumerate() {
+        let parent = ids[p % ids.len()];
+        let label = format!("t{}", labels.get(i).copied().unwrap_or(0) % 5);
+        ids.push(xml.add_child(parent, &label));
+    }
+    xml
+}
+
+fn arb_tree() -> impl Strategy<Value = XmlTree> {
+    (
+        prop::collection::vec(0usize..500, 0..200),
+        prop::collection::vec(any::<u8>(), 0..200),
+    )
+        .prop_map(|(parents, labels)| tree_from_shape(&parents, &labels))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bitvector_rank_select_agree_with_naive(bits in prop::collection::vec(any::<bool>(), 0..2000)) {
+        let bv = BitVector::from_bits(bits.iter().copied());
+        prop_assert_eq!(bv.len(), bits.len());
+        let mut ones = 0u64;
+        for (i, &b) in bits.iter().enumerate() {
+            prop_assert_eq!(bv.rank1(i), ones);
+            prop_assert_eq!(bv.get(i), b);
+            if b {
+                ones += 1;
+                prop_assert_eq!(bv.select1(ones), Some(i));
+            }
+        }
+        prop_assert_eq!(bv.rank1(bits.len()), ones);
+        prop_assert_eq!(bv.count_ones(), ones);
+        prop_assert_eq!(bv.select1(ones + 1), None);
+    }
+
+    #[test]
+    fn bp_navigation_matches_pointer_tree(xml in arb_tree()) {
+        let bp = BpTree::from_xml(&xml);
+        let order = xml.preorder();
+        prop_assert_eq!(bp.node_count(), order.len());
+        let position_of = |x: XmlNodeId| order.iter().position(|&y| y == x).unwrap();
+        for (idx, &xn) in order.iter().enumerate() {
+            let v = bp.node_at_preorder(idx).unwrap();
+            prop_assert_eq!(bp.preorder_index(v), idx);
+            prop_assert_eq!(bp.degree(v), xml.children(xn).len());
+            prop_assert_eq!(
+                bp.first_child(v).map(|c| bp.preorder_index(c)),
+                xml.children(xn).first().map(|&c| position_of(c))
+            );
+            prop_assert_eq!(
+                bp.parent(v).map(|p| bp.preorder_index(p)),
+                xml.parent(xn).map(position_of)
+            );
+            // Subtree size equals the number of descendants + 1.
+            let mut count = 0usize;
+            let mut stack = vec![xn];
+            while let Some(n) = stack.pop() {
+                count += 1;
+                stack.extend(xml.children(n).iter().copied());
+            }
+            prop_assert_eq!(bp.subtree_size(v), count);
+        }
+    }
+
+    #[test]
+    fn louds_navigation_matches_pointer_tree(xml in arb_tree()) {
+        let t = LoudsTree::from_xml(&xml);
+        // Level-order listing of the pointer tree.
+        let mut order = Vec::new();
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(xml.root());
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            queue.extend(xml.children(v).iter().copied());
+        }
+        prop_assert_eq!(t.node_count(), order.len());
+        for (i, &xn) in order.iter().enumerate() {
+            let v = t.node_at_level_order(i).unwrap();
+            prop_assert_eq!(t.level_order_index(v), i);
+            prop_assert_eq!(t.degree(v), xml.children(xn).len());
+            for (ci, &xc) in xml.children(xn).iter().enumerate() {
+                let child = t.child(v, ci).unwrap();
+                let child_lo = order.iter().position(|&x| x == xc).unwrap();
+                prop_assert_eq!(t.level_order_index(child), child_lo);
+                prop_assert_eq!(t.parent(child), Some(v));
+            }
+        }
+    }
+
+    #[test]
+    fn succinct_dom_roundtrips(xml in arb_tree()) {
+        let dom = SuccinctDom::build(&xml);
+        prop_assert_eq!(dom.node_count(), xml.node_count());
+        prop_assert_eq!(dom.to_xml().to_xml(), xml.to_xml());
+        // Every label is readable in document order.
+        let expected: Vec<String> = xml.preorder().iter().map(|&n| xml.label(n).to_string()).collect();
+        let got: Vec<String> = dom.preorder().map(|v| dom.label(v).to_string()).collect();
+        prop_assert_eq!(got, expected);
+    }
+}

@@ -1,0 +1,172 @@
+//! Digrams over ranked trees.
+//!
+//! A digram `(a, i, b)` denotes an edge from an `a`-labelled node to its `i`-th
+//! child labelled `b` (paper Section II). During compression, previously
+//! introduced pattern nonterminals behave exactly like terminals, so digram
+//! components are [`NodeKind`] values (terminals or nonterminal references —
+//! parameters never participate in digrams).
+
+use sltgrammar::{Grammar, NodeKind};
+
+/// A tree digram `(parent label, child index, child label)`. The child index is
+/// 0-based internally (the paper writes 1-based indices).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Digram {
+    /// Label of the parent node.
+    pub parent: NodeKind,
+    /// 0-based index of the child edge.
+    pub child_index: usize,
+    /// Label of the child node.
+    pub child: NodeKind,
+}
+
+impl Digram {
+    /// Whether parent and child carry the same label (`(b, i, b)` digrams need
+    /// overlap handling).
+    pub fn equal_labels(&self) -> bool {
+        self.parent == self.child
+    }
+
+    /// Rank of the pattern representing this digram:
+    /// `rank(parent) + rank(child) − 1`.
+    pub fn pattern_rank(&self, g: &Grammar) -> usize {
+        label_rank(g, self.parent) + label_rank(g, self.child) - 1
+    }
+
+    /// Deterministic sort key used to break frequency ties.
+    pub fn sort_key(&self) -> (u8, u32, usize, u8, u32) {
+        let (pt, pid) = kind_key(self.parent);
+        let (ct, cid) = kind_key(self.child);
+        (pt, pid, self.child_index, ct, cid)
+    }
+}
+
+/// Rank of a digram component: terminal ranks come from the symbol table,
+/// pattern nonterminals from their rule.
+pub fn label_rank(g: &Grammar, kind: NodeKind) -> usize {
+    match kind {
+        NodeKind::Term(t) => g.symbols.rank(t),
+        NodeKind::Nt(nt) => g.rule(nt).rank,
+        NodeKind::Param(_) => 0,
+    }
+}
+
+/// Human-readable name of a digram component.
+pub fn label_name(g: &Grammar, kind: NodeKind) -> String {
+    match kind {
+        NodeKind::Term(t) => g.symbols.name(t).to_string(),
+        NodeKind::Nt(nt) => g.rule(nt).name.clone(),
+        NodeKind::Param(i) => format!("y{}", i + 1),
+    }
+}
+
+fn kind_key(kind: NodeKind) -> (u8, u32) {
+    match kind {
+        NodeKind::Term(t) => (0, t.0),
+        NodeKind::Nt(nt) => (1, nt.0),
+        NodeKind::Param(i) => (2, i),
+    }
+}
+
+/// Builds the pattern tree `t_X` representing a digram (paper Section II):
+/// `a(y1, …, y_{i−1}, b(y_i, …, y_{i+n−1}), y_{i+n}, …, y_{m+n−1})`.
+pub fn pattern_rhs(g: &Grammar, digram: &Digram) -> sltgrammar::RhsTree {
+    use sltgrammar::RhsTree;
+    let m = label_rank(g, digram.parent);
+    let n = label_rank(g, digram.child);
+    let i = digram.child_index;
+    assert!(i < m, "child index must be a valid child of the parent label");
+
+    let mut tree = RhsTree::singleton(digram.parent);
+    let root = tree.root();
+    let mut param = 0u32;
+    for slot in 0..m {
+        if slot == i {
+            let child = tree.add_leaf(digram.child);
+            for _ in 0..n {
+                let y = tree.add_leaf(NodeKind::Param(param));
+                param += 1;
+                tree.push_child(child, y);
+            }
+            tree.push_child(root, child);
+        } else {
+            let y = tree.add_leaf(NodeKind::Param(param));
+            param += 1;
+            tree.push_child(root, y);
+        }
+    }
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sltgrammar::text::{parse_grammar, print_grammar};
+    use sltgrammar::NodeKind;
+
+    #[test]
+    fn pattern_matches_paper_definition() {
+        // a has rank 2, b has rank 2: (a, 1, b) — paper indices — is child_index 0 here.
+        let g = parse_grammar("S -> a(b(#,#),#)").unwrap();
+        let a = g.symbols.get("a").unwrap();
+        let b = g.symbols.get("b").unwrap();
+        let d = Digram {
+            parent: NodeKind::Term(a),
+            child_index: 0,
+            child: NodeKind::Term(b),
+        };
+        assert_eq!(d.pattern_rank(&g), 3);
+        let mut g2 = g.clone();
+        let rhs = pattern_rhs(&g, &d);
+        let x = g2.add_rule("X", 3, rhs);
+        let _ = x;
+        let printed = print_grammar(&g2);
+        assert!(printed.contains("X -> a(b(y1,y2),y3)"));
+    }
+
+    #[test]
+    fn pattern_for_second_child_places_parameters_around() {
+        let g = parse_grammar("S -> a(#,b(#,#))").unwrap();
+        let a = g.symbols.get("a").unwrap();
+        let b = g.symbols.get("b").unwrap();
+        let d = Digram {
+            parent: NodeKind::Term(a),
+            child_index: 1,
+            child: NodeKind::Term(b),
+        };
+        let mut g2 = g.clone();
+        let rhs = pattern_rhs(&g, &d);
+        g2.add_rule("X", 3, rhs);
+        assert!(print_grammar(&g2).contains("X -> a(y1,b(y2,y3))"));
+    }
+
+    #[test]
+    fn null_child_digram_has_rank_one() {
+        let g = parse_grammar("S -> a(#,#)").unwrap();
+        let a = g.symbols.get("a").unwrap();
+        let null = g.symbols.get("#").unwrap();
+        let d = Digram {
+            parent: NodeKind::Term(a),
+            child_index: 0,
+            child: NodeKind::Term(null),
+        };
+        assert_eq!(d.pattern_rank(&g), 1);
+        let mut g2 = g.clone();
+        let rhs = pattern_rhs(&g, &d);
+        g2.add_rule("X", 1, rhs);
+        assert!(print_grammar(&g2).contains("X -> a(#,y1)"));
+    }
+
+    #[test]
+    fn equal_labels_detection_and_sort_key_are_stable() {
+        let g = parse_grammar("S -> a(a(#,#),#)").unwrap();
+        let a = g.symbols.get("a").unwrap();
+        let d = Digram {
+            parent: NodeKind::Term(a),
+            child_index: 0,
+            child: NodeKind::Term(a),
+        };
+        assert!(d.equal_labels());
+        assert_eq!(d.sort_key(), d.sort_key());
+    }
+}

@@ -1,0 +1,37 @@
+//! # treerepair — the baseline tree compressor
+//!
+//! A from-scratch Rust implementation of TreeRePair (Lohrey, Maneth, Mennicke,
+//! *XML tree structure compression using RePair*, Inf. Syst. 2013), the
+//! compressor the ICDE 2016 paper generalizes and compares against.
+//!
+//! TreeRePair repeatedly replaces a most frequent digram — an edge between two
+//! adjacent labelled nodes — by a fresh pattern nonterminal, producing a
+//! straight-line linear context-free tree grammar that derives exactly the
+//! input tree. It serves two roles in this repository:
+//!
+//! 1. the *baseline compressor* of the evaluation (static compression, and the
+//!    compression half of the update–decompress–compress baseline), and
+//! 2. an independent oracle: its output sizes are cross-checked against
+//!    GrammarRePair run on trivial grammars.
+//!
+//! ## Example
+//!
+//! ```
+//! use treerepair::TreeRePair;
+//! use xmltree::parse::parse_xml;
+//!
+//! let doc = parse_xml("<log><e><t/><m/></e><e><t/><m/></e><e><t/><m/></e></log>").unwrap();
+//! let (grammar, stats) = TreeRePair::default().compress_xml(&doc);
+//! assert!(stats.output_edges <= stats.input_edges);
+//! assert!(grammar.validate().is_ok());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod compressor;
+pub mod digram;
+pub mod occurrences;
+
+pub use compressor::{CompressionStats, TreeRePair, TreeRePairConfig};
+pub use digram::Digram;
+pub use occurrences::OccTable;

@@ -1,0 +1,189 @@
+//! Maintenance of non-overlapping digram occurrence sets on a tree.
+//!
+//! TreeRePair keeps, for every digram, the maximal set of pairwise
+//! non-overlapping occurrences found by a greedy top-down traversal. During
+//! replacement the sets are updated incrementally ("updating the context",
+//! paper Section IV-C) instead of being recounted from scratch.
+
+use std::collections::{HashMap, HashSet};
+
+use sltgrammar::{NodeId, RhsTree};
+
+use crate::digram::Digram;
+
+/// Occurrences of one digram. An occurrence `(v, w)` is identified by its child
+/// node `w` (the parent is unique); the parent set is kept to detect overlaps of
+/// equal-label digrams.
+#[derive(Debug, Default, Clone)]
+pub struct Occurrences {
+    children: HashSet<NodeId>,
+    parents: HashSet<NodeId>,
+}
+
+impl Occurrences {
+    /// Number of recorded (non-overlapping) occurrences.
+    pub fn count(&self) -> usize {
+        self.children.len()
+    }
+
+    /// The child nodes identifying the occurrences, in deterministic order.
+    pub fn children_sorted(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.children.iter().copied().collect();
+        v.sort();
+        v
+    }
+
+    fn would_overlap(&self, parent: NodeId, child: NodeId) -> bool {
+        self.parents.contains(&child) || self.children.contains(&parent)
+    }
+}
+
+/// Table of digram occurrences over one working tree.
+#[derive(Debug, Default, Clone)]
+pub struct OccTable {
+    map: HashMap<Digram, Occurrences>,
+}
+
+impl OccTable {
+    /// Builds the table by one preorder (top-down greedy) scan of `tree`.
+    pub fn scan(tree: &RhsTree) -> Self {
+        let mut table = OccTable::default();
+        for node in tree.preorder() {
+            let Some(parent) = tree.parent(node) else { continue };
+            let child_index = tree
+                .child_index(node)
+                .expect("non-root node has a child index");
+            let digram = Digram {
+                parent: tree.kind(parent),
+                child_index,
+                child: tree.kind(node),
+            };
+            table.add(digram, parent, node);
+        }
+        table
+    }
+
+    /// Records an occurrence, unless it would overlap with an already recorded
+    /// occurrence of the same equal-label digram.
+    pub fn add(&mut self, digram: Digram, parent: NodeId, child: NodeId) {
+        let entry = self.map.entry(digram).or_default();
+        if digram.equal_labels() && entry.would_overlap(parent, child) {
+            return;
+        }
+        entry.children.insert(child);
+        entry.parents.insert(parent);
+    }
+
+    /// Removes an occurrence if present (no-op otherwise).
+    pub fn remove(&mut self, digram: &Digram, parent: NodeId, child: NodeId) {
+        if let Some(entry) = self.map.get_mut(digram) {
+            if entry.children.remove(&child) {
+                entry.parents.remove(&parent);
+            }
+            if entry.children.is_empty() {
+                self.map.remove(digram);
+            }
+        }
+    }
+
+    /// Drops all occurrences of a digram (after its replacement round).
+    pub fn remove_digram(&mut self, digram: &Digram) {
+        self.map.remove(digram);
+    }
+
+    /// Number of occurrences currently recorded for `digram`.
+    pub fn count(&self, digram: &Digram) -> usize {
+        self.map.get(digram).map(|o| o.count()).unwrap_or(0)
+    }
+
+    /// Iterates over all digrams and their occurrence sets.
+    pub fn iter(&self) -> impl Iterator<Item = (&Digram, &Occurrences)> {
+        self.map.iter()
+    }
+
+    /// Number of distinct digrams currently tracked.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sltgrammar::text::parse_grammar;
+    use sltgrammar::NodeKind;
+
+    fn digram_by_names(
+        g: &sltgrammar::Grammar,
+        parent: &str,
+        child_index: usize,
+        child: &str,
+    ) -> Digram {
+        Digram {
+            parent: NodeKind::Term(g.symbols.get(parent).unwrap()),
+            child_index,
+            child: NodeKind::Term(g.symbols.get(child).unwrap()),
+        }
+    }
+
+    #[test]
+    fn scan_counts_simple_digrams() {
+        // f(a(#,#), a(#,#)): digram (f,0,a) x1, (f,1,a) x1, (a,0,#) x2, (a,1,#) x2.
+        let g = parse_grammar("S -> f(a(#,#),a(#,#))").unwrap();
+        let table = OccTable::scan(&g.rule(g.start()).rhs);
+        assert_eq!(table.count(&digram_by_names(&g, "a", 0, "#")), 2);
+        assert_eq!(table.count(&digram_by_names(&g, "a", 1, "#")), 2);
+        assert_eq!(table.count(&digram_by_names(&g, "f", 0, "a")), 1);
+        assert_eq!(table.count(&digram_by_names(&g, "f", 1, "a")), 1);
+    }
+
+    #[test]
+    fn equal_label_chains_count_non_overlapping_occurrences() {
+        // A chain of four a's along the second child: occurrences of (a,1,a) pair
+        // up greedily top-down: (1,2) and (3,4) => 2 non-overlapping occurrences.
+        let g = parse_grammar("S -> a(#,a(#,a(#,a(#,#))))").unwrap();
+        let table = OccTable::scan(&g.rule(g.start()).rhs);
+        assert_eq!(table.count(&digram_by_names(&g, "a", 1, "a")), 2);
+
+        // With five a's the greedy pairing still yields 2.
+        let g5 = parse_grammar("S -> a(#,a(#,a(#,a(#,a(#,#)))))").unwrap();
+        let t5 = OccTable::scan(&g5.rule(g5.start()).rhs);
+        assert_eq!(t5.count(&digram_by_names(&g5, "a", 1, "a")), 2);
+    }
+
+    #[test]
+    fn figure1_overlap_example() {
+        // The tree of Figure 1: occurrences of (a,2,a) marked in the paper — the
+        // greedy scan records the two outer (non-overlapping) ones.
+        let g = parse_grammar("S -> f(a(a(#,a(#,#)),a(a(#,a(#,#)),#)),#)").unwrap();
+        let table = OccTable::scan(&g.rule(g.start()).rhs);
+        // (a,2,a) in paper notation: (a1,a4), (a2,a3) and (a5,a6) are pairwise
+        // node-disjoint, so the greedy scan keeps all three.
+        assert_eq!(table.count(&digram_by_names(&g, "a", 1, "a")), 3);
+        assert_eq!(table.count(&digram_by_names(&g, "a", 0, "a")), 2);
+    }
+
+    #[test]
+    fn add_remove_roundtrip() {
+        let g = parse_grammar("S -> f(a(#,#),a(#,#))").unwrap();
+        let rhs = &g.rule(g.start()).rhs;
+        let mut table = OccTable::scan(rhs);
+        let d = digram_by_names(&g, "a", 0, "#");
+        let occ = table.map.get(&d).unwrap().children_sorted();
+        assert_eq!(occ.len(), 2);
+        let child = occ[0];
+        let parent = rhs.parent(child).unwrap();
+        table.remove(&d, parent, child);
+        assert_eq!(table.count(&d), 1);
+        // Removing a non-existent occurrence is a no-op.
+        table.remove(&d, parent, child);
+        assert_eq!(table.count(&d), 1);
+        table.remove_digram(&d);
+        assert_eq!(table.count(&d), 0);
+    }
+}

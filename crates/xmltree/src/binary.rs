@@ -1,0 +1,229 @@
+//! Binary first-child/next-sibling encoding of XML trees.
+//!
+//! Like TreeRePair, the compression algorithms work on a *binary* view of the
+//! unranked document tree: every element node becomes a rank-2 terminal whose
+//! first child encodes the element's first child and whose second child encodes
+//! its next sibling; missing children/siblings are represented by the null
+//! symbol `#` (the paper's `⊥`). See Figure 1 of the paper.
+
+use sltgrammar::fingerprint::{label_code, Fingerprint, Segment};
+use sltgrammar::{Grammar, NodeId, NodeKind, RhsTree, SymbolTable};
+
+use crate::error::{Result, XmlError};
+use crate::tree::{XmlNodeId, XmlTree};
+
+/// Converts an unranked XML tree into its binary encoding.
+///
+/// All element labels are interned into `symbols` with rank 2; the null symbol
+/// `#` is interned with rank 0.
+pub fn to_binary(xml: &XmlTree, symbols: &mut SymbolTable) -> Result<RhsTree> {
+    let null = symbols.null();
+    let mut tree = RhsTree::singleton(NodeKind::Term(null));
+
+    let preorder = xml.preorder();
+    let mut bin_of: std::collections::HashMap<XmlNodeId, NodeId> =
+        std::collections::HashMap::with_capacity(preorder.len());
+
+    // Reverse document order: first child and next sibling of a node come after
+    // it in preorder, so both binary encodings already exist when we need them.
+    for &n in preorder.iter().rev() {
+        let label = xml.label(n);
+        let term = symbols
+            .intern(label, 2)
+            .map_err(|_| XmlError::InvalidUpdate {
+                detail: format!("label `{label}` clashes with a reserved symbol"),
+            })?;
+        let first_child = xml
+            .children(n)
+            .first()
+            .map(|c| bin_of[c])
+            .unwrap_or_else(|| tree.add_leaf(NodeKind::Term(null)));
+        let next_sibling = next_sibling_of(xml, n)
+            .map(|s| bin_of[&s])
+            .unwrap_or_else(|| tree.add_leaf(NodeKind::Term(null)));
+        let node = tree.add_node(NodeKind::Term(term), vec![first_child, next_sibling]);
+        bin_of.insert(n, node);
+    }
+    tree.set_root(bin_of[&xml.root()]);
+    tree.compact();
+    Ok(tree)
+}
+
+fn next_sibling_of(xml: &XmlTree, n: XmlNodeId) -> Option<XmlNodeId> {
+    let parent = xml.parent(n)?;
+    let siblings = xml.children(parent);
+    let idx = siblings.iter().position(|&c| c == n)?;
+    siblings.get(idx + 1).copied()
+}
+
+/// Converts a binary encoding (terminals only) back into an unranked XML tree.
+pub fn from_binary(bin: &RhsTree, symbols: &SymbolTable) -> Result<XmlTree> {
+    let root = bin.root();
+    let root_term = match bin.kind(root) {
+        NodeKind::Term(t) if !symbols.is_null(t) => t,
+        _ => {
+            return Err(XmlError::InvalidUpdate {
+                detail: "binary tree root must be a non-null terminal".to_string(),
+            })
+        }
+    };
+    let mut xml = XmlTree::new(symbols.name(root_term));
+    // Stack of (binary node, XML parent to append to). The root's children are
+    // seeded below; its next-sibling slot must be null for a single-rooted document.
+    let mut stack: Vec<(NodeId, XmlNodeId)> = Vec::new();
+    let root_children = bin.children(root);
+    if root_children.len() != 2 {
+        return Err(XmlError::InvalidUpdate {
+            detail: "binary element node must have exactly two children".to_string(),
+        });
+    }
+    stack.push((root_children[0], xml.root()));
+
+    while let Some((node, parent)) = stack.pop() {
+        match bin.kind(node) {
+            NodeKind::Term(t) if symbols.is_null(t) => continue,
+            NodeKind::Term(t) => {
+                let children = bin.children(node);
+                if children.len() != 2 {
+                    return Err(XmlError::InvalidUpdate {
+                        detail: format!(
+                            "element `{}` in the binary tree must have exactly two children",
+                            symbols.name(t)
+                        ),
+                    });
+                }
+                let new_node = xml.add_child(parent, symbols.name(t));
+                // Process the next sibling after the whole first-child subtree
+                // so children are appended in document order.
+                stack.push((children[1], parent));
+                stack.push((children[0], new_node));
+            }
+            _ => {
+                return Err(XmlError::InvalidUpdate {
+                    detail: "binary tree contains nonterminals or parameters".to_string(),
+                })
+            }
+        }
+    }
+    Ok(xml)
+}
+
+/// Checks that `bin` is a well-formed binary XML encoding: terminals only, every
+/// non-null node has exactly two children, every null node is a leaf.
+pub fn is_binary_xml(bin: &RhsTree, symbols: &SymbolTable) -> bool {
+    for n in bin.preorder() {
+        match bin.kind(n) {
+            NodeKind::Term(t) if symbols.is_null(t) => {
+                if !bin.children(n).is_empty() {
+                    return false;
+                }
+            }
+            NodeKind::Term(_) => {
+                if bin.children(n).len() != 2 {
+                    return false;
+                }
+            }
+            _ => return false,
+        }
+    }
+    match bin.kind(bin.root()) {
+        NodeKind::Term(t) => !symbols.is_null(t),
+        _ => false,
+    }
+}
+
+/// Wraps a binary tree in a trivial grammar whose start rule derives exactly
+/// that tree — the input form consumed by GrammarRePair and TreeRePair.
+pub fn binary_to_grammar(symbols: SymbolTable, bin: RhsTree) -> Grammar {
+    Grammar::new(symbols, bin)
+}
+
+/// Preorder fingerprint of a plain tree (terminals only), comparable with
+/// [`sltgrammar::fingerprint::fingerprint`] of a grammar deriving the same tree.
+pub fn tree_fingerprint(bin: &RhsTree, symbols: &SymbolTable) -> Fingerprint {
+    let mut seg = Segment::empty();
+    for n in bin.preorder() {
+        match bin.kind(n) {
+            NodeKind::Term(t) => seg.push_label(label_code(symbols.name(t))),
+            other => panic!("tree_fingerprint expects terminals only, found {other:?}"),
+        }
+    }
+    Fingerprint {
+        size: seg.len,
+        hash: seg.hash,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_xml;
+    use sltgrammar::fingerprint::fingerprint as grammar_fingerprint;
+    use sltgrammar::text::print_grammar;
+
+    fn figure1() -> XmlTree {
+        parse_xml("<f><a><a/><a/></a><a><a/><a/></a></f>").unwrap()
+    }
+
+    #[test]
+    fn binary_encoding_uses_first_child_next_sibling_with_nulls() {
+        let xml = figure1();
+        let mut symbols = SymbolTable::new();
+        let bin = to_binary(&xml, &mut symbols).unwrap();
+        // 7 elements + 8 null leaves = 15 binary nodes (cf. Figure 1 of the paper).
+        assert_eq!(bin.node_count(), 15);
+        assert!(is_binary_xml(&bin, &symbols));
+        // Textual shape check via the trivial grammar printer.
+        let g = binary_to_grammar(symbols, bin);
+        let printed = print_grammar(&g);
+        assert_eq!(
+            printed.trim(),
+            "S -> f(a(a(#,a(#,#)),a(a(#,a(#,#)),#)),#)"
+        );
+    }
+
+    #[test]
+    fn binary_roundtrip_preserves_structure() {
+        let xml = parse_xml("<r><a><b/><c><d/></c></a><e/><a/></r>").unwrap();
+        let mut symbols = SymbolTable::new();
+        let bin = to_binary(&xml, &mut symbols).unwrap();
+        let back = from_binary(&bin, &symbols).unwrap();
+        assert_eq!(back.to_xml(), xml.to_xml());
+        // Node counts: binary has 2n+1 nodes for n elements.
+        assert_eq!(bin.node_count(), 2 * xml.node_count() + 1);
+    }
+
+    #[test]
+    fn fingerprints_agree_between_tree_and_trivial_grammar() {
+        let xml = figure1();
+        let mut symbols = SymbolTable::new();
+        let bin = to_binary(&xml, &mut symbols).unwrap();
+        let fp_tree = tree_fingerprint(&bin, &symbols);
+        let g = binary_to_grammar(symbols, bin);
+        assert_eq!(fp_tree, grammar_fingerprint(&g));
+    }
+
+    #[test]
+    fn from_binary_rejects_malformed_trees() {
+        let mut symbols = SymbolTable::new();
+        let null = symbols.null();
+        let bad = RhsTree::singleton(NodeKind::Term(null));
+        assert!(from_binary(&bad, &symbols).is_err());
+    }
+
+    #[test]
+    fn wide_and_deep_documents_convert_iteratively() {
+        // 20 000 siblings produce a binary right-spine of depth 20 000; this must
+        // not overflow the stack.
+        let mut xml = XmlTree::new("root");
+        let root = xml.root();
+        for _ in 0..20_000 {
+            xml.add_child(root, "item");
+        }
+        let mut symbols = SymbolTable::new();
+        let bin = to_binary(&xml, &mut symbols).unwrap();
+        assert_eq!(bin.node_count(), 2 * 20_001 + 1);
+        let back = from_binary(&bin, &symbols).unwrap();
+        assert_eq!(back.node_count(), xml.node_count());
+    }
+}

@@ -1,0 +1,68 @@
+//! Error types for XML structure handling.
+
+use std::fmt;
+
+/// Errors produced while parsing XML or manipulating trees.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlError {
+    /// Malformed XML input.
+    Parse {
+        /// Byte offset where the problem was detected.
+        offset: usize,
+        /// Description of the problem.
+        detail: String,
+    },
+    /// A closing tag did not match the open element.
+    TagMismatch {
+        /// Name of the currently open element.
+        open: String,
+        /// Name found in the closing tag.
+        close: String,
+    },
+    /// The document contains no root element.
+    Empty,
+    /// An update operation targeted an invalid node (e.g. renaming a null node).
+    InvalidUpdate {
+        /// Description of the problem.
+        detail: String,
+    },
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlError::Parse { offset, detail } => {
+                write!(f, "XML parse error at byte {offset}: {detail}")
+            }
+            XmlError::TagMismatch { open, close } => {
+                write!(f, "closing tag </{close}> does not match open element <{open}>")
+            }
+            XmlError::Empty => write!(f, "document contains no root element"),
+            XmlError::InvalidUpdate { detail } => write!(f, "invalid update: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, XmlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = XmlError::TagMismatch {
+            open: "a".into(),
+            close: "b".into(),
+        };
+        assert!(e.to_string().contains("</b>"));
+        let e = XmlError::Parse {
+            offset: 12,
+            detail: "oops".into(),
+        };
+        assert!(e.to_string().contains("12"));
+    }
+}

@@ -1,0 +1,40 @@
+//! # xmltree — the XML structure model
+//!
+//! Element-only XML documents for the reproduction of *Incremental Updates on
+//! Compressed XML* (ICDE 2016):
+//!
+//! * [`tree::XmlTree`] — unranked ordered labeled trees (the document structure),
+//! * [`parse::parse_xml`] — a minimal structure-only XML parser,
+//! * [`binary`] — the first-child/next-sibling binary encoding with `#`/`⊥`
+//!   null leaves used by TreeRePair and GrammarRePair, plus fingerprints and the
+//!   trivial-grammar wrapper,
+//! * [`updates`] — the reference (uncompressed) semantics of the paper's three
+//!   atomic update operations; the grammar-based updates are tested against it.
+//!
+//! ## Example
+//!
+//! ```
+//! use xmltree::parse::parse_xml;
+//! use xmltree::binary::{to_binary, binary_to_grammar};
+//! use sltgrammar::SymbolTable;
+//!
+//! let doc = parse_xml("<library><book><chapter/></book><book/></library>").unwrap();
+//! assert_eq!(doc.edge_count(), 3);
+//!
+//! let mut symbols = SymbolTable::new();
+//! let bin = to_binary(&doc, &mut symbols).unwrap();
+//! let grammar = binary_to_grammar(symbols, bin);   // trivial start-rule grammar
+//! assert_eq!(grammar.rule_count(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod binary;
+pub mod error;
+pub mod parse;
+pub mod tree;
+pub mod updates;
+
+pub use error::{Result, XmlError};
+pub use tree::{XmlNodeId, XmlTree};
+pub use updates::UpdateOp;

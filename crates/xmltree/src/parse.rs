@@ -1,0 +1,200 @@
+//! Minimal element-only XML parser.
+//!
+//! The evaluation of the paper uses *structure-only* documents: all text,
+//! attributes, comments and processing instructions are stripped. This parser
+//! accepts general XML input and keeps only the element structure, which is
+//! exactly what the compression pipeline consumes.
+
+use crate::error::{Result, XmlError};
+use crate::tree::{XmlNodeId, XmlTree};
+
+/// Parses the element structure of an XML document.
+///
+/// Text content, attributes, comments, CDATA, processing instructions and the
+/// XML declaration are skipped. Returns an error for unbalanced or malformed
+/// tags or if the document has no root element.
+pub fn parse_xml(input: &str) -> Result<XmlTree> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let mut tree: Option<XmlTree> = None;
+    let mut stack: Vec<XmlNodeId> = Vec::new();
+    let mut finished = false;
+
+    while pos < bytes.len() {
+        // Skip everything up to the next tag (text content).
+        match input[pos..].find('<') {
+            Some(rel) => pos += rel,
+            None => break,
+        }
+        let rest = &input[pos..];
+        if rest.starts_with("<!--") {
+            let end = rest.find("-->").ok_or(XmlError::Parse {
+                offset: pos,
+                detail: "unterminated comment".to_string(),
+            })?;
+            pos += end + 3;
+            continue;
+        }
+        if rest.starts_with("<![CDATA[") {
+            let end = rest.find("]]>").ok_or(XmlError::Parse {
+                offset: pos,
+                detail: "unterminated CDATA section".to_string(),
+            })?;
+            pos += end + 3;
+            continue;
+        }
+        if rest.starts_with("<?") {
+            let end = rest.find("?>").ok_or(XmlError::Parse {
+                offset: pos,
+                detail: "unterminated processing instruction".to_string(),
+            })?;
+            pos += end + 2;
+            continue;
+        }
+        if rest.starts_with("<!") {
+            let end = rest.find('>').ok_or(XmlError::Parse {
+                offset: pos,
+                detail: "unterminated declaration".to_string(),
+            })?;
+            pos += end + 1;
+            continue;
+        }
+        let close = rest.find('>').ok_or(XmlError::Parse {
+            offset: pos,
+            detail: "unterminated tag".to_string(),
+        })?;
+        let tag = &rest[1..close];
+        pos += close + 1;
+
+        if let Some(name_part) = tag.strip_prefix('/') {
+            // Closing tag.
+            let name = name_part.trim();
+            let open = stack.pop().ok_or(XmlError::Parse {
+                offset: pos,
+                detail: format!("closing tag </{name}> without open element"),
+            })?;
+            let t = tree.as_ref().expect("tree exists when stack non-empty");
+            if t.label(open) != name {
+                return Err(XmlError::TagMismatch {
+                    open: t.label(open).to_string(),
+                    close: name.to_string(),
+                });
+            }
+            if stack.is_empty() {
+                finished = true;
+            }
+            continue;
+        }
+
+        let self_closing = tag.ends_with('/');
+        let body = if self_closing { &tag[..tag.len() - 1] } else { tag };
+        let name = body
+            .split_whitespace()
+            .next()
+            .ok_or(XmlError::Parse {
+                offset: pos,
+                detail: "empty tag name".to_string(),
+            })?
+            .to_string();
+        if name.is_empty() {
+            return Err(XmlError::Parse {
+                offset: pos,
+                detail: "empty tag name".to_string(),
+            });
+        }
+
+        if finished {
+            return Err(XmlError::Parse {
+                offset: pos,
+                detail: "content after the root element".to_string(),
+            });
+        }
+
+        let node = match (&mut tree, stack.last()) {
+            (None, _) => {
+                tree = Some(XmlTree::new(&name));
+                tree.as_ref().expect("just created").root()
+            }
+            (Some(t), Some(&parent)) => t.add_child(parent, &name),
+            (Some(_), None) => {
+                return Err(XmlError::Parse {
+                    offset: pos,
+                    detail: "second root element".to_string(),
+                })
+            }
+        };
+        if !self_closing {
+            stack.push(node);
+        } else if stack.is_empty() {
+            finished = true;
+        }
+    }
+
+    if !stack.is_empty() {
+        let t = tree.as_ref().expect("tree exists when stack non-empty");
+        return Err(XmlError::Parse {
+            offset: pos,
+            detail: format!("unclosed element <{}>", t.label(*stack.last().unwrap())),
+        });
+    }
+    tree.ok_or(XmlError::Empty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_elements() {
+        let t = parse_xml("<f><a><a/><a/></a><a><a/><a/></a></f>").unwrap();
+        assert_eq!(t.node_count(), 7);
+        assert_eq!(t.depth(), 2);
+        assert_eq!(t.label(t.root()), "f");
+    }
+
+    #[test]
+    fn skips_text_attributes_comments_and_pis() {
+        let doc = r#"<?xml version="1.0"?>
+            <!-- a comment -->
+            <library kind="public">
+              <book id="1">Some <i>text</i> here</book>
+              <![CDATA[ <ignored/> ]]>
+              <book/>
+            </library>"#;
+        let t = parse_xml(doc).unwrap();
+        let labels: Vec<_> = t.preorder().iter().map(|&n| t.label(n).to_string()).collect();
+        assert_eq!(labels, vec!["library", "book", "i", "book"]);
+    }
+
+    #[test]
+    fn roundtrips_through_serialization() {
+        let src = "<a><b><c/></b><b/><d><e/><e/></d></a>";
+        let t = parse_xml(src).unwrap();
+        assert_eq!(t.to_xml(), src);
+        let t2 = parse_xml(&t.to_xml()).unwrap();
+        assert_eq!(t2.node_count(), t.node_count());
+    }
+
+    #[test]
+    fn mismatched_tags_are_rejected() {
+        assert!(matches!(
+            parse_xml("<a><b></a></b>"),
+            Err(XmlError::TagMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn unclosed_elements_are_rejected() {
+        assert!(matches!(parse_xml("<a><b></b>"), Err(XmlError::Parse { .. })));
+    }
+
+    #[test]
+    fn empty_input_is_rejected() {
+        assert!(matches!(parse_xml("   "), Err(XmlError::Empty)));
+    }
+
+    #[test]
+    fn second_root_is_rejected() {
+        assert!(matches!(parse_xml("<a/><b/>"), Err(XmlError::Parse { .. })));
+    }
+}

@@ -1,0 +1,221 @@
+//! Unranked ordered labeled trees — the element structure of an XML document.
+
+/// Identifier of a node in an [`XmlTree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct XmlNodeId(pub u32);
+
+impl XmlNodeId {
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Debug, Clone)]
+struct XmlNode {
+    label: String,
+    parent: Option<XmlNodeId>,
+    children: Vec<XmlNodeId>,
+}
+
+/// An unranked ordered labeled tree: the structural skeleton of an XML document
+/// (element nodes only — no text, attributes, comments or processing
+/// instructions, matching the paper's experimental setup).
+#[derive(Debug, Clone)]
+pub struct XmlTree {
+    nodes: Vec<XmlNode>,
+    root: XmlNodeId,
+}
+
+impl XmlTree {
+    /// Creates a tree consisting of a single root element.
+    pub fn new(root_label: &str) -> Self {
+        XmlTree {
+            nodes: vec![XmlNode {
+                label: root_label.to_string(),
+                parent: None,
+                children: Vec::new(),
+            }],
+            root: XmlNodeId(0),
+        }
+    }
+
+    /// The root element.
+    pub fn root(&self) -> XmlNodeId {
+        self.root
+    }
+
+    /// Appends a child element labelled `label` under `parent` and returns it.
+    pub fn add_child(&mut self, parent: XmlNodeId, label: &str) -> XmlNodeId {
+        let id = XmlNodeId(self.nodes.len() as u32);
+        self.nodes.push(XmlNode {
+            label: label.to_string(),
+            parent: Some(parent),
+            children: Vec::new(),
+        });
+        self.nodes[parent.index()].children.push(id);
+        id
+    }
+
+    /// Label of a node.
+    pub fn label(&self, id: XmlNodeId) -> &str {
+        &self.nodes[id.index()].label
+    }
+
+    /// Overwrites the label of a node.
+    pub fn set_label(&mut self, id: XmlNodeId, label: &str) {
+        self.nodes[id.index()].label = label.to_string();
+    }
+
+    /// Children of a node, in document order.
+    pub fn children(&self, id: XmlNodeId) -> &[XmlNodeId] {
+        &self.nodes[id.index()].children
+    }
+
+    /// Parent of a node (`None` for the root).
+    pub fn parent(&self, id: XmlNodeId) -> Option<XmlNodeId> {
+        self.nodes[id.index()].parent
+    }
+
+    /// Number of element nodes.
+    pub fn node_count(&self) -> usize {
+        self.preorder().len()
+    }
+
+    /// Number of edges (`node_count − 1`) — the `#edges` column of Table III.
+    pub fn edge_count(&self) -> usize {
+        self.node_count().saturating_sub(1)
+    }
+
+    /// Depth of the tree: number of edges on the longest root-to-leaf path —
+    /// the `dp` column of Table III.
+    pub fn depth(&self) -> usize {
+        let mut max_depth = 0;
+        let mut stack = vec![(self.root, 0usize)];
+        while let Some((n, d)) = stack.pop() {
+            max_depth = max_depth.max(d);
+            for &c in self.children(n) {
+                stack.push((c, d + 1));
+            }
+        }
+        max_depth
+    }
+
+    /// Preorder (document order) traversal.
+    pub fn preorder(&self) -> Vec<XmlNodeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![self.root];
+        while let Some(n) = stack.pop() {
+            out.push(n);
+            for &c in self.children(n).iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// Serializes the element structure back to XML text (no declaration, no
+    /// whitespace between tags).
+    pub fn to_xml(&self) -> String {
+        let mut out = String::new();
+        // Iterative serialization: emit open tag on entry, close tag after children.
+        enum W {
+            Open(XmlNodeId),
+            Close(XmlNodeId),
+        }
+        let mut stack = vec![W::Open(self.root)];
+        while let Some(w) = stack.pop() {
+            match w {
+                W::Open(n) => {
+                    let label = self.label(n);
+                    if self.children(n).is_empty() {
+                        out.push('<');
+                        out.push_str(label);
+                        out.push_str("/>");
+                    } else {
+                        out.push('<');
+                        out.push_str(label);
+                        out.push('>');
+                        stack.push(W::Close(n));
+                        for &c in self.children(n).iter().rev() {
+                            stack.push(W::Open(c));
+                        }
+                    }
+                }
+                W::Close(n) => {
+                    out.push_str("</");
+                    out.push_str(self.label(n));
+                    out.push('>');
+                }
+            }
+        }
+        out
+    }
+
+    /// Collects the distinct element labels in document order of first use.
+    pub fn labels(&self) -> Vec<String> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for n in self.preorder() {
+            let l = self.label(n);
+            if seen.insert(l.to_string()) {
+                out.push(l.to_string());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> XmlTree {
+        // <f><a><a/><a/></a><a><a/><a/></a></f> — the unranked tree of Figure 1.
+        let mut t = XmlTree::new("f");
+        let root = t.root();
+        let a1 = t.add_child(root, "a");
+        let a2 = t.add_child(root, "a");
+        t.add_child(a1, "a");
+        t.add_child(a1, "a");
+        t.add_child(a2, "a");
+        t.add_child(a2, "a");
+        t
+    }
+
+    #[test]
+    fn counts_and_depth() {
+        let t = sample();
+        assert_eq!(t.node_count(), 7);
+        assert_eq!(t.edge_count(), 6);
+        assert_eq!(t.depth(), 2);
+    }
+
+    #[test]
+    fn preorder_is_document_order() {
+        let t = sample();
+        let labels: Vec<_> = t.preorder().iter().map(|&n| t.label(n).to_string()).collect();
+        assert_eq!(labels, vec!["f", "a", "a", "a", "a", "a", "a"]);
+    }
+
+    #[test]
+    fn serialization_produces_wellformed_xml() {
+        let t = sample();
+        let xml = t.to_xml();
+        assert_eq!(xml, "<f><a><a/><a/></a><a><a/><a/></a></f>");
+    }
+
+    #[test]
+    fn labels_are_deduplicated() {
+        let t = sample();
+        assert_eq!(t.labels(), vec!["f".to_string(), "a".to_string()]);
+    }
+
+    #[test]
+    fn set_label_renames() {
+        let mut t = sample();
+        let first_child = t.children(t.root())[0];
+        t.set_label(first_child, "b");
+        assert_eq!(t.label(first_child), "b");
+        assert!(t.to_xml().contains("<b>"));
+    }
+}

@@ -1,0 +1,312 @@
+//! Reference (uncompressed) update semantics on binary XML trees.
+//!
+//! The paper defines three atomic update operations on the binary tree
+//! representation (Section III and Section V-C):
+//!
+//! * `rename(t, u, σ)` — relabel node `u` with `σ` (`u` and `σ` non-null),
+//! * `insert(t, u, s)` — insert the tree `s` *before* node `u` (or, when `u` is
+//!   a null pointer, at that empty position, which realizes "insert after the
+//!   last sibling" / "insert into an empty child list"),
+//! * `delete(t, u)` — delete the XML subtree rooted at `u`, keeping `u`'s
+//!   following siblings.
+//!
+//! This module implements those semantics directly on uncompressed binary trees.
+//! It serves as the ground-truth oracle against which the grammar-based updates
+//! of the `grammar-repair` crate are tested, and as the workload vocabulary
+//! shared by the dataset generators and the benchmark harness.
+
+use sltgrammar::{NodeId, NodeKind, RhsTree, SymbolTable};
+
+use crate::binary::to_binary;
+use crate::error::{Result, XmlError};
+use crate::tree::XmlTree;
+
+/// One atomic update operation, addressed by the 0-based preorder index of the
+/// target node in the *binary* tree (null nodes included, so "insert after the
+/// last child" positions are addressable).
+#[derive(Debug, Clone)]
+pub enum UpdateOp {
+    /// Relabel the element at `target` with `label`.
+    Rename {
+        /// Preorder index of the element node in the binary tree.
+        target: usize,
+        /// New element label (must not be the null symbol).
+        label: String,
+    },
+    /// Insert `fragment` as a new previous sibling of the node at `target`
+    /// (or at the empty position if `target` is a null node).
+    InsertBefore {
+        /// Preorder index of the target node in the binary tree.
+        target: usize,
+        /// The element subtree to insert.
+        fragment: XmlTree,
+    },
+    /// Delete the XML subtree rooted at the element at `target`, preserving its
+    /// following siblings.
+    Delete {
+        /// Preorder index of the element node in the binary tree.
+        target: usize,
+    },
+}
+
+impl UpdateOp {
+    /// The preorder index the operation targets.
+    pub fn target(&self) -> usize {
+        match self {
+            UpdateOp::Rename { target, .. }
+            | UpdateOp::InsertBefore { target, .. }
+            | UpdateOp::Delete { target } => *target,
+        }
+    }
+}
+
+/// Resolves a 0-based preorder index to a node id of a plain tree.
+pub fn node_at_preorder(bin: &RhsTree, index: usize) -> Result<NodeId> {
+    bin.preorder()
+        .get(index)
+        .copied()
+        .ok_or_else(|| XmlError::InvalidUpdate {
+            detail: format!("preorder index {index} is out of range"),
+        })
+}
+
+fn expect_element(bin: &RhsTree, symbols: &SymbolTable, node: NodeId) -> Result<()> {
+    match bin.kind(node) {
+        NodeKind::Term(t) if !symbols.is_null(t) => Ok(()),
+        NodeKind::Term(_) => Err(XmlError::InvalidUpdate {
+            detail: "target node is a null node".to_string(),
+        }),
+        _ => Err(XmlError::InvalidUpdate {
+            detail: "target node is not a terminal".to_string(),
+        }),
+    }
+}
+
+/// `rename(t, u, σ)` on an uncompressed binary tree.
+pub fn rename(bin: &mut RhsTree, symbols: &mut SymbolTable, node: NodeId, label: &str) -> Result<()> {
+    expect_element(bin, symbols, node)?;
+    if label == sltgrammar::NULL_SYMBOL_NAME {
+        return Err(XmlError::InvalidUpdate {
+            detail: "cannot rename a node to the null symbol".to_string(),
+        });
+    }
+    let term = symbols.intern(label, 2).map_err(|_| XmlError::InvalidUpdate {
+        detail: format!("label `{label}` is already used with a different rank"),
+    })?;
+    bin.set_kind(node, NodeKind::Term(term));
+    Ok(())
+}
+
+/// The rightmost leaf of the subtree rooted at `node` (following last children).
+pub fn rightmost_leaf(bin: &RhsTree, node: NodeId) -> NodeId {
+    let mut cur = node;
+    loop {
+        match bin.children(cur).last() {
+            Some(&c) => cur = c,
+            None => return cur,
+        }
+    }
+}
+
+/// `insert(t, u, s)` on an uncompressed binary tree: inserts the element
+/// `fragment` as a previous sibling of `node` (or at the empty position if
+/// `node` is a null node).
+pub fn insert_before(
+    bin: &mut RhsTree,
+    symbols: &mut SymbolTable,
+    node: NodeId,
+    fragment: &XmlTree,
+) -> Result<()> {
+    let frag_bin = to_binary(fragment, symbols)?;
+    let frag_root = bin.clone_subtree_from(&frag_bin, frag_bin.root());
+    let attach = rightmost_leaf(bin, frag_root);
+    match bin.kind(attach) {
+        NodeKind::Term(t) if symbols.is_null(t) => {}
+        _ => {
+            return Err(XmlError::InvalidUpdate {
+                detail: "the rightmost leaf of the inserted fragment must be a null node"
+                    .to_string(),
+            })
+        }
+    }
+    let target_is_null = match bin.kind(node) {
+        NodeKind::Term(t) => symbols.is_null(t),
+        _ => {
+            return Err(XmlError::InvalidUpdate {
+                detail: "insert target must be a terminal node".to_string(),
+            })
+        }
+    };
+    // Put the fragment where the target used to be; the old subtree (the target
+    // element and its following siblings) becomes the fragment's sibling chain,
+    // unless the target was a null position.
+    bin.replace_subtree(node, frag_root);
+    if !target_is_null {
+        bin.replace_subtree(attach, node);
+    }
+    Ok(())
+}
+
+/// `delete(t, u)` on an uncompressed binary tree: removes the element at `node`
+/// together with its descendants, splicing its next-sibling chain into its place.
+pub fn delete_subtree(bin: &mut RhsTree, symbols: &SymbolTable, node: NodeId) -> Result<()> {
+    expect_element(bin, symbols, node)?;
+    let next_sibling = bin.children(node)[1];
+    bin.detach(next_sibling);
+    bin.replace_subtree(node, next_sibling);
+    Ok(())
+}
+
+/// Applies one [`UpdateOp`] to an uncompressed binary tree.
+pub fn apply_update(bin: &mut RhsTree, symbols: &mut SymbolTable, op: &UpdateOp) -> Result<()> {
+    let node = node_at_preorder(bin, op.target())?;
+    match op {
+        UpdateOp::Rename { label, .. } => rename(bin, symbols, node, label),
+        UpdateOp::InsertBefore { fragment, .. } => insert_before(bin, symbols, node, fragment),
+        UpdateOp::Delete { .. } => delete_subtree(bin, symbols, node),
+    }
+}
+
+/// Applies a sequence of updates in order.
+pub fn apply_updates(bin: &mut RhsTree, symbols: &mut SymbolTable, ops: &[UpdateOp]) -> Result<()> {
+    for op in ops {
+        apply_update(bin, symbols, op)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binary::{from_binary, is_binary_xml, to_binary};
+    use crate::parse::parse_xml;
+
+    fn setup(doc: &str) -> (RhsTree, SymbolTable) {
+        let xml = parse_xml(doc).unwrap();
+        let mut symbols = SymbolTable::new();
+        let bin = to_binary(&xml, &mut symbols).unwrap();
+        (bin, symbols)
+    }
+
+    fn as_xml(bin: &RhsTree, symbols: &SymbolTable) -> String {
+        from_binary(bin, symbols).unwrap().to_xml()
+    }
+
+    #[test]
+    fn rename_changes_exactly_one_node() {
+        let (mut bin, mut symbols) = setup("<f><d/><b><a/></b></f>");
+        // Find the d node.
+        let d = bin
+            .preorder()
+            .into_iter()
+            .find(|&n| matches!(bin.kind(n), NodeKind::Term(t) if symbols.name(t) == "d"))
+            .unwrap();
+        rename(&mut bin, &mut symbols, d, "a").unwrap();
+        assert_eq!(as_xml(&bin, &symbols), "<f><a/><b><a/></b></f>");
+    }
+
+    #[test]
+    fn rename_rejects_null_targets_and_null_labels() {
+        let (mut bin, mut symbols) = setup("<f><a/></f>");
+        let null = bin
+            .preorder()
+            .into_iter()
+            .find(|&n| matches!(bin.kind(n), NodeKind::Term(t) if symbols.is_null(t)))
+            .unwrap();
+        assert!(rename(&mut bin, &mut symbols, null, "x").is_err());
+        let root = bin.root();
+        assert!(rename(&mut bin, &mut symbols, root, "#").is_err());
+    }
+
+    #[test]
+    fn insert_before_an_element_makes_it_the_previous_sibling() {
+        let (mut bin, mut symbols) = setup("<r><a/><c/></r>");
+        // Insert <b/> before <c/>.
+        let c = bin
+            .preorder()
+            .into_iter()
+            .find(|&n| matches!(bin.kind(n), NodeKind::Term(t) if symbols.name(t) == "c"))
+            .unwrap();
+        let frag = parse_xml("<b><x/></b>").unwrap();
+        insert_before(&mut bin, &mut symbols, c, &frag).unwrap();
+        assert!(is_binary_xml(&bin, &symbols));
+        assert_eq!(as_xml(&bin, &symbols), "<r><a/><b><x/></b><c/></r>");
+    }
+
+    #[test]
+    fn insert_at_null_appends_after_the_last_sibling() {
+        let (mut bin, mut symbols) = setup("<r><a/></r>");
+        // The null second child of <a/>'s binary node is the "after last child of r" slot.
+        let a = bin
+            .preorder()
+            .into_iter()
+            .find(|&n| matches!(bin.kind(n), NodeKind::Term(t) if symbols.name(t) == "a"))
+            .unwrap();
+        let slot = bin.children(a)[1];
+        let frag = parse_xml("<z/>").unwrap();
+        insert_before(&mut bin, &mut symbols, slot, &frag).unwrap();
+        assert_eq!(as_xml(&bin, &symbols), "<r><a/><z/></r>");
+    }
+
+    #[test]
+    fn insert_into_empty_child_list() {
+        let (mut bin, mut symbols) = setup("<r><a/></r>");
+        let a = bin
+            .preorder()
+            .into_iter()
+            .find(|&n| matches!(bin.kind(n), NodeKind::Term(t) if symbols.name(t) == "a"))
+            .unwrap();
+        let empty_children_slot = bin.children(a)[0];
+        let frag = parse_xml("<w/>").unwrap();
+        insert_before(&mut bin, &mut symbols, empty_children_slot, &frag).unwrap();
+        assert_eq!(as_xml(&bin, &symbols), "<r><a><w/></a></r>");
+    }
+
+    #[test]
+    fn delete_keeps_following_siblings() {
+        let (mut bin, symbols) = setup("<r><a><x/></a><b/><c/></r>");
+        let a = bin
+            .preorder()
+            .into_iter()
+            .find(|&n| matches!(bin.kind(n), NodeKind::Term(t) if symbols.name(t) == "a"))
+            .unwrap();
+        delete_subtree(&mut bin, &symbols, a).unwrap();
+        assert_eq!(as_xml(&bin, &symbols), "<r><b/><c/></r>");
+    }
+
+    #[test]
+    fn delete_then_insert_is_identity() {
+        let (mut bin, mut symbols) = setup("<r><a/><b><y/></b><c/></r>");
+        let before = as_xml(&bin, &symbols);
+        let b = bin
+            .preorder()
+            .into_iter()
+            .find(|&n| matches!(bin.kind(n), NodeKind::Term(t) if symbols.name(t) == "b"))
+            .unwrap();
+        // c is b's next sibling in the binary tree.
+        let c = bin.children(b)[1];
+        delete_subtree(&mut bin, &symbols, b).unwrap();
+        // After deletion the c node sits where b was; insert <b><y/></b> before it.
+        let frag = parse_xml("<b><y/></b>").unwrap();
+        insert_before(&mut bin, &mut symbols, c, &frag).unwrap();
+        assert_eq!(as_xml(&bin, &symbols), before);
+    }
+
+    #[test]
+    fn apply_update_resolves_preorder_targets() {
+        let (mut bin, mut symbols) = setup("<r><a/><b/></r>");
+        // Preorder: r(0), a(1), #(2), b(3), ...
+        let op = UpdateOp::Rename {
+            target: 1,
+            label: "q".to_string(),
+        };
+        apply_update(&mut bin, &mut symbols, &op).unwrap();
+        assert_eq!(as_xml(&bin, &symbols), "<r><q/><b/></r>");
+        assert!(apply_update(
+            &mut bin,
+            &mut symbols,
+            &UpdateOp::Delete { target: 999 }
+        )
+        .is_err());
+    }
+}

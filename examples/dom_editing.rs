@@ -1,0 +1,57 @@
+//! A DOM-style editing session on a compressed document: the motivating
+//! scenario of the paper (memory-hungry DOM trees in browsers).
+//!
+//! The example loads a synthetic XMark-like document, keeps it compressed in a
+//! [`CompressedDom`], applies a random stream of inserts/deletes, and reports
+//! how the grammar size evolves with automatic recompression every 100 updates
+//! versus never recompressing.
+//!
+//! Run with: `cargo run --release --example dom_editing`
+
+use slt_xml::datasets::catalog::Dataset;
+use slt_xml::datasets::workload::{random_insert_delete_sequence, WorkloadMix};
+use slt_xml::grammar_repair::update::apply_update;
+use slt_xml::treerepair::TreeRePair;
+use slt_xml::CompressedDom;
+
+fn main() {
+    let xml = Dataset::XMark.generate(0.25);
+    println!(
+        "XMark-like document: {} edges, depth {}",
+        xml.edge_count(),
+        xml.depth()
+    );
+
+    let ops = random_insert_delete_sequence(&xml, 600, 42, WorkloadMix::default());
+    let (initial, _) = TreeRePair::default().compress_xml(&xml);
+    println!("initial compressed grammar: {} edges\n", initial.edge_count());
+
+    // Variant A: naive — apply updates, never recompress.
+    let mut naive = initial.clone();
+    // Variant B: CompressedDom with recompression every 100 updates.
+    let mut dom = CompressedDom::from_grammar(initial.clone(), 100);
+
+    println!(
+        "{:>9} {:>16} {:>22}",
+        "#updates", "naive edges", "maintained edges (GR)"
+    );
+    for (i, op) in ops.iter().enumerate() {
+        apply_update(&mut naive, op).expect("workload is valid");
+        dom.apply(op).expect("workload is valid");
+        if (i + 1) % 100 == 0 {
+            println!("{:>9} {:>16} {:>22}", i + 1, naive.edge_count(), dom.edge_count());
+        }
+    }
+
+    println!(
+        "\nafter {} updates: naive grammar {} edges, maintained grammar {} edges ({} recompressions)",
+        ops.len(),
+        naive.edge_count(),
+        dom.edge_count(),
+        dom.recompressions()
+    );
+    println!(
+        "the document now has {} binary-tree nodes",
+        dom.derived_size()
+    );
+}

@@ -1,0 +1,79 @@
+//! Persisting compressed documents: serialize a grammar, reload it, keep
+//! editing it, and verify that nothing was lost.
+//!
+//! The workflow mirrors how an application would use the library as a storage
+//! and editing backend: compress once, store the `.sltg` bytes, reload later,
+//! apply updates through [`CompressedDom`], recompress, and store again.
+//!
+//! Run with: `cargo run --release --example persistence`
+
+use slt_xml::datasets::Dataset;
+use slt_xml::grammar_repair::query::PathQuery;
+use slt_xml::sltgrammar::fingerprint::fingerprint;
+use slt_xml::sltgrammar::serialize;
+use slt_xml::xmltree::UpdateOp;
+use slt_xml::CompressedDom;
+
+fn main() {
+    // 1. Compress a Medline-like bibliography and serialize it.
+    let xml = Dataset::Medline.generate(0.1);
+    println!(
+        "document: {} elements ({} binary edges)",
+        xml.node_count(),
+        2 * xml.node_count()
+    );
+    let dom = CompressedDom::from_xml(&xml, 100);
+    let bytes = serialize::encode(dom.grammar());
+    println!(
+        "compressed: {} grammar edges, {} bytes on disk ({:.2} bytes per element)",
+        dom.edge_count(),
+        bytes.len(),
+        bytes.len() as f64 / xml.node_count() as f64
+    );
+    let original_fingerprint = fingerprint(dom.grammar());
+
+    // 2. Reload from the serialized form — the grammar round-trips exactly.
+    let reloaded = serialize::decode(&bytes).expect("well-formed .sltg bytes");
+    assert_eq!(fingerprint(&reloaded), original_fingerprint);
+    println!("reloaded grammar matches the original (fingerprints agree)");
+
+    // 3. Keep editing the reloaded document through the DOM handle.
+    let mut dom = CompressedDom::from_grammar(reloaded, 50);
+    let citations_before = PathQuery::parse("//citation")
+        .unwrap()
+        .count(dom.grammar());
+    let fragment = slt_xml::xmltree::parse::parse_xml(
+        "<citation><pmid/><article><title/><abstract/></article></citation>",
+    )
+    .unwrap();
+    for k in 0..120 {
+        // Insert before the element at a (valid) position that moves through the
+        // document; positions address the binary tree in preorder.
+        let target = 1 + (k * 37) % (dom.derived_size() as usize - 2);
+        dom.apply(&UpdateOp::InsertBefore {
+            target,
+            fragment: fragment.clone(),
+        })
+        .expect("valid insert");
+    }
+    println!(
+        "after 120 inserts: {} edges, {} automatic recompressions",
+        dom.edge_count(),
+        dom.recompressions()
+    );
+    let citations_after = PathQuery::parse("//citation")
+        .unwrap()
+        .count(dom.grammar());
+    println!("citations: {citations_before} -> {citations_after}");
+
+    // 4. Store the edited document again.
+    let edited = serialize::encode(dom.grammar());
+    println!(
+        "edited document stored in {} bytes (was {} bytes)",
+        edited.len(),
+        bytes.len()
+    );
+    let back = serialize::decode(&edited).expect("well-formed .sltg bytes");
+    assert_eq!(fingerprint(&back), fingerprint(dom.grammar()));
+    println!("round-trip of the edited grammar verified");
+}

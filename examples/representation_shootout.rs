@@ -1,0 +1,115 @@
+//! Compressed-representation shoot-out: pointer DOM vs succinct DOM vs
+//! minimal DAG vs TreeRePair vs GrammarRePair.
+//!
+//! The paper's related-work section contrasts SLCF grammars with succinct
+//! trees (compact and navigable, but not updatable) and its introduction cites
+//! minimal DAG sharing as the precursor of grammar compression. This example
+//! builds all of them for three synthetic corpus documents and reports
+//! in-memory size, structural size (edges) and navigation throughput.
+//!
+//! Run with: `cargo run --release --example representation_shootout`
+
+use std::time::Instant;
+
+use slt_xml::dag_xml::Dag;
+use slt_xml::datasets::Dataset;
+use slt_xml::grammar_repair::navigate::{Cursor, PreorderLabels};
+use slt_xml::grammar_repair::GrammarRePair;
+use slt_xml::sltgrammar::{serialize, SymbolTable};
+use slt_xml::succinct_xml::SuccinctDom;
+use slt_xml::treerepair::TreeRePair;
+use slt_xml::xmltree::binary::to_binary;
+use slt_xml::xmltree::XmlTree;
+
+fn pointer_dom_bytes(xml: &XmlTree) -> usize {
+    xml.preorder()
+        .iter()
+        .map(|&v| 8 + 24 + xml.children(v).len() * 4 + xml.label(v).len())
+        .sum()
+}
+
+fn report(dataset: Dataset, scale: f64) {
+    let xml = dataset.generate(scale);
+    let n = xml.node_count();
+    println!(
+        "=== {} ({} elements, depth {}) ===",
+        dataset.name(),
+        n,
+        xml.depth()
+    );
+
+    let mut symbols = SymbolTable::new();
+    let bin = to_binary(&xml, &mut symbols).expect("valid document");
+
+    let succinct = SuccinctDom::build(&xml);
+    let dag = Dag::build(&bin, &symbols);
+    let (tree_grammar, _) = TreeRePair::default().compress_binary(symbols.clone(), bin.clone());
+    let (grammar, _) = GrammarRePair::default().compress_xml(&xml);
+
+    println!("{:<30}{:>14}{:>12}", "representation", "bytes", "B / node");
+    let row = |name: &str, bytes: usize| {
+        println!("{:<30}{:>14}{:>12.2}", name, bytes, bytes as f64 / n as f64);
+    };
+    row("pointer DOM (estimate)", pointer_dom_bytes(&xml));
+    row("succinct DOM (BP + labels)", succinct.size_bytes());
+    row("minimal DAG", dag.size_bytes());
+    row("TreeRePair grammar (bytes)", serialize::encoded_size(&tree_grammar));
+    row("GrammarRePair grammar (bytes)", serialize::encoded_size(&grammar));
+
+    println!("{:<30}{:>14}", "structural size", "edges");
+    println!("{:<30}{:>14}", "binary tree", 2 * n);
+    println!("{:<30}{:>14}", "minimal DAG", dag.edge_count());
+    println!("{:<30}{:>14}", "TreeRePair grammar", tree_grammar.edge_count());
+    println!("{:<30}{:>14}", "GrammarRePair grammar", grammar.edge_count());
+
+    // Navigation throughput: full preorder traversal of every representation.
+    let t = Instant::now();
+    let visited_pointer = xml.preorder().len();
+    let pointer_time = t.elapsed();
+
+    let t = Instant::now();
+    let mut visited_succinct = 0usize;
+    for v in succinct.preorder() {
+        std::hint::black_box(succinct.label(v));
+        visited_succinct += 1;
+    }
+    let succinct_time = t.elapsed();
+
+    let t = Instant::now();
+    let visited_grammar = PreorderLabels::new(&grammar).count();
+    let grammar_time = t.elapsed();
+
+    println!("{:<30}{:>14}{:>12}", "full traversal", "nodes", "time");
+    println!("{:<30}{:>14}{:>12.2?}", "pointer DOM", visited_pointer, pointer_time);
+    println!("{:<30}{:>14}{:>12.2?}", "succinct DOM", visited_succinct, succinct_time);
+    println!(
+        "{:<30}{:>14}{:>12.2?}",
+        "grammar cursor (binary view)", visited_grammar, grammar_time
+    );
+
+    // Random-access navigation on the grammar: root-to-leaf walks.
+    let t = Instant::now();
+    let mut cursor = Cursor::new(&grammar);
+    let mut steps = 0usize;
+    for i in 0..10_000usize {
+        while cursor.down(i % 2) {
+            steps += 1;
+        }
+        while cursor.up().is_some() {}
+    }
+    println!(
+        "grammar cursor random walks: {} steps in {:.2?}\n",
+        steps,
+        t.elapsed()
+    );
+}
+
+fn main() {
+    for (dataset, scale) in [
+        (Dataset::ExiWeblog, 0.5),
+        (Dataset::XMark, 0.5),
+        (Dataset::Medline, 0.2),
+    ] {
+        report(dataset, scale);
+    }
+}

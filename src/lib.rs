@@ -1,0 +1,31 @@
+//! # slt-xml — incremental updates on compressed XML (ICDE 2016 reproduction)
+//!
+//! Facade crate re-exporting the whole workspace: the SLCF grammar substrate,
+//! the XML structure model, the TreeRePair baseline, GrammarRePair with
+//! grammar updates, the synthetic evaluation corpus, and the related-work
+//! baselines (minimal DAG sharing and succinct DOM trees). The runnable
+//! examples in `examples/` and the cross-crate integration and property tests
+//! in `tests/` live on this crate.
+//!
+//! See the individual crates for the full API documentation:
+//! [`sltgrammar`], [`xmltree`], [`treerepair`], [`grammar_repair`],
+//! [`datasets`], [`dag_xml`], [`succinct_xml`].
+
+#![warn(missing_docs)]
+
+pub use dag_xml;
+pub use datasets;
+pub use grammar_repair;
+pub use sltgrammar;
+pub use succinct_xml;
+pub use treerepair;
+pub use xmltree;
+
+/// Convenience re-export of the high-level mutable compressed document handle.
+pub use grammar_repair::session::CompressedDom;
+
+/// Convenience re-export of the read-only navigation cursor over a grammar.
+pub use grammar_repair::navigate::Cursor;
+
+/// Convenience re-export of the path-query engine over compressed documents.
+pub use grammar_repair::query::PathQuery;

@@ -1,0 +1,125 @@
+//! Qualitative reproduction checks: the *shapes* the paper reports must hold on
+//! the synthetic corpus (who compresses better, how large the update overheads
+//! are), even though absolute numbers differ from the original testbed.
+
+use slt_xml::datasets::catalog::Dataset;
+use slt_xml::datasets::workload::{random_insert_delete_sequence, WorkloadMix};
+use slt_xml::grammar_repair::repair::GrammarRePair;
+use slt_xml::grammar_repair::udc::recompress_from_scratch;
+use slt_xml::grammar_repair::update::apply_update;
+use slt_xml::treerepair::{TreeRePair, TreeRePairConfig};
+
+/// Table III shape: the regular files compress by orders of magnitude more than
+/// the moderate files, and Treebank-like data is the hardest.
+#[test]
+fn compression_regimes_match_table_iii() {
+    let ratio = |d: Dataset, s: f64| {
+        let xml = d.generate(s);
+        let (_, stats) = GrammarRePair::default().compress_xml(&xml);
+        stats.output_edges as f64 / stats.input_edges as f64
+    };
+    let weblog = ratio(Dataset::ExiWeblog, 0.2);
+    let ncbi = ratio(Dataset::Ncbi, 0.05);
+    let xmark = ratio(Dataset::XMark, 0.1);
+    let treebank = ratio(Dataset::Treebank, 0.05);
+    let medline = ratio(Dataset::Medline, 0.05);
+
+    assert!(weblog < 0.05, "EXI-Weblog-like ratio too large: {weblog}");
+    assert!(ncbi < 0.05, "NCBI-like ratio too large: {ncbi}");
+    assert!(xmark > 0.02 && xmark < 0.5, "XMark-like ratio out of range: {xmark}");
+    assert!(treebank > 0.10, "Treebank-like ratio too small: {treebank}");
+    assert!(weblog < medline && medline < treebank, "ordering violated");
+}
+
+/// Section V-B shape: GrammarRePair applied to trees compresses about as well
+/// as TreeRePair (the paper reports similar or better sizes).
+#[test]
+fn grammarrepair_compresses_as_well_as_treerepair() {
+    for dataset in [Dataset::ExiWeblog, Dataset::XMark, Dataset::Medline] {
+        let xml = dataset.generate(0.05);
+        let (_, tr) = TreeRePair::default().compress_xml(&xml);
+        let (_, gr) = GrammarRePair::default().compress_xml(&xml);
+        let a = tr.output_edges as f64;
+        let b = gr.output_edges as f64;
+        assert!(
+            b <= 1.35 * a + 16.0,
+            "{}: GrammarRePair ({b}) much worse than TreeRePair ({a})",
+            dataset.name()
+        );
+    }
+}
+
+/// Figures 4/5 shape: after a batch of updates, naive grammars carry a large
+/// overhead over compression from scratch, while GrammarRePair-maintained
+/// grammars stay close to it.
+#[test]
+fn update_overheads_match_the_dynamic_experiments() {
+    for (dataset, scale) in [(Dataset::ExiWeblog, 0.15), (Dataset::XMark, 0.06)] {
+        let xml = dataset.generate(scale);
+        let ops = random_insert_delete_sequence(&xml, 200, 99, WorkloadMix::default());
+        let (initial, _) = TreeRePair::default().compress_xml(&xml);
+
+        let mut naive = initial.clone();
+        let mut maintained = initial.clone();
+        let repair = GrammarRePair::default();
+        for (i, op) in ops.iter().enumerate() {
+            apply_update(&mut naive, op).unwrap();
+            apply_update(&mut maintained, op).unwrap();
+            if (i + 1) % 100 == 0 {
+                repair.recompress(&mut maintained);
+            }
+        }
+        repair.recompress(&mut maintained);
+        let (scratch, _) = recompress_from_scratch(&naive, TreeRePairConfig::default()).unwrap();
+
+        let naive_overhead = naive.edge_count() as f64 / scratch.edge_count() as f64;
+        let gr_overhead = maintained.edge_count() as f64 / scratch.edge_count() as f64;
+        assert!(
+            naive_overhead > 1.05,
+            "{}: naive updates should carry visible overhead, got {naive_overhead}",
+            dataset.name()
+        );
+        assert!(
+            gr_overhead < naive_overhead,
+            "{}: GrammarRePair should beat naive updates ({gr_overhead} vs {naive_overhead})",
+            dataset.name()
+        );
+        assert!(
+            gr_overhead < 6.0,
+            "{}: GrammarRePair overhead should stay small, got {gr_overhead}",
+            dataset.name()
+        );
+    }
+}
+
+/// GrammarRePair recompression of an updated grammar touches far fewer nodes
+/// than decompressing: its peak intermediate grammar stays well below the
+/// uncompressed document size (the paper's 6–23 % space argument).
+#[test]
+fn recompression_space_stays_below_decompression() {
+    let xml = Dataset::ExiWeblog.generate(0.3);
+    let ops = random_insert_delete_sequence(&xml, 150, 5, WorkloadMix::default());
+    let (mut g, _) = TreeRePair::default().compress_xml(&xml);
+    for op in &ops {
+        apply_update(&mut g, op).unwrap();
+    }
+    let uncompressed_edges = {
+        let tree = slt_xml::sltgrammar::derive::val(&g).unwrap();
+        tree.edge_count()
+    };
+    let updated_edges = g.edge_count();
+    let stats = GrammarRePair::default().recompress(&mut g);
+    assert!(
+        stats.max_intermediate_edges <= updated_edges.max(uncompressed_edges),
+        "recompression must not allocate more than the updated grammar / document: peak {} vs updated {} / uncompressed {}",
+        stats.max_intermediate_edges,
+        updated_edges,
+        uncompressed_edges
+    );
+    assert!(
+        stats.output_edges * 3 < uncompressed_edges,
+        "the recompressed grammar ({}) should stay well below the uncompressed size ({})",
+        stats.output_edges,
+        uncompressed_edges
+    );
+}

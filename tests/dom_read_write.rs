@@ -1,0 +1,157 @@
+//! End-to-end differential test of the full read/write cycle: a mixed update
+//! workload applied through [`CompressedDom`] (with automatic recompression)
+//! must stay byte-for-byte equivalent to the same workload applied to an
+//! uncompressed reference copy — including everything the *read path* reports
+//! (labels, element counts, path-query results) after every batch of updates.
+
+use slt_xml::grammar_repair::navigate::element_count;
+use slt_xml::grammar_repair::query::PathQuery;
+use slt_xml::sltgrammar::fingerprint::fingerprint;
+use slt_xml::sltgrammar::SymbolTable;
+use slt_xml::xmltree::binary::{from_binary, to_binary, tree_fingerprint};
+use slt_xml::xmltree::parse::parse_xml;
+use slt_xml::xmltree::{updates as reference, UpdateOp, XmlTree};
+use slt_xml::CompressedDom;
+
+/// Deterministic pseudo-random stream (splitmix64) so the workload is
+/// reproducible without pulling in `rand`.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound.max(1)
+    }
+}
+
+fn seed_document() -> XmlTree {
+    let mut doc = String::from("<journal>");
+    for i in 0..40 {
+        doc.push_str("<issue>");
+        for _ in 0..(1 + i % 3) {
+            doc.push_str("<paper><title/><authors><a/><a/></authors><abstract/></paper>");
+        }
+        doc.push_str("</issue>");
+    }
+    doc.push_str("</journal>");
+    parse_xml(&doc).unwrap()
+}
+
+#[test]
+fn mixed_workload_with_recompression_matches_the_reference() {
+    let xml = seed_document();
+    let mut symbols = SymbolTable::new();
+    let mut reference_bin = to_binary(&xml, &mut symbols).unwrap();
+
+    let mut dom = CompressedDom::from_xml(&xml, 25);
+    assert_eq!(fingerprint(dom.grammar()), tree_fingerprint(&reference_bin, &symbols));
+
+    let fragment = parse_xml("<erratum><note/></erratum>").unwrap();
+    let labels = ["paper", "retracted", "editorial", "report"];
+    let queries = ["//paper/title", "//erratum", "//issue", "//authors/a", "//retracted"];
+
+    let mut rng = Rng(0x5EED);
+    let mut applied = 0usize;
+    for step in 0usize..120 {
+        let size = dom.derived_size();
+        let target = 1 + rng.below((size - 2) as u64) as usize;
+        let op = match rng.below(10) {
+            0 => UpdateOp::Delete { target },
+            1..=3 => UpdateOp::InsertBefore {
+                target,
+                fragment: fragment.clone(),
+            },
+            _ => UpdateOp::Rename {
+                target,
+                label: labels[step % labels.len()].to_string(),
+            },
+        };
+
+        // Apply to the compressed document first; if the position happens to be
+        // invalid for the operation (e.g. renaming a null node), both sides
+        // skip it so they stay in lockstep.
+        match dom.apply(&op) {
+            Ok(_) => {
+                reference::apply_update(&mut reference_bin, &mut symbols, &op)
+                    .expect("reference must accept whatever the grammar accepted");
+                applied += 1;
+            }
+            Err(_) => continue,
+        }
+
+        if step % 10 == 0 {
+            // Structural equivalence.
+            assert_eq!(
+                fingerprint(dom.grammar()),
+                tree_fingerprint(&reference_bin, &symbols),
+                "divergence after {applied} applied updates"
+            );
+            // Read path equivalence.
+            let reference_xml = from_binary(&reference_bin, &symbols).unwrap();
+            assert_eq!(
+                element_count(dom.grammar()),
+                reference_xml.node_count() as u128
+            );
+            for text in queries {
+                let q = PathQuery::parse(text).unwrap();
+                assert_eq!(
+                    q.count(dom.grammar()),
+                    q.evaluate_uncompressed(&reference_xml).len() as u128,
+                    "query {text} diverged after {applied} applied updates"
+                );
+            }
+        }
+    }
+    assert!(applied >= 60, "expected most of the workload to apply, got {applied}");
+    assert!(dom.recompressions() >= 2, "automatic recompression should have triggered");
+
+    // Final full materialization equals the reference document.
+    let final_xml = dom.to_xml().unwrap();
+    let reference_xml = from_binary(&reference_bin, &symbols).unwrap();
+    assert_eq!(final_xml.to_xml(), reference_xml.to_xml());
+}
+
+#[test]
+fn recompression_never_changes_query_results() {
+    // Apply a rename-heavy workload *without* automatic recompression, then
+    // recompress manually and check the read path is bit-identical before and
+    // after — recompression must be invisible to readers.
+    let xml = seed_document();
+    let mut dom = CompressedDom::from_xml(&xml, 0);
+    let mut rng = Rng(0xFEED);
+    for i in 0..60 {
+        let size = dom.derived_size();
+        let target = 1 + rng.below((size - 2) as u64) as usize;
+        let _ = dom.apply(&UpdateOp::Rename {
+            target,
+            label: format!("tag{}", i % 7),
+        });
+    }
+    let queries = ["//paper", "//tag0", "//tag3//a", "//issue/paper/title"];
+    let before: Vec<u128> = queries
+        .iter()
+        .map(|q| PathQuery::parse(q).unwrap().count(dom.grammar()))
+        .collect();
+    let edges_before = dom.edge_count();
+    dom.recompress_now();
+    let after: Vec<u128> = queries
+        .iter()
+        .map(|q| PathQuery::parse(q).unwrap().count(dom.grammar()))
+        .collect();
+    assert_eq!(before, after);
+    // Allow a handful of edges of slack: recompression of small grammars can
+    // occasionally trade a couple of edges for an extra pattern rule.
+    assert!(
+        dom.edge_count() <= edges_before + edges_before / 10 + 6,
+        "recompression grew the grammar substantially ({} -> {})",
+        edges_before,
+        dom.edge_count()
+    );
+}

@@ -1,0 +1,202 @@
+//! Cross-crate integration tests for the read path over compressed documents:
+//! cursor navigation, streaming traversal, path queries and label statistics,
+//! all cross-checked against the uncompressed document.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use slt_xml::datasets::catalog::Dataset;
+use slt_xml::grammar_repair::navigate::{element_count, label_counts, Cursor, PreorderLabels};
+use slt_xml::grammar_repair::query::PathQuery;
+use slt_xml::grammar_repair::repair::GrammarRePair;
+use slt_xml::succinct_xml::SuccinctDom;
+use slt_xml::treerepair::TreeRePair;
+use slt_xml::xmltree::XmlTree;
+
+/// Document-order element labels reached through the compressed cursor.
+fn document_labels_via_cursor(g: &slt_xml::sltgrammar::Grammar) -> Vec<String> {
+    let mut cursor = Cursor::new(g);
+    let mut labels = Vec::new();
+    'outer: loop {
+        labels.push(cursor.label().to_string());
+        if cursor.doc_first_child() {
+            continue;
+        }
+        loop {
+            if cursor.doc_next_sibling() {
+                break;
+            }
+            if !cursor.doc_parent() {
+                break 'outer;
+            }
+        }
+    }
+    labels
+}
+
+fn document_labels(xml: &XmlTree) -> Vec<String> {
+    xml.preorder()
+        .iter()
+        .map(|&n| xml.label(n).to_string())
+        .collect()
+}
+
+#[test]
+fn cursor_visits_the_corpus_documents_in_document_order() {
+    for dataset in [Dataset::ExiWeblog, Dataset::XMark, Dataset::Treebank] {
+        let xml = dataset.generate(0.02);
+        let (g, _) = GrammarRePair::default().compress_xml(&xml);
+        assert_eq!(
+            document_labels_via_cursor(&g),
+            document_labels(&xml),
+            "cursor order mismatch on {}",
+            dataset.name()
+        );
+        assert_eq!(element_count(&g), xml.node_count() as u128);
+    }
+}
+
+#[test]
+fn streaming_preorder_matches_the_binary_tree_of_the_corpus() {
+    let xml = Dataset::Medline.generate(0.02);
+    let mut symbols = slt_xml::sltgrammar::SymbolTable::new();
+    let bin = slt_xml::xmltree::binary::to_binary(&xml, &mut symbols).unwrap();
+    let (g, _) = TreeRePair::default().compress_binary(symbols.clone(), bin.clone());
+    let got: Vec<String> = PreorderLabels::new(&g)
+        .map(|t| g.symbols.name(t).to_string())
+        .collect();
+    let expected: Vec<String> = bin
+        .preorder()
+        .iter()
+        .map(|&n| match bin.kind(n) {
+            slt_xml::sltgrammar::NodeKind::Term(t) => symbols.name(t).to_string(),
+            _ => unreachable!(),
+        })
+        .collect();
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn queries_agree_with_uncompressed_evaluation_on_the_corpus() {
+    let cases = [
+        (Dataset::XMark, vec!["//item", "//item/name", "/site/regions//keyword", "//person"]),
+        (Dataset::Medline, vec!["//citation", "//article/title", "/medline_citation_set//author"]),
+        (Dataset::ExiWeblog, vec!["//entry", "/log/entry/request/uri", "//absent"]),
+    ];
+    for (dataset, queries) in cases {
+        let xml = dataset.generate(0.03);
+        let (g, _) = GrammarRePair::default().compress_xml(&xml);
+        for text in queries {
+            let q = PathQuery::parse(text).unwrap();
+            let reference = q.evaluate_uncompressed(&xml);
+            assert_eq!(
+                q.count(&g),
+                reference.len() as u128,
+                "count mismatch for {text} on {}",
+                dataset.name()
+            );
+            assert_eq!(
+                q.evaluate(&g),
+                reference,
+                "evaluation mismatch for {text} on {}",
+                dataset.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn label_counts_match_the_document_statistics() {
+    let xml = Dataset::ExiTelecomp.generate(0.05);
+    let (g, _) = GrammarRePair::default().compress_xml(&xml);
+    let counts = label_counts(&g);
+    let mut expected: HashMap<String, u128> = HashMap::new();
+    for n in xml.preorder() {
+        *expected.entry(xml.label(n).to_string()).or_insert(0) += 1;
+    }
+    for (label, count) in expected {
+        assert_eq!(counts.get(&label).copied().unwrap_or(0), count, "label {label}");
+    }
+}
+
+#[test]
+fn succinct_dom_and_grammar_cursor_agree() {
+    // Two entirely independent read paths over the same document must agree on
+    // navigation results: the succinct DOM (pointerless but uncompressed) and
+    // the grammar cursor (compressed).
+    let xml = Dataset::XMark.generate(0.05);
+    let dom = SuccinctDom::build(&xml);
+    let (g, _) = GrammarRePair::default().compress_xml(&xml);
+    let via_grammar = document_labels_via_cursor(&g);
+    let via_succinct: Vec<String> = dom.preorder().map(|v| dom.label(v).to_string()).collect();
+    assert_eq!(via_grammar, via_succinct);
+    assert_eq!(element_count(&g), dom.node_count() as u128);
+}
+
+/// Random document strategy shared by the property tests below.
+fn arbitrary_xml(max_nodes: usize) -> impl Strategy<Value = XmlTree> {
+    let labels = prop::sample::select(vec!["a", "b", "c", "item", "rec"]);
+    proptest::collection::vec((labels, 0usize..8), 1..max_nodes).prop_map(|spec| {
+        let mut t = XmlTree::new("root");
+        let mut nodes = vec![t.root()];
+        for (label, parent_choice) in spec {
+            let parent = nodes[parent_choice % nodes.len()];
+            let n = t.add_child(parent, label);
+            nodes.push(n);
+        }
+        t
+    })
+}
+
+/// Random path queries over the small label alphabet used by `arbitrary_xml`.
+fn arbitrary_query() -> impl Strategy<Value = String> {
+    let step = (
+        prop::bool::ANY,
+        prop::sample::select(vec!["a", "b", "c", "item", "rec", "root", "*"]),
+    );
+    proptest::collection::vec(step, 1..4).prop_map(|steps| {
+        let mut q = String::new();
+        for (descendant, label) in steps {
+            q.push_str(if descendant { "//" } else { "/" });
+            q.push_str(label);
+        }
+        q
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The document view of the cursor visits exactly the original document.
+    #[test]
+    fn prop_cursor_document_traversal(xml in arbitrary_xml(50)) {
+        let (g, _) = GrammarRePair::default().compress_xml(&xml);
+        prop_assert_eq!(document_labels_via_cursor(&g), document_labels(&xml));
+    }
+
+    /// Both query evaluation modes agree with the uncompressed oracle on
+    /// arbitrary documents and arbitrary small queries.
+    #[test]
+    fn prop_queries_match_oracle(xml in arbitrary_xml(50), query in arbitrary_query()) {
+        let q = PathQuery::parse(&query).unwrap();
+        let (g, _) = TreeRePair::default().compress_xml(&xml);
+        let reference = q.evaluate_uncompressed(&xml);
+        prop_assert_eq!(q.count(&g), reference.len() as u128, "count for {}", query);
+        prop_assert_eq!(q.evaluate(&g), reference, "evaluation for {}", query);
+    }
+
+    /// Usage-weighted label statistics equal the real per-label counts.
+    #[test]
+    fn prop_label_counts_match(xml in arbitrary_xml(60)) {
+        let (g, _) = TreeRePair::default().compress_xml(&xml);
+        let counts = label_counts(&g);
+        let mut expected: HashMap<String, u128> = HashMap::new();
+        for n in xml.preorder() {
+            *expected.entry(xml.label(n).to_string()).or_insert(0) += 1;
+        }
+        for (label, count) in expected {
+            prop_assert_eq!(counts.get(&label).copied().unwrap_or(0), count);
+        }
+        prop_assert_eq!(element_count(&g), xml.node_count() as u128);
+    }
+}

@@ -1,0 +1,131 @@
+//! Cross-crate integration tests: compression roundtrips on the synthetic
+//! corpus and on random documents (property-based).
+
+use proptest::prelude::*;
+use slt_xml::datasets::catalog::Dataset;
+use slt_xml::grammar_repair::repair::GrammarRePair;
+use slt_xml::sltgrammar::fingerprint::fingerprint;
+use slt_xml::sltgrammar::SymbolTable;
+use slt_xml::treerepair::TreeRePair;
+use slt_xml::xmltree::binary::{from_binary, to_binary, tree_fingerprint};
+use slt_xml::xmltree::XmlTree;
+
+/// Compression must be lossless: `val(compress(t)) == t` for both compressors.
+#[test]
+fn compressors_are_lossless_on_the_corpus() {
+    for dataset in Dataset::all() {
+        let xml = dataset.generate(0.03);
+        let mut symbols = SymbolTable::new();
+        let bin = to_binary(&xml, &mut symbols).unwrap();
+        let reference = tree_fingerprint(&bin, &symbols);
+
+        let (g_tr, _) = TreeRePair::default().compress_binary(symbols.clone(), bin.clone());
+        g_tr.validate().unwrap();
+        assert_eq!(fingerprint(&g_tr), reference, "TreeRePair lost data on {}", dataset.name());
+
+        let (g_gr, _) = GrammarRePair::default().compress_xml(&xml);
+        g_gr.validate().unwrap();
+        assert_eq!(
+            fingerprint(&g_gr),
+            reference,
+            "GrammarRePair lost data on {}",
+            dataset.name()
+        );
+    }
+}
+
+/// Recompressing a TreeRePair grammar with GrammarRePair keeps the document and
+/// does not blow the grammar up.
+#[test]
+fn recompression_of_compressed_grammars_is_stable() {
+    for dataset in [Dataset::ExiWeblog, Dataset::XMark, Dataset::Medline] {
+        let xml = dataset.generate(0.05);
+        let (mut g, tr_stats) = TreeRePair::default().compress_xml(&xml);
+        let reference = fingerprint(&g);
+        let stats = GrammarRePair::default().recompress(&mut g);
+        g.validate().unwrap();
+        assert_eq!(fingerprint(&g), reference);
+        assert!(
+            stats.output_edges <= tr_stats.output_edges + tr_stats.output_edges / 5 + 8,
+            "{}: recompression should not grow the grammar substantially ({} -> {})",
+            dataset.name(),
+            tr_stats.output_edges,
+            stats.output_edges
+        );
+    }
+}
+
+/// Decompressing a grammar and re-reading it as XML reproduces the document.
+#[test]
+fn full_decompression_roundtrip() {
+    let xml = Dataset::ExiTelecomp.generate(0.05);
+    let (g, _) = TreeRePair::default().compress_xml(&xml);
+    let bin = slt_xml::sltgrammar::derive::val(&g).unwrap();
+    let back = from_binary(&bin, &g.symbols).unwrap();
+    assert_eq!(back.to_xml(), xml.to_xml());
+}
+
+/// Strategy: random unranked XML trees with up to `max_nodes` nodes drawn from
+/// a small label alphabet (repetition makes them compressible).
+fn arbitrary_xml(max_nodes: usize) -> impl Strategy<Value = XmlTree> {
+    let labels = prop::sample::select(vec!["a", "b", "c", "item", "rec"]);
+    (2usize..max_nodes, proptest::collection::vec((labels, 0usize..8), 1..max_nodes)).prop_map(
+        |(_, spec)| {
+            let mut t = XmlTree::new("root");
+            let mut nodes = vec![t.root()];
+            for (label, parent_choice) in spec {
+                let parent = nodes[parent_choice % nodes.len()];
+                let n = t.add_child(parent, label);
+                nodes.push(n);
+            }
+            t
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// TreeRePair is lossless on arbitrary documents.
+    #[test]
+    fn prop_treerepair_roundtrips(xml in arbitrary_xml(60)) {
+        let mut symbols = SymbolTable::new();
+        let bin = to_binary(&xml, &mut symbols).unwrap();
+        let reference = tree_fingerprint(&bin, &symbols);
+        let (g, stats) = TreeRePair::default().compress_binary(symbols, bin);
+        prop_assert!(g.validate().is_ok());
+        prop_assert_eq!(fingerprint(&g), reference);
+        prop_assert!(stats.output_edges <= stats.input_edges);
+    }
+
+    /// GrammarRePair applied to the tree is lossless and similar in size to
+    /// TreeRePair.
+    #[test]
+    fn prop_grammarrepair_roundtrips(xml in arbitrary_xml(60)) {
+        let mut symbols = SymbolTable::new();
+        let bin = to_binary(&xml, &mut symbols).unwrap();
+        let reference = tree_fingerprint(&bin, &symbols);
+        let (g, _) = GrammarRePair::default().compress_xml(&xml);
+        prop_assert!(g.validate().is_ok());
+        prop_assert_eq!(fingerprint(&g), reference);
+    }
+
+    /// XML serialization and parsing are inverse to each other.
+    #[test]
+    fn prop_xml_serialization_roundtrips(xml in arbitrary_xml(80)) {
+        let text = xml.to_xml();
+        let parsed = slt_xml::xmltree::parse::parse_xml(&text).unwrap();
+        prop_assert_eq!(parsed.to_xml(), text);
+        prop_assert_eq!(parsed.node_count(), xml.node_count());
+    }
+
+    /// Binary encoding and decoding are inverse to each other.
+    #[test]
+    fn prop_binary_encoding_roundtrips(xml in arbitrary_xml(80)) {
+        let mut symbols = SymbolTable::new();
+        let bin = to_binary(&xml, &mut symbols).unwrap();
+        prop_assert_eq!(bin.node_count(), 2 * xml.node_count() + 1);
+        let back = from_binary(&bin, &symbols).unwrap();
+        prop_assert_eq!(back.to_xml(), xml.to_xml());
+    }
+}
