@@ -3,8 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use datasets::catalog::Dataset;
+use datasets::regular::heterogeneous_records_like;
 use grammar_repair::repair::GrammarRePair;
-use treerepair::TreeRePair;
+use treerepair::{DigramSelector, TreeRePair, TreeRePairConfig};
 
 fn bench_compression(c: &mut Criterion) {
     let mut group = c.benchmark_group("static_compression");
@@ -38,5 +39,34 @@ fn bench_compression(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_compression);
+/// Frequency-bucket queue vs naive table-rescan selection, on the
+/// selection-bound heterogeneous event-stream corpus (repetitive *and*
+/// label-diverse) and on a near-pathological low-diversity corpus where both
+/// selectors are equivalent. Outputs are byte-identical (see the
+/// `selector_equivalence` test suite); only wall-time differs.
+fn bench_selectors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("digram_selector");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let corpora = [
+        ("heterogeneous", heterogeneous_records_like(500, 10_000)),
+        ("exi_weblog", Dataset::ExiWeblog.generate(0.05)),
+    ];
+    for (name, xml) in &corpora {
+        group.bench_with_input(BenchmarkId::new("queue", name), xml, |b, xml| {
+            b.iter(|| TreeRePair::default().compress_xml(xml))
+        });
+        let naive = TreeRePair::new(TreeRePairConfig {
+            selector: DigramSelector::NaiveScan,
+            ..TreeRePairConfig::default()
+        });
+        group.bench_with_input(BenchmarkId::new("naive", name), xml, |b, xml| {
+            b.iter(|| naive.compress_xml(xml))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compression, bench_selectors);
 criterion_main!(benches);

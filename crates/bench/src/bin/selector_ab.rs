@@ -1,0 +1,66 @@
+//! A/B comparison of the two digram selectors (frequency-bucket queue vs the
+//! naive per-round occurrence-table rescan) on the bench corpus.
+//!
+//! Verifies on every input that both selectors produce byte-identical output
+//! grammars over the same number of rounds, then reports wall-clock times and
+//! the speedup. The heterogeneous event-stream corpus is the selection-bound
+//! regime (repetitive *and* label-diverse); EXI-Weblog is the opposite extreme
+//! (few distinct digrams, selection never dominates).
+
+use std::time::Instant;
+
+use datasets::random::treebank_like;
+use datasets::regular::{exi_weblog_like, heterogeneous_records_like};
+use sltgrammar::text::print_grammar;
+use sltgrammar::SymbolTable;
+use treerepair::{DigramSelector, TreeRePair, TreeRePairConfig};
+use xmltree::binary::to_binary;
+use xmltree::XmlTree;
+
+fn measure(name: &str, xml: &XmlTree) {
+    let mut symbols = SymbolTable::new();
+    let bin = to_binary(xml, &mut symbols).expect("valid document");
+    let naive_cfg = TreeRePairConfig {
+        selector: DigramSelector::NaiveScan,
+        ..TreeRePairConfig::default()
+    };
+    let t0 = Instant::now();
+    let (g_naive, s_naive) = TreeRePair::new(naive_cfg).compress_binary(symbols.clone(), bin.clone());
+    let naive = t0.elapsed();
+    let t1 = Instant::now();
+    let (g_queue, s_queue) = TreeRePair::default().compress_binary(symbols, bin);
+    let queue = t1.elapsed();
+
+    assert_eq!(s_naive.rounds, s_queue.rounds, "round counts must agree");
+    assert_eq!(
+        print_grammar(&g_naive),
+        print_grammar(&g_queue),
+        "output grammars must be byte-identical"
+    );
+
+    println!(
+        "{name}: edges={} rounds={} ratio={:.4} naive={:.1?} queue={:.1?} speedup={:.2}x",
+        s_queue.input_edges,
+        s_queue.rounds,
+        s_queue.ratio(),
+        naive,
+        queue,
+        naive.as_secs_f64() / queue.as_secs_f64()
+    );
+}
+
+fn main() {
+    // Scale via `SELECTOR_AB_SCALE=small` for quick runs.
+    let small = std::env::var("SELECTOR_AB_SCALE").as_deref() == Ok("small");
+    let s = if small { 1 } else { 4 };
+    measure(
+        "heterogeneous(2000 schemas)",
+        &heterogeneous_records_like(2000, 10_000 * s),
+    );
+    measure(
+        "heterogeneous(1000 schemas)",
+        &heterogeneous_records_like(1000, 7_500 * s),
+    );
+    measure("treebank", &treebank_like(150 * s, 42));
+    measure("exi_weblog", &exi_weblog_like(5_000 * s));
+}

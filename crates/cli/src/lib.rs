@@ -464,7 +464,7 @@ fn cmd_generate(args: &[String]) -> Result<String, CliError> {
         .unwrap_or("0.2")
         .parse()
         .map_err(|_| CliError::usage("--scale expects a number"))?;
-    if !(scale > 0.0) || scale > 100.0 {
+    if scale <= 0.0 || scale > 100.0 || scale.is_nan() {
         return Err(CliError::usage("--scale must be in (0, 100]"));
     }
     let dataset = match name.to_lowercase().as_str() {

@@ -12,7 +12,7 @@ use std::collections::HashSet;
 use sltgrammar::pruning::{prune, PruneStats};
 use sltgrammar::{Grammar, SymbolTable};
 use treerepair::digram::pattern_rhs;
-use treerepair::Digram;
+use treerepair::{Digram, DigramSelector, FrequencyBucketQueue};
 use xmltree::binary::to_binary;
 use xmltree::XmlTree;
 
@@ -31,6 +31,10 @@ pub struct GrammarRePairConfig {
     pub optimize: bool,
     /// Run the final pruning phase.
     pub prune: bool,
+    /// Digram selection strategy, shared with the tree compressor: the
+    /// frequency-bucket queue by default, a full table scan as the testable
+    /// fallback. Both produce identical selections.
+    pub selector: DigramSelector,
 }
 
 impl Default for GrammarRePairConfig {
@@ -40,6 +44,7 @@ impl Default for GrammarRePairConfig {
             min_occurrences: 2,
             optimize: true,
             prune: true,
+            selector: DigramSelector::FrequencyQueue,
         }
     }
 }
@@ -114,29 +119,55 @@ impl GrammarRePair {
 
         loop {
             let table = retrieve_occs(g, &frozen);
-            let mut best: Option<(u64, Digram)> = None;
-            for (digram, occs) in &table {
-                if banned.contains(digram) {
-                    continue;
-                }
-                if occs.weight < self.config.min_occurrences {
-                    continue;
-                }
-                if digram.pattern_rank(g) > self.config.max_rank {
-                    continue;
-                }
-                match &best {
-                    None => best = Some((occs.weight, *digram)),
-                    Some((w, d)) => {
-                        if occs.weight > *w
-                            || (occs.weight == *w && digram.sort_key() < d.sort_key())
+            let selected = match self.config.selector {
+                DigramSelector::FrequencyQueue => {
+                    // Same queue the tree compressor maintains incrementally.
+                    // Here the generators are (still) re-retrieved per round —
+                    // an O(grammar) walk that dominates the round regardless of
+                    // selector — so the queue is bulk-built from the table.
+                    // Banned and below-threshold digrams never enter it (the
+                    // queue lives for one round, so dropping them is safe), and
+                    // rank-ineligible ones fall out on first contact. Making
+                    // this genuinely incremental means maintaining generators
+                    // across rounds; see the ROADMAP open item.
+                    let mut queue = FrequencyBucketQueue::new();
+                    for (digram, occs) in &table {
+                        if occs.weight >= self.config.min_occurrences && !banned.contains(digram)
                         {
-                            best = Some((occs.weight, *digram));
+                            queue.insert(*digram, occs.weight);
                         }
                     }
+                    queue.pop_best(self.config.min_occurrences, |d| {
+                        d.pattern_rank(g) <= self.config.max_rank
+                    })
                 }
-            }
-            let Some((_, digram)) = best else { break };
+                DigramSelector::NaiveScan => {
+                    let mut best: Option<(u64, Digram)> = None;
+                    for (digram, occs) in &table {
+                        if banned.contains(digram) {
+                            continue;
+                        }
+                        if occs.weight < self.config.min_occurrences {
+                            continue;
+                        }
+                        if digram.pattern_rank(g) > self.config.max_rank {
+                            continue;
+                        }
+                        match &best {
+                            None => best = Some((occs.weight, *digram)),
+                            Some((w, d)) => {
+                                if occs.weight > *w
+                                    || (occs.weight == *w && digram.sort_key() < d.sort_key())
+                                {
+                                    best = Some((occs.weight, *digram));
+                                }
+                            }
+                        }
+                    }
+                    best.map(|(_, d)| d)
+                }
+            };
+            let Some(digram) = selected else { break };
 
             let rank = digram.pattern_rank(g);
             let pattern = pattern_rhs(g, &digram);

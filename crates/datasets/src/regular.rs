@@ -64,6 +64,35 @@ pub fn ncbi_like(records: usize) -> XmlTree {
     t
 }
 
+
+/// Synthetic heterogeneous event stream: `schemas` distinct record templates
+/// (each with its own element vocabulary and field count), repeated round-robin
+/// for `records` total records. Models a multi-tenant event log: highly
+/// repetitive — every template occurs `records / schemas` times, so the
+/// grammar collapses each to a few rules — while remaining *label-diverse*,
+/// which keeps the digram universe large. This is the selection-bound regime:
+/// compressors whose digram selection rescans the occurrence table per round
+/// slow down quadratically here, the frequency-bucket queue does not.
+pub fn heterogeneous_records_like(schemas: usize, records: usize) -> XmlTree {
+    let schemas = schemas.max(1);
+    let mut t = XmlTree::new("events");
+    let root = t.root();
+    for r in 0..records {
+        let s = r % schemas;
+        let e = t.add_child(root, &format!("event_{s}"));
+        // Field count varies by schema (4..=9), field names are per-schema.
+        let fields = 4 + (s % 6);
+        for f in 0..fields {
+            let field = t.add_child(e, &format!("f{s}_{f}"));
+            // Every third field carries a nested per-schema detail element.
+            if f % 3 == 0 {
+                t.add_child(field, &format!("detail_{s}"));
+            }
+        }
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -101,5 +130,20 @@ mod tests {
                 stats.input_edges
             );
         }
+    }
+
+    #[test]
+    fn heterogeneous_records_are_repetitive_but_label_diverse() {
+        let t = heterogeneous_records_like(50, 1_000);
+        // 50 distinct schemas x (event + fields + details) labels.
+        assert!(t.labels().len() > 150, "labels: {}", t.labels().len());
+        let (_, stats) = TreeRePair::default().compress_xml(&t);
+        assert!(
+            stats.ratio() < 0.2,
+            "expected strong compression, got {}",
+            stats.ratio()
+        );
+        // Deterministic: no RNG involved.
+        assert_eq!(t.to_xml(), heterogeneous_records_like(50, 1_000).to_xml());
     }
 }

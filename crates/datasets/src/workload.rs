@@ -180,9 +180,20 @@ mod tests {
         for op in &ops {
             apply_update(&mut bin, &mut symbols, op).unwrap();
         }
-        // Still a well-formed document.
+        // Still a well-formed document. (No assertion on net growth: deletes
+        // remove whole subtrees, so the size balance of a particular sequence
+        // is RNG-stream luck, not a property of the generator.)
         let back = from_binary(&bin, &symbols).unwrap();
-        assert!(back.node_count() > xml.node_count());
+        assert!(back.node_count() >= 1);
+        let inserts = ops
+            .iter()
+            .filter(|op| matches!(op, UpdateOp::InsertBefore { .. }))
+            .count();
+        assert!(
+            inserts > ops.len() / 2,
+            "inserts must dominate the default 90% mix, got {inserts}/{}",
+            ops.len()
+        );
     }
 
     #[test]

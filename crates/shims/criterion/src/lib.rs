@@ -1,0 +1,274 @@
+//! Offline stand-in for the subset of the `criterion` crate this workspace
+//! uses.
+//!
+//! The build environment has no crates.io access, so the benches in
+//! `bench-harness` link against this shim. It keeps the `criterion_group!` /
+//! `criterion_main!` / `benchmark_group` / `bench_with_input` / `Bencher::iter`
+//! surface, measures wall-clock time per iteration (median of the sampled
+//! runs), prints one line per benchmark, and — when the `BENCH_JSON`
+//! environment variable is set — writes all results to that path as a JSON
+//! array so baselines can be committed (see `BENCH_compression.json`).
+
+use std::time::{Duration, Instant};
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark group name.
+    pub group: String,
+    /// Benchmark id within the group (`function/parameter`).
+    pub id: String,
+    /// Median wall-clock nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Total iterations measured.
+    pub iterations: u64,
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(200),
+        }
+    }
+
+    /// Prints the collected results and writes them to `$BENCH_JSON` if set.
+    pub fn final_summary(&self) {
+        if let Ok(path) = std::env::var("BENCH_JSON") {
+            let mut out = String::from("[\n");
+            for (i, r) in self.results.iter().enumerate() {
+                let sep = if i + 1 == self.results.len() { "" } else { "," };
+                out.push_str(&format!(
+                    "  {{\"group\": \"{}\", \"id\": \"{}\", \"median_ns\": {:.0}, \"iterations\": {}}}{}\n",
+                    r.group, r.id, r.median_ns, r.iterations, sep
+                ));
+            }
+            out.push_str("]\n");
+            if let Err(e) = std::fs::write(&path, out) {
+                eprintln!("warning: could not write {path}: {e}");
+            }
+        }
+    }
+}
+
+/// A group of related benchmarks, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Target measurement time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up time before measuring.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::new(self.sample_size, self.measurement_time, self.warm_up_time);
+        f(&mut bencher, input);
+        self.record(id.id, bencher);
+        self
+    }
+
+    /// Benchmarks `f` without an input value.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::new(self.sample_size, self.measurement_time, self.warm_up_time);
+        f(&mut bencher);
+        self.record(id.id, bencher);
+        self
+    }
+
+    /// Finishes the group (results are recorded eagerly; kept for API parity).
+    pub fn finish(&mut self) {}
+
+    fn record(&mut self, id: String, bencher: Bencher) {
+        let median = bencher.median_ns();
+        println!(
+            "{}/{}: median {:.1} µs over {} iterations",
+            self.name,
+            id,
+            median / 1e3,
+            bencher.iterations
+        );
+        self.criterion.results.push(BenchResult {
+            group: self.name.clone(),
+            id,
+            median_ns: median,
+            iterations: bencher.iterations,
+        });
+    }
+}
+
+/// Benchmark identifier, mirroring `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Id made of a function name and a parameter.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Id made of a parameter only.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+/// Timing harness handed to benchmark closures, mirroring `criterion::Bencher`.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    samples_ns: Vec<f64>,
+    iterations: u64,
+}
+
+impl Bencher {
+    fn new(sample_size: usize, measurement_time: Duration, warm_up_time: Duration) -> Self {
+        Bencher {
+            sample_size,
+            measurement_time,
+            warm_up_time,
+            samples_ns: Vec::new(),
+            iterations: 0,
+        }
+    }
+
+    /// Measures `routine`: warm-up, then `sample_size` timed samples spread
+    /// over roughly `measurement_time`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up, also used to estimate the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        loop {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let budget = self.measurement_time.as_secs_f64();
+        let iters_per_sample =
+            ((budget / self.sample_size as f64 / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        self.samples_ns.clear();
+        self.iterations = 0;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            self.samples_ns.push(elapsed / iters_per_sample as f64);
+            self.iterations += iters_per_sample;
+        }
+    }
+
+    fn median_ns(&self) -> f64 {
+        let mut s = self.samples_ns.clone();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        if s.is_empty() {
+            return 0.0;
+        }
+        s[s.len() / 2]
+    }
+}
+
+/// Opaque value sink preventing the optimizer from deleting the benchmarked
+/// computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group function running the given benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($function:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($function(c);)+
+        }
+    };
+}
+
+/// Declares `main` running the given group functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        let mut c = Criterion::default();
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(3);
+            group.measurement_time(Duration::from_millis(30));
+            group.warm_up_time(Duration::from_millis(5));
+            group.bench_with_input(BenchmarkId::new("f", 1), &41u64, |b, &n| {
+                b.iter(|| n + 1)
+            });
+            group.finish();
+        }
+        assert_eq!(c.results.len(), 1);
+        assert_eq!(c.results[0].id, "f/1");
+        assert!(c.results[0].iterations >= 3);
+    }
+}

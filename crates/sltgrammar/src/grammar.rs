@@ -561,7 +561,7 @@ mod tests {
     #[test]
     fn gc_removes_unreachable_rules() {
         let mut g = sample();
-        let mut rhs = RhsTree::singleton(NodeKind::Term(g.symbols.null()));
+        let rhs = RhsTree::singleton(NodeKind::Term(g.symbols.null()));
         let root = rhs.root();
         let _ = root;
         g.add_rule("Orphan", 0, rhs);

@@ -7,8 +7,20 @@
 //! rules referenced at most once are removed first, then the remaining rules are
 //! examined in anti-straight-line order (callees first), recomputing savings as
 //! inlining changes rule sizes.
+//!
+//! Reference counts are maintained *incrementally* through a reference-site
+//! index built once up front: removing or inlining a rule touches only the
+//! entries of the rules its body mentions (plus the freshly inlined copies).
+//! Recomputing `Grammar::ref_counts` per removed rule — a full-grammar walk —
+//! made pruning quadratic in the number of rules, which dominated whole-run
+//! compression time on rule-heavy outputs (thousands of pattern rules).
+//! Node ids are stable across splices and inlining commutes across distinct
+//! sites, so index order never changes the pruned grammar.
+
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::grammar::Grammar;
+use crate::node::NodeId;
 use crate::symbol::NtId;
 
 /// Statistics of one pruning pass.
@@ -42,55 +54,119 @@ fn savings_with(g: &Grammar, nt: NtId, ref_count: usize) -> i64 {
     (ref_count as i64) * (size - rank) - size
 }
 
+/// Reference-site index: for every rule, the set of `(caller, node)` pairs
+/// referencing it. Ordered containers keep every iteration deterministic.
+type SiteIndex = BTreeMap<NtId, BTreeSet<(NtId, NodeId)>>;
+
+fn site_count(sites: &SiteIndex, nt: NtId) -> usize {
+    sites.get(&nt).map(|s| s.len()).unwrap_or(0)
+}
+
+/// The nonterminal references in `nt`'s current body, as `(callee, node)`.
+fn outgoing_refs(g: &Grammar, nt: NtId) -> Vec<(NtId, NodeId)> {
+    let rhs = &g.rule(nt).rhs;
+    rhs.preorder()
+        .into_iter()
+        .filter_map(|n| rhs.kind(n).as_nt().map(|callee| (callee, n)))
+        .collect()
+}
+
+/// Drops `nt`'s body references from the index (run before removing `nt`).
+fn unregister_outgoing(g: &Grammar, sites: &mut SiteIndex, nt: NtId) -> Vec<NtId> {
+    let mut touched = Vec::new();
+    for (callee, node) in outgoing_refs(g, nt) {
+        if let Some(s) = sites.get_mut(&callee) {
+            if s.remove(&(nt, node)) {
+                touched.push(callee);
+            }
+        }
+    }
+    touched
+}
+
+/// Inlines `nt` at one site and registers the references of the inlined copy.
+/// Re-inserting sites of argument subtrees that already lived in the caller is
+/// harmless: node ids are stable across splices, so those entries are
+/// idempotent.
+fn inline_site(g: &mut Grammar, sites: &mut SiteIndex, caller: NtId, node: NodeId) {
+    let new_root = g.inline_at(caller, node);
+    let caller_rhs = &g.rule(caller).rhs;
+    for n in caller_rhs.preorder_from(new_root) {
+        if let Some(callee) = caller_rhs.kind(n).as_nt() {
+            sites.entry(callee).or_default().insert((caller, n));
+        }
+    }
+}
+
 /// Removes unproductive rules from the grammar. The derived tree is unchanged.
 pub fn prune(g: &mut Grammar) -> PruneStats {
     let mut stats = PruneStats::default();
     stats.removed_unreachable += g.gc();
 
-    // Phase 1: rules with a single reference never pay for themselves.
-    loop {
-        let refs = g.ref_counts();
-        let mut candidate = None;
-        for nt in g.nonterminals() {
-            if nt == g.start() {
-                continue;
-            }
-            if refs.get(&nt).copied().unwrap_or(0) <= 1 {
-                candidate = Some(nt);
-                break;
-            }
-        }
-        match candidate {
-            Some(nt) => {
-                if g.ref_counts().get(&nt).copied().unwrap_or(0) == 0 {
-                    g.remove_rule(nt);
-                    stats.removed_unreachable += 1;
-                } else {
-                    g.inline_everywhere_and_remove(nt);
-                    stats.removed_single_ref += 1;
-                }
-            }
-            None => break,
-        }
+    let mut sites: SiteIndex = SiteIndex::new();
+    for (nt, refs) in g.refs() {
+        sites.insert(nt, refs.into_iter().collect());
     }
 
-    // Phase 2: greedy anti-SL pass over the remaining rules.
+    // Phase 1: rules with a single reference never pay for themselves. After
+    // the leading gc every rule is referenced at least once, and inlining a
+    // single-reference rule moves its body references into the caller
+    // one-for-one — no count ever changes — so the candidate set is fixed up
+    // front and the inline closure has a unique fixpoint: processing order
+    // cannot change the result. Order does drive the *cost*: callers first
+    // means every rule body is copied exactly once (total work linear in the
+    // grammar), whereas callees first recopies chained bodies quadratically.
     let order = g
         .anti_sl_order()
         .expect("pruning requires a straight-line grammar");
+    for &nt in order.iter().rev() {
+        if nt == g.start() || !g.has_rule(nt) {
+            continue;
+        }
+        match site_count(&sites, nt) {
+            0 => {
+                // Defensive only: gc just removed every unreachable rule.
+                unregister_outgoing(g, &mut sites, nt);
+                sites.remove(&nt);
+                g.remove_rule(nt);
+                stats.removed_unreachable += 1;
+            }
+            1 => {
+                let &(caller, node) = sites[&nt].iter().next().expect("count is 1");
+                unregister_outgoing(g, &mut sites, nt);
+                inline_site(g, &mut sites, caller, node);
+                sites.remove(&nt);
+                g.remove_rule(nt);
+                stats.removed_single_ref += 1;
+            }
+            _ => {}
+        }
+    }
+
+    // Phase 2: greedy anti-SL pass over the remaining rules (callees first;
+    // the order from before phase 1 is still a valid anti-SL order for the
+    // surviving rules).
     for nt in order {
         if nt == g.start() || !g.has_rule(nt) {
             continue;
         }
-        let refs = g.ref_counts();
-        let rc = refs.get(&nt).copied().unwrap_or(0);
+        let rc = site_count(&sites, nt);
         if rc == 0 {
+            unregister_outgoing(g, &mut sites, nt);
+            sites.remove(&nt);
             g.remove_rule(nt);
             stats.removed_unreachable += 1;
             continue;
         }
         if savings_with(g, nt, rc) < 0 {
-            g.inline_everywhere_and_remove(nt);
+            let site_list: Vec<(NtId, NodeId)> =
+                sites.get(&nt).into_iter().flatten().copied().collect();
+            unregister_outgoing(g, &mut sites, nt);
+            for (caller, node) in site_list {
+                inline_site(g, &mut sites, caller, node);
+            }
+            sites.remove(&nt);
+            g.remove_rule(nt);
             stats.removed_unproductive += 1;
         }
     }

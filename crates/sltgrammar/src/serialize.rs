@@ -234,10 +234,10 @@ pub fn decode(data: &[u8]) -> Result<Grammar> {
 
     // Rule bodies.
     let mut bodies: Vec<RhsTree> = Vec::with_capacity(rule_count);
-    for rule_idx in 0..rule_count {
+    for rule_name in rule_names.iter().take(rule_count) {
         let node_count = r.varint()? as usize;
         if node_count == 0 {
-            return Err(r.error(&format!("rule `{}` has an empty body", rule_names[rule_idx])));
+            return Err(r.error(&format!("rule `{rule_name}` has an empty body")));
         }
         // Read the preorder stream.
         let mut kinds = Vec::with_capacity(node_count);

@@ -87,12 +87,12 @@ impl BitVector {
     /// Builds a bit vector from packed words and a bit length.
     pub fn from_words(mut words: Vec<u64>, len: usize) -> Self {
         // Zero any bits beyond `len` so popcounts are exact.
-        let needed = (len + 63) / 64;
-        words.truncate(needed.max(0));
+        let needed = len.div_ceil(64);
+        words.truncate(needed);
         while words.len() < needed {
             words.push(0);
         }
-        if len % 64 != 0 {
+        if !len.is_multiple_of(64) {
             if let Some(last) = words.last_mut() {
                 let keep = len % 64;
                 *last &= (1u64 << keep) - 1;
@@ -180,7 +180,7 @@ impl BitVector {
         let mut lo = 0usize;
         let mut hi = self.block_ranks.len() - 1;
         while lo < hi {
-            let mid = (lo + hi + 1) / 2;
+            let mid = (lo + hi).div_ceil(2);
             if self.block_ranks[mid] < k {
                 lo = mid;
             } else {
@@ -211,7 +211,7 @@ impl BitVector {
         let mut lo = 0usize;
         let mut hi = self.block_ranks.len() - 1;
         while lo < hi {
-            let mid = (lo + hi + 1) / 2;
+            let mid = (lo + hi).div_ceil(2);
             // The sentinel block may start beyond `len`; clamp by using word count.
             let start_bits = (mid * WORDS_PER_BLOCK * 64).min(self.words.len() * 64);
             let zeros = start_bits as u64 - self.block_ranks[mid];
@@ -379,11 +379,11 @@ mod tests {
 
     #[test]
     fn all_ones_and_all_zeros() {
-        let bv = BitVector::from_bits(std::iter::repeat(true).take(300));
+        let bv = BitVector::from_bits(std::iter::repeat_n(true, 300));
         assert_eq!(bv.count_ones(), 300);
         assert_eq!(bv.select1(300), Some(299));
         assert_eq!(bv.select0(1), None);
-        let bv = BitVector::from_bits(std::iter::repeat(false).take(300));
+        let bv = BitVector::from_bits(std::iter::repeat_n(false, 300));
         assert_eq!(bv.count_ones(), 0);
         assert_eq!(bv.select0(300), Some(299));
         assert_eq!(bv.select1(1), None);
@@ -420,6 +420,6 @@ mod tests {
         let bv = BitVector::from_bits(pattern(80_000));
         let bytes = bv.size_bytes();
         // 80 000 bits = 10 000 bytes; directory adds ~2%.
-        assert!(bytes >= 10_000 && bytes < 12_000, "unexpected size {bytes}");
+        assert!((10_000..12_000).contains(&bytes), "unexpected size {bytes}");
     }
 }

@@ -81,7 +81,7 @@ impl BpTree {
             bits.count_zeros(),
             "parenthesis sequence must be balanced"
         );
-        let n_words = (bits.len() + 63) / 64;
+        let n_words = bits.len().div_ceil(64);
         let mut word_total = Vec::with_capacity(n_words);
         let mut word_min = Vec::with_capacity(n_words);
         let mut word_max = Vec::with_capacity(n_words);
@@ -100,7 +100,7 @@ impl BpTree {
             word_min.push(min);
             word_max.push(max);
         }
-        let n_blocks = (n_words + WORDS_PER_EXCESS_BLOCK - 1) / WORDS_PER_EXCESS_BLOCK;
+        let n_blocks = n_words.div_ceil(WORDS_PER_EXCESS_BLOCK);
         let mut block_total = Vec::with_capacity(n_blocks);
         let mut block_min = Vec::with_capacity(n_blocks);
         let mut block_max = Vec::with_capacity(n_blocks);
@@ -182,7 +182,7 @@ impl BpTree {
         // Skip whole words / blocks whose excess range cannot contain the target.
         let mut word = i / 64;
         while word < self.word_total.len() {
-            if word % WORDS_PER_EXCESS_BLOCK == 0 {
+            if word.is_multiple_of(WORDS_PER_EXCESS_BLOCK) {
                 // Try to skip an entire block.
                 let block = word / WORDS_PER_EXCESS_BLOCK;
                 let lo = excess + self.block_min[block];
@@ -245,7 +245,7 @@ impl BpTree {
         // end_excess == excess(word_start - 1), the excess at the last position of `word`.
         while word >= 0 {
             let w = word as usize;
-            if (w + 1) % WORDS_PER_EXCESS_BLOCK == 0 {
+            if (w + 1).is_multiple_of(WORDS_PER_EXCESS_BLOCK) {
                 // Try to skip the whole block ending at this word.
                 let block = w / WORDS_PER_EXCESS_BLOCK;
                 let start_excess = end_excess - self.block_total[block];
@@ -356,7 +356,7 @@ impl BpTree {
 
     /// Number of nodes in the subtree rooted at `v`.
     pub fn subtree_size(&self, v: BpNode) -> usize {
-        (self.find_close(v.0) - v.0 + 1) / 2
+        (self.find_close(v.0) - v.0).div_ceil(2)
     }
 
     /// Depth of `v` (root has depth 0).

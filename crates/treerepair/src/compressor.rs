@@ -15,6 +15,19 @@ use xmltree::XmlTree;
 use crate::digram::{pattern_rhs, Digram};
 use crate::occurrences::OccTable;
 
+/// How the compression loop selects the next digram to replace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DigramSelector {
+    /// Pop the incrementally maintained frequency-bucket queue (O(1)
+    /// amortized per round). The default.
+    #[default]
+    FrequencyQueue,
+    /// Rescan the whole occurrence table every round (the historical
+    /// quadratic behavior). Kept as an oracle: both selectors produce
+    /// byte-identical grammars, which the equivalence tests assert.
+    NaiveScan,
+}
+
 /// Configuration of the RePair compression loop.
 #[derive(Debug, Clone, Copy)]
 pub struct TreeRePairConfig {
@@ -25,6 +38,8 @@ pub struct TreeRePairConfig {
     pub min_occurrences: usize,
     /// Whether to run the final pruning phase.
     pub prune: bool,
+    /// Digram selection strategy; see [`DigramSelector`].
+    pub selector: DigramSelector,
 }
 
 impl Default for TreeRePairConfig {
@@ -33,6 +48,7 @@ impl Default for TreeRePairConfig {
             max_rank: 4,
             min_occurrences: 2,
             prune: true,
+            selector: DigramSelector::FrequencyQueue,
         }
     }
 }
@@ -114,27 +130,48 @@ impl TreeRePair {
         };
 
         let mut occ = OccTable::scan(&grammar.rule(start).rhs);
+        // Replacement targets of the round, reused across rounds (filled from
+        // the ordered occurrence set — no per-round allocation or sort).
+        let mut targets: Vec<NodeId> = Vec::new();
+        // Live grammar edge count, maintained arithmetically: recomputing it
+        // via `Grammar::edge_count` walks every rule and would put an O(n)
+        // traversal back into each round.
+        let mut live_edges = input_edges;
         loop {
-            let Some(digram) = self.select(&occ, grammar) else {
+            let selected = match self.config.selector {
+                DigramSelector::FrequencyQueue => occ.select_best(
+                    self.config.min_occurrences,
+                    // Pattern ranks are immutable per digram, so the queue
+                    // caches this verdict: the rank of any digram is computed
+                    // at most once over the whole run.
+                    |d| d.pattern_rank(grammar) <= self.config.max_rank,
+                ),
+                DigramSelector::NaiveScan => self.select_naive(&occ, grammar),
+            };
+            let Some(digram) = selected else {
                 break;
             };
             let pattern = pattern_rhs(grammar, &digram);
             let rank = digram.pattern_rank(grammar);
             let x = grammar.add_rule_fresh("X", rank, pattern);
-            let targets = occ
-                .iter()
-                .find(|(d, _)| **d == digram)
-                .map(|(_, o)| o.children_sorted())
-                .unwrap_or_default();
+            occ.collect_children_into(&digram, &mut targets);
+            let mut replaced = 0usize;
             {
                 let rhs = &mut grammar.rule_mut(start).rhs;
-                for w in targets {
-                    replace_occurrence(rhs, &mut occ, &digram, x, w);
+                for &w in &targets {
+                    if replace_occurrence(rhs, &mut occ, &digram, x, w) {
+                        replaced += 1;
+                    }
                 }
             }
             occ.remove_digram(&digram);
             stats.rounds += 1;
-            stats.max_intermediate_edges = stats.max_intermediate_edges.max(grammar.edge_count());
+            // The pattern rule t_X has rank+1 edges; each splice fuses two
+            // nodes into one, removing exactly one edge from the start rule.
+            live_edges += rank + 1;
+            live_edges -= replaced;
+            debug_assert_eq!(live_edges, grammar.edge_count());
+            stats.max_intermediate_edges = stats.max_intermediate_edges.max(live_edges);
         }
 
         if self.config.prune {
@@ -147,8 +184,11 @@ impl TreeRePair {
         stats
     }
 
-    /// Selects a most frequent appropriate digram (deterministic tie-breaking).
-    fn select(&self, occ: &OccTable, grammar: &Grammar) -> Option<Digram> {
+    /// Selects a most frequent appropriate digram by scanning the whole
+    /// occurrence table (deterministic tie-breaking). Reference implementation
+    /// for [`DigramSelector::NaiveScan`]; the queue-based selector must agree
+    /// with it on every round.
+    fn select_naive(&self, occ: &OccTable, grammar: &Grammar) -> Option<Digram> {
         let mut best: Option<(usize, Digram)> = None;
         for (digram, occurrences) in occ.iter() {
             let count = occurrences.count();
@@ -175,20 +215,21 @@ impl TreeRePair {
 
 /// Replaces one occurrence of `digram` (identified by its child node `w`) with a
 /// reference to the pattern rule `x`, updating neighbouring occurrences.
+/// Returns whether the occurrence was still intact and actually replaced.
 fn replace_occurrence(
     rhs: &mut RhsTree,
     occ: &mut OccTable,
     digram: &Digram,
     x: NtId,
     w: NodeId,
-) {
-    let Some(v) = rhs.parent(w) else { return };
+) -> bool {
+    let Some(v) = rhs.parent(w) else { return false };
     // Defensive re-validation: the occurrence must still be intact.
     if rhs.kind(v) != digram.parent
         || rhs.kind(w) != digram.child
         || rhs.child_index(w) != Some(digram.child_index)
     {
-        return;
+        return false;
     }
     let i = digram.child_index;
 
@@ -272,6 +313,7 @@ fn replace_occurrence(
             c,
         );
     }
+    true
 }
 
 #[cfg(test)]

@@ -14,6 +14,38 @@
 //! 2. an independent oracle: its output sizes are cross-checked against
 //!    GrammarRePair run on trivial grammars.
 //!
+//! ## Digram selection: the frequency-bucket queue
+//!
+//! The compression loop's hot query is "which digram is most frequent right
+//! now?". A naive implementation rescans the whole occurrence table every
+//! round — O(#digrams) per round, quadratic over a run, and it re-derives each
+//! candidate's pattern rank on every scan. Instead, [`OccTable`] embeds a
+//! [`queue::FrequencyBucketQueue`] (Larsson & Moffat's RePair queue, adapted
+//! to tree digrams) that it keeps consistent *incrementally*:
+//!
+//! * **Bucket invariant** — a digram with `c` recorded occurrences sits in
+//!   bucket `c`. Every [`OccTable::add`] / [`OccTable::remove`] moves the
+//!   digram between adjacent buckets: an O(1) expected hash lookup plus an
+//!   O(log b) insertion into the destination bucket (buckets are ordered by
+//!   [`Digram::sort_key`], which is what keeps tie-breaking deterministic).
+//! * **Pop invariant** — [`OccTable::select_best`] returns the digram a full
+//!   table scan would return: maximal count, ties broken by smallest sort
+//!   key. The top-bucket cursor only rises when a count rises, by one step
+//!   per increment, so the downward walk is amortized O(1) per round.
+//! * **Eligibility cache** — a digram's pattern rank never changes (terminal
+//!   ranks are fixed by the symbol table; a pattern rule's rank is fixed at
+//!   creation), so a digram rejected for exceeding `k_in` is excluded
+//!   permanently. The rank of each digram is computed at most once per run,
+//!   instead of once per candidate per round.
+//! * **Ordered occurrence sets** — per-digram child sets are `BTreeSet`s, so
+//!   collecting a round's replacement targets is an ordered copy into a
+//!   reusable buffer, never an allocate-and-sort.
+//!
+//! [`compressor::DigramSelector::NaiveScan`] switches the loop back to the
+//! full rescan; both selectors produce byte-identical grammars (asserted by
+//! unit tests here and the `selector_equivalence` property suite at the
+//! workspace root), so the queue is a pure performance change.
+//!
 //! ## Example
 //!
 //! ```
@@ -31,7 +63,9 @@
 pub mod compressor;
 pub mod digram;
 pub mod occurrences;
+pub mod queue;
 
-pub use compressor::{CompressionStats, TreeRePair, TreeRePairConfig};
+pub use compressor::{CompressionStats, DigramSelector, TreeRePair, TreeRePairConfig};
 pub use digram::Digram;
 pub use occurrences::OccTable;
+pub use queue::FrequencyBucketQueue;

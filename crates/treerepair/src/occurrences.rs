@@ -4,19 +4,33 @@
 //! non-overlapping occurrences found by a greedy top-down traversal. During
 //! replacement the sets are updated incrementally ("updating the context",
 //! paper Section IV-C) instead of being recounted from scratch.
+//!
+//! The table doubles as the selection data structure: every
+//! [`OccTable::add`] / [`OccTable::remove`] forwards the digram's count change
+//! to an embedded [`FrequencyBucketQueue`], so
+//! [`OccTable::select_best`] answers "most frequent eligible digram" without
+//! scanning the table — the per-round full scan this replaces made the
+//! compression loop quadratic in the number of distinct digrams.
+//!
+//! Occurrence child sets are ordered ([`BTreeSet`]), so draining the
+//! replacement targets of the selected digram
+//! ([`OccTable::collect_children_into`]) reuses a caller buffer and never
+//! re-sorts.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 use sltgrammar::{NodeId, RhsTree};
 
 use crate::digram::Digram;
+use crate::queue::FrequencyBucketQueue;
 
 /// Occurrences of one digram. An occurrence `(v, w)` is identified by its child
 /// node `w` (the parent is unique); the parent set is kept to detect overlaps of
 /// equal-label digrams.
 #[derive(Debug, Default, Clone)]
 pub struct Occurrences {
-    children: HashSet<NodeId>,
+    /// Child nodes, kept ordered so deterministic iteration needs no sorting.
+    children: BTreeSet<NodeId>,
     parents: HashSet<NodeId>,
 }
 
@@ -26,11 +40,9 @@ impl Occurrences {
         self.children.len()
     }
 
-    /// The child nodes identifying the occurrences, in deterministic order.
+    /// The child nodes identifying the occurrences, in ascending order.
     pub fn children_sorted(&self) -> Vec<NodeId> {
-        let mut v: Vec<NodeId> = self.children.iter().copied().collect();
-        v.sort();
-        v
+        self.children.iter().copied().collect()
     }
 
     fn would_overlap(&self, parent: NodeId, child: NodeId) -> bool {
@@ -38,10 +50,12 @@ impl Occurrences {
     }
 }
 
-/// Table of digram occurrences over one working tree.
+/// Table of digram occurrences over one working tree, with an embedded
+/// frequency-bucket queue answering max-frequency queries incrementally.
 #[derive(Debug, Default, Clone)]
 pub struct OccTable {
     map: HashMap<Digram, Occurrences>,
+    queue: FrequencyBucketQueue,
 }
 
 impl OccTable {
@@ -64,21 +78,28 @@ impl OccTable {
     }
 
     /// Records an occurrence, unless it would overlap with an already recorded
-    /// occurrence of the same equal-label digram.
+    /// occurrence of the same equal-label digram. The digram's queue bucket is
+    /// updated in the same step.
     pub fn add(&mut self, digram: Digram, parent: NodeId, child: NodeId) {
         let entry = self.map.entry(digram).or_default();
         if digram.equal_labels() && entry.would_overlap(parent, child) {
             return;
         }
-        entry.children.insert(child);
-        entry.parents.insert(parent);
+        let old = entry.children.len() as u64;
+        if entry.children.insert(child) {
+            entry.parents.insert(parent);
+            self.queue.update(&digram, old, old + 1);
+        }
     }
 
-    /// Removes an occurrence if present (no-op otherwise).
+    /// Removes an occurrence if present (no-op otherwise), updating the
+    /// digram's queue bucket.
     pub fn remove(&mut self, digram: &Digram, parent: NodeId, child: NodeId) {
         if let Some(entry) = self.map.get_mut(digram) {
+            let old = entry.children.len() as u64;
             if entry.children.remove(&child) {
                 entry.parents.remove(&parent);
+                self.queue.update(digram, old, old - 1);
             }
             if entry.children.is_empty() {
                 self.map.remove(digram);
@@ -88,12 +109,38 @@ impl OccTable {
 
     /// Drops all occurrences of a digram (after its replacement round).
     pub fn remove_digram(&mut self, digram: &Digram) {
-        self.map.remove(digram);
+        if let Some(entry) = self.map.remove(digram) {
+            self.queue.update(digram, entry.children.len() as u64, 0);
+        }
     }
 
     /// Number of occurrences currently recorded for `digram`.
     pub fn count(&self, digram: &Digram) -> usize {
         self.map.get(digram).map(|o| o.count()).unwrap_or(0)
+    }
+
+    /// Clears `buf` and fills it with the child nodes identifying `digram`'s
+    /// occurrences in ascending order. A direct map lookup plus an ordered
+    /// copy — no table scan, no sort; the buffer is reusable across rounds.
+    pub fn collect_children_into(&self, digram: &Digram, buf: &mut Vec<NodeId>) {
+        buf.clear();
+        if let Some(entry) = self.map.get(digram) {
+            buf.extend(entry.children.iter().copied());
+        }
+    }
+
+    /// Most frequent digram with at least `min_count` occurrences among those
+    /// accepted by `eligible`, ties broken by smallest [`Digram::sort_key`] —
+    /// the same digram a full scan of the table would select, computed from the
+    /// incrementally maintained buckets. Digrams rejected by `eligible` are
+    /// excluded permanently (pattern ranks never change), so the eligibility
+    /// test runs at most once per digram over the whole compression run.
+    pub fn select_best(
+        &mut self,
+        min_count: usize,
+        eligible: impl FnMut(&Digram) -> bool,
+    ) -> Option<Digram> {
+        self.queue.pop_best(min_count as u64, eligible)
     }
 
     /// Iterates over all digrams and their occurrence sets.
@@ -185,5 +232,54 @@ mod tests {
         assert_eq!(table.count(&d), 1);
         table.remove_digram(&d);
         assert_eq!(table.count(&d), 0);
+    }
+
+    #[test]
+    fn select_best_matches_a_full_scan() {
+        let g = parse_grammar("S -> f(a(#,#),f(a(#,#),a(#,#)))").unwrap();
+        let mut table = OccTable::scan(&g.rule(g.start()).rhs);
+        // Full-scan reference: max count, ties by smallest sort key.
+        let expected = table
+            .iter()
+            .filter(|(_, o)| o.count() >= 2)
+            .max_by(|(d1, o1), (d2, o2)| {
+                o1.count()
+                    .cmp(&o2.count())
+                    .then_with(|| d2.sort_key().cmp(&d1.sort_key()))
+            })
+            .map(|(d, _)| *d);
+        assert_eq!(table.select_best(2, |_| true), expected);
+    }
+
+    #[test]
+    fn collect_children_reuses_the_buffer() {
+        let g = parse_grammar("S -> f(a(#,#),a(#,#))").unwrap();
+        let mut table = OccTable::scan(&g.rule(g.start()).rhs);
+        let d = digram_by_names(&g, "a", 0, "#");
+        let mut buf = vec![NodeId(999)];
+        table.collect_children_into(&d, &mut buf);
+        assert_eq!(buf.len(), 2);
+        assert!(buf.windows(2).all(|w| w[0] < w[1]), "buffer must be sorted");
+        table.remove_digram(&d);
+        table.collect_children_into(&d, &mut buf);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn queue_follows_incremental_updates() {
+        let g = parse_grammar("S -> f(a(#,#),a(#,#))").unwrap();
+        let rhs = &g.rule(g.start()).rhs;
+        let mut table = OccTable::scan(rhs);
+        let d = digram_by_names(&g, "a", 0, "#");
+        assert_eq!(table.select_best(2, |_| true), Some(d));
+        // Removing one occurrence drops (a,0,#) to count 1; the other
+        // two-occurrence digram (a,1,#) takes over.
+        let child = table.map.get(&d).unwrap().children_sorted()[0];
+        let parent = rhs.parent(child).unwrap();
+        table.remove(&d, parent, child);
+        assert_eq!(
+            table.select_best(2, |_| true),
+            Some(digram_by_names(&g, "a", 1, "#"))
+        );
     }
 }

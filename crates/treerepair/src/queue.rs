@@ -1,0 +1,276 @@
+//! Frequency-bucket priority queue over digrams (Larsson–Moffat style,
+//! adapted to tree digrams).
+//!
+//! RePair repeatedly needs "the most frequent digram, ties broken by
+//! [`Digram::sort_key`]". A linear scan of the occurrence table per round makes
+//! the compression loop quadratic in the number of distinct digrams; this
+//! queue maintains the answer incrementally instead:
+//!
+//! * digrams are kept in *buckets* indexed by their current occurrence count;
+//! * [`FrequencyBucketQueue::update`] moves a digram between buckets when its
+//!   count changes — an O(1) expected bucket lookup plus an O(log b) ordered
+//!   insertion into the destination bucket of size `b` (the ordering inside a
+//!   bucket is what keeps tie-breaking deterministic and the output grammar
+//!   byte-identical to a naive full scan);
+//! * [`FrequencyBucketQueue::pop_best`] walks down from the highest non-empty
+//!   bucket. The walk is amortized O(1): the top-bucket cursor only rises when
+//!   an `update` raises it, by at most one step per count increment, so total
+//!   walking is bounded by total updates. Digrams rejected by the caller's
+//!   eligibility test (pattern rank above `k_in`) are removed *permanently* —
+//!   a digram's pattern rank never changes, so each digram is tested at most
+//!   once over the whole run.
+//!
+//! Counts are `u64` so the same queue serves both the tree compressor (counts
+//! bounded by the node count) and GrammarRePair's usage-weighted occurrence
+//! counts (which can saturate `u64` on deeply nested grammars). Buckets for
+//! small counts are array-indexed; the rare astronomical counts spill into an
+//! ordered map.
+
+use std::collections::btree_map::Entry;
+use std::collections::{BTreeMap, HashSet};
+
+use crate::digram::Digram;
+
+/// The deterministic tie-breaking key, see [`Digram::sort_key`].
+type SortKey = (u8, u32, usize, u8, u32);
+
+/// Counts below this bound use array-indexed buckets; larger counts (only
+/// reachable through usage-weighted grammar occurrences) use the spill map.
+const LOW_BUCKETS: usize = 1 << 16;
+
+/// An ordered bucket: all digrams currently holding one particular count,
+/// ordered by sort key. `sort_key` is injective, so the key fully identifies
+/// the digram and the map never collides.
+type Bucket = BTreeMap<SortKey, Digram>;
+
+/// Incrementally maintained max-frequency digram queue with deterministic
+/// tie-breaking. See the module docs for the complexity contract.
+#[derive(Debug, Default, Clone)]
+pub struct FrequencyBucketQueue {
+    /// `low[c]` holds the digrams whose current count is `c`, for
+    /// `c < LOW_BUCKETS`. Grown on demand; empty buckets are cheap
+    /// (`BTreeMap::new` does not allocate).
+    low: Vec<Bucket>,
+    /// Spill buckets for counts `>= LOW_BUCKETS`, keyed by count.
+    high: BTreeMap<u64, Bucket>,
+    /// Upper bound on the index of the highest non-empty low bucket.
+    max_low: usize,
+    /// Digrams permanently removed from selection (pattern rank exceeded the
+    /// configured maximum). Rank is immutable per digram, so exclusion is
+    /// final; `update` keeps these out of the buckets.
+    excluded: HashSet<Digram>,
+}
+
+impl FrequencyBucketQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        FrequencyBucketQueue::default()
+    }
+
+    /// Moves `digram` from the bucket for `old_count` to the bucket for
+    /// `new_count`. A count of 0 means "not queued": `update(d, 0, c)` enqueues
+    /// and `update(d, c, 0)` dequeues. Counts equal to each other are a no-op,
+    /// as are updates for permanently excluded digrams.
+    pub fn update(&mut self, digram: &Digram, old_count: u64, new_count: u64) {
+        if old_count == new_count || self.excluded.contains(digram) {
+            return;
+        }
+        let key = digram.sort_key();
+        if old_count > 0 {
+            self.bucket_mut(old_count).remove(&key);
+        }
+        if new_count > 0 {
+            self.bucket_mut(new_count).insert(key, *digram);
+            if new_count < LOW_BUCKETS as u64 {
+                self.max_low = self.max_low.max(new_count as usize);
+            }
+        }
+    }
+
+    /// Enqueues a digram with its initial count (used for bulk builds; no-op
+    /// for a zero count).
+    pub fn insert(&mut self, digram: Digram, count: u64) {
+        self.update(&digram, 0, count);
+    }
+
+    /// Returns the digram with the highest count `>= min_count`, breaking count
+    /// ties by smallest sort key, considering only digrams accepted by
+    /// `eligible`. Rejected digrams are removed permanently (their pattern rank
+    /// can never shrink). The returned digram stays queued; it is removed when
+    /// its count drops to zero via [`FrequencyBucketQueue::update`].
+    pub fn pop_best(
+        &mut self,
+        min_count: u64,
+        mut eligible: impl FnMut(&Digram) -> bool,
+    ) -> Option<Digram> {
+        // Spill buckets first: they always outrank the array-indexed ones.
+        while let Some((&count, bucket)) = self.high.iter_mut().next_back() {
+            match Self::first_eligible(bucket, &mut eligible, &mut self.excluded) {
+                Some(d) if count >= min_count => return Some(d),
+                Some(_) => break, // counts only get smaller from here on
+                None => {
+                    self.high.remove(&count);
+                }
+            }
+        }
+        if (self.max_low as u64) < min_count {
+            return None;
+        }
+        while self.max_low > 0 {
+            let cursor = self.max_low;
+            let bucket = &mut self.low[cursor];
+            match Self::first_eligible(bucket, &mut eligible, &mut self.excluded) {
+                Some(d) => {
+                    return if cursor as u64 >= min_count {
+                        Some(d)
+                    } else {
+                        None
+                    };
+                }
+                None => {
+                    self.max_low = cursor - 1;
+                    if (self.max_low as u64) < min_count {
+                        return None;
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// First eligible digram of one bucket in sort-key order; drains ineligible
+    /// entries into the permanent exclusion set.
+    fn first_eligible(
+        bucket: &mut Bucket,
+        eligible: &mut impl FnMut(&Digram) -> bool,
+        excluded: &mut HashSet<Digram>,
+    ) -> Option<Digram> {
+        while let Some((&key, &digram)) = bucket.iter().next() {
+            if eligible(&digram) {
+                return Some(digram);
+            }
+            bucket.remove(&key);
+            excluded.insert(digram);
+        }
+        None
+    }
+
+    /// Number of queued (non-excluded) digrams. O(#buckets in use).
+    pub fn len(&self) -> usize {
+        self.low.iter().map(|b| b.len()).sum::<usize>()
+            + self.high.values().map(|b| b.len()).sum::<usize>()
+    }
+
+    /// Whether no digram is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn bucket_mut(&mut self, count: u64) -> &mut Bucket {
+        if count < LOW_BUCKETS as u64 {
+            let index = count as usize;
+            if index >= self.low.len() {
+                self.low.resize_with(index + 1, Bucket::new);
+            }
+            &mut self.low[index]
+        } else {
+            match self.high.entry(count) {
+                Entry::Occupied(e) => e.into_mut(),
+                Entry::Vacant(e) => e.insert(Bucket::new()),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sltgrammar::NodeKind;
+    use sltgrammar::TermId;
+
+    fn digram(parent: u32, index: usize, child: u32) -> Digram {
+        Digram {
+            parent: NodeKind::Term(TermId(parent)),
+            child_index: index,
+            child: NodeKind::Term(TermId(child)),
+        }
+    }
+
+    #[test]
+    fn pops_highest_count_with_sort_key_ties() {
+        let mut q = FrequencyBucketQueue::new();
+        q.insert(digram(5, 0, 1), 3);
+        q.insert(digram(2, 0, 1), 3);
+        q.insert(digram(1, 0, 1), 2);
+        // Same count: the smaller sort key (parent 2) wins.
+        assert_eq!(q.pop_best(2, |_| true), Some(digram(2, 0, 1)));
+        // Popping does not dequeue; dropping the count does.
+        q.update(&digram(2, 0, 1), 3, 0);
+        assert_eq!(q.pop_best(2, |_| true), Some(digram(5, 0, 1)));
+        q.update(&digram(5, 0, 1), 3, 0);
+        assert_eq!(q.pop_best(2, |_| true), Some(digram(1, 0, 1)));
+        assert_eq!(q.pop_best(3, |_| true), None);
+    }
+
+    #[test]
+    fn min_count_filters_low_buckets() {
+        let mut q = FrequencyBucketQueue::new();
+        q.insert(digram(1, 0, 2), 1);
+        assert_eq!(q.pop_best(2, |_| true), None);
+        q.update(&digram(1, 0, 2), 1, 2);
+        assert_eq!(q.pop_best(2, |_| true), Some(digram(1, 0, 2)));
+    }
+
+    #[test]
+    fn ineligible_digrams_are_excluded_permanently() {
+        let mut q = FrequencyBucketQueue::new();
+        let fat = digram(0, 0, 0);
+        let thin = digram(3, 0, 3);
+        q.insert(fat, 9);
+        q.insert(thin, 4);
+        let mut tested = Vec::new();
+        let selected = q.pop_best(2, |d| {
+            tested.push(*d);
+            *d != fat
+        });
+        assert_eq!(selected, Some(thin));
+        assert_eq!(tested, vec![fat, thin]);
+        // The excluded digram never reappears, even if its count changes.
+        q.update(&fat, 9, 20);
+        assert_eq!(q.pop_best(2, |_| true), Some(thin));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn spill_buckets_handle_huge_counts() {
+        let mut q = FrequencyBucketQueue::new();
+        q.insert(digram(1, 0, 1), u64::MAX);
+        q.insert(digram(2, 0, 2), 1 << 40);
+        q.insert(digram(3, 0, 3), 7);
+        assert_eq!(q.pop_best(2, |_| true), Some(digram(1, 0, 1)));
+        q.update(&digram(1, 0, 1), u64::MAX, 0);
+        assert_eq!(q.pop_best(2, |_| true), Some(digram(2, 0, 2)));
+        // Falling out of the spill zone lands back in the array buckets,
+        // where the count-7 digram now outranks the demoted one.
+        q.update(&digram(2, 0, 2), 1 << 40, 3);
+        assert_eq!(q.pop_best(2, |_| true), Some(digram(3, 0, 3)));
+        q.update(&digram(3, 0, 3), 7, 0);
+        assert_eq!(q.pop_best(2, |_| true), Some(digram(2, 0, 2)));
+    }
+
+    #[test]
+    fn counts_can_rise_and_fall_repeatedly() {
+        let mut q = FrequencyBucketQueue::new();
+        let d = digram(1, 1, 2);
+        q.insert(d, 1);
+        for c in 2..50u64 {
+            q.update(&d, c - 1, c);
+        }
+        assert_eq!(q.pop_best(2, |_| true), Some(d));
+        for c in (25..50u64).rev() {
+            q.update(&d, c, c - 1);
+        }
+        assert_eq!(q.pop_best(2, |_| true), Some(d));
+        assert_eq!(q.pop_best(25, |_| true), None);
+    }
+}

@@ -1,0 +1,143 @@
+//! The frequency-bucket digram queue is a pure performance change: on every
+//! input, compression with the queue-based selector must produce a grammar
+//! byte-identical to the naive full-table-scan selector's, over the same
+//! number of rounds. These properties pin that down across the synthetic
+//! corpus generators and arbitrary random documents.
+
+use proptest::prelude::*;
+use slt_xml::datasets::random::{medline_like, treebank_like, xmark_like};
+use slt_xml::grammar_repair::repair::{GrammarRePair, GrammarRePairConfig};
+use slt_xml::sltgrammar::text::print_grammar;
+use slt_xml::sltgrammar::SymbolTable;
+use slt_xml::treerepair::{DigramSelector, TreeRePair, TreeRePairConfig};
+use slt_xml::xmltree::binary::to_binary;
+use slt_xml::xmltree::XmlTree;
+
+/// Compresses with both selectors and asserts byte-identical output grammars
+/// and identical round counts.
+fn assert_selectors_agree(xml: &XmlTree, context: &str) {
+    let mut symbols = SymbolTable::new();
+    let bin = to_binary(xml, &mut symbols).unwrap();
+
+    let queue_config = TreeRePairConfig::default();
+    assert_eq!(queue_config.selector, DigramSelector::FrequencyQueue);
+    let naive_config = TreeRePairConfig {
+        selector: DigramSelector::NaiveScan,
+        ..TreeRePairConfig::default()
+    };
+
+    let (g_queue, s_queue) =
+        TreeRePair::new(queue_config).compress_binary(symbols.clone(), bin.clone());
+    let (g_naive, s_naive) = TreeRePair::new(naive_config).compress_binary(symbols, bin);
+
+    assert_eq!(
+        print_grammar(&g_queue),
+        print_grammar(&g_naive),
+        "selectors disagree on {context}"
+    );
+    assert_eq!(
+        s_queue.rounds, s_naive.rounds,
+        "round counts disagree on {context}"
+    );
+    assert_eq!(s_queue.output_edges, s_naive.output_edges);
+    assert_eq!(s_queue.max_intermediate_edges, s_naive.max_intermediate_edges);
+}
+
+/// Same check for GrammarRePair, which bulk-builds the shared queue per round.
+fn assert_grammar_selectors_agree(xml: &XmlTree, context: &str) {
+    let queue = GrammarRePair::default();
+    let naive = GrammarRePair::new(GrammarRePairConfig {
+        selector: DigramSelector::NaiveScan,
+        ..GrammarRePairConfig::default()
+    });
+    let (g_queue, s_queue) = queue.compress_xml(xml);
+    let (g_naive, s_naive) = naive.compress_xml(xml);
+    assert_eq!(
+        print_grammar(&g_queue),
+        print_grammar(&g_naive),
+        "grammar selectors disagree on {context}"
+    );
+    assert_eq!(s_queue.rounds, s_naive.rounds);
+}
+
+#[test]
+fn selectors_agree_on_the_random_corpus_generators() {
+    for seed in 0..4u64 {
+        assert_selectors_agree(&xmark_like(4, seed), &format!("xmark_like(4, {seed})"));
+        assert_selectors_agree(&medline_like(12, seed), &format!("medline_like(12, {seed})"));
+        assert_selectors_agree(&treebank_like(8, seed), &format!("treebank_like(8, {seed})"));
+    }
+}
+
+#[test]
+fn selectors_agree_under_tight_rank_limits() {
+    // Small k_in exercises the eligibility-exclusion path: high-frequency
+    // digrams get skipped for rank, which is where the two selectors could
+    // plausibly diverge.
+    for max_rank in 1..=3 {
+        let xml = xmark_like(5, 99);
+        let mut symbols = SymbolTable::new();
+        let bin = to_binary(&xml, &mut symbols).unwrap();
+        let base = TreeRePairConfig {
+            max_rank,
+            ..TreeRePairConfig::default()
+        };
+        let naive = TreeRePairConfig {
+            selector: DigramSelector::NaiveScan,
+            ..base
+        };
+        let (gq, sq) = TreeRePair::new(base).compress_binary(symbols.clone(), bin.clone());
+        let (gn, sn) = TreeRePair::new(naive).compress_binary(symbols, bin);
+        assert_eq!(print_grammar(&gq), print_grammar(&gn), "k_in = {max_rank}");
+        assert_eq!(sq.rounds, sn.rounds);
+    }
+}
+
+#[test]
+fn grammar_repair_selectors_agree_on_corpus_generators() {
+    for seed in 0..2u64 {
+        assert_grammar_selectors_agree(&medline_like(8, seed), &format!("medline_like(8, {seed})"));
+        assert_grammar_selectors_agree(&treebank_like(5, seed), &format!("treebank_like(5, {seed})"));
+    }
+}
+
+/// Random unranked XML trees over a small alphabet (repetition keeps them
+/// compressible, which maximizes the number of selection rounds).
+fn arbitrary_xml(max_nodes: usize) -> impl Strategy<Value = XmlTree> {
+    let labels = prop::sample::select(vec!["a", "b", "c", "item", "rec"]);
+    proptest::collection::vec((labels, 0usize..8), 1..max_nodes).prop_map(|spec| {
+        let mut t = XmlTree::new("root");
+        let mut nodes = vec![t.root()];
+        for (label, parent_choice) in spec {
+            let parent = nodes[parent_choice % nodes.len()];
+            let n = t.add_child(parent, label);
+            nodes.push(n);
+        }
+        t
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Queue and naive-scan selection are indistinguishable on arbitrary trees.
+    #[test]
+    fn prop_selectors_agree_on_random_trees(xml in arbitrary_xml(80)) {
+        assert_selectors_agree(&xml, "random tree");
+    }
+
+    /// Random generator sizes/seeds for the corpus stand-ins.
+    #[test]
+    fn prop_selectors_agree_on_random_generator_parameters(
+        items in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        assert_selectors_agree(&xmark_like(items, seed), "xmark_like");
+    }
+
+    /// GrammarRePair agrees too on arbitrary trees.
+    #[test]
+    fn prop_grammar_selectors_agree_on_random_trees(xml in arbitrary_xml(50)) {
+        assert_grammar_selectors_agree(&xml, "random tree");
+    }
+}
