@@ -4,7 +4,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use datasets::catalog::Dataset;
 use datasets::regular::heterogeneous_records_like;
-use grammar_repair::repair::GrammarRePair;
+use datasets::workload::{random_insert_delete_sequence, WorkloadMix};
+use grammar_repair::repair::{GrammarRePair, GrammarRePairConfig};
+use grammar_repair::update::apply_update;
 use treerepair::{DigramSelector, TreeRePair, TreeRePairConfig};
 
 fn bench_compression(c: &mut Criterion) {
@@ -68,5 +70,58 @@ fn bench_selectors(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_compression, bench_selectors);
+/// The paper's actual workload: a compressed document receives a batch of
+/// random updates (90 % inserts / 10 % deletes executed directly on the
+/// grammar) and is then recompressed. `incremental` keeps the occurrence
+/// table and frequency queue alive across rounds (the default);
+/// `rebuild` re-retrieves all occurrence generators per round (the
+/// `NaiveScan` oracle, the pre-optimization behavior). Outputs are
+/// byte-identical (see `tests/recompress_incremental.rs`); only wall-time
+/// differs.
+fn bench_recompress_incremental(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recompress_incremental");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for dataset in [Dataset::ExiWeblog, Dataset::XMark] {
+        let xml = dataset.generate(0.05);
+        let ops = random_insert_delete_sequence(&xml, 60, 42, WorkloadMix::default());
+        let (mut updated, _) = GrammarRePair::default().compress_xml(&xml);
+        for op in &ops {
+            apply_update(&mut updated, op).expect("workload ops are valid");
+        }
+        group.bench_with_input(
+            BenchmarkId::new("incremental", dataset.name()),
+            &updated,
+            |b, g0| {
+                b.iter(|| {
+                    let mut g = g0.clone();
+                    GrammarRePair::default().recompress(&mut g)
+                })
+            },
+        );
+        let rebuild = GrammarRePair::new(GrammarRePairConfig {
+            selector: DigramSelector::NaiveScan,
+            ..GrammarRePairConfig::default()
+        });
+        group.bench_with_input(
+            BenchmarkId::new("rebuild", dataset.name()),
+            &updated,
+            |b, g0| {
+                b.iter(|| {
+                    let mut g = g0.clone();
+                    rebuild.recompress(&mut g)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_compression,
+    bench_selectors,
+    bench_recompress_incremental
+);
 criterion_main!(benches);

@@ -1,0 +1,163 @@
+//! CI regression gate over the committed bench baseline.
+//!
+//! Compares a fresh bench run (the JSON the criterion shim writes when
+//! `BENCH_JSON` is set) against the committed `BENCH_compression.json` and
+//! fails when any benchmark regressed by more than the tolerance (default
+//! 20 %, overridable via `BENCH_GATE_TOLERANCE` or the third argument).
+//!
+//! ```text
+//! bench_gate <baseline.json> <results.json> [tolerance]
+//! ```
+//!
+//! Benchmarks present in the baseline but missing from the run fail the gate
+//! (a silently dropped bench is a coverage regression); new benchmarks only
+//! warn, so a PR adding a group can gate on it from the next baseline on.
+//!
+//! The baseline was committed from whatever machine last regenerated it, and
+//! CI runs on shared runners with different (and varying) hardware. To keep
+//! the gate about *code* and not about the runner, ratios are normalized by
+//! the median ratio across all matched benchmarks: a uniformly slower runner
+//! shifts every ratio equally and is divided out, while a regression in one
+//! benchmark barely moves the median and still trips the gate. The scale is
+//! clamped to [`SCALE_MIN`, `SCALE_MAX`] so a *uniform code regression* (or a
+//! broad improvement whose baseline was not regenerated) cannot hide inside
+//! the normalization: beyond that window the residual counts against every
+//! benchmark and the gate reports that the baseline machine delta cannot
+//! explain the shift. Set `BENCH_GATE_NO_NORMALIZE=1` to compare raw ratios
+//! (useful when baseline and run come from the same machine).
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Parses the shim's JSON array: one `{"group": …, "id": …, "median_ns": …,
+/// "iterations": …}` object per line. Returns `(group/id, median_ns)`.
+fn parse_results(text: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let Some(group) = extract_str(line, "group") else { continue };
+        let Some(id) = extract_str(line, "id") else { continue };
+        let Some(median) = extract_num(line, "median_ns") else { continue };
+        out.insert(format!("{group}/{id}"), median);
+    }
+    out
+}
+
+fn extract_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+fn extract_num(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() < 3 {
+        eprintln!("usage: bench_gate <baseline.json> <results.json> [tolerance]");
+        return ExitCode::from(2);
+    }
+    let tolerance: f64 = args
+        .get(3)
+        .cloned()
+        .or_else(|| std::env::var("BENCH_GATE_TOLERANCE").ok())
+        .map(|s| s.parse().expect("tolerance must be a number like 0.20"))
+        .unwrap_or(0.20);
+
+    let baseline_text = std::fs::read_to_string(&args[1])
+        .unwrap_or_else(|e| panic!("cannot read baseline {}: {e}", args[1]));
+    let results_text = std::fs::read_to_string(&args[2])
+        .unwrap_or_else(|e| panic!("cannot read results {}: {e}", args[2]));
+    let baseline = parse_results(&baseline_text);
+    let results = parse_results(&results_text);
+    assert!(!baseline.is_empty(), "baseline {} parsed to zero entries", args[1]);
+
+    // Hardware normalization: divide out the runner's overall speed delta
+    // (median of all ratios) so only relative shifts count as regressions.
+    const SCALE_MIN: f64 = 0.67;
+    const SCALE_MAX: f64 = 1.5;
+    let mut ratios: Vec<f64> = baseline
+        .iter()
+        .filter_map(|(name, &base_ns)| results.get(name).map(|&now_ns| now_ns / base_ns))
+        .collect();
+    ratios.sort_by(|a, b| a.partial_cmp(b).expect("ratios are finite"));
+    let normalize = std::env::var("BENCH_GATE_NO_NORMALIZE").is_err();
+    let raw_scale = if normalize && !ratios.is_empty() {
+        ratios[ratios.len() / 2]
+    } else {
+        1.0
+    };
+    let scale = raw_scale.clamp(SCALE_MIN, SCALE_MAX);
+    println!(
+        "runner speed scale vs baseline machine: {raw_scale:.2}x (normalization {})",
+        if normalize { "on" } else { "off" }
+    );
+    if scale != raw_scale {
+        println!(
+            "WARNING: median ratio {raw_scale:.2}x is outside the plausible machine-delta \
+             window [{SCALE_MIN}, {SCALE_MAX}] and was clamped to {scale:.2}x — either a \
+             uniform code perf shift or a stale baseline; regenerate \
+             BENCH_compression.json if this change is expected."
+        );
+    }
+
+    let mut failures: Vec<String> = Vec::new();
+    println!(
+        "{:<55} {:>14} {:>14} {:>8}",
+        "benchmark", "baseline µs", "current µs", "ratio"
+    );
+    for (name, &base_ns) in &baseline {
+        match results.get(name) {
+            None => failures.push(format!("{name}: present in baseline but not in this run")),
+            Some(&now_ns) => {
+                let ratio = now_ns / base_ns / scale;
+                let flag = if ratio > 1.0 + tolerance { " REGRESSED" } else { "" };
+                println!(
+                    "{:<55} {:>14.1} {:>14.1} {:>7.2}x{}",
+                    name,
+                    base_ns / 1e3,
+                    now_ns / 1e3,
+                    ratio,
+                    flag
+                );
+                if ratio > 1.0 + tolerance {
+                    failures.push(format!(
+                        "{name}: {:.1} µs vs baseline {:.1} µs (normalized {:.0}% over the {:.0}% budget)",
+                        now_ns / 1e3,
+                        base_ns / 1e3,
+                        (ratio - 1.0) * 100.0,
+                        tolerance * 100.0
+                    ));
+                }
+            }
+        }
+    }
+    for name in results.keys() {
+        if !baseline.contains_key(name) {
+            println!("note: {name} is new (not in the committed baseline yet)");
+        }
+    }
+
+    if failures.is_empty() {
+        println!(
+            "\nbench gate passed: {} benchmarks within {:.0}% of the baseline",
+            baseline.len(),
+            tolerance * 100.0
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("\nbench gate FAILED:");
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

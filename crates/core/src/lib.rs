@@ -10,8 +10,10 @@
 //! * [`repair`] — the [`repair::GrammarRePair`] recompressor (Algorithm 1 with
 //!   the optimized replacement of Algorithms 6–8), built on
 //!   [`occurrences`] (usage-weighted digram occurrence generators,
-//!   TREEPARENT / TREECHILD / RETRIEVEOCCS) and [`replace`] (localization by
-//!   minimal inlining, greedy local replacement, fragment export).
+//!   TREEPARENT / TREECHILD / RETRIEVEOCCS), [`occ_index`] (the incrementally
+//!   maintained occurrence table + frequency queue that keeps rounds from
+//!   paying O(grammar)) and [`replace`] (localization by minimal inlining,
+//!   greedy local replacement, fragment export).
 //! * [`isolate`] / [`update`] — path isolation and the three atomic update
 //!   operations (rename, insert-before, delete-subtree) on the grammar.
 //! * [`udc`] — the update–decompress–compress baseline the paper compares against.
@@ -46,6 +48,7 @@
 pub mod error;
 pub mod isolate;
 pub mod navigate;
+pub mod occ_index;
 pub mod occurrences;
 pub mod query;
 pub mod repair;

@@ -1,0 +1,696 @@
+//! Incrementally maintained grammar-side digram occurrence index.
+//!
+//! [`crate::occurrences::retrieve_occs`] recomputes the full occurrence table
+//! — every chain walk, every overlap check, every usage weight — from scratch.
+//! `GrammarRePair` used to call it once per replacement round, which put an
+//! O(grammar) term into every round and dominated recompression on the update
+//! path. [`OccIndex`] keeps the same information *persistent across rounds*,
+//! the way `treerepair::OccTable` already does on trees: it is built once at
+//! the start of a recompression run and then [`OccIndex::refresh`]ed after
+//! each round, at a cost proportional to what the round actually changed.
+//!
+//! The index caches, per rule, the chain-resolved digram candidates of its
+//! generators plus the set of rules those chain walks entered. A refresh:
+//!
+//! 1. finds structurally changed rules by comparing cached
+//!    [`sltgrammar::RhsTree::version`] counters (splices self-report by
+//!    bumping the counter — no manual delta plumbing),
+//! 2. closes the set over the inverted chain-dependency index (a chain only
+//!    ever walks *down* into callees, so the rules to rescan are exactly the
+//!    cached dependents of the changed rules),
+//! 3. rescans the dirty rules and applies candidate-count deltas to the
+//!    per-digram aggregates,
+//! 4. recomputes rule order and usage from the cached call graph (O(rules +
+//!    call edges), no node walks) and propagates `count × Δusage` weight
+//!    deltas,
+//! 5. replays equal-label digrams in canonical anti-straight-line order from
+//!    the cached candidate lists (their greedy overlap resolution is
+//!    order-sensitive, so deltas alone cannot reproduce the oracle), and
+//! 6. forwards every weight change to the embedded
+//!    [`FrequencyBucketQueue`].
+//!
+//! The result is bit-for-bit the table [`crate::occurrences::retrieve_occs`]
+//! would build on the current grammar — same weights (saturating semantics
+//! included), same generator rule sets, same selection under the queue's
+//! deterministic tie-breaking. `tests/recompress_incremental.rs` and the
+//! selector-equivalence suite assert byte-identical output grammars against
+//! the per-round rebuild oracle.
+
+use sltgrammar::{FxHashMap, FxHashSet, Grammar, NodeKind, NtId};
+use treerepair::{Digram, FrequencyBucketQueue};
+
+use crate::occurrences::{
+    is_transparent_nt, overlaps, resolved_kind, tree_child_traced, tree_parent_traced, FrozenSet,
+    GrammarNode,
+};
+
+/// One chain-resolved occurrence candidate of a rule (the pre-overlap view of
+/// a generator): its resolved endpoints. The digram it realizes is the
+/// `RuleCache::by_digram` key indexing it.
+#[derive(Debug, Clone, Copy)]
+struct Candidate {
+    tree_parent: GrammarNode,
+    tree_child: GrammarNode,
+    /// Whether the generator node itself is a transparent nonterminal
+    /// reference — equal-label digrams never record such candidates (their
+    /// tree child is the root of another rule).
+    transparent: bool,
+}
+
+/// Everything the index knows about one rule, valid for one
+/// [`sltgrammar::RhsTree::version`].
+#[derive(Debug, Clone, Default)]
+struct RuleCache {
+    /// Rhs version this cache was built against.
+    version: u64,
+    /// Frozen rules contribute call-graph edges and size but no candidates.
+    frozen: bool,
+    /// Edge count of the rule body (for the live grammar-size aggregate).
+    edges: usize,
+    /// Distinct callees with reference multiplicities (the call graph).
+    callees: FxHashMap<NtId, u64>,
+    /// Rules entered by this rule's chain walks: if any of them changes
+    /// structurally, this rule's candidates are stale.
+    deps: FxHashSet<NtId>,
+    /// Chain-resolved candidates in preorder of the generator nodes.
+    candidates: Vec<Candidate>,
+    /// Indices into `candidates` per digram, preserving preorder — the
+    /// aggregate delta unit (counts) and the equal-label replay input, so a
+    /// replay touches only its own digram's candidates.
+    by_digram: FxHashMap<Digram, Vec<u32>>,
+}
+
+/// Per-digram aggregate state.
+#[derive(Debug, Clone)]
+struct Entry {
+    /// Equal-label digrams are maintained by replay, not by deltas.
+    equal: bool,
+    /// Exact usage-weighted occurrence count. `i128` so that delta
+    /// application never wraps; clamped to `u64` at the queue boundary, which
+    /// reproduces the oracle's saturating additions (a sum of non-negative
+    /// saturating adds equals `min(Σ, u64::MAX)`).
+    weight: i128,
+    /// Candidate counts per contributing rule (pre-overlap).
+    cand_rules: FxHashMap<NtId, u64>,
+    /// Rules with at least one *accepted* occurrence after equal-label
+    /// replay; equals the candidate rules for non-equal digrams.
+    accepted_rules: FxHashSet<NtId>,
+    /// Weight currently registered in the queue.
+    queued: u64,
+}
+
+impl Entry {
+    fn new(equal: bool) -> Self {
+        Entry {
+            equal,
+            weight: 0,
+            cand_rules: FxHashMap::default(),
+            accepted_rules: FxHashSet::default(),
+            queued: 0,
+        }
+    }
+}
+
+/// The persistent grammar-side occurrence table with its embedded selection
+/// queue. See the module docs for the refresh contract.
+#[derive(Debug, Clone, Default)]
+pub struct OccIndex {
+    rules: FxHashMap<NtId, RuleCache>,
+    /// Inverted chain-dependency index: `dependents[c]` are the rules whose
+    /// cached candidates resolved through rule `c`.
+    dependents: FxHashMap<NtId, FxHashSet<NtId>>,
+    entries: FxHashMap<Digram, Entry>,
+    queue: FrequencyBucketQueue,
+    usage: FxHashMap<NtId, u64>,
+    /// Current anti-straight-line rule order (callees first), mirrored from
+    /// the cached call graph so no per-round body walk is needed.
+    order: Vec<NtId>,
+    total_edges: usize,
+}
+
+impl OccIndex {
+    /// Builds the index for the current grammar (equivalent to a refresh from
+    /// an empty state).
+    pub fn build(g: &Grammar, frozen: &FrozenSet) -> Self {
+        let mut index = OccIndex::default();
+        index.refresh(g, frozen);
+        index
+    }
+
+    /// Re-synchronizes the index with the grammar after a replacement round
+    /// (or any sequence of rule splices). Cost is proportional to the rules
+    /// that changed, their chain dependents, the usage shifts, and the
+    /// equal-label candidate lists — never to the whole grammar body.
+    pub fn refresh(&mut self, g: &Grammar, frozen: &FrozenSet) {
+        let live = g.nonterminals();
+        let live_set: FxHashSet<NtId> = live.iter().copied().collect();
+
+        // 1. Structurally changed rules self-report through version counters;
+        // removed rules are cache entries without a live rule.
+        let mut changed: Vec<NtId> = Vec::new();
+        for &nt in &live {
+            let is_frozen = frozen.contains(&nt);
+            match self.rules.get(&nt) {
+                Some(c) if c.version == g.rule(nt).rhs.version() && c.frozen == is_frozen => {}
+                _ => changed.push(nt),
+            }
+        }
+        let removed: Vec<NtId> = self
+            .rules
+            .keys()
+            .copied()
+            .filter(|nt| !live_set.contains(nt))
+            .collect();
+
+        // 2. Dirty closure: a structural change in `c` invalidates exactly the
+        // cached rules whose chain walks entered `c`.
+        let mut dirty: FxHashSet<NtId> = changed.iter().copied().collect();
+        for nt in changed.iter().chain(removed.iter()) {
+            if let Some(deps) = self.dependents.get(nt) {
+                for &dependent in deps {
+                    if live_set.contains(&dependent) {
+                        dirty.insert(dependent);
+                    }
+                }
+            }
+        }
+
+        let mut touched: FxHashSet<Digram> = FxHashSet::default();
+
+        // 3. Retract the old contributions of dirty and removed rules, valued
+        // at the usage they were registered with.
+        for &nt in removed.iter().chain(dirty.iter()) {
+            self.drop_rule(nt, &mut touched);
+        }
+
+        // 4. Rescan dirty (live) rules against the current grammar.
+        for &nt in &dirty {
+            let cache = scan_rule(g, nt, frozen);
+            self.total_edges += cache.edges;
+            for &dep in &cache.deps {
+                self.dependents.entry(dep).or_default().insert(nt);
+            }
+            let u_old = self.usage.get(&nt).copied().unwrap_or(0);
+            for (&digram, indices) in &cache.by_digram {
+                touched.insert(digram);
+                let entry = self
+                    .entries
+                    .entry(digram)
+                    .or_insert_with(|| Entry::new(digram.equal_labels()));
+                entry.cand_rules.insert(nt, indices.len() as u64);
+                if !entry.equal {
+                    entry.weight += indices.len() as i128 * u_old as i128;
+                }
+            }
+            self.rules.insert(nt, cache);
+        }
+
+        // 5. Order and usage from the cached call graph.
+        self.order = compute_order(&live, &self.rules);
+        let new_usage = compute_usage(g.start(), &self.order, &self.rules);
+
+        // 6. Usage deltas: every weight factors through usage(rule), so a
+        // usage shift is a `count × Δ` adjustment per (rule, digram) pair.
+        for &nt in &live {
+            let u_new = new_usage.get(&nt).copied().unwrap_or(0);
+            let u_old = self.usage.get(&nt).copied().unwrap_or(0);
+            if u_new == u_old {
+                continue;
+            }
+            let cache = &self.rules[&nt];
+            for (&digram, indices) in &cache.by_digram {
+                if let Some(entry) = self.entries.get_mut(&digram) {
+                    if !entry.equal {
+                        entry.weight +=
+                            indices.len() as i128 * (u_new as i128 - u_old as i128);
+                        touched.insert(digram);
+                    }
+                }
+            }
+        }
+        self.usage = new_usage;
+
+        // 7. Equal-label digrams: replay the canonical scan order; the greedy
+        // overlap resolution is order-sensitive, and the order itself can
+        // shift as rules are added, so every equal-label entry is replayed.
+        let order_pos: FxHashMap<NtId, usize> = self
+            .order
+            .iter()
+            .enumerate()
+            .map(|(i, &nt)| (nt, i))
+            .collect();
+        let equal_digrams: Vec<Digram> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.equal)
+            .map(|(&d, _)| d)
+            .collect();
+        for digram in equal_digrams {
+            let (weight, accepted) = self.replay_equal(&digram, &order_pos);
+            let entry = self.entries.get_mut(&digram).expect("entry exists");
+            entry.weight = weight;
+            entry.accepted_rules = accepted;
+            touched.insert(digram);
+        }
+
+        // 8. Forward net weight changes to the queue; drop empty entries.
+        for digram in touched {
+            let Some(entry) = self.entries.get_mut(&digram) else { continue };
+            if entry.cand_rules.is_empty() {
+                let old = entry.queued;
+                self.queue.update(&digram, old, 0);
+                self.entries.remove(&digram);
+                continue;
+            }
+            let new_queued = clamp_weight(entry.weight);
+            if new_queued != entry.queued {
+                self.queue.update(&digram, entry.queued, new_queued);
+                entry.queued = new_queued;
+            }
+        }
+    }
+
+    /// Retracts one rule's cached contributions (reverse dependency edges,
+    /// digram counts, non-equal weights, size).
+    fn drop_rule(&mut self, nt: NtId, touched: &mut FxHashSet<Digram>) {
+        let Some(cache) = self.rules.remove(&nt) else { return };
+        self.total_edges -= cache.edges;
+        for dep in &cache.deps {
+            if let Some(set) = self.dependents.get_mut(dep) {
+                set.remove(&nt);
+            }
+        }
+        let u_old = self.usage.get(&nt).copied().unwrap_or(0);
+        for (&digram, indices) in &cache.by_digram {
+            touched.insert(digram);
+            if let Some(entry) = self.entries.get_mut(&digram) {
+                entry.cand_rules.remove(&nt);
+                if !entry.equal {
+                    entry.weight -= indices.len() as i128 * u_old as i128;
+                }
+            }
+        }
+    }
+
+    /// Replays the canonical greedy scan for one equal-label digram over the
+    /// cached candidate lists of its contributing rules.
+    fn replay_equal(
+        &self,
+        digram: &Digram,
+        order_pos: &FxHashMap<NtId, usize>,
+    ) -> (i128, FxHashSet<NtId>) {
+        let entry = &self.entries[digram];
+        let mut contributing: Vec<NtId> = entry.cand_rules.keys().copied().collect();
+        contributing.sort_unstable_by_key(|nt| order_pos[nt]);
+        let mut used_parents: FxHashSet<GrammarNode> = FxHashSet::default();
+        let mut used_children: FxHashSet<GrammarNode> = FxHashSet::default();
+        let mut weight: i128 = 0;
+        let mut accepted: FxHashSet<NtId> = FxHashSet::default();
+        for nt in contributing {
+            let u = self.usage.get(&nt).copied().unwrap_or(0) as i128;
+            let cache = &self.rules[&nt];
+            let indices = cache.by_digram.get(digram).map(|v| v.as_slice()).unwrap_or(&[]);
+            for cand in indices.iter().map(|&i| &cache.candidates[i as usize]) {
+                if cand.transparent {
+                    continue;
+                }
+                if overlaps(&used_parents, &used_children, cand.tree_parent, cand.tree_child) {
+                    continue;
+                }
+                used_parents.insert(cand.tree_parent);
+                used_children.insert(cand.tree_child);
+                weight += u;
+                accepted.insert(nt);
+            }
+        }
+        (weight, accepted)
+    }
+
+    /// Most frequent digram with weight ≥ `min_occurrences` whose pattern rank
+    /// does not exceed `max_rank`, ties broken by [`Digram::sort_key`] — the
+    /// digram the rebuild oracle would select. Rank-ineligible digrams are
+    /// excluded permanently (ranks never change).
+    pub fn select_best(
+        &mut self,
+        g: &Grammar,
+        min_occurrences: u64,
+        max_rank: usize,
+    ) -> Option<Digram> {
+        self.queue
+            .pop_best(min_occurrences, |d| d.pattern_rank(g) <= max_rank)
+    }
+
+    /// The rules currently containing occurrence generators of `digram` —
+    /// the rule set [`crate::replace::replace_all_occurrences`] must visit.
+    pub fn generator_rules(&self, digram: &Digram) -> FxHashSet<NtId> {
+        match self.entries.get(digram) {
+            None => FxHashSet::default(),
+            Some(e) if e.equal => e.accepted_rules.clone(),
+            Some(e) => e.cand_rules.keys().copied().collect(),
+        }
+    }
+
+    /// Permanently bans a digram from selection (its replacement produced
+    /// nothing; retrying would never terminate).
+    pub fn exclude(&mut self, digram: &Digram) {
+        let queued = self.entries.get(digram).map(|e| e.queued).unwrap_or(0);
+        self.queue.exclude(digram, queued);
+        if let Some(entry) = self.entries.get_mut(digram) {
+            entry.queued = 0;
+        }
+    }
+
+    /// Current anti-straight-line rule order (callees first, start rule last),
+    /// identical to [`Grammar::anti_sl_order`] but derived from the cached
+    /// call graph without walking rule bodies.
+    pub fn order(&self) -> &[NtId] {
+        &self.order
+    }
+
+    /// Live grammar edge count, maintained arithmetically alongside the rule
+    /// caches (mirrors [`Grammar::edge_count`] without the walk).
+    pub fn edge_count(&self) -> usize {
+        self.total_edges
+    }
+
+    /// Current usage-weighted occurrence count of a digram (0 if untracked).
+    pub fn weight(&self, digram: &Digram) -> u64 {
+        self.entries
+            .get(digram)
+            .map(|e| clamp_weight(e.weight))
+            .unwrap_or(0)
+    }
+
+    /// Number of digrams currently tracked.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no digram is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Oracle-equivalent clamp: a sequence of saturating additions of
+/// non-negative values equals the exact sum clamped to `u64::MAX`.
+fn clamp_weight(weight: i128) -> u64 {
+    weight.clamp(0, u64::MAX as i128) as u64
+}
+
+/// Scans one rule into its cache: call-graph edges, size, and (for
+/// transparent rules) the chain-resolved candidate list with dependency
+/// tracking. Mirrors the per-rule loop of
+/// [`crate::occurrences::retrieve_occs`] exactly.
+fn scan_rule(g: &Grammar, rule: NtId, frozen: &FrozenSet) -> RuleCache {
+    let rhs = &g.rule(rule).rhs;
+    let pre = rhs.preorder();
+    let mut cache = RuleCache {
+        version: rhs.version(),
+        frozen: frozen.contains(&rule),
+        edges: pre.len().saturating_sub(1),
+        ..RuleCache::default()
+    };
+    for &node in &pre {
+        if let NodeKind::Nt(callee) = rhs.kind(node) {
+            *cache.callees.entry(callee).or_insert(0) += 1;
+        }
+    }
+    if cache.frozen {
+        return cache;
+    }
+    let root = rhs.root();
+    let mut deps: FxHashSet<NtId> = FxHashSet::default();
+    for &node in &pre {
+        if node == root || rhs.kind(node).is_param() {
+            continue;
+        }
+        let Some((tp, index)) =
+            tree_parent_traced(g, rule, node, frozen, &mut |entered| {
+                deps.insert(entered);
+            })
+        else {
+            continue;
+        };
+        let tc = tree_child_traced(g, rule, node, frozen, &mut |entered| {
+            deps.insert(entered);
+        });
+        let digram = Digram {
+            parent: resolved_kind(g, tp),
+            child_index: index,
+            child: resolved_kind(g, tc),
+        };
+        cache
+            .by_digram
+            .entry(digram)
+            .or_default()
+            .push(cache.candidates.len() as u32);
+        cache.candidates.push(Candidate {
+            tree_parent: tp,
+            tree_child: tc,
+            transparent: is_transparent_nt(rhs.kind(node), frozen),
+        });
+    }
+    cache.deps = deps;
+    cache
+}
+
+/// Kahn's algorithm over the cached call graph, byte-for-byte mirroring
+/// [`Grammar::anti_sl_order`]'s tie-breaking (sorted seeds, sorted release
+/// batches): callees first, start rule last.
+fn compute_order(live: &[NtId], rules: &FxHashMap<NtId, RuleCache>) -> Vec<NtId> {
+    let mut callers: FxHashMap<NtId, Vec<NtId>> = FxHashMap::default();
+    let mut remaining_out: FxHashMap<NtId, usize> = FxHashMap::default();
+    for &nt in live {
+        let callees = &rules[&nt].callees;
+        remaining_out.insert(nt, callees.len());
+        for &callee in callees.keys() {
+            callers.entry(callee).or_default().push(nt);
+        }
+    }
+    // `live` is ascending by id, so the seed queue is already sorted.
+    let mut queue: Vec<NtId> = live
+        .iter()
+        .copied()
+        .filter(|nt| remaining_out[nt] == 0)
+        .collect();
+    let mut order = Vec::with_capacity(live.len());
+    let mut qi = 0;
+    while qi < queue.len() {
+        let nt = queue[qi];
+        qi += 1;
+        order.push(nt);
+        let mut released: Vec<NtId> = Vec::new();
+        for &caller in callers.get(&nt).map(|v| v.as_slice()).unwrap_or(&[]) {
+            let count = remaining_out.get_mut(&caller).expect("caller is live");
+            *count -= 1;
+            if *count == 0 {
+                released.push(caller);
+            }
+        }
+        released.sort_unstable();
+        queue.extend(released);
+    }
+    debug_assert_eq!(order.len(), live.len(), "call graph must be acyclic");
+    order
+}
+
+/// Usage from the cached call graph: `usage(start) = 1`, every reference site
+/// contributes its caller's usage (saturating), processed callers-first —
+/// the same fixpoint [`Grammar::usage`] computes by walking rule bodies.
+fn compute_usage(
+    start: NtId,
+    order: &[NtId],
+    rules: &FxHashMap<NtId, RuleCache>,
+) -> FxHashMap<NtId, u64> {
+    let mut usage: FxHashMap<NtId, u64> = order.iter().map(|&nt| (nt, 0)).collect();
+    usage.insert(start, 1);
+    for &caller in order.iter().rev() {
+        let u = usage[&caller];
+        if u == 0 {
+            continue;
+        }
+        for (&callee, &count) in &rules[&caller].callees {
+            let add = (u as u128)
+                .saturating_mul(count as u128)
+                .min(u64::MAX as u128) as u64;
+            let slot = usage.get_mut(&callee).expect("callee is live");
+            *slot = slot.saturating_add(add);
+        }
+    }
+    usage
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::occurrences::retrieve_occs;
+    use crate::replace::replace_all_occurrences;
+    use sltgrammar::text::parse_grammar;
+    use treerepair::digram::pattern_rhs;
+
+    /// Asserts the index agrees with a fresh [`retrieve_occs`] rebuild on the
+    /// current grammar: same digrams with non-zero candidates, same clamped
+    /// weights, same generator rule sets, same order and edge count.
+    fn assert_matches_oracle(index: &OccIndex, g: &Grammar, frozen: &FrozenSet) {
+        assert_eq!(index.order(), g.anti_sl_order().unwrap().as_slice(), "order");
+        assert_eq!(index.edge_count(), g.edge_count(), "edge count");
+        let oracle = retrieve_occs(g, frozen);
+        for (digram, occs) in &oracle {
+            assert_eq!(
+                index.weight(digram),
+                occs.weight,
+                "weight mismatch for {digram:?}"
+            );
+            let expect: FxHashSet<NtId> = occs.generators.iter().map(|gen| gen.rule).collect();
+            assert_eq!(
+                index.generator_rules(digram),
+                expect,
+                "generator rules mismatch for {digram:?}"
+            );
+        }
+        // The index may track entries whose accepted set is empty (all
+        // candidates overlapped); they must carry weight 0 like the oracle.
+        for (digram, entry) in &index.entries {
+            if !oracle.contains_key(digram) {
+                assert_eq!(clamp_weight(entry.weight), 0, "ghost entry {digram:?}");
+            }
+        }
+    }
+
+    fn digram(g: &Grammar, parent: &str, index: usize, child: &str) -> Digram {
+        Digram {
+            parent: NodeKind::Term(g.symbols.get(parent).unwrap()),
+            child_index: index,
+            child: NodeKind::Term(g.symbols.get(child).unwrap()),
+        }
+    }
+
+    use sltgrammar::NodeKind;
+
+    #[test]
+    fn initial_build_matches_retrieve_occs() {
+        let g = parse_grammar(
+            "S -> r(C, r(C, r(C, r(A(#,#), A(#,#)))))\n\
+             C -> A(B(#),#)\n\
+             A -> a(y1, a(B(#), a(#, y2)))\n\
+             B -> b(y1,#)",
+        )
+        .unwrap();
+        let frozen = FrozenSet::default();
+        let index = OccIndex::build(&g, &frozen);
+        assert_matches_oracle(&index, &g, &frozen);
+        assert!(!index.is_empty());
+        assert!(index.len() >= 4);
+    }
+
+    #[test]
+    fn refresh_tracks_a_replacement_round() {
+        let mut g = parse_grammar(
+            "S -> f(a(b(#,#),#), f(a(b(#,#),#), a(b(#,#),#)))",
+        )
+        .unwrap();
+        let mut frozen = FrozenSet::default();
+        let mut index = OccIndex::build(&g, &frozen);
+        assert_matches_oracle(&index, &g, &frozen);
+
+        let d = digram(&g, "a", 0, "b");
+        assert_eq!(index.weight(&d), 3);
+        let rules = index.generator_rules(&d);
+        let rank = d.pattern_rank(&g);
+        let x = g.add_rule_fresh("X", rank, pattern_rhs(&g, &d));
+        frozen.insert(x);
+        let order = g.anti_sl_order().unwrap();
+        let stats = replace_all_occurrences(&mut g, &d, x, &rules, &order, &frozen, true);
+        assert_eq!(stats.replacements, 3);
+
+        index.refresh(&g, &frozen);
+        assert_matches_oracle(&index, &g, &frozen);
+        assert_eq!(index.weight(&d), 0, "replaced digram must vanish");
+    }
+
+    #[test]
+    fn refresh_follows_chain_dependencies_into_changed_callees() {
+        // The (a,1,b) occurrences in S resolve through C and B; mutating B's
+        // body must dirty the cached candidates of its dependents.
+        let mut g = parse_grammar(
+            "S -> f(a(B,#), a(B,#))\n\
+             B -> b(c,#)",
+        )
+        .unwrap();
+        let frozen = FrozenSet::default();
+        let mut index = OccIndex::build(&g, &frozen);
+        assert_matches_oracle(&index, &g, &frozen);
+
+        // Relabel B's root: every chain through B now resolves differently.
+        let b = g.nt_by_name("B").unwrap();
+        let d_term = g.symbols.intern("d", 2).unwrap();
+        let root = g.rule(b).rhs.root();
+        g.rule_mut(b).rhs.set_kind(root, NodeKind::Term(d_term));
+        index.refresh(&g, &frozen);
+        assert_matches_oracle(&index, &g, &frozen);
+        assert_eq!(index.weight(&digram(&g, "a", 0, "b")), 0);
+        assert_eq!(index.weight(&digram(&g, "a", 0, "d")), 2);
+    }
+
+    #[test]
+    fn equal_label_digrams_replay_the_canonical_overlap_resolution() {
+        let g = parse_grammar("S -> a(#, a(#, A))\nA -> a(#, a(#, #))").unwrap();
+        let frozen = FrozenSet::default();
+        let index = OccIndex::build(&g, &frozen);
+        assert_matches_oracle(&index, &g, &frozen);
+        let a = NodeKind::Term(g.symbols.get("a").unwrap());
+        let d = Digram {
+            parent: a,
+            child_index: 1,
+            child: a,
+        };
+        // One occurrence in S, one in A (the crossing S→A pair is skipped).
+        assert_eq!(index.weight(&d), 2);
+        assert_eq!(index.generator_rules(&d).len(), 2);
+    }
+
+    #[test]
+    fn excluded_digrams_never_come_back() {
+        let g = parse_grammar("S -> f(a(b(#,#),#), a(b(#,#),#))").unwrap();
+        let frozen = FrozenSet::default();
+        let mut index = OccIndex::build(&g, &frozen);
+        let d = digram(&g, "a", 0, "b");
+        index.exclude(&d);
+        assert_ne!(index.select_best(&g, 2, 4), Some(d));
+        index.refresh(&g, &frozen);
+        assert_ne!(index.select_best(&g, 2, 4), Some(d));
+    }
+
+    #[test]
+    fn usage_shifts_propagate_as_weight_deltas() {
+        // Deleting one reference to A halves usage(A); the weights of the
+        // digrams generated inside A must follow without a rescan of A.
+        let mut g = parse_grammar(
+            "S -> f(A, A)\n\
+             A -> g(a(b(#,#),#))",
+        )
+        .unwrap();
+        let frozen = FrozenSet::default();
+        let mut index = OccIndex::build(&g, &frozen);
+        let d = digram(&g, "a", 0, "b");
+        assert_eq!(index.weight(&d), 2);
+        // Replace the second A reference in S by a null leaf.
+        let s = g.start();
+        let site = {
+            let rhs = &g.rule(s).rhs;
+            rhs.preorder()
+                .into_iter()
+                .filter(|&n| rhs.kind(n).is_nt())
+                .nth(1)
+                .unwrap()
+        };
+        let null = g.symbols.null();
+        let rhs = &mut g.rule_mut(s).rhs;
+        let leaf = rhs.add_leaf(NodeKind::Term(null));
+        rhs.replace_subtree(site, leaf);
+        index.refresh(&g, &frozen);
+        assert_matches_oracle(&index, &g, &frozen);
+        assert_eq!(index.weight(&d), 1);
+    }
+}

@@ -8,16 +8,47 @@
 //! generator through transparent nonterminals to the terminal (or frozen
 //! pattern) nodes forming the digram, and `RETRIEVEOCCS` collects, per digram,
 //! all generators together with their usage-weighted occurrence count.
+//!
+//! # Delta propagation across recompression rounds
+//!
+//! [`retrieve_occs`] is a full-grammar walk. Rebuilding it per replacement
+//! round made `GrammarRePair::recompress` pay O(grammar) per round — the cost
+//! the paper's update model forbids. [`crate::occ_index::OccIndex`] therefore
+//! maintains the same table incrementally; the invariants any mutation must
+//! respect are:
+//!
+//! * **A splice reports itself by bumping its rule's
+//!   [`sltgrammar::RhsTree::version`].** Every structural or label change to a
+//!   right-hand side (inlining, digram replacement, fragment export, rename)
+//!   goes through `RhsTree` mutators, which bump the counter. The index treats
+//!   a version mismatch as "all candidates whose generator lives in this rule
+//!   are stale".
+//! * **Chain walks are downward-only.** `TREEPARENT`/`TREECHILD` from a node of
+//!   rule `R` enter only (transitive) callees of `R` — never callers. The index
+//!   records, per rule, the exact set of rules its walks entered (`deps`), and
+//!   inverts it (`dependents`): when rule `C` changes structurally, precisely
+//!   the cached rules whose walks entered `C` must be rescanned, nothing else.
+//! * **Freezing is monotone and confined to fresh rules.** The frozen set only
+//!   ever gains rules created *after* every existing rule was last scanned, and
+//!   no pre-existing body references a fresh rule; a cached chain can therefore
+//!   never cross a rule that later becomes frozen, so cached resolutions stay
+//!   valid under freezing.
+//! * **Weights factor through usage.** A generator in rule `R` contributes
+//!   `usage(R)` to its digram's weight. Usage changes (inlining shifts
+//!   reference counts) are propagated as `count × (usage_new − usage_old)`
+//!   deltas per (rule, digram) pair without touching candidate sets.
+//! * **Equal-label digrams are order-sensitive.** Their greedy overlap
+//!   resolution depends on the global anti-straight-line scan order, so the
+//!   index replays exactly that order per equal-label digram from the cached
+//!   per-rule candidate lists instead of maintaining them by deltas.
 
-use std::collections::{HashMap, HashSet};
-
-use sltgrammar::{Grammar, NodeId, NodeKind, NtId};
+use sltgrammar::{FxHashMap, FxHashSet, Grammar, NodeId, NodeKind, NtId};
 use treerepair::Digram;
 
 /// Set of rules introduced by the *current* GrammarRePair run. They represent
 /// already-replaced digrams and behave like terminals: chain walks stop at them
 /// and they are never inlined or rescanned.
-pub type FrozenSet = HashSet<NtId>;
+pub type FrozenSet = FxHashSet<NtId>;
 
 /// Whether `kind` is a reference to a rule the current run may still look into
 /// (i.e. a nonterminal that is not frozen).
@@ -54,29 +85,54 @@ pub struct DigramOccs {
     pub weight: u64,
     /// Tree-parent and tree-child nodes already used, for overlap checks of
     /// equal-label digrams.
-    used_parents: HashSet<GrammarNode>,
-    used_children: HashSet<GrammarNode>,
+    used_parents: FxHashSet<GrammarNode>,
+    used_children: FxHashSet<GrammarNode>,
 }
 
 impl DigramOccs {
     fn would_overlap(&self, parent: GrammarNode, child: GrammarNode) -> bool {
-        self.used_children.contains(&parent)
-            || self.used_parents.contains(&child)
-            || self.used_children.contains(&child)
-            || self.used_parents.contains(&parent)
+        overlaps(&self.used_parents, &self.used_children, parent, child)
     }
+}
+
+/// The equal-label overlap predicate shared by [`retrieve_occs`] and the
+/// incremental index's replay: an occurrence `(parent, child)` overlaps the
+/// already recorded ones if either endpoint was already used as an endpoint.
+pub fn overlaps(
+    used_parents: &FxHashSet<GrammarNode>,
+    used_children: &FxHashSet<GrammarNode>,
+    parent: GrammarNode,
+    child: GrammarNode,
+) -> bool {
+    used_children.contains(&parent)
+        || used_parents.contains(&child)
+        || used_children.contains(&child)
+        || used_parents.contains(&parent)
 }
 
 /// `TREECHILD` (paper Algorithm 2): follow transparent nonterminal references
 /// downwards (to the referenced rule's root) until a terminal or frozen node is
 /// reached.
 pub fn tree_child(g: &Grammar, rule: NtId, node: NodeId, frozen: &FrozenSet) -> GrammarNode {
+    tree_child_traced(g, rule, node, frozen, &mut |_| {})
+}
+
+/// [`tree_child`] that additionally reports every rule the walk enters to
+/// `entered` (the incremental index's chain-dependency hook).
+pub fn tree_child_traced(
+    g: &Grammar,
+    rule: NtId,
+    node: NodeId,
+    frozen: &FrozenSet,
+    entered: &mut impl FnMut(NtId),
+) -> GrammarNode {
     let mut rule = rule;
     let mut node = node;
     loop {
         let kind = g.rule(rule).rhs.kind(node);
         match kind {
             NodeKind::Nt(callee) if !frozen.contains(&callee) => {
+                entered(callee);
                 rule = callee;
                 node = g.rule(callee).rhs.root();
             }
@@ -97,6 +153,18 @@ pub fn tree_parent(
     node: NodeId,
     frozen: &FrozenSet,
 ) -> Option<(GrammarNode, usize)> {
+    tree_parent_traced(g, rule, node, frozen, &mut |_| {})
+}
+
+/// [`tree_parent`] that additionally reports every rule the walk enters to
+/// `entered` (the incremental index's chain-dependency hook).
+pub fn tree_parent_traced(
+    g: &Grammar,
+    rule: NtId,
+    node: NodeId,
+    frozen: &FrozenSet,
+    entered: &mut impl FnMut(NtId),
+) -> Option<(GrammarNode, usize)> {
     let mut rule = rule;
     let mut node = node;
     loop {
@@ -107,6 +175,7 @@ pub fn tree_parent(
             NodeKind::Nt(callee) if !frozen.contains(&callee) => {
                 // The node is the `index`-th argument of the reference: continue
                 // at the parameter node y_{index+1} inside the callee.
+                entered(callee);
                 let callee_rhs = &g.rule(callee).rhs;
                 let param = callee_rhs.find_param(index as u32)?;
                 rule = callee;
@@ -119,19 +188,23 @@ pub fn tree_parent(
 
 /// The digram label of a grammar node once chains have been resolved: terminals
 /// and frozen references stand for themselves.
-fn resolved_kind(g: &Grammar, (rule, node): GrammarNode) -> NodeKind {
+pub fn resolved_kind(g: &Grammar, (rule, node): GrammarNode) -> NodeKind {
     g.rule(rule).rhs.kind(node)
 }
 
 /// `RETRIEVEOCCS` (paper Algorithm 4): collects, per digram, the non-overlapping
 /// occurrence generators over the whole grammar together with usage-weighted
 /// occurrence counts. Frozen rules are not scanned.
-pub fn retrieve_occs(g: &Grammar, frozen: &FrozenSet) -> HashMap<Digram, DigramOccs> {
+///
+/// This full walk is the *rebuild oracle*: `GrammarRePair` with the
+/// [`treerepair::DigramSelector::NaiveScan`] selector calls it per round, and
+/// the incremental [`crate::occ_index::OccIndex`] must agree with it exactly.
+pub fn retrieve_occs(g: &Grammar, frozen: &FrozenSet) -> FxHashMap<Digram, DigramOccs> {
     let order = g
         .anti_sl_order()
         .expect("occurrence retrieval requires a straight-line grammar");
     let usage = g.usage();
-    let mut table: HashMap<Digram, DigramOccs> = HashMap::new();
+    let mut table: FxHashMap<Digram, DigramOccs> = FxHashMap::default();
 
     for &rule in &order {
         if frozen.contains(&rule) {
@@ -203,7 +276,7 @@ mod tests {
     #[test]
     fn tree_child_follows_rule_roots() {
         let g = grammar1();
-        let frozen = FrozenSet::new();
+        let frozen = FrozenSet::default();
         let c = g.nt_by_name("C").unwrap();
         let b = g.nt_by_name("B").unwrap();
         // Node (C,2) in paper addressing: the B-labelled argument of the A
@@ -220,7 +293,7 @@ mod tests {
     #[test]
     fn tree_parent_follows_parameters_into_callers() {
         let g = grammar1();
-        let frozen = FrozenSet::new();
+        let frozen = FrozenSet::default();
         let c = g.nt_by_name("C").unwrap();
         let a = g.nt_by_name("A").unwrap();
         // Node (C,2) is the first argument of the A reference; its tree parent
@@ -238,7 +311,7 @@ mod tests {
     #[test]
     fn retrieve_occs_weights_by_usage() {
         let g = grammar1();
-        let frozen = FrozenSet::new();
+        let frozen = FrozenSet::default();
         let table = retrieve_occs(&g, &frozen);
         // The digram (a,1,b) (paper notation) is generated by (A,4) [the B(#)
         // inside rule A, weight usage(A)=5] and by (C,3) [the B(#) argument
@@ -264,7 +337,7 @@ mod tests {
              A -> a(#, a(#, #))",
         )
         .unwrap();
-        let frozen = FrozenSet::new();
+        let frozen = FrozenSet::default();
         let table = retrieve_occs(&g, &frozen);
         let a = term(&g, "a");
         let d = Digram {
@@ -289,7 +362,7 @@ mod tests {
         )
         .unwrap();
         let x = g.nt_by_name("X").unwrap();
-        let mut frozen = FrozenSet::new();
+        let mut frozen = FrozenSet::default();
         frozen.insert(x);
         let table = retrieve_occs(&g, &frozen);
         // With X frozen, the only digrams seen from S are (f,i,X) and the ones

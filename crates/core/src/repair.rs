@@ -7,15 +7,14 @@
 //! partially decompress the grammar only where needed, and a final pruning
 //! phase removes unproductive rules.
 
-use std::collections::HashSet;
-
 use sltgrammar::pruning::{prune, PruneStats};
-use sltgrammar::{Grammar, SymbolTable};
+use sltgrammar::{FxHashSet, Grammar, NtId, SymbolTable};
 use treerepair::digram::pattern_rhs;
-use treerepair::{Digram, DigramSelector, FrequencyBucketQueue};
+use treerepair::{Digram, DigramSelector};
 use xmltree::binary::to_binary;
 use xmltree::XmlTree;
 
+use crate::occ_index::OccIndex;
 use crate::occurrences::{retrieve_occs, FrozenSet};
 use crate::replace::replace_all_occurrences;
 
@@ -111,93 +110,9 @@ impl GrammarRePair {
             ..RepairStats::default()
         };
 
-        let mut frozen: FrozenSet = FrozenSet::new();
-        // Digrams that were selected but produced no replacement (possible when
-        // every counted occurrence overlaps a previously replaced one); they are
-        // banned to guarantee termination.
-        let mut banned: HashSet<Digram> = HashSet::new();
-
-        loop {
-            let table = retrieve_occs(g, &frozen);
-            let selected = match self.config.selector {
-                DigramSelector::FrequencyQueue => {
-                    // Same queue the tree compressor maintains incrementally.
-                    // Here the generators are (still) re-retrieved per round —
-                    // an O(grammar) walk that dominates the round regardless of
-                    // selector — so the queue is bulk-built from the table.
-                    // Banned and below-threshold digrams never enter it (the
-                    // queue lives for one round, so dropping them is safe), and
-                    // rank-ineligible ones fall out on first contact. Making
-                    // this genuinely incremental means maintaining generators
-                    // across rounds; see the ROADMAP open item.
-                    let mut queue = FrequencyBucketQueue::new();
-                    for (digram, occs) in &table {
-                        if occs.weight >= self.config.min_occurrences && !banned.contains(digram)
-                        {
-                            queue.insert(*digram, occs.weight);
-                        }
-                    }
-                    queue.pop_best(self.config.min_occurrences, |d| {
-                        d.pattern_rank(g) <= self.config.max_rank
-                    })
-                }
-                DigramSelector::NaiveScan => {
-                    let mut best: Option<(u64, Digram)> = None;
-                    for (digram, occs) in &table {
-                        if banned.contains(digram) {
-                            continue;
-                        }
-                        if occs.weight < self.config.min_occurrences {
-                            continue;
-                        }
-                        if digram.pattern_rank(g) > self.config.max_rank {
-                            continue;
-                        }
-                        match &best {
-                            None => best = Some((occs.weight, *digram)),
-                            Some((w, d)) => {
-                                if occs.weight > *w
-                                    || (occs.weight == *w && digram.sort_key() < d.sort_key())
-                                {
-                                    best = Some((occs.weight, *digram));
-                                }
-                            }
-                        }
-                    }
-                    best.map(|(_, d)| d)
-                }
-            };
-            let Some(digram) = selected else { break };
-
-            let rank = digram.pattern_rank(g);
-            let pattern = pattern_rhs(g, &digram);
-            let x = g.add_rule_fresh("X", rank, pattern);
-            frozen.insert(x);
-            let generators = table
-                .get(&digram)
-                .map(|o| o.generators.clone())
-                .unwrap_or_default();
-            let round = replace_all_occurrences(
-                g,
-                &digram,
-                x,
-                &generators,
-                &frozen,
-                self.config.optimize,
-            );
-            stats.inlinings += round.inlinings;
-            stats.replacements += round.replacements;
-            stats.exported_rules += round.exported_rules;
-            if round.replacements == 0 {
-                // Nothing was replaced: drop the useless pattern rule and never
-                // select this digram again.
-                g.remove_rule(x);
-                frozen.remove(&x);
-                banned.insert(digram);
-                continue;
-            }
-            stats.rounds += 1;
-            stats.max_intermediate_edges = stats.max_intermediate_edges.max(g.edge_count());
+        match self.config.selector {
+            DigramSelector::FrequencyQueue => self.run_incremental(g, &mut stats),
+            DigramSelector::NaiveScan => self.run_rebuild(g, &mut stats),
         }
 
         g.gc();
@@ -208,6 +123,125 @@ impl GrammarRePair {
         stats.output_edges = g.edge_count();
         stats.max_intermediate_edges = stats.max_intermediate_edges.max(stats.output_edges);
         stats
+    }
+
+    /// The default replacement loop: the occurrence table and the shared
+    /// frequency-bucket queue are built **once** and refreshed with deltas
+    /// after each round — [`retrieve_occs`] is never called here, so a round
+    /// costs time proportional to what it changes, not to the grammar.
+    fn run_incremental(&self, g: &mut Grammar, stats: &mut RepairStats) {
+        let mut frozen: FrozenSet = FrozenSet::default();
+        let mut index = OccIndex::build(g, &frozen);
+        while let Some(digram) =
+            index.select_best(g, self.config.min_occurrences, self.config.max_rank)
+        {
+            let rules = index.generator_rules(&digram);
+            let rank = digram.pattern_rank(g);
+            let pattern = pattern_rhs(g, &digram);
+            let x = g.add_rule_fresh("X", rank, pattern);
+            frozen.insert(x);
+            // The pattern rule is not in the cached order, but the replacement
+            // loop only visits generator rules, which all predate it.
+            let round = replace_all_occurrences(
+                g,
+                &digram,
+                x,
+                &rules,
+                index.order(),
+                &frozen,
+                self.config.optimize,
+            );
+            stats.inlinings += round.inlinings;
+            stats.replacements += round.replacements;
+            stats.exported_rules += round.exported_rules;
+            let success = round.replacements > 0;
+            if !success {
+                // Nothing was replaced (every counted occurrence overlapped a
+                // previously replaced one): drop the useless pattern rule and
+                // ban the digram to guarantee termination. Localization may
+                // still have inlined rules, so the refresh below is not
+                // skippable.
+                g.remove_rule(x);
+                frozen.remove(&x);
+                index.exclude(&digram);
+            }
+            index.refresh(g, &frozen);
+            if success {
+                stats.rounds += 1;
+                stats.max_intermediate_edges =
+                    stats.max_intermediate_edges.max(index.edge_count());
+            }
+        }
+    }
+
+    /// The rebuild oracle: re-retrieves all occurrence generators per round by
+    /// a full grammar walk and selects by a linear table scan. Kept as the
+    /// testable reference — byte-identical outputs to the incremental path are
+    /// asserted by the selector-equivalence suites.
+    fn run_rebuild(&self, g: &mut Grammar, stats: &mut RepairStats) {
+        let mut frozen: FrozenSet = FrozenSet::default();
+        // Digrams that were selected but produced no replacement; they are
+        // banned to guarantee termination.
+        let mut banned: FxHashSet<Digram> = FxHashSet::default();
+
+        loop {
+            let table = retrieve_occs(g, &frozen);
+            let mut best: Option<(u64, Digram)> = None;
+            for (digram, occs) in &table {
+                if banned.contains(digram) {
+                    continue;
+                }
+                if occs.weight < self.config.min_occurrences {
+                    continue;
+                }
+                if digram.pattern_rank(g) > self.config.max_rank {
+                    continue;
+                }
+                match &best {
+                    None => best = Some((occs.weight, *digram)),
+                    Some((w, d)) => {
+                        if occs.weight > *w
+                            || (occs.weight == *w && digram.sort_key() < d.sort_key())
+                        {
+                            best = Some((occs.weight, *digram));
+                        }
+                    }
+                }
+            }
+            let Some(digram) = best.map(|(_, d)| d) else { break };
+
+            let rank = digram.pattern_rank(g);
+            let pattern = pattern_rhs(g, &digram);
+            let x = g.add_rule_fresh("X", rank, pattern);
+            frozen.insert(x);
+            let rules: FxHashSet<NtId> = table
+                .get(&digram)
+                .map(|o| o.generators.iter().map(|gen| gen.rule).collect())
+                .unwrap_or_default();
+            let order = g
+                .anti_sl_order()
+                .expect("replacement requires a straight-line grammar");
+            let round = replace_all_occurrences(
+                g,
+                &digram,
+                x,
+                &rules,
+                &order,
+                &frozen,
+                self.config.optimize,
+            );
+            stats.inlinings += round.inlinings;
+            stats.replacements += round.replacements;
+            stats.exported_rules += round.exported_rules;
+            if round.replacements == 0 {
+                g.remove_rule(x);
+                frozen.remove(&x);
+                banned.insert(digram);
+                continue;
+            }
+            stats.rounds += 1;
+            stats.max_intermediate_edges = stats.max_intermediate_edges.max(g.edge_count());
+        }
     }
 
     /// Compresses an XML document from scratch by running GrammarRePair on the

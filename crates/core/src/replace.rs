@@ -14,12 +14,12 @@
 //!    fragments that are not needed by callers are moved into new rules, so that
 //!    later inlinings of this rule stay small ("lemma generation").
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
-use sltgrammar::{Grammar, NodeId, NodeKind, NtId, RhsTree};
+use sltgrammar::{FxHashMap, FxHashSet, Grammar, NodeId, NodeKind, NtId, RhsTree};
 use treerepair::Digram;
 
-use crate::occurrences::{is_transparent_nt, tree_child, tree_parent, FrozenSet, Generator};
+use crate::occurrences::{is_transparent_nt, tree_child, tree_parent, FrozenSet};
 
 /// Statistics of one digram replacement pass.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -35,28 +35,28 @@ pub struct ReplaceStats {
 /// Replaces all occurrences of `digram` in the grammar by references to the
 /// (already created, frozen) pattern rule `x`.
 ///
-/// `generators` are the occurrence generators collected by
-/// [`crate::occurrences::retrieve_occs`] for this digram; only their rules are
-/// visited. With `optimize` set, fragment export keeps intermediate rules small.
+/// `rules_with_generators` is the set of rules containing occurrence
+/// generators of the digram — as collected by
+/// [`crate::occurrences::retrieve_occs`] or maintained by
+/// [`crate::occ_index::OccIndex`]; only those rules are visited, in the given
+/// anti-straight-line `order` (callees first). With `optimize` set, fragment
+/// export keeps intermediate rules small.
 pub fn replace_all_occurrences(
     g: &mut Grammar,
     digram: &Digram,
     x: NtId,
-    generators: &[Generator],
+    rules_with_generators: &FxHashSet<NtId>,
+    order: &[NtId],
     frozen: &FrozenSet,
     optimize: bool,
 ) -> ReplaceStats {
     let mut stats = ReplaceStats::default();
-    let rules_with_generators: HashSet<NtId> = generators.iter().map(|gen| gen.rule).collect();
-    let order = g
-        .anti_sl_order()
-        .expect("replacement requires a straight-line grammar");
     // Rules already reduced by fragment export in this round ("lemma generation"
     // cache): reducing a multiply-referenced rule once benefits every later
     // inlining of it.
-    let mut reduced: HashSet<NtId> = HashSet::new();
+    let mut reduced: FxHashSet<NtId> = FxHashSet::default();
 
-    for rule in order {
+    for &rule in order {
         if !rules_with_generators.contains(&rule) || frozen.contains(&rule) {
             continue;
         }
@@ -83,7 +83,7 @@ pub fn localize(
     digram: &Digram,
     frozen: &FrozenSet,
     optimize: bool,
-    reduced: &mut HashSet<NtId>,
+    reduced: &mut FxHashSet<NtId>,
     exported_rules: &mut usize,
 ) -> usize {
     let mut inlinings = 0;
@@ -307,8 +307,8 @@ fn build_exported_rhs(
     fragment: &[NodeId],
     cuts: &[NodeId],
 ) -> RhsTree {
-    let fragment_set: HashSet<NodeId> = fragment.iter().copied().collect();
-    let cut_index: HashMap<NodeId, u32> = cuts
+    let fragment_set: FxHashSet<NodeId> = fragment.iter().copied().collect();
+    let cut_index: FxHashMap<NodeId, u32> = cuts
         .iter()
         .enumerate()
         .map(|(i, &n)| (n, i as u32))
@@ -317,7 +317,7 @@ fn build_exported_rhs(
 
     // Bottom-up copy: children before parents (reverse preorder of the fragment
     // including cut leaves).
-    let mut new_ids: HashMap<NodeId, NodeId> = HashMap::new();
+    let mut new_ids: FxHashMap<NodeId, NodeId> = FxHashMap::default();
     let mut order: Vec<NodeId> = Vec::new();
     let mut walk = vec![root];
     while let Some(node) = walk.pop() {
@@ -363,14 +363,18 @@ mod tests {
     /// tree is unchanged. Returns the statistics and the fresh pattern rule.
     fn run_round_with_rule(g: &mut Grammar, d: &Digram, optimize: bool) -> (ReplaceStats, NtId) {
         let before = fingerprint(g);
-        let frozen = FrozenSet::new();
+        let frozen = FrozenSet::default();
         let occs = retrieve_occs(g, &frozen);
-        let gens = occs.get(d).map(|o| o.generators.clone()).unwrap_or_default();
+        let rules: FxHashSet<NtId> = occs
+            .get(d)
+            .map(|o| o.generators.iter().map(|gen| gen.rule).collect())
+            .unwrap_or_default();
         let rank = d.pattern_rank(g);
         let x = g.add_rule_fresh("X", rank, pattern_rhs(g, d));
         let mut frozen_after = frozen;
         frozen_after.insert(x);
-        let stats = replace_all_occurrences(g, d, x, &gens, &frozen_after, optimize);
+        let order = g.anti_sl_order().unwrap();
+        let stats = replace_all_occurrences(g, d, x, &rules, &order, &frozen_after, optimize);
         g.gc();
         g.validate().unwrap();
         assert_eq!(fingerprint(g), before, "derived tree must be preserved");

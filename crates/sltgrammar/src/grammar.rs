@@ -24,6 +24,11 @@ pub struct Rule {
 /// indexed by [`NtId`]. Exactly one rule is the start rule; it has rank 0 and is
 /// never referenced by other rules. The grammar must be non-recursive
 /// (*straight-line*), which [`Grammar::validate`] checks.
+///
+/// Rule bodies are only ever mutated through [`RhsTree`] operations, each of
+/// which bumps the body's [`RhsTree::version`]; "which rules changed since I
+/// last looked" is therefore answerable per rule in O(1), which is what keeps
+/// the incremental occurrence index honest across splices.
 #[derive(Debug, Clone)]
 pub struct Grammar {
     /// Terminal alphabet.
@@ -283,6 +288,10 @@ impl Grammar {
     /// Inlines the rule referenced by `node` (which must be a nonterminal node
     /// in `caller`'s right-hand side) at that node. Returns the root of the
     /// inlined copy. The callee rule itself is left untouched.
+    ///
+    /// Like every splice, the change reports itself through the caller's
+    /// [`RhsTree::version`] counter — incremental consumers (the occurrence
+    /// index, prune's size cache) detect it without explicit notification.
     pub fn inline_at(&mut self, caller: NtId, node: NodeId) -> NodeId {
         let callee = self
             .rule(caller)

@@ -37,6 +37,7 @@
 pub mod derive;
 pub mod error;
 pub mod fingerprint;
+pub mod fxhash;
 pub mod grammar;
 pub mod node;
 pub mod pruning;
@@ -47,6 +48,7 @@ pub mod symbol;
 pub mod text;
 
 pub use error::{GrammarError, Result};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use grammar::{Grammar, Rule};
 pub use node::{NodeId, NodeKind};
 pub use rhs::{RhsNode, RhsTree};

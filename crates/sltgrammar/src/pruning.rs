@@ -16,9 +16,18 @@
 //! compression time on rule-heavy outputs (thousands of pattern rules).
 //! Node ids are stable across splices and inlining commutes across distinct
 //! sites, so index order never changes the pruned grammar.
+//!
+//! Rule *sizes* are carried the same way: `size(t_R)` is measured once per
+//! rule up front, and every inlining adjusts the caller's cached size by
+//! `size(callee) − rank(callee)` (an inline replaces the reference node and
+//! the callee's parameter leaves by a copy of its body, which is exactly that
+//! many extra edges). Phase 2 previously recomputed `rhs.edge_count()` — a
+//! preorder walk — per candidate, which re-walked large caller bodies once
+//! per surviving rule.
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use crate::fxhash::FxHashMap;
 use crate::grammar::Grammar;
 use crate::node::NodeId;
 use crate::symbol::NtId;
@@ -44,14 +53,16 @@ impl PruneStats {
 /// The savings value `sav_G(R)` of the paper, using edge counts as sizes.
 pub fn savings(g: &Grammar, nt: NtId) -> i64 {
     let refs = g.ref_counts();
-    savings_with(g, nt, refs.get(&nt).copied().unwrap_or(0))
+    let rule = g.rule(nt);
+    savings_of(
+        rule.rhs.edge_count(),
+        rule.rank,
+        refs.get(&nt).copied().unwrap_or(0),
+    )
 }
 
-fn savings_with(g: &Grammar, nt: NtId, ref_count: usize) -> i64 {
-    let rule = g.rule(nt);
-    let size = rule.rhs.edge_count() as i64;
-    let rank = rule.rank as i64;
-    (ref_count as i64) * (size - rank) - size
+fn savings_of(size: usize, rank: usize, ref_count: usize) -> i64 {
+    (ref_count as i64) * (size as i64 - rank as i64) - size as i64
 }
 
 /// Reference-site index: for every rule, the set of `(caller, node)` pairs
@@ -87,9 +98,29 @@ fn unregister_outgoing(g: &Grammar, sites: &mut SiteIndex, nt: NtId) -> Vec<NtId
 /// Inlines `nt` at one site and registers the references of the inlined copy.
 /// Re-inserting sites of argument subtrees that already lived in the caller is
 /// harmless: node ids are stable across splices, so those entries are
-/// idempotent.
-fn inline_site(g: &mut Grammar, sites: &mut SiteIndex, caller: NtId, node: NodeId) {
+/// idempotent. The caller's cached size grows by `size(callee) − rank(callee)`
+/// — no re-walk of the caller body.
+fn inline_site(
+    g: &mut Grammar,
+    sites: &mut SiteIndex,
+    sizes: &mut FxHashMap<NtId, usize>,
+    caller: NtId,
+    node: NodeId,
+) {
+    let callee = g
+        .rule(caller)
+        .rhs
+        .kind(node)
+        .as_nt()
+        .expect("inline site is a nonterminal node");
+    let growth = sizes[&callee] - g.rule(callee).rank;
     let new_root = g.inline_at(caller, node);
+    *sizes.get_mut(&caller).expect("caller is live") += growth;
+    debug_assert_eq!(
+        sizes[&caller],
+        g.rule(caller).rhs.edge_count(),
+        "cached size must track inlining"
+    );
     let caller_rhs = &g.rule(caller).rhs;
     for n in caller_rhs.preorder_from(new_root) {
         if let Some(callee) = caller_rhs.kind(n).as_nt() {
@@ -107,6 +138,12 @@ pub fn prune(g: &mut Grammar) -> PruneStats {
     for (nt, refs) in g.refs() {
         sites.insert(nt, refs.into_iter().collect());
     }
+    // Rule sizes, measured once; inlining updates them arithmetically.
+    let mut sizes: FxHashMap<NtId, usize> = g
+        .nonterminals()
+        .into_iter()
+        .map(|nt| (nt, g.rule(nt).rhs.edge_count()))
+        .collect();
 
     // Phase 1: rules with a single reference never pay for themselves. After
     // the leading gc every rule is referenced at least once, and inlining a
@@ -128,14 +165,16 @@ pub fn prune(g: &mut Grammar) -> PruneStats {
                 // Defensive only: gc just removed every unreachable rule.
                 unregister_outgoing(g, &mut sites, nt);
                 sites.remove(&nt);
+                sizes.remove(&nt);
                 g.remove_rule(nt);
                 stats.removed_unreachable += 1;
             }
             1 => {
                 let &(caller, node) = sites[&nt].iter().next().expect("count is 1");
                 unregister_outgoing(g, &mut sites, nt);
-                inline_site(g, &mut sites, caller, node);
+                inline_site(g, &mut sites, &mut sizes, caller, node);
                 sites.remove(&nt);
+                sizes.remove(&nt);
                 g.remove_rule(nt);
                 stats.removed_single_ref += 1;
             }
@@ -154,18 +193,20 @@ pub fn prune(g: &mut Grammar) -> PruneStats {
         if rc == 0 {
             unregister_outgoing(g, &mut sites, nt);
             sites.remove(&nt);
+            sizes.remove(&nt);
             g.remove_rule(nt);
             stats.removed_unreachable += 1;
             continue;
         }
-        if savings_with(g, nt, rc) < 0 {
+        if savings_of(sizes[&nt], g.rule(nt).rank, rc) < 0 {
             let site_list: Vec<(NtId, NodeId)> =
                 sites.get(&nt).into_iter().flatten().copied().collect();
             unregister_outgoing(g, &mut sites, nt);
             for (caller, node) in site_list {
-                inline_site(g, &mut sites, caller, node);
+                inline_site(g, &mut sites, &mut sizes, caller, node);
             }
             sites.remove(&nt);
+            sizes.remove(&nt);
             g.remove_rule(nt);
             stats.removed_unproductive += 1;
         }

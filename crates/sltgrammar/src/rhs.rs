@@ -9,7 +9,15 @@
 //! Nodes detached by splices remain allocated as garbage until [`RhsTree::compact`]
 //! is called; all size queries therefore traverse from the root and never scan
 //! the raw arena.
+//!
+//! Every mutating operation bumps a monotonically increasing [`RhsTree::version`]
+//! counter. Incremental consumers (the grammar-side occurrence index, caches of
+//! rule sizes) record the version they last observed and treat any mismatch as
+//! "this right-hand side changed, re-derive everything you cached about it" —
+//! the splice itself does not have to enumerate which parent/child pairs it
+//! touched.
 
+use crate::fxhash::FxHashMap;
 use crate::node::{NodeId, NodeKind};
 
 /// One node of a right-hand-side tree.
@@ -28,6 +36,9 @@ pub struct RhsNode {
 pub struct RhsTree {
     nodes: Vec<RhsNode>,
     root: NodeId,
+    /// Mutation counter: bumped by every structural or label change. See the
+    /// module docs; cloning preserves the current value.
+    version: u64,
 }
 
 impl RhsTree {
@@ -40,7 +51,15 @@ impl RhsTree {
                 children: Vec::new(),
             }],
             root: NodeId(0),
+            version: 0,
         }
+    }
+
+    /// Current mutation version. Any mutating call makes this strictly larger;
+    /// two reads returning the same value bracket a span with no changes.
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Adds a floating node (no parent) with already-added children.
@@ -48,6 +67,7 @@ impl RhsTree {
     /// The children must currently be floating (roots of detached subtrees or
     /// freshly added nodes); they are re-parented under the new node.
     pub fn add_node(&mut self, kind: NodeKind, children: Vec<NodeId>) -> NodeId {
+        self.version += 1;
         let id = NodeId(self.nodes.len() as u32);
         for &c in &children {
             debug_assert!(self.nodes[c.index()].parent.is_none(), "child must be floating");
@@ -69,6 +89,7 @@ impl RhsTree {
     /// Makes `id` the root of the tree. The node must be floating.
     pub fn set_root(&mut self, id: NodeId) {
         debug_assert!(self.nodes[id.index()].parent.is_none());
+        self.version += 1;
         self.root = id;
     }
 
@@ -88,6 +109,7 @@ impl RhsTree {
     /// responsible for keeping the child count consistent with the new label's
     /// rank.
     pub fn set_kind(&mut self, id: NodeId, kind: NodeKind) {
+        self.version += 1;
         self.nodes[id.index()].kind = kind;
     }
 
@@ -181,6 +203,7 @@ impl RhsTree {
     /// Detaches `id` from its parent, making it a floating subtree root.
     /// Does nothing if `id` is the root or already floating.
     pub fn detach(&mut self, id: NodeId) {
+        self.version += 1;
         if let Some(p) = self.nodes[id.index()].parent {
             let pos = self.nodes[p.index()]
                 .children
@@ -196,6 +219,7 @@ impl RhsTree {
     /// `replacement`. The old subtree at `at` becomes floating garbage.
     pub fn replace_subtree(&mut self, at: NodeId, replacement: NodeId) {
         debug_assert!(self.nodes[replacement.index()].parent.is_none());
+        self.version += 1;
         if at == self.root {
             self.nodes[at.index()].parent = None;
             self.root = replacement;
@@ -215,6 +239,7 @@ impl RhsTree {
     /// Attaches the floating subtree `child` as the last child of `parent`.
     pub fn push_child(&mut self, parent: NodeId, child: NodeId) {
         debug_assert!(self.nodes[child.index()].parent.is_none());
+        self.version += 1;
         self.nodes[parent.index()].children.push(child);
         self.nodes[child.index()].parent = Some(parent);
     }
@@ -225,7 +250,7 @@ impl RhsTree {
         // Iterative post-order copy to avoid recursion depth limits on deep trees.
         // We copy children first, then the node itself.
         let order = src.preorder_from(src_node);
-        let mut new_ids: std::collections::HashMap<NodeId, NodeId> = std::collections::HashMap::new();
+        let mut new_ids: FxHashMap<NodeId, NodeId> = FxHashMap::default();
         for &n in order.iter().rev() {
             let child_copies: Vec<NodeId> = src
                 .children(n)
@@ -245,7 +270,7 @@ impl RhsTree {
     /// Copies the subtree rooted at `node` of this tree and returns the floating copy root.
     pub fn clone_subtree(&mut self, node: NodeId) -> NodeId {
         let order = self.preorder_from(node);
-        let mut new_ids: std::collections::HashMap<NodeId, NodeId> = std::collections::HashMap::new();
+        let mut new_ids: FxHashMap<NodeId, NodeId> = FxHashMap::default();
         for &n in order.iter().rev() {
             let child_copies: Vec<NodeId> =
                 self.children(n).iter().map(|c| new_ids[c]).collect();
@@ -263,6 +288,7 @@ impl RhsTree {
     /// inlined copy, which now occupies `at`'s former position.
     pub fn inline_at(&mut self, at: NodeId, rule_rhs: &RhsTree) -> NodeId {
         debug_assert!(self.kind(at).is_nt(), "inline_at target must be a nonterminal node");
+        self.version += 1;
         // Detach argument subtrees.
         let args: Vec<NodeId> = self.children(at).to_vec();
         for &a in &args {
@@ -272,7 +298,8 @@ impl RhsTree {
 
         // Copy the rule body, substituting parameters by the argument subtrees.
         let order = rule_rhs.preorder();
-        let mut new_ids: std::collections::HashMap<NodeId, NodeId> = std::collections::HashMap::new();
+        let mut new_ids: FxHashMap<NodeId, NodeId> =
+            FxHashMap::with_capacity_and_hasher(order.len(), Default::default());
         for &n in order.iter().rev() {
             match rule_rhs.kind(n) {
                 NodeKind::Param(j) => {
@@ -297,8 +324,10 @@ impl RhsTree {
     /// All previously held [`NodeId`]s are invalidated; only call this when no
     /// external node ids are retained.
     pub fn compact(&mut self) {
+        self.version += 1;
         let order = self.preorder();
-        let mut map = std::collections::HashMap::with_capacity(order.len());
+        let mut map: FxHashMap<NodeId, NodeId> =
+            FxHashMap::with_capacity_and_hasher(order.len(), Default::default());
         for (i, &old) in order.iter().enumerate() {
             map.insert(old, NodeId(i as u32));
         }
@@ -463,6 +492,33 @@ mod tests {
         t.push_child(ids[3], ids[1]); // d gets child b (ranks not checked here)
         assert_eq!(t.node_count(), 4);
         assert_eq!(t.parent(ids[1]), Some(ids[3]));
+    }
+
+    #[test]
+    fn version_bumps_on_every_mutation() {
+        let (mut t, ids) = sample();
+        let mut last = t.version();
+        let expect_bump = |t: &RhsTree, last: &mut u64, what: &str| {
+            assert!(t.version() > *last, "{what} must bump the version");
+            *last = t.version();
+        };
+        t.add_leaf(term(7));
+        expect_bump(&t, &mut last, "add_leaf");
+        t.set_kind(ids[1], term(8));
+        expect_bump(&t, &mut last, "set_kind");
+        t.detach(ids[1]);
+        expect_bump(&t, &mut last, "detach");
+        t.push_child(ids[0], ids[1]);
+        expect_bump(&t, &mut last, "push_child");
+        let fresh = t.add_leaf(term(9));
+        t.replace_subtree(ids[2], fresh);
+        expect_bump(&t, &mut last, "replace_subtree");
+        t.compact();
+        expect_bump(&t, &mut last, "compact");
+        // Read-only calls leave it alone.
+        let _ = t.preorder();
+        let _ = t.node_count();
+        assert_eq!(t.version(), last);
     }
 
     #[test]

@@ -4,11 +4,23 @@
 //! packed into `u64` words, and a cumulative popcount is stored for every
 //! *block* of [`WORDS_PER_BLOCK`] words. `rank1` is then a block lookup, at most
 //! seven word popcounts, and one masked popcount — constant time for all
-//! practical purposes. `select` binary-searches the block directory and scans at
-//! most one block.
+//! practical purposes.
+//!
+//! `select1` additionally uses a *sampled select directory*: the block index of
+//! every [`SELECT_SAMPLE`]-th one is stored at build time, so a query jumps
+//! straight to the sampled block of `⌊(k−1)/SELECT_SAMPLE⌋` and only has to
+//! search between two consecutive samples instead of binary-searching the whole
+//! rank directory (which cost O(log n) per call and dominated `select`-heavy
+//! navigation). On dense vectors consecutive samples are a handful of blocks
+//! apart, making the query effectively constant time; the directory costs one
+//! `u32` per [`SELECT_SAMPLE`] ones (≤ 0.07 bits per bit). `select0` keeps the
+//! plain binary search — zero-heavy queries are not on the navigation hot path.
 
 /// Number of 64-bit words per rank-directory block (512 bits per block).
 pub const WORDS_PER_BLOCK: usize = 8;
+
+/// Sampling rate of the select directory: one block pointer per this many ones.
+pub const SELECT_SAMPLE: u64 = 512;
 
 /// An immutable bit vector with rank/select support.
 ///
@@ -21,6 +33,9 @@ pub struct BitVector {
     len: usize,
     /// `block_ranks[b]` = number of ones in words `[0, b * WORDS_PER_BLOCK)`.
     block_ranks: Vec<u64>,
+    /// `select_samples[j]` = index of the block containing the
+    /// `j * SELECT_SAMPLE + 1`-th one (1-based ones).
+    select_samples: Vec<u32>,
     ones: u64,
 }
 
@@ -109,10 +124,22 @@ impl BitVector {
         }
         // Sentinel block covering the tail.
         block_ranks.push(acc);
+        // Select directory: one linear sweep over the block ranks.
+        let mut select_samples = Vec::with_capacity((acc / SELECT_SAMPLE) as usize + 1);
+        let mut block = 0usize;
+        let mut k = 1u64;
+        while k <= acc {
+            while block_ranks[block + 1] < k {
+                block += 1;
+            }
+            select_samples.push(block as u32);
+            k += SELECT_SAMPLE;
+        }
         BitVector {
             words,
             len,
             block_ranks,
+            select_samples,
             ones: acc,
         }
     }
@@ -172,11 +199,45 @@ impl BitVector {
 
     /// Position of the `k`-th one (1-based). Returns `None` if `k` is 0 or
     /// exceeds the number of ones.
+    ///
+    /// The sampled select directory bounds the block search to the gap between
+    /// two consecutive samples, so the query is O(1) for all practical
+    /// densities instead of a binary search over the whole rank directory.
     pub fn select1(&self, k: u64) -> Option<usize> {
         if k == 0 || k > self.ones {
             return None;
         }
-        // Binary search the block directory for the last block with rank < k.
+        // The k-th one lies at or after the sampled block of its group, and at
+        // or before the next group's sampled block.
+        let group = ((k - 1) / SELECT_SAMPLE) as usize;
+        let mut lo = self.select_samples[group] as usize;
+        let mut hi = self
+            .select_samples
+            .get(group + 1)
+            .map(|&b| b as usize)
+            .unwrap_or(self.block_ranks.len() - 2);
+        // Bounded search for the last block with rank < k (the span is a few
+        // blocks on dense vectors; degenerate sparsity stays logarithmic in
+        // the span, never in the whole directory).
+        while lo < hi {
+            let mid = (lo + hi).div_ceil(2);
+            if self.block_ranks[mid] < k {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        Some(self.select1_in_block(lo, k))
+    }
+
+    /// Reference implementation of `select1` that binary-searches the whole
+    /// rank directory, bypassing the select directory. Kept for the property
+    /// tests that pin the sampled directory to the rank-only answer.
+    #[doc(hidden)]
+    pub fn select1_rank_search(&self, k: u64) -> Option<usize> {
+        if k == 0 || k > self.ones {
+            return None;
+        }
         let mut lo = 0usize;
         let mut hi = self.block_ranks.len() - 1;
         while lo < hi {
@@ -187,8 +248,14 @@ impl BitVector {
                 hi = mid - 1;
             }
         }
-        let mut remaining = k - self.block_ranks[lo];
-        let mut word = lo * WORDS_PER_BLOCK;
+        Some(self.select1_in_block(lo, k))
+    }
+
+    /// Finishes a select query inside block `block` (which must contain the
+    /// `k`-th one): scan at most [`WORDS_PER_BLOCK`] words.
+    fn select1_in_block(&self, block: usize, k: u64) -> usize {
+        let mut remaining = k - self.block_ranks[block];
+        let mut word = block * WORDS_PER_BLOCK;
         loop {
             let ones = self.words[word].count_ones() as u64;
             if remaining <= ones {
@@ -197,7 +264,7 @@ impl BitVector {
             remaining -= ones;
             word += 1;
         }
-        Some(word * 64 + select_in_word(self.words[word], remaining))
+        word * 64 + select_in_word(self.words[word], remaining)
     }
 
     /// Position of the `k`-th zero (1-based). Returns `None` if `k` is 0 or
@@ -241,9 +308,13 @@ impl BitVector {
         }
     }
 
-    /// Approximate heap footprint in bytes (words + rank directory).
+    /// Approximate heap footprint in bytes (words + rank directory + select
+    /// directory).
     pub fn size_bytes(&self) -> usize {
-        self.words.len() * 8 + self.block_ranks.len() * 8 + std::mem::size_of::<Self>()
+        self.words.len() * 8
+            + self.block_ranks.len() * 8
+            + self.select_samples.len() * 4
+            + std::mem::size_of::<Self>()
     }
 }
 
@@ -362,6 +433,37 @@ mod tests {
                 assert_eq!(bv.select0(k), naive_select0(&bits, k), "n={n}, k={k}");
             }
             assert_eq!(bv.select0(zeros + 1), None);
+        }
+    }
+
+    #[test]
+    fn sampled_select_matches_rank_search_across_densities() {
+        // Dense, sparse and clustered vectors, all crossing several sample
+        // groups (> SELECT_SAMPLE ones) and block boundaries.
+        let dense: Vec<bool> = (0..40_000).map(|i| i % 3 != 0).collect();
+        let sparse: Vec<bool> = (0..200_000).map(|i| i % 331 == 7).collect();
+        let clustered: Vec<bool> = (0..60_000).map(|i| (i / 700) % 2 == 0).collect();
+        for bits in [dense, sparse, clustered] {
+            let bv = BitVector::from_bits(bits.iter().copied());
+            assert!(bv.count_ones() > SELECT_SAMPLE, "test must span samples");
+            for k in (1..=bv.count_ones()).step_by(13) {
+                assert_eq!(bv.select1(k), bv.select1_rank_search(k), "k={k}");
+            }
+            assert_eq!(bv.select1(bv.count_ones()), bv.select1_rank_search(bv.count_ones()));
+            assert_eq!(bv.select1(bv.count_ones() + 1), None);
+        }
+    }
+
+    #[test]
+    fn select_samples_exactly_at_group_boundaries() {
+        // Ones exactly at multiples of SELECT_SAMPLE stress the group index
+        // arithmetic (k = j*SAMPLE and k = j*SAMPLE + 1).
+        let bits: Vec<bool> = (0..(SELECT_SAMPLE as usize * 70)).map(|i| i % 2 == 0).collect();
+        let bv = BitVector::from_bits(bits.iter().copied());
+        for j in 1..=3u64 {
+            for k in [j * SELECT_SAMPLE, j * SELECT_SAMPLE + 1] {
+                assert_eq!(bv.select1(k), naive_select1(&bits, k), "k={k}");
+            }
         }
     }
 

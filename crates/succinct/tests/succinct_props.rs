@@ -50,6 +50,24 @@ proptest! {
         prop_assert_eq!(bv.select1(ones + 1), None);
     }
 
+    /// The sampled select directory is a pure lookup accelerator: on arbitrary
+    /// bit patterns it must return exactly what the rank-directory binary
+    /// search (the pre-directory implementation) returns, for every k,
+    /// including out-of-range ones.
+    #[test]
+    fn sampled_select_matches_binary_search(
+        bits in prop::collection::vec(any::<bool>(), 0..4000),
+        probes in prop::collection::vec(any::<u64>(), 0..32),
+    ) {
+        let bv = BitVector::from_bits(bits.iter().copied());
+        for k in 0..=bv.count_ones() + 2 {
+            prop_assert_eq!(bv.select1(k), bv.select1_rank_search(k), "k={}", k);
+        }
+        for &p in &probes {
+            prop_assert_eq!(bv.select1(p), bv.select1_rank_search(p), "probe={}", p);
+        }
+    }
+
     #[test]
     fn bp_navigation_matches_pointer_tree(xml in arb_tree()) {
         let bp = BpTree::from_xml(&xml);

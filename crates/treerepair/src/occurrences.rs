@@ -17,9 +17,9 @@
 //! ([`OccTable::collect_children_into`]) reuses a caller buffer and never
 //! re-sorts.
 
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::BTreeSet;
 
-use sltgrammar::{NodeId, RhsTree};
+use sltgrammar::{FxHashMap, FxHashSet, NodeId, RhsTree};
 
 use crate::digram::Digram;
 use crate::queue::FrequencyBucketQueue;
@@ -31,7 +31,7 @@ use crate::queue::FrequencyBucketQueue;
 pub struct Occurrences {
     /// Child nodes, kept ordered so deterministic iteration needs no sorting.
     children: BTreeSet<NodeId>,
-    parents: HashSet<NodeId>,
+    parents: FxHashSet<NodeId>,
 }
 
 impl Occurrences {
@@ -54,7 +54,7 @@ impl Occurrences {
 /// frequency-bucket queue answering max-frequency queries incrementally.
 #[derive(Debug, Default, Clone)]
 pub struct OccTable {
-    map: HashMap<Digram, Occurrences>,
+    map: FxHashMap<Digram, Occurrences>,
     queue: FrequencyBucketQueue,
 }
 

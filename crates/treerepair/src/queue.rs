@@ -27,7 +27,9 @@
 //! ordered map.
 
 use std::collections::btree_map::Entry;
-use std::collections::{BTreeMap, HashSet};
+use std::collections::BTreeMap;
+
+use sltgrammar::FxHashSet;
 
 use crate::digram::Digram;
 
@@ -56,9 +58,10 @@ pub struct FrequencyBucketQueue {
     /// Upper bound on the index of the highest non-empty low bucket.
     max_low: usize,
     /// Digrams permanently removed from selection (pattern rank exceeded the
-    /// configured maximum). Rank is immutable per digram, so exclusion is
-    /// final; `update` keeps these out of the buckets.
-    excluded: HashSet<Digram>,
+    /// configured maximum, or the caller banned them via
+    /// [`FrequencyBucketQueue::exclude`]). Rank is immutable per digram, so
+    /// exclusion is final; `update` keeps these out of the buckets.
+    excluded: FxHashSet<Digram>,
 }
 
 impl FrequencyBucketQueue {
@@ -91,6 +94,23 @@ impl FrequencyBucketQueue {
     /// for a zero count).
     pub fn insert(&mut self, digram: Digram, count: u64) {
         self.update(&digram, 0, count);
+    }
+
+    /// Permanently bans a digram from selection, dropping it from whichever
+    /// bucket currently holds it (`current` is its queued count; pass 0 if it
+    /// is not queued). Used by GrammarRePair for digrams whose replacement
+    /// produced nothing: every future [`FrequencyBucketQueue::update`] for the
+    /// digram becomes a no-op, exactly like a rank-based exclusion.
+    pub fn exclude(&mut self, digram: &Digram, current: u64) {
+        self.update(digram, current, 0);
+        self.excluded.insert(*digram);
+    }
+
+    /// Whether a digram has been permanently excluded (by an eligibility
+    /// rejection in [`FrequencyBucketQueue::pop_best`] or by
+    /// [`FrequencyBucketQueue::exclude`]).
+    pub fn is_excluded(&self, digram: &Digram) -> bool {
+        self.excluded.contains(digram)
     }
 
     /// Returns the digram with the highest count `>= min_count`, breaking count
@@ -143,7 +163,7 @@ impl FrequencyBucketQueue {
     fn first_eligible(
         bucket: &mut Bucket,
         eligible: &mut impl FnMut(&Digram) -> bool,
-        excluded: &mut HashSet<Digram>,
+        excluded: &mut FxHashSet<Digram>,
     ) -> Option<Digram> {
         while let Some((&key, &digram)) = bucket.iter().next() {
             if eligible(&digram) {
@@ -256,6 +276,22 @@ mod tests {
         assert_eq!(q.pop_best(2, |_| true), Some(digram(3, 0, 3)));
         q.update(&digram(3, 0, 3), 7, 0);
         assert_eq!(q.pop_best(2, |_| true), Some(digram(2, 0, 2)));
+    }
+
+    #[test]
+    fn excluded_digrams_ignore_all_future_updates() {
+        let mut q = FrequencyBucketQueue::new();
+        let banned = digram(1, 0, 1);
+        let other = digram(2, 0, 2);
+        q.insert(banned, 5);
+        q.insert(other, 3);
+        q.exclude(&banned, 5);
+        assert!(q.is_excluded(&banned));
+        assert_eq!(q.pop_best(2, |_| true), Some(other));
+        // Updates for the banned digram are no-ops forever.
+        q.update(&banned, 0, 100);
+        assert_eq!(q.pop_best(2, |_| true), Some(other));
+        assert_eq!(q.len(), 1);
     }
 
     #[test]

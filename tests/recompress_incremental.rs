@@ -1,0 +1,129 @@
+//! Oracle tests for the incremental grammar-side occurrence index.
+//!
+//! `GrammarRePair` with the default `FrequencyQueue` selector builds its
+//! occurrence table **once** per `recompress` invocation and maintains it with
+//! deltas across replacement rounds; the `NaiveScan` selector re-retrieves all
+//! occurrence generators per round (`retrieve_occs`, the full-grammar rebuild).
+//! The optimization is only sound if the two paths are observationally
+//! indistinguishable: these tests assert **byte-identical output grammars**,
+//! identical round counts, and a preserved derived tree on the heterogeneous
+//! corpus and — the paper's actual workload — on documents that received a
+//! batch of grammar-side updates before recompression.
+
+use slt_xml::datasets::regular::heterogeneous_records_like;
+use slt_xml::datasets::workload::{
+    random_insert_delete_sequence, random_rename_sequence, WorkloadMix,
+};
+use slt_xml::grammar_repair::repair::{GrammarRePair, GrammarRePairConfig};
+use slt_xml::grammar_repair::update::apply_update;
+use slt_xml::sltgrammar::fingerprint::fingerprint;
+use slt_xml::sltgrammar::text::print_grammar;
+use slt_xml::sltgrammar::{Grammar, SymbolTable};
+use slt_xml::treerepair::DigramSelector;
+use slt_xml::xmltree::binary::{to_binary, tree_fingerprint};
+use slt_xml::xmltree::updates as reference;
+use slt_xml::xmltree::updates::UpdateOp;
+use slt_xml::xmltree::XmlTree;
+
+fn rebuild_config() -> GrammarRePairConfig {
+    GrammarRePairConfig {
+        selector: DigramSelector::NaiveScan,
+        ..GrammarRePairConfig::default()
+    }
+}
+
+/// Recompresses clones of `g` with both paths and asserts byte-identical
+/// results; returns the incremental result for further checks.
+fn assert_paths_agree(g: &Grammar, context: &str) -> Grammar {
+    let mut g_inc = g.clone();
+    let mut g_reb = g.clone();
+    let s_inc = GrammarRePair::default().recompress(&mut g_inc);
+    let s_reb = GrammarRePair::new(rebuild_config()).recompress(&mut g_reb);
+    assert_eq!(
+        print_grammar(&g_inc),
+        print_grammar(&g_reb),
+        "incremental and rebuild paths disagree on {context}"
+    );
+    assert_eq!(s_inc.rounds, s_reb.rounds, "round counts differ on {context}");
+    assert_eq!(s_inc.replacements, s_reb.replacements);
+    assert_eq!(s_inc.inlinings, s_reb.inlinings);
+    assert_eq!(s_inc.exported_rules, s_reb.exported_rules);
+    assert_eq!(s_inc.output_edges, s_reb.output_edges);
+    assert_eq!(s_inc.max_intermediate_edges, s_reb.max_intermediate_edges);
+    g_inc.validate().unwrap();
+    g_inc
+}
+
+#[test]
+fn paths_agree_on_the_heterogeneous_corpus() {
+    // The selection-bound corpus from the selector A/B baseline: repetitive
+    // *and* label-diverse, so many rounds with many live digrams.
+    for (schemas, records) in [(20usize, 300usize), (50, 550)] {
+        let xml = heterogeneous_records_like(schemas, records);
+        let mut symbols = SymbolTable::new();
+        let bin = to_binary(&xml, &mut symbols).unwrap();
+        let g = Grammar::new(symbols, bin);
+        let before = fingerprint(&g);
+        let out = assert_paths_agree(&g, &format!("heterogeneous({schemas},{records})"));
+        assert_eq!(fingerprint(&out), before, "derived tree must be preserved");
+    }
+}
+
+/// Applies the workload to a compressed grammar and to the uncompressed
+/// reference tree, then checks both recompression paths agree and still
+/// derive the reference.
+fn run_update_workload(xml: &XmlTree, ops: &[UpdateOp], context: &str) {
+    let (mut g, _) = GrammarRePair::default().compress_xml(xml);
+    let mut symbols = SymbolTable::new();
+    let mut bin = to_binary(xml, &mut symbols).unwrap();
+    for op in ops {
+        apply_update(&mut g, op).expect("workload op applies to the grammar");
+        reference::apply_update(&mut bin, &mut symbols, op)
+            .expect("workload op applies to the reference");
+    }
+    let expected = tree_fingerprint(&bin, &symbols);
+    assert_eq!(fingerprint(&g), expected, "updates must agree before recompression");
+    let out = assert_paths_agree(&g, context);
+    assert_eq!(fingerprint(&out), expected, "recompression must preserve the document");
+}
+
+#[test]
+fn paths_agree_after_insert_delete_workloads() {
+    let xml = heterogeneous_records_like(8, 120);
+    for seed in [3u64, 17] {
+        let ops = random_insert_delete_sequence(&xml, 40, seed, WorkloadMix::default());
+        run_update_workload(&xml, &ops, &format!("insert/delete workload seed {seed}"));
+    }
+}
+
+#[test]
+fn paths_agree_after_rename_workloads() {
+    // Renames to fresh labels (the Figure 6 workload): isolation blows the
+    // grammar up without changing its shape class.
+    let xml = slt_xml::datasets::regular::exi_weblog_like(40);
+    let ops = random_rename_sequence(&xml, 30, 11);
+    run_update_workload(&xml, &ops, "rename workload");
+}
+
+#[test]
+fn paths_agree_on_repeated_update_recompress_cycles() {
+    // The steady-state loop of a compressed DOM under write traffic:
+    // update batch → recompress → update batch → recompress. Each cycle
+    // starts from the *incremental* result, so any divergence compounds and
+    // would be caught by the per-cycle comparison with the rebuild path.
+    let xml = heterogeneous_records_like(5, 80);
+    let (mut g, _) = GrammarRePair::default().compress_xml(&xml);
+    let mut symbols = SymbolTable::new();
+    let mut bin = to_binary(&xml, &mut symbols).unwrap();
+    for cycle in 0..3u64 {
+        // Generate ops against the *current* document state.
+        let current = slt_xml::xmltree::binary::from_binary(&bin, &symbols).unwrap();
+        let ops = random_insert_delete_sequence(&current, 15, cycle, WorkloadMix::default());
+        for op in &ops {
+            apply_update(&mut g, op).unwrap();
+            reference::apply_update(&mut bin, &mut symbols, op).unwrap();
+        }
+        g = assert_paths_agree(&g, &format!("cycle {cycle}"));
+        assert_eq!(fingerprint(&g), tree_fingerprint(&bin, &symbols));
+    }
+}
