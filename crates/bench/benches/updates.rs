@@ -4,10 +4,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use datasets::catalog::Dataset;
-use datasets::workload::random_rename_sequence;
+use datasets::workload::{random_rename_sequence, random_update_sequence, WorkloadMix};
 use grammar_repair::repair::GrammarRePair;
 use grammar_repair::udc::update_decompress_compress;
-use grammar_repair::update::apply_update;
+use grammar_repair::update::{apply_batch, apply_update};
 use treerepair::{TreeRePair, TreeRePairConfig};
 
 fn bench_updates(c: &mut Criterion) {
@@ -61,5 +61,49 @@ fn bench_updates(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_updates);
+/// Batched vs one-at-a-time path isolation on a high-locality 100-update
+/// workload (mostly renames and inserts clustered under shared ancestors —
+/// the FLUX-style shape batching is built for). Both paths produce
+/// byte-identical documents (see `tests/updates_differential.rs`); only
+/// wall-time differs: the one-at-a-time path recomputes the grammar-wide
+/// size tables per operation, the batched path once per chunk.
+fn bench_updates_batched(c: &mut Criterion) {
+    let mut group = c.benchmark_group("updates_batched");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for dataset in [Dataset::ExiWeblog, Dataset::XMark] {
+        let xml = dataset.generate(0.05);
+        let ops = random_update_sequence(&xml, 100, 11, WorkloadMix::clustered(0.9));
+        let (compressed, _) = TreeRePair::default().compress_xml(&xml);
+
+        group.bench_with_input(
+            BenchmarkId::new("one_at_a_time_100", dataset.name()),
+            &(&compressed, &ops),
+            |b, (g, ops)| {
+                b.iter(|| {
+                    let mut g = (*g).clone();
+                    for op in ops.iter() {
+                        apply_update(&mut g, op).unwrap();
+                    }
+                    g
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("batched_100", dataset.name()),
+            &(&compressed, &ops),
+            |b, (g, ops)| {
+                b.iter(|| {
+                    let mut g = (*g).clone();
+                    apply_batch(&mut g, ops).unwrap();
+                    g
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_updates, bench_updates_batched);
 criterion_main!(benches);

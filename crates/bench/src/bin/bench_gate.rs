@@ -6,8 +6,13 @@
 //! 20 %, overridable via `BENCH_GATE_TOLERANCE` or the third argument).
 //!
 //! ```text
-//! bench_gate <baseline.json> <results.json> [tolerance]
+//! bench_gate <baseline.json> <results.json>... [tolerance]
 //! ```
+//!
+//! Several results files (one per bench binary — the criterion shim writes
+//! one JSON per process) are merged before comparison, so one gate run covers
+//! the compression *and* updates benches against the single committed
+//! baseline.
 //!
 //! Benchmarks present in the baseline but missing from the run fail the gate
 //! (a silently dropped bench is a coverage regression); new benchmarks only
@@ -60,24 +65,42 @@ fn extract_num(line: &str, key: &str) -> Option<f64> {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().collect();
+    let mut args: Vec<String> = std::env::args().collect();
     if args.len() < 3 {
-        eprintln!("usage: bench_gate <baseline.json> <results.json> [tolerance]");
+        eprintln!("usage: bench_gate <baseline.json> <results.json>... [tolerance]");
         return ExitCode::from(2);
     }
-    let tolerance: f64 = args
-        .get(3)
-        .cloned()
-        .or_else(|| std::env::var("BENCH_GATE_TOLERANCE").ok())
-        .map(|s| s.parse().expect("tolerance must be a number like 0.20"))
+    // A trailing numeric argument is the tolerance; everything between the
+    // baseline and it is a results file.
+    let trailing_tolerance = args.last().and_then(|s| s.parse::<f64>().ok());
+    if trailing_tolerance.is_some() {
+        args.pop();
+    }
+    let tolerance: f64 = trailing_tolerance
+        .or_else(|| {
+            std::env::var("BENCH_GATE_TOLERANCE")
+                .ok()
+                .map(|s| s.parse().expect("tolerance must be a number like 0.20"))
+        })
         .unwrap_or(0.20);
+    if args.len() < 3 {
+        eprintln!("usage: bench_gate <baseline.json> <results.json>... [tolerance]");
+        return ExitCode::from(2);
+    }
 
     let baseline_text = std::fs::read_to_string(&args[1])
         .unwrap_or_else(|e| panic!("cannot read baseline {}: {e}", args[1]));
-    let results_text = std::fs::read_to_string(&args[2])
-        .unwrap_or_else(|e| panic!("cannot read results {}: {e}", args[2]));
     let baseline = parse_results(&baseline_text);
-    let results = parse_results(&results_text);
+    let mut results = BTreeMap::new();
+    for path in &args[2..] {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read results {path}: {e}"));
+        for (name, median) in parse_results(&text) {
+            if results.insert(name.clone(), median).is_some() {
+                panic!("benchmark {name} appears in more than one results file");
+            }
+        }
+    }
     assert!(!baseline.is_empty(), "baseline {} parsed to zero entries", args[1]);
 
     // Hardware normalization: divide out the runner's overall speed delta

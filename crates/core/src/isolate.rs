@@ -1,4 +1,4 @@
-//! Path isolation (paper Section III-A).
+//! Path isolation (paper Section III-A), single-target and batched.
 //!
 //! To update a node `u` of the derived tree `val(G)` we first make `u` appear
 //! as an explicit terminal node in the start rule: starting from the start
@@ -6,6 +6,17 @@
 //! `size(A, 0..k)` and inline exactly the nonterminal references on the path
 //! that produce `u`. Lemma 1 of the paper bounds the growth caused by a single
 //! isolation by a factor of two, because every rule is inlined at most once.
+//!
+//! A *sequence* of k updates pays k of those walks, and — worse — the
+//! single-target [`isolate`] recomputes `own_sizes`/`segment_sizes` over the
+//! whole grammar per call and the start rule's subtree sizes per inlining.
+//! [`isolate_many`] amortizes all of that across a batch: the per-rule size
+//! tables are computed once, the start rule is walked once with the (sorted)
+//! targets distributed down the tree, subtree sizes are patched incrementally
+//! after each inlining instead of recomputed, and every nonterminal reference
+//! on any target path is inlined at most once — shared path prefixes are
+//! isolated once for the whole batch, so the Lemma-1 factor-two growth bound
+//! holds per *distinct* root-to-target path, not per target.
 
 use std::collections::HashMap;
 
@@ -119,6 +130,265 @@ pub fn isolate(g: &mut Grammar, target: u128) -> Result<(NodeId, IsolationStats)
     }
 }
 
+/// A batch path-isolation session.
+///
+/// Construction computes `own_sizes`, `segment_sizes` and the start rule's
+/// subtree sizes **once**; every subsequent isolation through the same session
+/// reuses them, patching the subtree-size table incrementally after each
+/// inlining (arena node ids are never reused, so entries of surviving nodes
+/// stay valid). The session is only coherent as long as the grammar is mutated
+/// exclusively through it — callers that splice the start rule (updates) must
+/// finish all isolations of a batch before splicing.
+#[derive(Debug)]
+pub struct IsolationBatch {
+    own: HashMap<NtId, u128>,
+    segments: HashMap<NtId, Vec<u128>>,
+    sizes: HashMap<NodeId, u128>,
+    total: u128,
+    stats: IsolationStats,
+}
+
+impl IsolationBatch {
+    /// Prepares a batch session for the current grammar (one O(grammar) pass).
+    pub fn new(g: &Grammar) -> Self {
+        let own = own_sizes(g);
+        let sizes = subtree_derived_sizes(&g.rule(g.start()).rhs, &own);
+        IsolationBatch {
+            segments: segment_sizes(g),
+            total: derived_size(g),
+            own,
+            sizes,
+            stats: IsolationStats::default(),
+        }
+    }
+
+    /// Inlinings performed through this session so far.
+    pub fn stats(&self) -> IsolationStats {
+        self.stats
+    }
+
+    /// Number of nodes of the derived tree (cached at session start).
+    pub fn derived_size(&self) -> u128 {
+        self.total
+    }
+
+    /// Isolates a single target through the session (sizes are reused and
+    /// patched, shared prefixes with earlier isolations are already explicit).
+    pub fn isolate_one(&mut self, g: &mut Grammar, target: u128) -> Result<NodeId> {
+        Ok(self.isolate_sorted(g, &[target])?[0])
+    }
+
+    /// Isolates every target of the strictly increasing list `targets` in one
+    /// walk of the start rule, returning their start-rule node ids in order.
+    ///
+    /// Each nonterminal reference on any target path is inlined at most once;
+    /// targets sharing a path prefix share its isolation cost.
+    pub fn isolate_sorted(&mut self, g: &mut Grammar, targets: &[u128]) -> Result<Vec<NodeId>> {
+        debug_assert!(
+            targets.windows(2).all(|w| w[0] < w[1]),
+            "targets must be strictly increasing"
+        );
+        for &t in targets {
+            if t >= self.total {
+                return Err(RepairError::TargetOutOfRange {
+                    index: t,
+                    size: self.total,
+                });
+            }
+        }
+        let mut resolved: Vec<Option<NodeId>> = vec![None; targets.len()];
+        if targets.is_empty() {
+            return Ok(Vec::new());
+        }
+        let start = g.start();
+        let root = g.rule(start).rhs.root();
+        // Work items: a start-rule node plus the targets that fall into its
+        // subtree, as (offset within the subtree, output slot), sorted by
+        // offset. LIFO with right-to-left pushes yields a preorder walk.
+        let all: Vec<(u128, usize)> = targets.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        let mut stack: Vec<(NodeId, Vec<(u128, usize)>)> = vec![(root, all)];
+
+        while let Some((mut node, mut pending)) = stack.pop() {
+            loop {
+                let kind = g.rule(start).rhs.kind(node);
+                match kind {
+                    NodeKind::Term(_) => {
+                        // Offsets are distinct, so at most one target rests here.
+                        if pending.first().map(|&(rem, _)| rem) == Some(0) {
+                            let (_, slot) = pending.remove(0);
+                            resolved[slot] = Some(node);
+                        }
+                        if pending.is_empty() {
+                            break;
+                        }
+                        let children = g.rule(start).rhs.children(node).to_vec();
+                        let mut buckets: Vec<(NodeId, Vec<(u128, usize)>)> = Vec::new();
+                        let mut k = 0;
+                        let mut offset: u128 = 0;
+                        for &c in &children {
+                            let s = self.sizes[&c];
+                            let mut bucket = Vec::new();
+                            while k < pending.len() && pending[k].0 - 1 < offset + s {
+                                bucket.push((pending[k].0 - 1 - offset, pending[k].1));
+                                k += 1;
+                            }
+                            offset += s;
+                            if !bucket.is_empty() {
+                                buckets.push((c, bucket));
+                            }
+                        }
+                        if k < pending.len() {
+                            return Err(RepairError::TargetOutOfRange {
+                                index: targets[pending[k].1],
+                                size: self.total,
+                            });
+                        }
+                        match self.schedule(&mut stack, buckets) {
+                            Some((n, p)) => {
+                                node = n;
+                                pending = p;
+                            }
+                            None => break,
+                        }
+                    }
+                    NodeKind::Nt(callee) => {
+                        // Classify each target: produced by the callee's own
+                        // content (some segment) or by an argument subtree.
+                        let segs = &self.segments[&callee];
+                        let args = g.rule(start).rhs.children(node).to_vec();
+                        let mut any_in_callee = false;
+                        let mut buckets: Vec<(NodeId, Vec<(u128, usize)>)> = Vec::new();
+                        let mut k = 0;
+                        let mut offset: u128 = 0;
+                        for (j, &seg) in segs.iter().enumerate() {
+                            while k < pending.len() && pending[k].0 < offset + seg {
+                                any_in_callee = true;
+                                k += 1;
+                            }
+                            offset += seg;
+                            if j < args.len() {
+                                let s = self.sizes[&args[j]];
+                                let mut bucket = Vec::new();
+                                while k < pending.len() && pending[k].0 < offset + s {
+                                    bucket.push((pending[k].0 - offset, pending[k].1));
+                                    k += 1;
+                                }
+                                offset += s;
+                                if !bucket.is_empty() {
+                                    buckets.push((args[j], bucket));
+                                }
+                            }
+                        }
+                        if k < pending.len() {
+                            return Err(RepairError::TargetOutOfRange {
+                                index: targets[pending[k].1],
+                                size: self.total,
+                            });
+                        }
+                        if any_in_callee {
+                            // Inline once for the whole batch and re-classify
+                            // every pending target inside the copy.
+                            let new_root = {
+                                let callee_rhs = g.rule(callee).rhs.clone();
+                                g.rule_mut(start).rhs.inline_at(node, &callee_rhs)
+                            };
+                            self.stats.inlinings += 1;
+                            self.fill_sizes(g, new_root);
+                            node = new_root;
+                        } else {
+                            match self.schedule(&mut stack, buckets) {
+                                Some((n, p)) => {
+                                    node = n;
+                                    pending = p;
+                                }
+                                None => break,
+                            }
+                        }
+                    }
+                    NodeKind::Param(_) => {
+                        unreachable!("the start rule has rank 0 and contains no parameters")
+                    }
+                }
+            }
+        }
+        Ok(resolved
+            .into_iter()
+            .map(|n| n.expect("every validated target resolves to a node"))
+            .collect())
+    }
+
+    /// Continues with the leftmost child bucket and stacks the rest (pushed
+    /// right-to-left so the walk stays preorder).
+    fn schedule(
+        &self,
+        stack: &mut Vec<(NodeId, Vec<(u128, usize)>)>,
+        buckets: Vec<(NodeId, Vec<(u128, usize)>)>,
+    ) -> Option<(NodeId, Vec<(u128, usize)>)> {
+        let mut iter = buckets.into_iter();
+        let first = iter.next()?;
+        let rest: Vec<_> = iter.collect();
+        for item in rest.into_iter().rev() {
+            stack.push(item);
+        }
+        Some(first)
+    }
+
+    /// Computes subtree sizes for the nodes freshly created by an inlining.
+    /// Nodes already present in the table (the grafted argument subtrees and
+    /// everything outside the copy) are reused, not descended into — arena ids
+    /// are never recycled, so present entries are always current.
+    fn fill_sizes(&mut self, g: &Grammar, root: NodeId) {
+        let rhs = &g.rule(g.start()).rhs;
+        let mut stack = vec![(root, false)];
+        while let Some((n, children_done)) = stack.pop() {
+            if self.sizes.contains_key(&n) {
+                continue;
+            }
+            if children_done {
+                let children_sum: u128 = rhs
+                    .children(n)
+                    .iter()
+                    .map(|c| self.sizes[c])
+                    .fold(0u128, |a, b| a.saturating_add(b));
+                let size = match rhs.kind(n) {
+                    NodeKind::Term(_) => children_sum.saturating_add(1),
+                    NodeKind::Nt(b) => children_sum.saturating_add(self.own[&b]),
+                    NodeKind::Param(_) => 0,
+                };
+                self.sizes.insert(n, size);
+            } else {
+                stack.push((n, true));
+                for &c in rhs.children(n) {
+                    if !self.sizes.contains_key(&c) {
+                        stack.push((c, false));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Makes every node of `targets` (0-based preorder indices of the derived
+/// tree, duplicates allowed) explicit in the start rule with **one**
+/// `own_sizes`/`segment_sizes` computation and one walk of the start rule.
+/// Returns the node ids in the order of the input targets.
+///
+/// A singleton batch performs exactly the inlinings [`isolate`] would and
+/// yields a byte-identical grammar (pinned by the batch-isolation property
+/// suite).
+pub fn isolate_many(g: &mut Grammar, targets: &[u128]) -> Result<(Vec<NodeId>, IsolationStats)> {
+    let mut batch = IsolationBatch::new(g);
+    let mut sorted: Vec<u128> = targets.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let nodes = batch.isolate_sorted(g, &sorted)?;
+    let by_target: HashMap<u128, NodeId> = sorted.into_iter().zip(nodes).collect();
+    Ok((
+        targets.iter().map(|t| by_target[t]).collect(),
+        batch.stats(),
+    ))
+}
+
 /// Reads the terminal label at preorder index `target` of the derived tree,
 /// isolating the path to it as a side effect.
 pub fn label_at(g: &mut Grammar, target: u128) -> Result<String> {
@@ -216,5 +486,88 @@ mod tests {
         let mut g = parse_grammar("S -> f(a(#,#),#)").unwrap();
         let (_, stats) = isolate(&mut g, 1).unwrap();
         assert_eq!(stats.inlinings, 0);
+    }
+
+    fn shared_grammar() -> Grammar {
+        parse_grammar(
+            "S -> f(A(B,B),#)\n\
+             B -> A(#,#)\n\
+             A -> a(#, a(y1, y2))",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn batched_isolation_resolves_every_target_like_single_isolation() {
+        let g0 = shared_grammar();
+        let total = derived_size(&g0);
+        let targets: Vec<u128> = (0..total).collect();
+        let mut g = g0.clone();
+        let before = fingerprint(&g);
+        let (nodes, _) = isolate_many(&mut g, &targets).unwrap();
+        g.validate().unwrap();
+        assert_eq!(fingerprint(&g), before);
+        // Every resolved node carries the label single isolation would find.
+        for (i, &node) in nodes.iter().enumerate() {
+            let got = match g.rule(g.start()).rhs.kind(node) {
+                NodeKind::Term(t) => g.symbols.name(t).to_string(),
+                other => panic!("expected terminal, got {other:?}"),
+            };
+            let mut g1 = g0.clone();
+            let want = label_at(&mut g1, i as u128).unwrap();
+            assert_eq!(got, want, "label mismatch at preorder index {i}");
+        }
+        // Isolating everything at once at worst unfolds the document.
+        assert!(g.edge_count() as u128 <= 2 * total);
+    }
+
+    #[test]
+    fn batched_isolation_shares_path_prefixes() {
+        // Two targets under the same deep chain: the batch must not inline the
+        // chain twice.
+        let mut text = String::from("S -> A1(A1(#))\n");
+        for i in 1..=9 {
+            text.push_str(&format!("A{i} -> A{}(A{}(y1))\n", i + 1, i + 1));
+        }
+        text.push_str("A10 -> a(y1)");
+        let g0 = parse_grammar(&text).unwrap();
+        let mut g = g0.clone();
+        let (_, single) = isolate(&mut g, 332).unwrap();
+        let mut g = g0.clone();
+        let before = fingerprint(&g);
+        let (nodes, batched) = isolate_many(&mut g, &[332, 333]).unwrap();
+        g.validate().unwrap();
+        assert_eq!(fingerprint(&g), before);
+        assert_ne!(nodes[0], nodes[1]);
+        // Adjacent positions share almost the whole path: the batch pays at
+        // most one extra inlining over the single-target isolation.
+        assert!(
+            batched.inlinings <= single.inlinings + 1,
+            "batch inlined {} vs single {}",
+            batched.inlinings,
+            single.inlinings
+        );
+    }
+
+    #[test]
+    fn batched_isolation_handles_duplicates_and_empty_batches() {
+        let mut g = shared_grammar();
+        let (nodes, _) = isolate_many(&mut g, &[4, 4, 2]).unwrap();
+        assert_eq!(nodes[0], nodes[1]);
+        assert_ne!(nodes[0], nodes[2]);
+        let (none, stats) = isolate_many(&mut g, &[]).unwrap();
+        assert!(none.is_empty());
+        assert_eq!(stats.inlinings, 0);
+    }
+
+    #[test]
+    fn batched_isolation_rejects_out_of_range_targets_before_mutating() {
+        let mut g = shared_grammar();
+        let before = g.edge_count();
+        assert!(matches!(
+            isolate_many(&mut g, &[0, 10_000]),
+            Err(RepairError::TargetOutOfRange { .. })
+        ));
+        assert_eq!(g.edge_count(), before, "failed batch must not touch the grammar");
     }
 }

@@ -14,8 +14,10 @@
 //!   maintained occurrence table + frequency queue that keeps rounds from
 //!   paying O(grammar)) and [`replace`] (localization by minimal inlining,
 //!   greedy local replacement, fragment export).
-//! * [`isolate`] / [`update`] — path isolation and the three atomic update
-//!   operations (rename, insert-before, delete-subtree) on the grammar.
+//! * [`isolate`] / [`update`] — path isolation (single-target and batched
+//!   over shared path prefixes) and the three atomic update operations
+//!   (rename, insert-before, delete-subtree) on the grammar, plus
+//!   [`update::apply_batch`] for whole operation sequences.
 //! * [`udc`] — the update–decompress–compress baseline the paper compares against.
 //! * [`session`] — [`session::CompressedDom`], a mutable always-compressed
 //!   document handle with an automatic recompression policy.

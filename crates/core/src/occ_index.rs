@@ -367,6 +367,20 @@ impl OccIndex {
         &self.order
     }
 
+    /// Reference-site counts of every live rule, summed from the cached
+    /// call-graph multiplicities — the same numbers [`Grammar::ref_counts`]
+    /// produces with a full body walk. O(call edges), no node walks; rules
+    /// without references are simply absent.
+    pub fn ref_counts(&self) -> FxHashMap<NtId, u64> {
+        let mut out: FxHashMap<NtId, u64> = FxHashMap::default();
+        for cache in self.rules.values() {
+            for (&callee, &count) in &cache.callees {
+                *out.entry(callee).or_insert(0) += count;
+            }
+        }
+        out
+    }
+
     /// Live grammar edge count, maintained arithmetically alongside the rule
     /// caches (mirrors [`Grammar::edge_count`] without the walk).
     pub fn edge_count(&self) -> usize {
@@ -535,6 +549,13 @@ mod tests {
     fn assert_matches_oracle(index: &OccIndex, g: &Grammar, frozen: &FrozenSet) {
         assert_eq!(index.order(), g.anti_sl_order().unwrap().as_slice(), "order");
         assert_eq!(index.edge_count(), g.edge_count(), "edge count");
+        let walked: FxHashMap<NtId, u64> = g
+            .ref_counts()
+            .into_iter()
+            .filter(|&(_, c)| c > 0)
+            .map(|(nt, c)| (nt, c as u64))
+            .collect();
+        assert_eq!(index.ref_counts(), walked, "call-graph reference counts");
         let oracle = retrieve_occs(g, frozen);
         for (digram, occs) in &oracle {
             assert_eq!(
@@ -601,7 +622,10 @@ mod tests {
         let x = g.add_rule_fresh("X", rank, pattern_rhs(&g, &d));
         frozen.insert(x);
         let order = g.anti_sl_order().unwrap();
-        let stats = replace_all_occurrences(&mut g, &d, x, &rules, &order, &frozen, true);
+        let mut refs = crate::replace::RefCounts::from_counts(index.ref_counts());
+        refs.add_rule_body(&g, x);
+        let stats =
+            replace_all_occurrences(&mut g, &d, x, &rules, &order, &frozen, true, &mut refs);
         assert_eq!(stats.replacements, 3);
 
         index.refresh(&g, &frozen);

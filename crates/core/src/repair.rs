@@ -16,7 +16,7 @@ use xmltree::XmlTree;
 
 use crate::occ_index::OccIndex;
 use crate::occurrences::{retrieve_occs, FrozenSet};
-use crate::replace::replace_all_occurrences;
+use crate::replace::{replace_all_occurrences, RefCounts};
 
 /// Configuration of the GrammarRePair loop.
 #[derive(Debug, Clone, Copy)]
@@ -140,6 +140,11 @@ impl GrammarRePair {
             let pattern = pattern_rhs(g, &digram);
             let x = g.add_rule_fresh("X", rank, pattern);
             frozen.insert(x);
+            // Reference counts for fragment export come from the index's
+            // maintained call graph (no body walk); only the fresh pattern
+            // rule's tiny body must be folded in.
+            let mut refs = RefCounts::from_counts(index.ref_counts());
+            refs.add_rule_body(g, x);
             // The pattern rule is not in the cached order, but the replacement
             // loop only visits generator rules, which all predate it.
             let round = replace_all_occurrences(
@@ -150,6 +155,7 @@ impl GrammarRePair {
                 index.order(),
                 &frozen,
                 self.config.optimize,
+                &mut refs,
             );
             stats.inlinings += round.inlinings;
             stats.replacements += round.replacements;
@@ -221,6 +227,7 @@ impl GrammarRePair {
             let order = g
                 .anti_sl_order()
                 .expect("replacement requires a straight-line grammar");
+            let mut refs = RefCounts::from_grammar(g);
             let round = replace_all_occurrences(
                 g,
                 &digram,
@@ -229,6 +236,7 @@ impl GrammarRePair {
                 &order,
                 &frozen,
                 self.config.optimize,
+                &mut refs,
             );
             stats.inlinings += round.inlinings;
             stats.replacements += round.replacements;

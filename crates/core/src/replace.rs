@@ -32,6 +32,101 @@ pub struct ReplaceStats {
     pub exported_rules: usize,
 }
 
+/// Reference-site counts of every rule, maintained *incrementally* through
+/// the splices of one replacement round.
+///
+/// [`export_fragments`] needs to know whether a rule is referenced more than
+/// once; calling [`Grammar::ref_counts`] (a full body walk) per reduced
+/// callee per round was the last per-round O(grammar) term on the
+/// replacement path. Instead the counts are seeded once per round — from
+/// [`crate::occ_index::OccIndex::ref_counts`]'s cached call graph on the
+/// incremental path, from one `Grammar::ref_counts` walk on the rebuild
+/// oracle path — and kept exact across the round's three mutation kinds:
+/// inlining a callee (one reference gone, the callee's body references
+/// copied in), replacing occurrences by the pattern rule, and exporting a
+/// fragment into a fresh rule.
+#[derive(Debug, Clone, Default)]
+pub struct RefCounts {
+    counts: FxHashMap<NtId, u64>,
+}
+
+impl RefCounts {
+    /// Seeds the counts with one full-grammar walk (the rebuild oracle path).
+    pub fn from_grammar(g: &Grammar) -> Self {
+        RefCounts {
+            counts: g
+                .ref_counts()
+                .into_iter()
+                .map(|(nt, c)| (nt, c as u64))
+                .collect(),
+        }
+    }
+
+    /// Seeds the counts from an already-maintained call graph (the
+    /// [`crate::occ_index::OccIndex`] path — no body walk).
+    pub fn from_counts(counts: FxHashMap<NtId, u64>) -> Self {
+        RefCounts { counts }
+    }
+
+    /// Current number of reference sites of `nt`.
+    pub fn count(&self, nt: NtId) -> u64 {
+        self.counts.get(&nt).copied().unwrap_or(0)
+    }
+
+    /// Adds `delta` references to `nt`.
+    fn add(&mut self, nt: NtId, delta: u64) {
+        *self.counts.entry(nt).or_insert(0) += delta;
+    }
+
+    /// Removes `delta` references from `nt`.
+    fn sub(&mut self, nt: NtId, delta: u64) {
+        let slot = self.counts.entry(nt).or_insert(0);
+        debug_assert!(*slot >= delta, "reference count underflow");
+        *slot = slot.saturating_sub(delta);
+    }
+
+    /// Accounts the references contributed by `rule`'s current body (used to
+    /// fold a freshly added pattern rule into seeded counts).
+    pub fn add_rule_body(&mut self, g: &Grammar, rule: NtId) {
+        let rhs = &g.rule(rule).rhs;
+        for node in rhs.preorder() {
+            if let NodeKind::Nt(callee) = rhs.kind(node) {
+                self.add(callee, 1);
+            }
+        }
+    }
+
+    /// Accounts one inlining of `callee`: the consumed reference site goes
+    /// away and a copy of the callee's body (with its reference sites) is
+    /// spliced into the caller. Must be called with the callee body in the
+    /// state that is actually inlined (i.e. after any fragment export on it).
+    fn note_inline(&mut self, g: &Grammar, callee: NtId) {
+        self.sub(callee, 1);
+        let rhs = &g.rule(callee).rhs;
+        for node in rhs.preorder() {
+            if let NodeKind::Nt(inner) = rhs.kind(node) {
+                self.add(inner, 1);
+            }
+        }
+    }
+
+    /// Accounts `n` digram replacements by pattern rule `x`: each removes the
+    /// occurrence's parent and child nodes (which are reference sites when
+    /// the digram end is a frozen nonterminal) and adds one reference to `x`.
+    fn note_replacements(&mut self, digram: &Digram, x: NtId, n: u64) {
+        if n == 0 {
+            return;
+        }
+        if let NodeKind::Nt(p) = digram.parent {
+            self.sub(p, n);
+        }
+        if let NodeKind::Nt(c) = digram.child {
+            self.sub(c, n);
+        }
+        self.add(x, n);
+    }
+}
+
 /// Replaces all occurrences of `digram` in the grammar by references to the
 /// (already created, frozen) pattern rule `x`.
 ///
@@ -41,6 +136,7 @@ pub struct ReplaceStats {
 /// [`crate::occ_index::OccIndex`]; only those rules are visited, in the given
 /// anti-straight-line `order` (callees first). With `optimize` set, fragment
 /// export keeps intermediate rules small.
+#[allow(clippy::too_many_arguments)]
 pub fn replace_all_occurrences(
     g: &mut Grammar,
     digram: &Digram,
@@ -49,6 +145,7 @@ pub fn replace_all_occurrences(
     order: &[NtId],
     frozen: &FrozenSet,
     optimize: bool,
+    refs: &mut RefCounts,
 ) -> ReplaceStats {
     let mut stats = ReplaceStats::default();
     // Rules already reduced by fragment export in this round ("lemma generation"
@@ -60,10 +157,12 @@ pub fn replace_all_occurrences(
         if !rules_with_generators.contains(&rule) || frozen.contains(&rule) {
             continue;
         }
-        stats.inlinings += localize(g, rule, digram, frozen, optimize, &mut reduced, &mut stats.exported_rules);
-        stats.replacements += replace_local(g, rule, digram, x);
+        stats.inlinings += localize(g, rule, digram, frozen, optimize, &mut reduced, &mut stats.exported_rules, refs);
+        let replaced = replace_local(g, rule, digram, x);
+        refs.note_replacements(digram, x, replaced as u64);
+        stats.replacements += replaced;
         if optimize {
-            stats.exported_rules += export_fragments(g, rule);
+            stats.exported_rules += export_fragments(g, rule, refs);
             reduced.insert(rule);
         }
     }
@@ -85,6 +184,7 @@ pub fn localize(
     optimize: bool,
     reduced: &mut FxHashSet<NtId>,
     exported_rules: &mut usize,
+    refs: &mut RefCounts,
 ) -> usize {
     let mut inlinings = 0;
     loop {
@@ -136,13 +236,12 @@ pub fn localize(
             if !attached || !is_transparent_nt(kind, frozen) {
                 continue;
             }
-            if optimize {
-                let callee = kind.as_nt().expect("transparent nonterminal reference");
-                if !reduced.contains(&callee) {
-                    *exported_rules += export_fragments(g, callee);
-                    reduced.insert(callee);
-                }
+            let callee = kind.as_nt().expect("transparent nonterminal reference");
+            if optimize && !reduced.contains(&callee) {
+                *exported_rules += export_fragments(g, callee, refs);
+                reduced.insert(callee);
             }
+            refs.note_inline(g, callee);
             g.inline_at(rule, node);
             inlinings += 1;
         }
@@ -191,9 +290,17 @@ pub fn replace_local(g: &mut Grammar, rule: NtId, digram: &Digram, x: NtId) -> u
 /// than once. The "needed" (marked) nodes are the rule's root and the parents of
 /// its parameters — the nodes callers may have to isolate when they inline this
 /// rule. Returns the number of exported rules.
-pub fn export_fragments(g: &mut Grammar, rule: NtId) -> usize {
-    let refs = g.ref_counts();
-    if refs.get(&rule).copied().unwrap_or(0) <= 1 {
+///
+/// The reference-count check reads the round's maintained [`RefCounts`]
+/// (seeded from the occurrence index's call graph) instead of re-walking the
+/// grammar per call; exported rules are folded back into the counts.
+pub fn export_fragments(g: &mut Grammar, rule: NtId, refs: &mut RefCounts) -> usize {
+    debug_assert_eq!(
+        refs.count(rule),
+        g.ref_counts().get(&rule).copied().unwrap_or(0) as u64,
+        "maintained reference counts must match a fresh walk"
+    );
+    if refs.count(rule) <= 1 {
         return 0;
     }
 
@@ -257,6 +364,9 @@ pub fn export_fragments(g: &mut Grammar, rule: NtId) -> usize {
         };
         let rank = cut_points.len();
         let new_rule = g.add_rule_fresh("F", rank, new_rhs);
+        // The fragment's own reference sites merely move into the new rule;
+        // the call node below is the only net change.
+        refs.add(new_rule, 1);
 
         // Replace the fragment inside the original rule by a reference to the
         // new rule applied to the cut subtrees.
@@ -374,7 +484,9 @@ mod tests {
         let mut frozen_after = frozen;
         frozen_after.insert(x);
         let order = g.anti_sl_order().unwrap();
-        let stats = replace_all_occurrences(g, d, x, &rules, &order, &frozen_after, optimize);
+        let mut refs = RefCounts::from_grammar(g);
+        let stats =
+            replace_all_occurrences(g, d, x, &rules, &order, &frozen_after, optimize, &mut refs);
         g.gc();
         g.validate().unwrap();
         assert_eq!(fingerprint(g), before, "derived tree must be preserved");

@@ -4,6 +4,27 @@
 //! for memory-hungry browsers): load an XML document once, keep only the SLCF
 //! grammar in memory, apply updates directly on the grammar, and let
 //! GrammarRePair restore compression every `recompress_every` updates.
+//!
+//! # Single-operation vs batched updates
+//!
+//! [`CompressedDom::apply`] is the paper's per-operation path: one isolation
+//! walk (with its own `own_sizes`/`segment_sizes` computation) per update.
+//! [`CompressedDom::apply_batch`] routes a whole operation sequence through
+//! [`crate::update::apply_batch`], which isolates shared path prefixes once
+//! per chunk — the natural fit for FLUX-style functional update programs that
+//! emit many edits clustered under common ancestors. Both paths produce
+//! byte-identical documents (asserted by the differential update-oracle
+//! harness); only the intermediate grammars differ.
+//!
+//! # Recompression counting
+//!
+//! The recompression policy charges [`CompressedDom::apply`] one unit per
+//! operation and [`CompressedDom::apply_batch`] **one unit per non-empty
+//! batch**, regardless of the batch's length — a batch is one logical
+//! document transition, and its blow-up is bounded per distinct path rather
+//! than per operation, so charging it per operation would recompress far too
+//! eagerly. [`CompressedDom::total_updates`] still counts individual
+//! operations.
 
 use sltgrammar::fingerprint::derived_size;
 use sltgrammar::Grammar;
@@ -11,10 +32,10 @@ use xmltree::binary::from_binary;
 use xmltree::updates::UpdateOp;
 use xmltree::XmlTree;
 
-use crate::error::Result;
+use crate::error::{RepairError, Result};
 use crate::isolate::label_at;
 use crate::repair::{GrammarRePair, GrammarRePairConfig, RepairStats};
-use crate::update::{apply_update, UpdateStats};
+use crate::update::{apply_batch, apply_update, BatchStats, UpdateStats};
 
 /// Policy and state of a mutable compressed document.
 #[derive(Debug, Clone)]
@@ -92,18 +113,72 @@ impl CompressedDom {
 
     /// Applies one update; recompresses automatically when the policy says so.
     /// Returns the update statistics and, if triggered, the recompression stats.
+    ///
+    /// Splice-time failures (e.g. renaming a null node) are still charged
+    /// their policy unit: path isolation already ran and grew the grammar, so
+    /// skipping the charge would let repeated failures starve recompression.
+    /// Out-of-range targets are rejected before anything mutates and are not
+    /// charged. [`CompressedDom::total_updates`] only counts applied
+    /// operations.
     pub fn apply(&mut self, op: &UpdateOp) -> Result<(UpdateStats, Option<RepairStats>)> {
-        let stats = apply_update(&mut self.grammar, op)?;
-        self.total_updates += 1;
+        let result = apply_update(&mut self.grammar, op);
+        if matches!(result, Err(RepairError::TargetOutOfRange { .. })) {
+            return result.map(|stats| (stats, None));
+        }
         self.updates_since_recompress += 1;
-        let repair = if self.recompress_every > 0
-            && self.updates_since_recompress >= self.recompress_every
-        {
-            Some(self.recompress_now())
-        } else {
-            None
-        };
-        Ok((stats, repair))
+        let due =
+            self.recompress_every > 0 && self.updates_since_recompress >= self.recompress_every;
+        match result {
+            Ok(stats) => {
+                self.total_updates += 1;
+                let repair = due.then(|| self.recompress_now());
+                Ok((stats, repair))
+            }
+            Err(e) => {
+                if due {
+                    self.recompress_now();
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Applies a sequence of updates through the batched isolation pipeline
+    /// ([`crate::update::apply_batch`]): shared path prefixes are isolated
+    /// once per chunk instead of once per operation. The batch counts as
+    /// **one** unit toward `recompress_every` (see the module docs);
+    /// recompression, if due, runs after the whole batch.
+    ///
+    /// On error the document reflects every fully applied chunk (plus, for
+    /// splice-time errors, the spliced prefix of the failing chunk — see
+    /// [`crate::update::apply_batch`]); the batch is still charged its
+    /// policy unit — applied chunks and isolation may have grown the grammar
+    /// — but [`CompressedDom::total_updates`] only counts fully applied
+    /// batches.
+    pub fn apply_batch(&mut self, ops: &[UpdateOp]) -> Result<(BatchStats, Option<RepairStats>)> {
+        if ops.is_empty() {
+            return Ok((apply_batch(&mut self.grammar, ops)?, None));
+        }
+        let result = apply_batch(&mut self.grammar, ops);
+        self.updates_since_recompress += 1;
+        let due =
+            self.recompress_every > 0 && self.updates_since_recompress >= self.recompress_every;
+        match result {
+            Ok(stats) => {
+                self.total_updates += ops.len();
+                let repair = due.then(|| self.recompress_now());
+                Ok((stats, repair))
+            }
+            Err(e) => {
+                // Keep the grammar bounded even on failing batches: the
+                // splices of completed chunks (and the isolation growth of
+                // the failing one) are real.
+                if due {
+                    self.recompress_now();
+                }
+                Err(e)
+            }
+        }
     }
 
     /// Forces a GrammarRePair recompression.
@@ -186,6 +261,129 @@ mod tests {
         assert_eq!(dom.label_at(1).unwrap(), "item");
         let size = dom.derived_size();
         assert_eq!(dom.label_at(size - 1).unwrap(), "#");
+    }
+
+    #[test]
+    fn batches_count_once_toward_the_recompression_policy() {
+        let xml = doc(20);
+        let elements = element_positions(&xml);
+        let mut dom = CompressedDom::from_xml(&xml, 3);
+        // Three batches of four renames each: only the third triggers.
+        for b in 0..3 {
+            let ops: Vec<UpdateOp> = (0..4)
+                .map(|i| UpdateOp::Rename {
+                    target: elements[8 * b + 2 * i + 1],
+                    label: format!("b{b}i{i}"),
+                })
+                .collect();
+            let (stats, repair) = dom.apply_batch(&ops).unwrap();
+            assert_eq!(stats.ops, 4);
+            assert_eq!(repair.is_some(), b == 2, "batch {b}");
+        }
+        assert_eq!(dom.total_updates(), 12);
+        assert_eq!(dom.recompressions(), 1);
+        // Empty batches are free.
+        let (stats, repair) = dom.apply_batch(&[]).unwrap();
+        assert_eq!(stats.ops, 0);
+        assert!(repair.is_none());
+        assert_eq!(dom.total_updates(), 12);
+        dom.grammar().validate().unwrap();
+    }
+
+    #[test]
+    fn failing_single_ops_still_charge_the_recompression_policy() {
+        let xml = doc(10);
+        let mut dom = CompressedDom::from_xml(&xml, 2);
+        // Renaming the trailing null of the document fails at splice time,
+        // after isolation already grew the grammar.
+        let null_target = dom.derived_size() - 1;
+        let bad = UpdateOp::Rename {
+            target: null_target as usize,
+            label: "x".to_string(),
+        };
+        assert!(dom.apply(&bad).is_err());
+        assert!(dom.apply(&bad).is_err());
+        assert_eq!(dom.recompressions(), 1, "failed ops must not starve recompression");
+        assert_eq!(dom.total_updates(), 0);
+        dom.grammar().validate().unwrap();
+        // Out-of-range probes never mutate the grammar and are free.
+        let probe = UpdateOp::Delete { target: 10_000_000 };
+        for _ in 0..5 {
+            assert!(dom.apply(&probe).is_err());
+        }
+        assert_eq!(dom.recompressions(), 1, "rejected probes must not waste recompressions");
+    }
+
+    #[test]
+    fn failing_batches_still_charge_the_recompression_policy() {
+        let xml = doc(10);
+        let elements = element_positions(&xml);
+        let mut dom = CompressedDom::from_xml(&xml, 2);
+        // An out-of-range target fails at planning time: its whole chunk
+        // (including the leading valid rename) is never spliced.
+        let planning_error_batch = vec![
+            UpdateOp::Rename {
+                target: elements[1],
+                label: "never".to_string(),
+            },
+            UpdateOp::Delete { target: 1_000_000 },
+        ];
+        assert!(dom.apply_batch(&planning_error_batch).is_err());
+        assert_eq!(dom.recompressions(), 0);
+        assert_eq!(dom.label_at(elements[1] as u128).unwrap(), "item");
+
+        // A splice-time error (renaming a null node) leaves the chunk's
+        // spliced prefix applied, and the second failing batch reaches the
+        // policy threshold.
+        let null_idx = {
+            let mut symbols = sltgrammar::SymbolTable::new();
+            let bin = xmltree::binary::to_binary(&xml, &mut symbols).unwrap();
+            bin.preorder()
+                .iter()
+                .enumerate()
+                .find(|(_, &n)| {
+                    matches!(bin.kind(n), sltgrammar::NodeKind::Term(t) if symbols.is_null(t))
+                })
+                .map(|(i, _)| i)
+                .unwrap()
+        };
+        let splice_error_batch = vec![
+            UpdateOp::Rename {
+                target: elements[1],
+                label: "ok".to_string(),
+            },
+            UpdateOp::Rename {
+                target: null_idx,
+                label: "boom".to_string(),
+            },
+        ];
+        assert!(dom.apply_batch(&splice_error_batch).is_err());
+        assert_eq!(dom.recompressions(), 1, "failed batches must not starve recompression");
+        assert_eq!(dom.total_updates(), 0, "only fully applied batches are counted");
+        dom.grammar().validate().unwrap();
+        assert_eq!(dom.label_at(elements[1] as u128).unwrap(), "ok");
+    }
+
+    #[test]
+    fn batched_and_sequential_paths_produce_the_same_document() {
+        let xml = doc(12);
+        let elements = element_positions(&xml);
+        let ops: Vec<UpdateOp> = (0..8)
+            .map(|i| UpdateOp::Rename {
+                target: elements[3 * i + 1],
+                label: format!("tag{i}"),
+            })
+            .collect();
+        let mut sequential = CompressedDom::from_xml(&xml, 4);
+        for op in &ops {
+            sequential.apply(op).unwrap();
+        }
+        let mut batched = CompressedDom::from_xml(&xml, 4);
+        batched.apply_batch(&ops).unwrap();
+        assert_eq!(
+            batched.to_xml().unwrap().to_xml(),
+            sequential.to_xml().unwrap().to_xml()
+        );
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Atomic updates on grammar-compressed XML (paper Section III and V-C).
+//! Atomic and batched updates on grammar-compressed XML (paper Section III
+//! and V-C).
 //!
 //! All three update operations — rename, insert-before, delete-subtree — are
 //! executed directly on the grammar: the target node is made explicit in the
@@ -6,6 +7,30 @@
 //! local splice on the start rule's right-hand side. No decompression of the
 //! document takes place; repeated updates gradually blow the grammar up, which
 //! is what [`crate::repair::GrammarRePair`] undoes.
+//!
+//! # Batched updates
+//!
+//! [`apply_batch`] executes a *sequence* of operations (each addressed, like
+//! the sequential API, against the document state produced by the preceding
+//! operations) without paying one full isolation per operation. The sequence
+//! is cut into **chunks**; per chunk:
+//!
+//! 1. every target is remapped from its sequential coordinates back to the
+//!    chunk-start document coordinates by subtracting the sizes of the
+//!    fragments inserted earlier in the chunk (an *inserted-region* table),
+//! 2. all remapped targets are isolated through one shared
+//!    [`IsolationBatch`] — `own_sizes`/`segment_sizes` are computed once per
+//!    chunk and shared path prefixes are inlined once,
+//! 3. the splices run in operation order against the isolated node ids,
+//!    which stay valid across splices because arena ids are never recycled.
+//!
+//! A chunk ends when an operation targets a node *inside* a fragment inserted
+//! earlier in the same chunk (its pre-chunk coordinate does not exist), or
+//! right after a delete (whose removed size in evolving coordinates would
+//! require re-deriving subtree sizes); the next chunk then starts from the
+//! updated grammar. Rename-only and insert-heavy sequences — the paper's
+//! Figure-6 workload and FLUX-style functional update programs — therefore
+//! batch at full length.
 
 use sltgrammar::{Grammar, NodeId, NodeKind};
 use xmltree::binary::to_binary;
@@ -13,7 +38,7 @@ use xmltree::updates::UpdateOp;
 use xmltree::XmlTree;
 
 use crate::error::{RepairError, Result};
-use crate::isolate::{isolate, IsolationStats};
+use crate::isolate::{isolate, IsolationBatch, IsolationStats};
 
 /// Statistics of one grammar update.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -39,16 +64,13 @@ fn expect_element(g: &Grammar, node: NodeId) -> Result<()> {
     }
 }
 
-/// `rename(G, u, σ)`: relabels the element at preorder index `target` of the
-/// derived tree with `label`.
-pub fn rename(g: &mut Grammar, target: u128, label: &str) -> Result<UpdateStats> {
+/// Splice part of `rename`: relabels the already-isolated start-rule node.
+fn rename_node(g: &mut Grammar, node: NodeId, label: &str) -> Result<()> {
     if label == sltgrammar::NULL_SYMBOL_NAME {
         return Err(RepairError::InvalidUpdate {
             detail: "cannot rename a node to the null symbol".to_string(),
         });
     }
-    let edges_before = g.edge_count();
-    let (node, isolation) = isolate(g, target)?;
     expect_element(g, node)?;
     let term = g
         .symbols
@@ -58,24 +80,21 @@ pub fn rename(g: &mut Grammar, target: u128, label: &str) -> Result<UpdateStats>
         })?;
     let start = g.start();
     g.rule_mut(start).rhs.set_kind(node, NodeKind::Term(term));
-    Ok(UpdateStats {
-        isolation,
-        edges_before,
-        edges_after: g.edge_count(),
-    })
+    Ok(())
 }
 
-/// `insert(G, u, s)`: inserts the element `fragment` as a new previous sibling
-/// of the node at preorder index `target` (or at that empty position when the
-/// target is a null node).
-pub fn insert_before(g: &mut Grammar, target: u128, fragment: &XmlTree) -> Result<UpdateStats> {
-    let edges_before = g.edge_count();
-    let (node, isolation) = isolate(g, target)?;
-    let target_is_null = match g.rule(g.start()).rhs.kind(node) {
+/// Whether the already-isolated start-rule node is the null leaf.
+fn node_is_null(g: &Grammar, node: NodeId) -> bool {
+    match g.rule(g.start()).rhs.kind(node) {
         NodeKind::Term(t) => g.symbols.is_null(t),
-        _ => unreachable!("isolate returns terminal nodes"),
-    };
+        _ => unreachable!("isolation returns terminal nodes"),
+    }
+}
 
+/// Splice part of `insert_before`: grafts `fragment` before the
+/// already-isolated start-rule node.
+fn insert_node(g: &mut Grammar, node: NodeId, fragment: &XmlTree) -> Result<()> {
+    let target_is_null = node_is_null(g, node);
     let frag_bin = to_binary(fragment, &mut g.symbols)?;
     let start = g.start();
     let rhs = &mut g.rule_mut(start).rhs;
@@ -90,6 +109,46 @@ pub fn insert_before(g: &mut Grammar, target: u128, fragment: &XmlTree) -> Resul
     if !target_is_null {
         rhs.replace_subtree(attach, node);
     }
+    Ok(())
+}
+
+/// Splice part of `delete`: removes the element subtree at the
+/// already-isolated start-rule node. The caller is responsible for `gc`.
+fn delete_node(g: &mut Grammar, node: NodeId) -> Result<()> {
+    expect_element(g, node)?;
+    let start = g.start();
+    let rhs = &mut g.rule_mut(start).rhs;
+    let next_sibling = rhs.children(node)[1];
+    rhs.detach(next_sibling);
+    rhs.replace_subtree(node, next_sibling);
+    Ok(())
+}
+
+/// `rename(G, u, σ)`: relabels the element at preorder index `target` of the
+/// derived tree with `label`.
+pub fn rename(g: &mut Grammar, target: u128, label: &str) -> Result<UpdateStats> {
+    if label == sltgrammar::NULL_SYMBOL_NAME {
+        return Err(RepairError::InvalidUpdate {
+            detail: "cannot rename a node to the null symbol".to_string(),
+        });
+    }
+    let edges_before = g.edge_count();
+    let (node, isolation) = isolate(g, target)?;
+    rename_node(g, node, label)?;
+    Ok(UpdateStats {
+        isolation,
+        edges_before,
+        edges_after: g.edge_count(),
+    })
+}
+
+/// `insert(G, u, s)`: inserts the element `fragment` as a new previous sibling
+/// of the node at preorder index `target` (or at that empty position when the
+/// target is a null node).
+pub fn insert_before(g: &mut Grammar, target: u128, fragment: &XmlTree) -> Result<UpdateStats> {
+    let edges_before = g.edge_count();
+    let (node, isolation) = isolate(g, target)?;
+    insert_node(g, node, fragment)?;
     Ok(UpdateStats {
         isolation,
         edges_before,
@@ -103,12 +162,7 @@ pub fn insert_before(g: &mut Grammar, target: u128, fragment: &XmlTree) -> Resul
 pub fn delete(g: &mut Grammar, target: u128) -> Result<UpdateStats> {
     let edges_before = g.edge_count();
     let (node, isolation) = isolate(g, target)?;
-    expect_element(g, node)?;
-    let start = g.start();
-    let rhs = &mut g.rule_mut(start).rhs;
-    let next_sibling = rhs.children(node)[1];
-    rhs.detach(next_sibling);
-    rhs.replace_subtree(node, next_sibling);
+    delete_node(g, node)?;
     g.gc();
     Ok(UpdateStats {
         isolation,
@@ -132,6 +186,147 @@ pub fn apply_update(g: &mut Grammar, op: &UpdateOp) -> Result<UpdateStats> {
 /// Applies a sequence of updates in order, returning per-update statistics.
 pub fn apply_updates(g: &mut Grammar, ops: &[UpdateOp]) -> Result<Vec<UpdateStats>> {
     ops.iter().map(|op| apply_update(g, op)).collect()
+}
+
+/// Statistics of one [`apply_batch`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Number of operations applied.
+    pub ops: usize,
+    /// Number of chunks the sequence was cut into (each chunk pays one
+    /// isolation-table computation).
+    pub chunks: usize,
+    /// Total isolation cost over all chunks.
+    pub isolation: IsolationStats,
+    /// Grammar edges before the batch.
+    pub edges_before: usize,
+    /// Grammar edges after the batch.
+    pub edges_after: usize,
+}
+
+/// One fragment inserted earlier in the current chunk, in the evolving
+/// sequential coordinates: it occupies `len` preorder positions starting at
+/// `start` and replaced `consumed` (0 or 1) pre-chunk nodes — an insert at a
+/// null position splices the fragment *over* the null leaf.
+struct InsertedRegion {
+    start: u128,
+    len: u128,
+    consumed: u128,
+}
+
+/// Maps a target from the chunk's evolving sequential coordinates back to the
+/// chunk-start document coordinates, or `None` if it addresses a node inside a
+/// fragment inserted earlier in the chunk (no pre-chunk coordinate exists).
+fn resolve_base(regions: &[InsertedRegion], t: u128) -> Option<u128> {
+    let mut shift: u128 = 0;
+    for r in regions {
+        if t >= r.start + r.len {
+            shift += r.len - r.consumed;
+        } else if t >= r.start {
+            return None;
+        } else {
+            break; // regions are sorted by start
+        }
+    }
+    Some(t - shift)
+}
+
+/// Applies a sequence of updates with **batched path isolation**: operations
+/// use the same sequential addressing as [`apply_updates`] (each target refers
+/// to the document produced by the preceding operations), but
+/// `own_sizes`/`segment_sizes` are computed once per chunk and nonterminal
+/// references on shared path prefixes are inlined once instead of per
+/// operation. See the module docs for the chunking rules. Unreachable rules
+/// are garbage collected once per deleting chunk, not per delete.
+///
+/// The resulting document is identical to [`apply_updates`]' (asserted
+/// byte-for-byte by the differential update-oracle harness); the grammars may
+/// differ structurally because the batch isolates eagerly.
+///
+/// # Errors
+///
+/// Targets are validated while a chunk is planned, so an out-of-range target
+/// aborts its **whole chunk** before any of that chunk's splices run
+/// (operations of earlier chunks remain applied). Errors raised by the
+/// splices themselves (renaming a null node, a label rank conflict) leave
+/// the chunk's already-spliced prefix applied, like the sequential API
+/// would.
+pub fn apply_batch(g: &mut Grammar, ops: &[UpdateOp]) -> Result<BatchStats> {
+    let mut stats = BatchStats {
+        ops: ops.len(),
+        edges_before: g.edge_count(),
+        edges_after: g.edge_count(),
+        ..BatchStats::default()
+    };
+    let mut i = 0;
+    while i < ops.len() {
+        // Plan + isolate one chunk against the current grammar. Isolation
+        // never changes the derived tree, so chunk-start coordinates stay
+        // valid while the chunk's targets are isolated one after another.
+        let mut batch = IsolationBatch::new(g);
+        let mut regions: Vec<InsertedRegion> = Vec::new();
+        let mut planned: Vec<(usize, NodeId)> = Vec::new();
+        let mut chunk_deletes = false;
+        let mut j = i;
+        while j < ops.len() {
+            let t = ops[j].target() as u128;
+            let Some(base) = resolve_base(&regions, t) else {
+                break; // target lives inside a fragment this chunk inserted
+            };
+            let node = batch.isolate_one(g, base)?;
+            planned.push((j, node));
+            let is_delete = match &ops[j] {
+                UpdateOp::Rename { .. } => false,
+                UpdateOp::Delete { .. } => true,
+                UpdateOp::InsertBefore { fragment, .. } => {
+                    // The binary encoding of an n-element fragment has 2n+1
+                    // nodes. Before an element, its trailing null is replaced
+                    // by the old subtree (2n fresh positions); at a null
+                    // position the whole fragment is fresh and the null is
+                    // consumed (2n+1 fresh positions, net shift still 2n).
+                    let consumed = u128::from(node_is_null(g, node));
+                    let len = 2 * fragment.node_count() as u128 + consumed;
+                    for r in regions.iter_mut() {
+                        if r.start > t {
+                            r.start += len - consumed;
+                        }
+                    }
+                    regions.push(InsertedRegion {
+                        start: t,
+                        len,
+                        consumed,
+                    });
+                    regions.sort_by_key(|r| r.start);
+                    false
+                }
+            };
+            j += 1;
+            if is_delete {
+                chunk_deletes = true;
+                break;
+            }
+        }
+        stats.isolation.inlinings += batch.stats().inlinings;
+        stats.chunks += 1;
+
+        // Splice in operation order. Node ids of surviving nodes stay valid
+        // across splices (the arena never recycles ids), and no operation of
+        // this chunk addresses a node an earlier splice removed: consumed
+        // nulls and deleted subtrees are unreachable by construction.
+        for &(k, node) in &planned {
+            match &ops[k] {
+                UpdateOp::Rename { label, .. } => rename_node(g, node, label)?,
+                UpdateOp::InsertBefore { fragment, .. } => insert_node(g, node, fragment)?,
+                UpdateOp::Delete { .. } => delete_node(g, node)?,
+            }
+        }
+        if chunk_deletes {
+            g.gc();
+        }
+        i = j;
+    }
+    stats.edges_after = g.edge_count();
+    Ok(stats)
 }
 
 #[cfg(test)]
@@ -263,6 +458,149 @@ mod tests {
         assert!(rename(&mut g, 0, "#").is_err());
         assert!(matches!(
             rename(&mut g, 10_000, "x"),
+            Err(RepairError::TargetOutOfRange { .. })
+        ));
+    }
+
+    /// Applies `ops` sequentially to the reference binary tree and returns its
+    /// fingerprint.
+    fn reference_after(
+        bin: &sltgrammar::RhsTree,
+        symbols: &SymbolTable,
+        ops: &[UpdateOp],
+    ) -> sltgrammar::fingerprint::Fingerprint {
+        let mut bin = bin.clone();
+        let mut symbols = symbols.clone();
+        for op in ops {
+            reference::apply_update(&mut bin, &mut symbols, op).unwrap();
+        }
+        tree_fingerprint(&bin, &symbols)
+    }
+
+    #[test]
+    fn batched_renames_match_the_sequential_semantics_in_one_chunk() {
+        let (mut g, bin, symbols) = setup(DOC);
+        let elements: Vec<usize> = bin
+            .preorder()
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| matches!(bin.kind(n), NodeKind::Term(t) if !symbols.is_null(t)))
+            .map(|(i, _)| i)
+            .collect();
+        let ops: Vec<UpdateOp> = elements
+            .iter()
+            .step_by(2)
+            .enumerate()
+            .map(|(k, &idx)| UpdateOp::Rename {
+                target: idx,
+                label: format!("fresh{k}"),
+            })
+            .collect();
+        let expected = reference_after(&bin, &symbols, &ops);
+        let stats = apply_batch(&mut g, &ops).unwrap();
+        g.validate().unwrap();
+        assert_eq!(fingerprint(&g), expected);
+        assert_eq!(stats.ops, ops.len());
+        assert_eq!(stats.chunks, 1, "renames never cut the chunk");
+    }
+
+    #[test]
+    fn batched_inserts_remap_later_targets_through_earlier_fragments() {
+        let (mut g, bin, symbols) = setup(DOC);
+        // Two inserts before the same element: the second op's target is the
+        // element's shifted coordinate, exercising the inserted-region table.
+        let idx = bin
+            .preorder()
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| matches!(bin.kind(n), NodeKind::Term(t) if symbols.name(t) == "book"))
+            .map(|(i, _)| i)
+            .nth(1)
+            .unwrap();
+        let frag_a = parse_xml("<a><p/></a>").unwrap(); // 2 elements -> shift 4
+        let frag_b = parse_xml("<b/>").unwrap();
+        let ops = vec![
+            UpdateOp::InsertBefore {
+                target: idx,
+                fragment: frag_a,
+            },
+            UpdateOp::InsertBefore {
+                target: idx + 4,
+                fragment: frag_b,
+            },
+            UpdateOp::Rename {
+                target: idx + 4 + 2,
+                label: "magazine".to_string(),
+            },
+        ];
+        let expected = reference_after(&bin, &symbols, &ops);
+        let stats = apply_batch(&mut g, &ops).unwrap();
+        g.validate().unwrap();
+        assert_eq!(fingerprint(&g), expected);
+        assert_eq!(stats.chunks, 1, "mappable inserts stay in one chunk");
+    }
+
+    #[test]
+    fn batched_deletes_flush_the_chunk_and_targets_in_fresh_fragments_start_one() {
+        let (mut g, bin, symbols) = setup(DOC);
+        let books: Vec<usize> = bin
+            .preorder()
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| matches!(bin.kind(n), NodeKind::Term(t) if symbols.name(t) == "book"))
+            .map(|(i, _)| i)
+            .collect();
+        let frag = parse_xml("<x><y/></x>").unwrap();
+        let ops = vec![
+            // Chunk 1: insert, then a delete (flush).
+            UpdateOp::InsertBefore {
+                target: books[0],
+                fragment: frag,
+            },
+            UpdateOp::Delete { target: books[0] + 1 }, // <y/> inside the fresh fragment...
+            // Chunk 3: rename addressed after both edits.
+            UpdateOp::Rename {
+                target: books[0],
+                label: "shelf".to_string(),
+            },
+        ];
+        let expected = reference_after(&bin, &symbols, &ops);
+        let stats = apply_batch(&mut g, &ops).unwrap();
+        g.validate().unwrap();
+        assert_eq!(fingerprint(&g), expected);
+        // Op 2 targets inside the fragment op 1 inserted, so the first chunk
+        // holds only op 1; the delete then flushes its own chunk.
+        assert_eq!(stats.chunks, 3);
+    }
+
+    #[test]
+    fn empty_and_singleton_batches_behave_like_the_sequential_api() {
+        let (mut g, bin, symbols) = setup(DOC);
+        let stats = apply_batch(&mut g, &[]).unwrap();
+        assert_eq!(stats.ops, 0);
+        assert_eq!(stats.chunks, 0);
+        let op = UpdateOp::Rename {
+            target: 0,
+            label: "shelf".to_string(),
+        };
+        let mut sequential = g.clone();
+        apply_update(&mut sequential, &op).unwrap();
+        apply_batch(&mut g, std::slice::from_ref(&op)).unwrap();
+        assert_eq!(fingerprint(&g), fingerprint(&sequential));
+        assert_eq!(
+            fingerprint(&g),
+            reference_after(&bin, &symbols, std::slice::from_ref(&op))
+        );
+    }
+
+    #[test]
+    fn batched_updates_reject_invalid_targets() {
+        let (mut g, _, _) = setup(DOC);
+        assert!(matches!(
+            apply_batch(
+                &mut g,
+                &[UpdateOp::Delete { target: 100_000 }],
+            ),
             Err(RepairError::TargetOutOfRange { .. })
         ));
     }
