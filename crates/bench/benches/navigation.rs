@@ -1,14 +1,28 @@
 //! Criterion benches for the read path: full traversals and path-query
-//! evaluation over the pointer DOM, the succinct DOM and the compressed
-//! grammar (extension experiment; not a table of the paper, but quantifies
-//! the cost of reading through the compression that the paper's DOM use case
-//! relies on).
+//! evaluation over the pointer DOM, the succinct DOM (BP shape), the LOUDS
+//! encoding and the compressed grammar (extension experiment; not a table of
+//! the paper, but quantifies the cost of reading through the compression that
+//! the paper's DOM use case relies on).
+//!
+//! Both groups are part of the committed `BENCH_compression.json` baseline
+//! and gated in CI (`bench_gate`): a >20 % regression on any entry fails.
+//!
+//! * `traversal` — visit every node in document order and sum label lengths.
+//!   The grammar side builds its [`NavTables`] once (the `CompressedDom`
+//!   caching pattern) and streams through `PreorderLabels::with_tables`.
+//! * `query` — materialize path queries on XMark: the memoized
+//!   output-sensitive `evaluate` (tables prebuilt once, memo per call), the
+//!   cursor-based `evaluate_streaming` oracle, the grammar-only `count`, and
+//!   the uncompressed pointer-tree evaluation as the baseline.
+
+use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use datasets::catalog::Dataset;
-use grammar_repair::navigate::PreorderLabels;
+use grammar_repair::navigate::{NavTables, PreorderLabels};
 use grammar_repair::query::PathQuery;
 use grammar_repair::repair::GrammarRePair;
+use succinct_xml::louds::LoudsTree;
 use succinct_xml::SuccinctDom;
 
 fn bench_traversal(c: &mut Criterion) {
@@ -19,7 +33,9 @@ fn bench_traversal(c: &mut Criterion) {
     for dataset in [Dataset::ExiWeblog, Dataset::XMark] {
         let xml = dataset.generate(0.1);
         let dom = SuccinctDom::build(&xml);
+        let louds = LoudsTree::from_xml(&xml);
         let (grammar, _) = GrammarRePair::default().compress_xml(&xml);
+        let tables = Arc::new(NavTables::build(&grammar));
 
         group.bench_with_input(BenchmarkId::new("pointer_dom", dataset.name()), &xml, |b, xml| {
             b.iter(|| {
@@ -39,13 +55,26 @@ fn bench_traversal(c: &mut Criterion) {
                 count
             })
         });
+        // LOUDS level-order sweep: every step is select0/rank0 arithmetic on
+        // the unary degree sequences — the honest number for the second
+        // succinct baseline now that the zero directory exists.
+        group.bench_with_input(BenchmarkId::new("louds_bfs", dataset.name()), &louds, |b, louds| {
+            b.iter(|| {
+                let mut degrees = 0usize;
+                for i in 0..louds.node_count() {
+                    let v = louds.node_at_level_order(i).expect("index in range");
+                    degrees += louds.degree(v);
+                }
+                degrees
+            })
+        });
         group.bench_with_input(
             BenchmarkId::new("grammar_cursor", dataset.name()),
-            &grammar,
-            |b, grammar| {
+            &(&grammar, &tables),
+            |b, (grammar, tables)| {
                 b.iter(|| {
                     let mut count = 0usize;
-                    for t in PreorderLabels::new(grammar) {
+                    for t in PreorderLabels::with_tables(grammar, Arc::clone(tables)) {
                         count += grammar.symbols.name(t).len();
                     }
                     count
@@ -57,19 +86,25 @@ fn bench_traversal(c: &mut Criterion) {
 }
 
 fn bench_queries(c: &mut Criterion) {
-    let mut group = c.benchmark_group("path_queries");
+    let mut group = c.benchmark_group("query");
     group.sample_size(10);
     group.measurement_time(std::time::Duration::from_secs(3));
     group.warm_up_time(std::time::Duration::from_millis(500));
     let xml = Dataset::XMark.generate(0.2);
     let (grammar, _) = GrammarRePair::default().compress_xml(&xml);
+    let tables = NavTables::build(&grammar);
     for text in ["//item/name", "/site/regions//keyword", "//person"] {
         let query = PathQuery::parse(text).unwrap();
         group.bench_with_input(BenchmarkId::new("grammar_count", text), &query, |b, query| {
             b.iter(|| query.count(&grammar))
         });
+        group.bench_with_input(
+            BenchmarkId::new("grammar_evaluate", text),
+            &query,
+            |b, query| b.iter(|| query.evaluate_with_tables(&grammar, &tables).len()),
+        );
         group.bench_with_input(BenchmarkId::new("grammar_stream", text), &query, |b, query| {
-            b.iter(|| query.evaluate(&grammar).len())
+            b.iter(|| query.evaluate_streaming(&grammar).len())
         });
         group.bench_with_input(BenchmarkId::new("uncompressed", text), &query, |b, query| {
             b.iter(|| query.evaluate_uncompressed(&xml).len())

@@ -23,7 +23,10 @@
 //!   document handle with an automatic recompression policy.
 //! * [`navigate`] / [`query`] — the read path: cursor navigation, streaming
 //!   preorder traversal, label statistics and child/descendant path queries,
-//!   all evaluated directly on the grammar without decompression.
+//!   all evaluated directly on the grammar without decompression and resolved
+//!   through shared per-snapshot [`navigate::NavTables`] (invalidated via the
+//!   [`sltgrammar::RhsTree::version`] counters, cached by
+//!   [`session::CompressedDom`]).
 //!
 //! ## Example
 //!
@@ -60,7 +63,7 @@ pub mod udc;
 pub mod update;
 
 pub use error::{RepairError, Result};
-pub use navigate::{Cursor, PreorderLabels};
+pub use navigate::{Cursor, NavTables, PreorderLabels};
 pub use query::{PathQuery, QueryMatches};
 pub use repair::{GrammarRePair, GrammarRePairConfig, RepairStats};
 pub use session::CompressedDom;

@@ -6,56 +6,441 @@
 //! `val(G)` by maintaining a stack of rule frames: descending into a
 //! nonterminal reference pushes the callee rule, reaching a formal parameter
 //! pops back into the caller and continues in the corresponding argument
-//! subtree. Navigation therefore costs `O(grammar depth)` per step and never
-//! modifies the grammar (unlike [`crate::isolate`], which inlines rules as a
-//! side effect) and never materializes `val(G)` (unlike
-//! [`sltgrammar::derive::val`], which is exponential in the worst case).
+//! subtree.
+//!
+//! # NavTables
+//!
+//! All navigation resolves through [`NavTables`], a per-rule precomputation
+//! built once per *grammar version* (O(grammar) time and space) and shared by
+//! any number of cursors, iterators and query evaluations:
+//!
+//! * the rule body flattened into **preorder arrays** (label kinds, subtree
+//!   sizes, parent positions, child indices), so stepping through a rule is
+//!   array arithmetic instead of arena-pointer chasing;
+//! * the **resolved first terminal** of every position — the terminal a
+//!   cursor would land on when descending there, or the parameter through
+//!   which resolution escapes the rule. This lets the document view peek at
+//!   a child's label (`doc_first_child` / `doc_next_sibling` null checks)
+//!   without moving, where the previous implementation cloned the whole
+//!   frame stack per step;
+//! * the **position of every formal parameter**, making the `up()` transition
+//!   through a call site O(1) where it previously rescanned the callee body;
+//! * **element counts** (`own_elems`, per-position `elems_at`) and the
+//!   **parameter hole layout** (document-order offsets of the parameter
+//!   holes inside `val(A)`), which power the output-sensitive
+//!   [`crate::query::PathQuery::evaluate`] skip arithmetic.
+//!
+//! # Invalidation contract
+//!
+//! `NavTables` snapshots every rule's [`sltgrammar::RhsTree::version`]
+//! counter at build time; [`NavTables::is_current`] re-checks the live rule
+//! set and versions in O(rules). Tables are **immutable**: after any grammar
+//! mutation (updates, recompression, isolation) a new snapshot must be built.
+//! Holders that cache tables — [`crate::session::CompressedDom`] keeps one
+//! behind an `Arc` — revalidate on access and rebuild lazily, so cursors
+//! handed out after a mutation always see fresh tables. A live [`Cursor`]
+//! borrows the grammar immutably for its whole life, so it can never observe
+//! a mutation mid-walk; the differential suite
+//! (`tests/navigation_differential.rs`) pins the rebuild-after-mutation
+//! behaviour across update/recompress cycles.
 //!
 //! On top of the binary-tree cursor, the module offers document-view
-//! navigation (first child / next sibling / parent of *elements*), a streaming
-//! preorder iterator over terminal labels, and usage-weighted label statistics
-//! computed in a single pass over the grammar.
+//! navigation (first child / next sibling / parent of *elements*), a
+//! streaming preorder iterator over terminal labels that advances through
+//! whole terminal runs of a rule body as plain array reads, and
+//! usage-weighted label statistics computed in a single pass over the
+//! grammar.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
-use sltgrammar::{Grammar, NodeId, NodeKind, NtId, TermId};
+use sltgrammar::{FxHashMap, Grammar, NodeKind, NtId, TermId};
 
-/// One stack frame of a [`Cursor`]: a rule and the current node inside its
-/// right-hand side. For every frame except the innermost, `node` is the
+/// Label kind of one preorder position of a rule body, with the terminal's
+/// rank and null-ness denormalized so the hot loops never consult the symbol
+/// table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum NavKind {
+    /// Terminal node.
+    Term {
+        /// The terminal symbol.
+        term: TermId,
+        /// Its rank (number of children).
+        rank: u32,
+        /// Whether it is the null (`#`) symbol.
+        null: bool,
+    },
+    /// Reference to another rule.
+    Nt(NtId),
+    /// Formal parameter `y_{j+1}`.
+    Param(u32),
+}
+
+/// Outcome of resolving a position down to its first derived terminal while
+/// staying inside one rule: either a terminal is reached, or resolution
+/// escapes through the rule's `j`-th parameter and continues in the caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FirstTerm {
+    /// Resolution reaches this terminal without leaving the rule. The null
+    /// flag is denormalized so the document view's peek never consults the
+    /// symbol table.
+    Reached {
+        /// The terminal reached.
+        term: TermId,
+        /// Whether it is the null (`#`) symbol.
+        null: bool,
+    },
+    /// Resolution escapes through parameter `y_{j+1}`.
+    Falls(u32),
+}
+
+/// One parameter hole of a rule body in the document order of `val(A)`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Hole {
+    /// Parameter index (0-based).
+    pub(crate) param: u32,
+    /// Preorder position of the parameter leaf in the rule body.
+    pub(crate) pos: u32,
+    /// Number of the rule's *own* elements (non-null terminals, including
+    /// those contributed by callee bodies) preceding the hole in `val(A)`.
+    pub(crate) elems_before: u128,
+}
+
+/// Precomputed navigation data of one rule body (see [`NavTables`]).
+#[derive(Debug, Clone)]
+pub(crate) struct RuleNav {
+    /// Label kinds by preorder position.
+    pub(crate) kinds: Vec<NavKind>,
+    /// Subtree sizes (in body nodes) by preorder position.
+    pub(crate) size: Vec<u32>,
+    /// Parent preorder position (`u32::MAX` for the root).
+    parent: Vec<u32>,
+    /// Index among the parent's children.
+    child_index: Vec<u32>,
+    /// Resolved first terminal by preorder position.
+    first: Vec<FirstTerm>,
+    /// Preorder position of parameter `y_{j+1}`, indexed by `j`.
+    param_pos: Vec<u32>,
+    /// Parameter holes in document order of `val(A)`.
+    pub(crate) holes: Vec<Hole>,
+    /// Parameter holes sorted by body position (`(pos, param)`).
+    pub(crate) params_by_pos: Vec<(u32, u32)>,
+    /// Element count of the expansion of each position's subtree, with
+    /// parameters contributing zero.
+    pub(crate) elems_at: Vec<u128>,
+    /// Element count of `val(A)` excluding parameter contents
+    /// (`elems_at[root]`).
+    pub(crate) own_elems: u128,
+}
+
+impl RuleNav {
+    /// Preorder position of the `j`-th child of the node at position `p`.
+    #[inline]
+    pub(crate) fn child_pos(&self, p: u32, j: u32) -> u32 {
+        let mut q = p + 1;
+        for _ in 0..j {
+            q += self.size[q as usize];
+        }
+        q
+    }
+
+    /// Number of preorder positions of the body.
+    #[inline]
+    fn len(&self) -> u32 {
+        self.kinds.len() as u32
+    }
+
+    fn build(g: &Grammar, nt: NtId, done: &[Option<RuleNav>]) -> RuleNav {
+        let rhs = &g.rule(nt).rhs;
+        let rank = g.rule(nt).rank;
+
+        // Flatten the body into preorder arrays with parent/child-index links.
+        let mut kinds = Vec::new();
+        let mut parent = Vec::new();
+        let mut child_index = Vec::new();
+        let mut param_pos = vec![u32::MAX; rank];
+        let mut stack = vec![(rhs.root(), u32::MAX, 0u32)];
+        while let Some((node, par, ci)) = stack.pop() {
+            let pos = kinds.len() as u32;
+            let kind = match rhs.kind(node) {
+                NodeKind::Term(t) => NavKind::Term {
+                    term: t,
+                    rank: g.symbols.rank(t) as u32,
+                    null: g.symbols.is_null(t),
+                },
+                NodeKind::Nt(c) => NavKind::Nt(c),
+                NodeKind::Param(j) => {
+                    param_pos[j as usize] = pos;
+                    NavKind::Param(j)
+                }
+            };
+            kinds.push(kind);
+            parent.push(par);
+            child_index.push(ci);
+            let children = rhs.children(node);
+            for (i, &c) in children.iter().enumerate().rev() {
+                stack.push((c, pos, i as u32));
+            }
+        }
+        let n = kinds.len();
+
+        // Subtree sizes: every node adds itself to its parent (children have
+        // larger preorder positions than their parent, so one reverse sweep
+        // suffices).
+        let mut size = vec![1u32; n];
+        for p in (1..n).rev() {
+            size[parent[p] as usize] += size[p];
+        }
+
+        // Element counts of each position's expansion (parameters = 0,
+        // callees contribute their own elements).
+        let mut elems_at = vec![0u128; n];
+        for p in (0..n).rev() {
+            let own: u128 = match kinds[p] {
+                NavKind::Term { null, .. } => u128::from(!null),
+                NavKind::Nt(c) => done[c.index()].as_ref().expect("callees built first").own_elems,
+                NavKind::Param(_) => 0,
+            };
+            elems_at[p] = elems_at[p].saturating_add(own);
+            if p > 0 {
+                let par = parent[p] as usize;
+                elems_at[par] = elems_at[par].saturating_add(elems_at[p]);
+            }
+        }
+        let own_elems = elems_at[0];
+
+        let nav = RuleNav {
+            kinds,
+            size,
+            parent,
+            child_index,
+            first: Vec::new(),
+            param_pos,
+            holes: Vec::new(),
+            params_by_pos: Vec::new(),
+            elems_at,
+            own_elems,
+        };
+
+        // Resolved first terminal: reverse preorder, so children (and the
+        // argument subtrees a callee may fall into) are resolved first.
+        let mut first = vec![FirstTerm::Falls(0); n];
+        for p in (0..n).rev() {
+            first[p] = match nav.kinds[p] {
+                NavKind::Term { term, null, .. } => FirstTerm::Reached { term, null },
+                NavKind::Param(j) => FirstTerm::Falls(j),
+                NavKind::Nt(c) => {
+                    match done[c.index()].as_ref().expect("callees built first").first[0] {
+                        reached @ FirstTerm::Reached { .. } => reached,
+                        FirstTerm::Falls(j) => first[nav.child_pos(p as u32, j) as usize],
+                    }
+                }
+            };
+        }
+
+        // Parameter holes in the document order of val(A): walk the body in
+        // expansion order, interleaving callee bodies with their own holes.
+        enum Walk {
+            Pos(u32),
+            Add(u128),
+        }
+        let mut holes = Vec::with_capacity(rank);
+        let mut elems: u128 = 0;
+        let mut jobs = vec![Walk::Pos(0)];
+        while let Some(job) = jobs.pop() {
+            match job {
+                Walk::Add(d) => elems = elems.saturating_add(d),
+                Walk::Pos(p) => match nav.kinds[p as usize] {
+                    NavKind::Term { null: true, .. } => {}
+                    NavKind::Term { rank, .. } => {
+                        elems = elems.saturating_add(1);
+                        let mut child = p + 1;
+                        let mut children = Vec::with_capacity(rank as usize);
+                        for _ in 0..rank {
+                            children.push(child);
+                            child += nav.size[child as usize];
+                        }
+                        for &c in children.iter().rev() {
+                            jobs.push(Walk::Pos(c));
+                        }
+                    }
+                    NavKind::Param(j) => holes.push(Hole {
+                        param: j,
+                        pos: p,
+                        elems_before: elems,
+                    }),
+                    NavKind::Nt(c) => {
+                        let callee = done[c.index()].as_ref().expect("callees built first");
+                        let mut seq = Vec::with_capacity(2 * callee.holes.len() + 1);
+                        let mut prev = 0u128;
+                        for h in &callee.holes {
+                            seq.push(Walk::Add(h.elems_before.saturating_sub(prev)));
+                            prev = h.elems_before;
+                            seq.push(Walk::Pos(nav.child_pos(p, h.param)));
+                        }
+                        seq.push(Walk::Add(callee.own_elems.saturating_sub(prev)));
+                        for s in seq.into_iter().rev() {
+                            jobs.push(s);
+                        }
+                    }
+                },
+            }
+        }
+        debug_assert_eq!(elems, own_elems, "hole layout walk must count every own element");
+        let mut params_by_pos: Vec<(u32, u32)> =
+            holes.iter().map(|h| (h.pos, h.param)).collect();
+        params_by_pos.sort_unstable();
+
+        RuleNav {
+            first,
+            holes,
+            params_by_pos,
+            ..nav
+        }
+    }
+}
+
+/// Per-rule navigation tables of one grammar snapshot (see the module docs).
+///
+/// Build with [`NavTables::build`]; revalidate with [`NavTables::is_current`].
+/// The tables borrow nothing from the grammar, so they can be shared behind
+/// an [`Arc`] and outlive intermediate mutations — holders are responsible
+/// for the revalidate-and-rebuild dance, which
+/// [`crate::session::CompressedDom`] implements.
+#[derive(Debug, Clone)]
+pub struct NavTables {
+    rules: Vec<Option<RuleNav>>,
+    /// `(rule, rhs version)` snapshot for `is_current`, in id order.
+    versions: Vec<(NtId, u64)>,
+    start: NtId,
+}
+
+impl NavTables {
+    /// Builds the tables for the current grammar snapshot in O(grammar).
+    pub fn build(g: &Grammar) -> Self {
+        let order = g
+            .anti_sl_order()
+            .expect("navigation requires a straight-line grammar");
+        let max_index = order.iter().map(|nt| nt.index()).max().unwrap_or(0);
+        let mut rules: Vec<Option<RuleNav>> = vec![None; max_index + 1];
+        for &nt in &order {
+            let nav = RuleNav::build(g, nt, &rules);
+            rules[nt.index()] = Some(nav);
+        }
+        let versions = g
+            .nonterminals()
+            .into_iter()
+            .map(|nt| (nt, g.rule(nt).rhs.version()))
+            .collect();
+        NavTables {
+            rules,
+            versions,
+            start: g.start(),
+        }
+    }
+
+    /// Whether the tables still describe `g`: same start rule, same live rule
+    /// set, and no rule body mutated since the snapshot (checked through the
+    /// [`sltgrammar::RhsTree::version`] counters in O(rules)).
+    pub fn is_current(&self, g: &Grammar) -> bool {
+        if self.start != g.start() {
+            return false;
+        }
+        let live = g.nonterminals();
+        live.len() == self.versions.len()
+            && live
+                .iter()
+                .zip(self.versions.iter())
+                .all(|(&nt, &(snap_nt, version))| {
+                    nt == snap_nt && g.rule(nt).rhs.version() == version
+                })
+    }
+
+    /// The start rule the tables were built for.
+    pub fn start(&self) -> NtId {
+        self.start
+    }
+
+    #[inline]
+    pub(crate) fn rule(&self, nt: NtId) -> &RuleNav {
+        self.rules[nt.index()]
+            .as_ref()
+            .expect("tables cover every live rule")
+    }
+}
+
+/// One stack frame of a [`Cursor`]: a rule and the current preorder position
+/// inside its body. For every frame except the innermost, `pos` is the
 /// nonterminal reference whose callee is the frame above it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Frame {
     nt: NtId,
-    node: NodeId,
+    pos: u32,
 }
 
 /// A read-only position in the derived binary tree `val(G)`.
 ///
 /// The cursor always rests on a *terminal* node of the derived tree; moving
-/// through nonterminal references and parameters is handled internally.
+/// through nonterminal references and parameters is handled internally. All
+/// steps resolve through shared [`NavTables`]; `down`/`up` cost O(1) per rule
+/// frame crossed and the document view peeks at child labels without moving
+/// (no stack copies on the hot path).
 #[derive(Debug, Clone)]
 pub struct Cursor<'g> {
     grammar: &'g Grammar,
+    tables: Arc<NavTables>,
     stack: Vec<Frame>,
+    /// Scratch buffer for the rare restore path of [`Cursor::doc_parent`].
+    saved: Vec<Frame>,
 }
 
 impl<'g> Cursor<'g> {
-    /// Creates a cursor positioned at the root of the derived tree.
+    /// Creates a cursor positioned at the root of the derived tree, building
+    /// private [`NavTables`] (O(grammar)). Prefer [`Cursor::with_tables`]
+    /// when several cursors or repeated traversals share one snapshot.
     pub fn new(grammar: &'g Grammar) -> Self {
-        let start = grammar.start();
+        Cursor::with_tables(grammar, Arc::new(NavTables::build(grammar)))
+    }
+
+    /// Creates a cursor at the derived root sharing prebuilt tables. The
+    /// tables must be current for `grammar` (debug-asserted).
+    pub fn with_tables(grammar: &'g Grammar, tables: Arc<NavTables>) -> Self {
+        debug_assert!(
+            tables.is_current(grammar),
+            "NavTables are stale for this grammar snapshot"
+        );
         let mut cursor = Cursor {
             grammar,
             stack: vec![Frame {
-                nt: start,
-                node: grammar.rule(start).rhs.root(),
+                nt: tables.start(),
+                pos: 0,
             }],
+            tables,
+            saved: Vec::new(),
         };
         cursor.resolve();
         cursor
     }
 
-    fn rhs(&self, nt: NtId) -> &'g sltgrammar::RhsTree {
-        &self.grammar.rule(nt).rhs
+    /// The grammar this cursor reads.
+    pub fn grammar(&self) -> &'g Grammar {
+        self.grammar
+    }
+
+    /// The shared navigation tables backing this cursor.
+    pub fn tables(&self) -> &Arc<NavTables> {
+        &self.tables
+    }
+
+    #[inline]
+    fn nav(&self, nt: NtId) -> &RuleNav {
+        self.tables.rule(nt)
+    }
+
+    #[inline]
+    fn top_kind(&self) -> NavKind {
+        let top = self.stack.last().expect("cursor stack is never empty");
+        self.nav(top.nt).kinds[top.pos as usize]
     }
 
     /// Moves the innermost position through nonterminal references and
@@ -63,20 +448,16 @@ impl<'g> Cursor<'g> {
     fn resolve(&mut self) {
         loop {
             let top = *self.stack.last().expect("cursor stack is never empty");
-            match self.rhs(top.nt).kind(top.node) {
-                NodeKind::Term(_) => return,
-                NodeKind::Nt(callee) => {
-                    self.stack.push(Frame {
-                        nt: callee,
-                        node: self.rhs(callee).root(),
-                    });
+            match self.nav(top.nt).kinds[top.pos as usize] {
+                NavKind::Term { .. } => return,
+                NavKind::Nt(callee) => {
+                    self.stack.push(Frame { nt: callee, pos: 0 });
                 }
-                NodeKind::Param(j) => {
+                NavKind::Param(j) => {
                     // Continue in the j-th argument of the call site one frame below.
                     self.stack.pop();
-                    let caller = *self.stack.last().expect("parameters only occur in callees");
-                    let arg = self.rhs(caller.nt).children(caller.node)[j as usize];
-                    self.stack.last_mut().expect("non-empty").node = arg;
+                    let caller = self.stack.last_mut().expect("parameters only occur in callees");
+                    caller.pos = self.tables.rule(caller.nt).child_pos(caller.pos, j);
                 }
             }
         }
@@ -84,9 +465,8 @@ impl<'g> Cursor<'g> {
 
     /// Terminal symbol at the current position.
     pub fn term(&self) -> TermId {
-        let top = self.stack.last().expect("cursor stack is never empty");
-        match self.rhs(top.nt).kind(top.node) {
-            NodeKind::Term(t) => t,
+        match self.top_kind() {
+            NavKind::Term { term, .. } => term,
             _ => unreachable!("cursor always rests on a terminal"),
         }
     }
@@ -98,12 +478,39 @@ impl<'g> Cursor<'g> {
 
     /// Whether the current node is the null (`#` / `⊥`) leaf.
     pub fn is_null(&self) -> bool {
-        self.grammar.symbols.is_null(self.term())
+        matches!(self.top_kind(), NavKind::Term { null: true, .. })
     }
 
     /// Rank (number of children in the derived tree) of the current node.
     pub fn rank(&self) -> usize {
-        self.grammar.symbols.rank(self.term())
+        match self.top_kind() {
+            NavKind::Term { rank, .. } => rank as usize,
+            _ => unreachable!("cursor always rests on a terminal"),
+        }
+    }
+
+    /// Whether the terminal the cursor would land on after `down(i)` is the
+    /// null leaf, resolved read-only through the tables (no movement, no
+    /// allocation, no symbol-table consult). The caller must ensure
+    /// `i < self.rank()`.
+    fn peek_child_is_null(&self, i: usize) -> bool {
+        let top = *self.stack.last().expect("cursor stack is never empty");
+        let mut nt = top.nt;
+        let mut pos = self.nav(nt).child_pos(top.pos, i as u32);
+        let mut frame = self.stack.len() - 1;
+        loop {
+            match self.nav(nt).first[pos as usize] {
+                FirstTerm::Reached { null, .. } => return null,
+                FirstTerm::Falls(j) => {
+                    // Resolution escapes the current rule through parameter j;
+                    // continue in the caller's argument subtree.
+                    frame -= 1;
+                    let caller = self.stack[frame];
+                    nt = caller.nt;
+                    pos = self.nav(nt).child_pos(caller.pos, j);
+                }
+            }
+        }
     }
 
     /// Descends to the `i`-th child of the current node. Returns `false` (and
@@ -113,8 +520,7 @@ impl<'g> Cursor<'g> {
             return false;
         }
         let top = self.stack.last_mut().expect("cursor stack is never empty");
-        let child = self.grammar.rule(top.nt).rhs.children(top.node)[i];
-        top.node = child;
+        top.pos = self.tables.rule(top.nt).child_pos(top.pos, i as u32);
         self.resolve();
         true
     }
@@ -124,49 +530,37 @@ impl<'g> Cursor<'g> {
     pub fn up(&mut self) -> Option<usize> {
         loop {
             let top = *self.stack.last().expect("cursor stack is never empty");
-            let rhs = self.rhs(top.nt);
-            match rhs.parent(top.node) {
-                Some(p) => match rhs.kind(p) {
-                    NodeKind::Term(_) => {
-                        let idx = rhs
-                            .children(p)
-                            .iter()
-                            .position(|&c| c == top.node)
-                            .expect("parent/child links consistent");
-                        self.stack.last_mut().expect("non-empty").node = p;
-                        return Some(idx);
-                    }
-                    NodeKind::Nt(callee) => {
-                        // The current node is the j-th argument of a call; its
-                        // derived parent is the parent of parameter y_j inside
-                        // the callee. Position the caller frame at the call node
-                        // and continue searching from the parameter leaf.
-                        let j = rhs
-                            .children(p)
-                            .iter()
-                            .position(|&c| c == top.node)
-                            .expect("parent/child links consistent");
-                        self.stack.last_mut().expect("non-empty").node = p;
-                        let param = self
-                            .rhs(callee)
-                            .find_param(j as u32)
-                            .expect("linear grammars contain every parameter exactly once");
-                        self.stack.push(Frame {
-                            nt: callee,
-                            node: param,
-                        });
-                    }
-                    NodeKind::Param(_) => {
-                        unreachable!("parameters are leaves and cannot be parents")
-                    }
-                },
-                None => {
-                    // At the root of this rule's right-hand side.
-                    if self.stack.len() == 1 {
-                        return None;
-                    }
-                    self.stack.pop();
-                    // The caller frame's node is the call site; continue there.
+            let nav = self.nav(top.nt);
+            if top.pos == 0 {
+                // At the root of this rule's body.
+                if self.stack.len() == 1 {
+                    return None;
+                }
+                self.stack.pop();
+                // The caller frame's position is the call site; continue there.
+                continue;
+            }
+            let parent = nav.parent[top.pos as usize];
+            let idx = nav.child_index[top.pos as usize] as usize;
+            match nav.kinds[parent as usize] {
+                NavKind::Term { .. } => {
+                    self.stack.last_mut().expect("non-empty").pos = parent;
+                    return Some(idx);
+                }
+                NavKind::Nt(callee) => {
+                    // The current node is the idx-th argument of a call; its
+                    // derived parent is the parent of parameter y_idx inside
+                    // the callee. Position the caller frame at the call node
+                    // and continue searching from the parameter leaf.
+                    self.stack.last_mut().expect("non-empty").pos = parent;
+                    let param = self.tables.rule(callee).param_pos[idx];
+                    self.stack.push(Frame {
+                        nt: callee,
+                        pos: param,
+                    });
+                }
+                NavKind::Param(_) => {
+                    unreachable!("parameters are leaves and cannot be parents")
                 }
             }
         }
@@ -188,36 +582,40 @@ impl<'g> Cursor<'g> {
 
     /// Moves to the first child *element* of the current element. Returns
     /// `false` and stays put if there is none.
+    ///
+    /// The null check peeks through the tables; nothing moves (and nothing is
+    /// copied) when there is no child element.
     pub fn doc_first_child(&mut self) -> bool {
-        let saved = self.stack.clone();
-        if self.down(0) && !self.is_null() {
-            return true;
+        if self.rank() == 0 || self.peek_child_is_null(0) {
+            return false;
         }
-        self.stack = saved;
-        false
+        self.down(0);
+        true
     }
 
     /// Moves to the next sibling *element* of the current element. Returns
     /// `false` and stays put if there is none.
     pub fn doc_next_sibling(&mut self) -> bool {
-        let saved = self.stack.clone();
-        if self.down(1) && !self.is_null() {
-            return true;
+        if self.rank() < 2 || self.peek_child_is_null(1) {
+            return false;
         }
-        self.stack = saved;
-        false
+        self.down(1);
+        true
     }
 
     /// Moves to the parent *element* of the current element. Returns `false`
     /// and stays put at the document root.
     pub fn doc_parent(&mut self) -> bool {
-        let saved = self.stack.clone();
+        // Only the failure path (already at the document root) needs to
+        // restore; reuse one scratch buffer instead of cloning per call.
+        self.saved.clear();
+        self.saved.extend_from_slice(&self.stack);
         loop {
             match self.up() {
                 Some(0) => return true,
                 Some(_) => continue,
                 None => {
-                    self.stack = saved;
+                    std::mem::swap(&mut self.stack, &mut self.saved);
                     return false;
                 }
             }
@@ -225,20 +623,72 @@ impl<'g> Cursor<'g> {
     }
 }
 
+/// One frame of the [`PreorderLabels`] expansion machine: a slice
+/// `[cur, end)` of one rule body to emit, plus the frame/call-site pair that
+/// supplies the rule's arguments when a parameter is reached.
+#[derive(Debug, Clone, Copy)]
+struct PlFrame {
+    nt: NtId,
+    cur: u32,
+    end: u32,
+    /// Index (into the live stack) of the frame whose rule contains this
+    /// rule's call site; parameters continue in that frame's argument
+    /// subtrees. Unused for the start frame.
+    ctx_frame: u32,
+    /// Preorder position of the call site inside `ctx_frame`'s rule.
+    call_pos: u32,
+}
+
 /// Streaming preorder iterator over the terminal labels of `val(G)`.
 ///
 /// The iterator visits every node of the derived tree exactly once without
-/// materializing it; memory use is bounded by the cursor's frame stack.
+/// materializing it. It runs directly on the flattened preorder arrays of
+/// [`NavTables`]: consecutive terminals of a rule body are emitted as plain
+/// array reads (whole terminal runs cost one bounds check per node), a
+/// nonterminal reference pushes the callee body and skips the call subtree
+/// via the precomputed sizes, and a parameter continues in the caller's
+/// argument slice. One frame buffer is reused across all `next()` calls —
+/// no per-node re-resolution and no per-node allocation. Memory use is
+/// bounded by the derivation depth.
 pub struct PreorderLabels<'g> {
-    cursor: Option<Cursor<'g>>,
+    grammar: &'g Grammar,
+    tables: Arc<NavTables>,
+    stack: Vec<PlFrame>,
 }
 
 impl<'g> PreorderLabels<'g> {
-    /// Creates the iterator positioned before the root.
+    /// Creates the iterator positioned before the root, building private
+    /// tables. Prefer [`PreorderLabels::with_tables`] for repeated
+    /// traversals of one snapshot.
     pub fn new(grammar: &'g Grammar) -> Self {
+        PreorderLabels::with_tables(grammar, Arc::new(NavTables::build(grammar)))
+    }
+
+    /// Creates the iterator sharing prebuilt tables (must be current for
+    /// `grammar`, debug-asserted).
+    pub fn with_tables(grammar: &'g Grammar, tables: Arc<NavTables>) -> Self {
+        debug_assert!(
+            tables.is_current(grammar),
+            "NavTables are stale for this grammar snapshot"
+        );
+        let start = tables.start();
+        let end = tables.rule(start).len();
         PreorderLabels {
-            cursor: Some(Cursor::new(grammar)),
+            grammar,
+            stack: vec![PlFrame {
+                nt: start,
+                cur: 0,
+                end,
+                ctx_frame: 0,
+                call_pos: 0,
+            }],
+            tables,
         }
+    }
+
+    /// The grammar this iterator reads.
+    pub fn grammar(&self) -> &'g Grammar {
+        self.grammar
     }
 }
 
@@ -246,40 +696,60 @@ impl<'g> Iterator for PreorderLabels<'g> {
     type Item = TermId;
 
     fn next(&mut self) -> Option<TermId> {
-        let cursor = self.cursor.as_mut()?;
-        let term = cursor.term();
-        // Advance: descend if possible, otherwise climb until a next sibling exists.
-        let mut exhausted = false;
-        if cursor.rank() > 0 {
-            cursor.down(0);
-        } else {
-            loop {
-                match cursor.up() {
-                    None => {
-                        exhausted = true;
-                        break;
-                    }
-                    Some(idx) => {
-                        if idx + 1 < cursor.rank() {
-                            cursor.down(idx + 1);
-                            break;
-                        }
-                    }
+        loop {
+            let top_idx = self.stack.len().checked_sub(1)?;
+            let frame = self.stack[top_idx];
+            if frame.cur == frame.end {
+                self.stack.pop();
+                if self.stack.is_empty() {
+                    return None;
+                }
+                continue;
+            }
+            let nav = self.tables.rule(frame.nt);
+            match nav.kinds[frame.cur as usize] {
+                NavKind::Term { term, .. } => {
+                    self.stack[top_idx].cur += 1;
+                    return Some(term);
+                }
+                NavKind::Nt(callee) => {
+                    // Resume after the whole call subtree, then expand the callee.
+                    self.stack[top_idx].cur += nav.size[frame.cur as usize];
+                    let end = self.tables.rule(callee).len();
+                    self.stack.push(PlFrame {
+                        nt: callee,
+                        cur: 0,
+                        end,
+                        ctx_frame: top_idx as u32,
+                        call_pos: frame.cur,
+                    });
+                }
+                NavKind::Param(j) => {
+                    // Resume after the parameter leaf, then emit the caller's
+                    // argument slice under the caller's own parameter context.
+                    self.stack[top_idx].cur += 1;
+                    let ctx = self.stack[frame.ctx_frame as usize];
+                    let caller_nav = self.tables.rule(ctx.nt);
+                    let arg = caller_nav.child_pos(frame.call_pos, j);
+                    self.stack.push(PlFrame {
+                        nt: ctx.nt,
+                        cur: arg,
+                        end: arg + caller_nav.size[arg as usize],
+                        ctx_frame: ctx.ctx_frame,
+                        call_pos: ctx.call_pos,
+                    });
                 }
             }
         }
-        if exhausted {
-            self.cursor = None;
-        }
-        Some(term)
     }
 }
 
-/// Usage-weighted number of occurrences of every terminal label in `val(G)`,
-/// computed in one pass over the grammar (no traversal of the derived tree).
-pub fn label_counts(g: &Grammar) -> HashMap<String, u128> {
+/// Usage-weighted number of occurrences of every terminal in `val(G)`,
+/// keyed by [`TermId`], computed in one pass over the grammar (no traversal
+/// of the derived tree, no string allocation).
+pub fn term_counts(g: &Grammar) -> FxHashMap<TermId, u128> {
     let usage = g.usage();
-    let mut counts: HashMap<TermId, u128> = HashMap::new();
+    let mut counts: FxHashMap<TermId, u128> = FxHashMap::default();
     for nt in g.nonterminals() {
         let weight = usage.get(&nt).copied().unwrap_or(0) as u128;
         if weight == 0 {
@@ -293,6 +763,12 @@ pub fn label_counts(g: &Grammar) -> HashMap<String, u128> {
         }
     }
     counts
+}
+
+/// Usage-weighted number of occurrences of every terminal label in `val(G)`.
+/// String-keyed convenience wrapper around [`term_counts`].
+pub fn label_counts(g: &Grammar) -> HashMap<String, u128> {
+    term_counts(g)
         .into_iter()
         .map(|(t, c)| (g.symbols.name(t).to_string(), c))
         .collect()
@@ -301,9 +777,9 @@ pub fn label_counts(g: &Grammar) -> HashMap<String, u128> {
 /// Number of *element* nodes (non-null terminals) of the derived tree,
 /// computed without decompression.
 pub fn element_count(g: &Grammar) -> u128 {
-    label_counts(g)
+    term_counts(g)
         .into_iter()
-        .filter(|(name, _)| name != sltgrammar::NULL_SYMBOL_NAME)
+        .filter(|&(t, _)| !g.symbols.is_null(t))
         .map(|(_, c)| c)
         .sum()
 }
@@ -516,5 +992,43 @@ mod tests {
         assert!(cursor.frame_depth() >= 1);
         cursor.up();
         assert!(cursor.at_root());
+    }
+
+    #[test]
+    fn shared_tables_revalidate_across_mutations() {
+        let (mut g, _) = compressed("<a><b/><b/><b/><b/></a>");
+        let tables = Arc::new(NavTables::build(&g));
+        assert!(tables.is_current(&g));
+        {
+            let c1 = Cursor::with_tables(&g, tables.clone());
+            let c2 = Cursor::with_tables(&g, tables.clone());
+            assert_eq!(c1.label(), c2.label());
+        }
+        // Any body mutation flips is_current through the version counters.
+        crate::update::rename(&mut g, 1, "c").unwrap();
+        assert!(!tables.is_current(&g));
+        let fresh = NavTables::build(&g);
+        assert!(fresh.is_current(&g));
+        let mut cursor = Cursor::with_tables(&g, Arc::new(fresh));
+        assert!(cursor.doc_first_child());
+        assert_eq!(cursor.label(), "c");
+    }
+
+    #[test]
+    fn hole_layout_counts_elements_in_document_order() {
+        // B -> b(y2, y1): holes must come back in document order (y2 first)
+        // with correct element offsets.
+        let g = parse_grammar("S -> f(B(a(#,#), c(#,#)), #)\nB -> b(y2, y1)").unwrap();
+        let tables = NavTables::build(&g);
+        let b = g.nt_by_name("B").unwrap();
+        let nav = tables.rule(b);
+        assert_eq!(nav.own_elems, 1);
+        assert_eq!(nav.holes.len(), 2);
+        assert_eq!(nav.holes[0].param, 1, "y2 precedes y1 in document order");
+        assert_eq!(nav.holes[0].elems_before, 1);
+        assert_eq!(nav.holes[1].param, 0);
+        assert_eq!(nav.holes[1].elems_before, 1);
+        // The whole document: f, b, c, a = 4 elements.
+        assert_eq!(element_count(&g), 4);
     }
 }

@@ -25,6 +25,18 @@
 //! than per operation, so charging it per operation would recompress far too
 //! eagerly. [`CompressedDom::total_updates`] still counts individual
 //! operations.
+//!
+//! # Cached navigation tables
+//!
+//! Reads through [`CompressedDom::cursor`], [`CompressedDom::preorder_labels`]
+//! and [`CompressedDom::query`] resolve through one shared
+//! [`NavTables`] snapshot cached behind an [`Arc`]. The cache is revalidated
+//! on every access against the rule bodies'
+//! [`sltgrammar::RhsTree::version`] counters ([`NavTables::is_current`],
+//! O(rules)) and rebuilt lazily after any update, batch or recompression —
+//! read-heavy phases between updates pay the O(grammar) build exactly once.
+
+use std::sync::Arc;
 
 use sltgrammar::fingerprint::derived_size;
 use sltgrammar::Grammar;
@@ -34,6 +46,8 @@ use xmltree::XmlTree;
 
 use crate::error::{RepairError, Result};
 use crate::isolate::label_at;
+use crate::navigate::{Cursor, NavTables, PreorderLabels};
+use crate::query::{PathQuery, QueryMatches};
 use crate::repair::{GrammarRePair, GrammarRePairConfig, RepairStats};
 use crate::update::{apply_batch, apply_update, BatchStats, UpdateStats};
 
@@ -47,6 +61,8 @@ pub struct CompressedDom {
     updates_since_recompress: usize,
     total_updates: usize,
     recompressions: usize,
+    /// Lazily built, version-validated navigation tables (see module docs).
+    nav_cache: Option<Arc<NavTables>>,
 }
 
 impl CompressedDom {
@@ -66,6 +82,7 @@ impl CompressedDom {
             updates_since_recompress: 0,
             total_updates: 0,
             recompressions: 0,
+            nav_cache: None,
         }
     }
 
@@ -109,6 +126,51 @@ impl CompressedDom {
     /// tree (isolates the path as a side effect, like any read-modify access).
     pub fn label_at(&mut self, preorder_index: u128) -> Result<String> {
         label_at(&mut self.grammar, preorder_index)
+    }
+
+    // ----- read path through cached navigation tables -----
+
+    /// The shared [`NavTables`] snapshot for the current grammar version,
+    /// revalidated against the rule version counters and rebuilt lazily
+    /// after any mutation.
+    pub fn nav_tables(&mut self) -> Arc<NavTables> {
+        if let Some(tables) = &self.nav_cache {
+            if tables.is_current(&self.grammar) {
+                return tables.clone();
+            }
+        }
+        let tables = Arc::new(NavTables::build(&self.grammar));
+        self.nav_cache = Some(tables.clone());
+        tables
+    }
+
+    /// A navigation cursor at the document root, backed by the cached tables.
+    pub fn cursor(&mut self) -> Cursor<'_> {
+        let tables = self.nav_tables();
+        Cursor::with_tables(&self.grammar, tables)
+    }
+
+    /// A streaming preorder label iterator backed by the cached tables.
+    pub fn preorder_labels(&mut self) -> PreorderLabels<'_> {
+        let tables = self.nav_tables();
+        PreorderLabels::with_tables(&self.grammar, tables)
+    }
+
+    /// Materializes a path query through the memoized, output-sensitive
+    /// evaluator ([`PathQuery::evaluate_with_tables`]) over the cached tables.
+    pub fn query(&mut self, query: &PathQuery) -> QueryMatches {
+        let tables = self.nav_tables();
+        query.evaluate_with_tables(&self.grammar, &tables)
+    }
+
+    /// Parses and materializes a path query in one call.
+    pub fn query_str(&mut self, query: &str) -> Result<QueryMatches> {
+        Ok(self.query(&PathQuery::parse(query)?))
+    }
+
+    /// Counts the matches of a path query without materializing them.
+    pub fn query_count(&self, query: &PathQuery) -> u128 {
+        query.count(&self.grammar)
     }
 
     /// Applies one update; recompresses automatically when the policy says so.
@@ -384,6 +446,47 @@ mod tests {
             batched.to_xml().unwrap().to_xml(),
             sequential.to_xml().unwrap().to_xml()
         );
+    }
+
+    #[test]
+    fn cached_nav_tables_survive_reads_and_refresh_after_mutations() {
+        let xml = doc(8);
+        let elements = element_positions(&xml);
+        let mut dom = CompressedDom::from_xml(&xml, 3);
+
+        // Repeated reads share one snapshot.
+        let t1 = dom.nav_tables();
+        let t2 = dom.nav_tables();
+        assert!(Arc::ptr_eq(&t1, &t2), "reads must share the cached snapshot");
+        assert_eq!(dom.cursor().label(), "feed");
+        let q = crate::query::PathQuery::parse("//item/title").unwrap();
+        assert_eq!(dom.query(&q).len() as u128, dom.query_count(&q));
+        assert_eq!(dom.query_str("//item").unwrap().len(), 8);
+
+        // Any update invalidates the snapshot; the next read rebuilds.
+        dom.apply(&UpdateOp::Rename {
+            target: elements[1],
+            label: "entry".to_string(),
+        })
+        .unwrap();
+        let t3 = dom.nav_tables();
+        assert!(!Arc::ptr_eq(&t1, &t3), "mutation must invalidate the cache");
+        assert_eq!(dom.query_str("//entry").unwrap().len(), 1);
+
+        // Recompression invalidates it too.
+        dom.recompress_now();
+        let t4 = dom.nav_tables();
+        assert!(!Arc::ptr_eq(&t3, &t4));
+        assert_eq!(dom.query_str("//entry").unwrap().len(), 1);
+        let labels: Vec<String> = {
+            let g = dom.grammar().clone();
+            let mut it = Vec::new();
+            for t in dom.preorder_labels() {
+                it.push(g.symbols.name(t).to_string());
+            }
+            it
+        };
+        assert_eq!(labels.len() as u128, dom.derived_size());
     }
 
     #[test]

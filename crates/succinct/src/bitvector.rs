@@ -6,15 +6,20 @@
 //! seven word popcounts, and one masked popcount — constant time for all
 //! practical purposes.
 //!
-//! `select1` additionally uses a *sampled select directory*: the block index of
-//! every [`SELECT_SAMPLE`]-th one is stored at build time, so a query jumps
-//! straight to the sampled block of `⌊(k−1)/SELECT_SAMPLE⌋` and only has to
-//! search between two consecutive samples instead of binary-searching the whole
-//! rank directory (which cost O(log n) per call and dominated `select`-heavy
-//! navigation). On dense vectors consecutive samples are a handful of blocks
-//! apart, making the query effectively constant time; the directory costs one
-//! `u32` per [`SELECT_SAMPLE`] ones (≤ 0.07 bits per bit). `select0` keeps the
-//! plain binary search — zero-heavy queries are not on the navigation hot path.
+//! `select1` and `select0` additionally use *sampled select directories*: the
+//! block index of every [`SELECT_SAMPLE`]-th one (respectively zero) is stored
+//! at build time, so a query jumps straight to the sampled block of
+//! `⌊(k−1)/SELECT_SAMPLE⌋` and only has to search between two consecutive
+//! samples instead of binary-searching the whole rank directory (which cost
+//! O(log n) per call and dominated `select`-heavy navigation). On vectors
+//! where the queried symbol is dense, consecutive samples are a handful of
+//! blocks apart, making the query effectively constant time; each directory
+//! costs one `u32` per [`SELECT_SAMPLE`] occurrences (≤ 0.07 bits per bit).
+//! The zero directory is what LOUDS navigation leans on — every
+//! `degree`/`child`/`first_child` step selects the terminating `0` of a unary
+//! degree sequence — so it is built with the same machinery as the one
+//! directory and pinned to the rank-directory binary search
+//! ([`BitVector::select0_rank_search`]) by the property tests.
 
 /// Number of 64-bit words per rank-directory block (512 bits per block).
 pub const WORDS_PER_BLOCK: usize = 8;
@@ -36,6 +41,9 @@ pub struct BitVector {
     /// `select_samples[j]` = index of the block containing the
     /// `j * SELECT_SAMPLE + 1`-th one (1-based ones).
     select_samples: Vec<u32>,
+    /// `select0_samples[j]` = index of the block containing the
+    /// `j * SELECT_SAMPLE + 1`-th zero (1-based zeros).
+    select0_samples: Vec<u32>,
     ones: u64,
 }
 
@@ -124,7 +132,7 @@ impl BitVector {
         }
         // Sentinel block covering the tail.
         block_ranks.push(acc);
-        // Select directory: one linear sweep over the block ranks.
+        // Select directories: one linear sweep over the block ranks each.
         let mut select_samples = Vec::with_capacity((acc / SELECT_SAMPLE) as usize + 1);
         let mut block = 0usize;
         let mut k = 1u64;
@@ -135,11 +143,29 @@ impl BitVector {
             select_samples.push(block as u32);
             k += SELECT_SAMPLE;
         }
+        // The zero directory counts zeros by word arithmetic; padding zeros of
+        // the last partial word sit beyond every real zero, so the sweep is
+        // bounded by the true zero count.
+        let zeros = len as u64 - acc;
+        let zeros_before = |b: usize| {
+            ((b * WORDS_PER_BLOCK * 64).min(words.len() * 64)) as u64 - block_ranks[b]
+        };
+        let mut select0_samples = Vec::with_capacity((zeros / SELECT_SAMPLE) as usize + 1);
+        let mut block = 0usize;
+        let mut k = 1u64;
+        while k <= zeros {
+            while zeros_before(block + 1) < k {
+                block += 1;
+            }
+            select0_samples.push(block as u32);
+            k += SELECT_SAMPLE;
+        }
         BitVector {
             words,
             len,
             block_ranks,
             select_samples,
+            select0_samples,
             ones: acc,
         }
     }
@@ -267,31 +293,68 @@ impl BitVector {
         word * 64 + select_in_word(self.words[word], remaining)
     }
 
+    /// Number of zeros in words strictly before block `b` (padding zeros of
+    /// the last partial word included — they sit beyond every real zero, so
+    /// bounded searches against the true zero count never reach them).
+    #[inline]
+    fn zeros_before_block(&self, b: usize) -> u64 {
+        ((b * WORDS_PER_BLOCK * 64).min(self.words.len() * 64)) as u64 - self.block_ranks[b]
+    }
+
     /// Position of the `k`-th zero (1-based). Returns `None` if `k` is 0 or
     /// exceeds the number of zeros.
+    ///
+    /// Mirrors [`BitVector::select1`]: the sampled zero directory bounds the
+    /// block search to the gap between two consecutive samples, so the query
+    /// is O(1) for all practical densities instead of a binary search over
+    /// the whole rank directory.
     pub fn select0(&self, k: u64) -> Option<usize> {
         if k == 0 || k > self.count_zeros() {
             return None;
         }
-        // Blocks store ranks of ones; convert to zeros on the fly.
-        let zeros_before_block = |b: usize| (b * WORDS_PER_BLOCK * 64) as u64 - self.block_ranks[b];
-        let mut lo = 0usize;
-        let mut hi = self.block_ranks.len() - 1;
+        let group = ((k - 1) / SELECT_SAMPLE) as usize;
+        let lo = self.select0_samples[group] as usize;
+        let hi = self
+            .select0_samples
+            .get(group + 1)
+            .map(|&b| b as usize)
+            .unwrap_or(self.block_ranks.len() - 2);
+        let block = self.select0_block_search(lo, hi, k);
+        Some(self.select0_in_block(block, k))
+    }
+
+    /// Reference implementation of `select0` that binary-searches the whole
+    /// rank directory, bypassing the zero directory. Kept for the property
+    /// tests that pin the sampled directory to the rank-only answer.
+    #[doc(hidden)]
+    pub fn select0_rank_search(&self, k: u64) -> Option<usize> {
+        if k == 0 || k > self.count_zeros() {
+            return None;
+        }
+        let block = self.select0_block_search(0, self.block_ranks.len() - 1, k);
+        Some(self.select0_in_block(block, k))
+    }
+
+    /// Last block in `[lo, hi]` with fewer than `k` zeros before it — shared
+    /// by the sampled query (sample-bounded range) and the rank-search oracle
+    /// (whole directory).
+    fn select0_block_search(&self, mut lo: usize, mut hi: usize, k: u64) -> usize {
         while lo < hi {
             let mid = (lo + hi).div_ceil(2);
-            // The sentinel block may start beyond `len`; clamp by using word count.
-            let start_bits = (mid * WORDS_PER_BLOCK * 64).min(self.words.len() * 64);
-            let zeros = start_bits as u64 - self.block_ranks[mid];
-            let _ = zeros_before_block;
-            if zeros < k {
+            if self.zeros_before_block(mid) < k {
                 lo = mid;
             } else {
                 hi = mid - 1;
             }
         }
-        let start_bits = lo * WORDS_PER_BLOCK * 64;
-        let mut remaining = k - (start_bits as u64 - self.block_ranks[lo]);
-        let mut word = lo * WORDS_PER_BLOCK;
+        lo
+    }
+
+    /// Finishes a zero-select query inside block `block` (which must contain
+    /// the `k`-th zero): scan at most [`WORDS_PER_BLOCK`] words.
+    fn select0_in_block(&self, block: usize, k: u64) -> usize {
+        let mut remaining = k - self.zeros_before_block(block);
+        let mut word = block * WORDS_PER_BLOCK;
         loop {
             let zeros = self.words[word].count_zeros() as u64;
             if remaining <= zeros {
@@ -301,19 +364,17 @@ impl BitVector {
             word += 1;
         }
         let pos = word * 64 + select_in_word(!self.words[word], remaining);
-        if pos < self.len {
-            Some(pos)
-        } else {
-            None
-        }
+        debug_assert!(pos < self.len, "k <= count_zeros() keeps the scan before the padding");
+        pos
     }
 
-    /// Approximate heap footprint in bytes (words + rank directory + select
-    /// directory).
+    /// Approximate heap footprint in bytes (words + rank directory + both
+    /// select directories).
     pub fn size_bytes(&self) -> usize {
         self.words.len() * 8
             + self.block_ranks.len() * 8
             + self.select_samples.len() * 4
+            + self.select0_samples.len() * 4
             + std::mem::size_of::<Self>()
     }
 }
@@ -455,6 +516,58 @@ mod tests {
     }
 
     #[test]
+    fn sampled_select0_matches_rank_search_across_densities() {
+        // Mirror of the select1 pinning test for the zero directory: vectors
+        // where zeros are dense, sparse and clustered, all spanning several
+        // sample groups.
+        let zeros_dense: Vec<bool> = (0..40_000).map(|i| i % 3 == 0).collect();
+        let zeros_sparse: Vec<bool> = (0..200_000).map(|i| i % 331 != 7).collect();
+        let clustered: Vec<bool> = (0..60_000).map(|i| (i / 700) % 2 == 0).collect();
+        for bits in [zeros_dense, zeros_sparse, clustered] {
+            let bv = BitVector::from_bits(bits.iter().copied());
+            assert!(bv.count_zeros() > SELECT_SAMPLE, "test must span samples");
+            for k in (1..=bv.count_zeros()).step_by(13) {
+                assert_eq!(bv.select0(k), bv.select0_rank_search(k), "k={k}");
+                assert_eq!(bv.select0(k), naive_select0(&bits, k), "k={k}");
+            }
+            assert_eq!(
+                bv.select0(bv.count_zeros()),
+                bv.select0_rank_search(bv.count_zeros())
+            );
+            assert_eq!(bv.select0(bv.count_zeros() + 1), None);
+        }
+    }
+
+    #[test]
+    fn select0_samples_exactly_at_group_boundaries() {
+        // Zeros exactly at multiples of SELECT_SAMPLE stress the group index
+        // arithmetic, including the last partial word's padding zeros.
+        let bits: Vec<bool> =
+            (0..(SELECT_SAMPLE as usize * 70 + 13)).map(|i| i % 2 == 1).collect();
+        let bv = BitVector::from_bits(bits.iter().copied());
+        for j in 1..=3u64 {
+            for k in [j * SELECT_SAMPLE, j * SELECT_SAMPLE + 1] {
+                assert_eq!(bv.select0(k), naive_select0(&bits, k), "k={k}");
+            }
+        }
+        let zeros = bv.count_zeros();
+        assert_eq!(bv.select0(zeros), naive_select0(&bits, zeros));
+        assert_eq!(bv.select0(zeros + 1), None);
+    }
+
+    #[test]
+    fn rank0_and_select0_are_inverse() {
+        let bits = pattern(2000);
+        let bv = BitVector::from_bits(bits);
+        for k in 1..=bv.count_zeros() {
+            let pos = bv.select0(k).unwrap();
+            assert!(!bv.get(pos));
+            assert_eq!(bv.rank0(pos), k - 1);
+            assert_eq!(bv.rank0(pos + 1), k);
+        }
+    }
+
+    #[test]
     fn select_samples_exactly_at_group_boundaries() {
         // Ones exactly at multiples of SELECT_SAMPLE stress the group index
         // arithmetic (k = j*SAMPLE and k = j*SAMPLE + 1).
@@ -521,7 +634,8 @@ mod tests {
     fn size_bytes_is_close_to_one_bit_per_bit() {
         let bv = BitVector::from_bits(pattern(80_000));
         let bytes = bv.size_bytes();
-        // 80 000 bits = 10 000 bytes; directory adds ~2%.
-        assert!((10_000..12_000).contains(&bytes), "unexpected size {bytes}");
+        // 80 000 bits = 10 000 bytes; rank directory plus the two select
+        // directories add a few percent.
+        assert!((10_000..12_500).contains(&bytes), "unexpected size {bytes}");
     }
 }

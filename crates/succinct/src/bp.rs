@@ -385,6 +385,20 @@ impl BpTree {
         self.bits.select1(index as u64 + 1).map(BpNode)
     }
 
+    /// 0-based postorder index of `v`: the rank of its *closing* parenthesis
+    /// among all closing parentheses.
+    pub fn postorder_index(&self, v: BpNode) -> usize {
+        self.bits.rank0(self.find_close(v.0)) as usize
+    }
+
+    /// Node with the given 0-based postorder index — the inverse of
+    /// [`BpTree::postorder_index`], one sampled `select0` plus a backward
+    /// excess search.
+    pub fn node_at_postorder(&self, index: usize) -> Option<BpNode> {
+        let close = self.bits.select0(index as u64 + 1)?;
+        Some(BpNode(self.find_open(close)))
+    }
+
     /// Approximate heap footprint in bytes.
     pub fn size_bytes(&self) -> usize {
         self.bits.size_bytes()
@@ -506,6 +520,29 @@ mod tests {
                 .collect();
             assert_eq!(got, want);
         }
+    }
+
+    #[test]
+    fn postorder_addressing_matches_the_pointer_tree() {
+        let xml = sample_doc();
+        let bp = BpTree::from_xml(&xml);
+        // Postorder oracle on the pointer tree.
+        fn postorder(xml: &XmlTree, n: XmlNodeId, out: &mut Vec<XmlNodeId>) {
+            for &c in xml.children(n) {
+                postorder(xml, c, out);
+            }
+            out.push(n);
+        }
+        let mut post = Vec::new();
+        postorder(&xml, xml.root(), &mut post);
+        let pre = xml.preorder();
+        for (pi, &xn) in post.iter().enumerate() {
+            let pre_idx = pre.iter().position(|&x| x == xn).unwrap();
+            let v = bp.node_at_preorder(pre_idx).unwrap();
+            assert_eq!(bp.postorder_index(v), pi, "postorder index of {pre_idx}");
+            assert_eq!(bp.node_at_postorder(pi), Some(v), "node at postorder {pi}");
+        }
+        assert_eq!(bp.node_at_postorder(xml.node_count()), None);
     }
 
     #[test]

@@ -13,7 +13,13 @@
 //! LOUDS supports parent/child navigation and degree queries but, unlike
 //! balanced parentheses, no constant-time subtree size. It is included as a
 //! second classical succinct representation, used in the benchmark harness for
-//! size comparisons.
+//! size comparisons and as a traversal baseline.
+//!
+//! Every navigation step selects the terminating `0` of a unary degree
+//! sequence, so LOUDS performance is dominated by `select0`; with the sampled
+//! zero directory of [`BitVector`] those lookups are effectively constant
+//! time instead of a binary search over the rank directory, and `degree` is
+//! two of them instead of a bit-by-bit scan.
 
 use crate::bitvector::{BitVector, BitVectorBuilder};
 use xmltree::XmlTree;
@@ -101,13 +107,23 @@ impl LoudsTree {
     }
 
     /// Number of children of `v`.
+    ///
+    /// Two sampled `select0` lookups: the degree sequence of the `i`-th node
+    /// (level order, super-root counted) spans the bits between the `i+1`-th
+    /// and `i+2`-th `0`, so the degree is their distance minus nothing — no
+    /// bit-by-bit scan of wide nodes.
     pub fn degree(&self, v: LoudsNode) -> usize {
-        let start = self.degree_sequence_start(v);
-        let mut d = 0;
-        while start + d < self.bits.len() && self.bits.get(start + d) {
-            d += 1;
-        }
-        d
+        let idx = self.level_order_index(v);
+        let start = self
+            .bits
+            .select0(idx as u64 + 1)
+            .map(|p| p + 1)
+            .expect("every node has a degree sequence");
+        let end = self
+            .bits
+            .select0(idx as u64 + 2)
+            .expect("every degree sequence is 0-terminated");
+        end - start
     }
 
     /// Whether `v` is a leaf.

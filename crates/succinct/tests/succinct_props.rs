@@ -68,6 +68,33 @@ proptest! {
         }
     }
 
+    /// Mirror of the previous property for the sampled zero directory: on
+    /// arbitrary bit patterns `select0` must return exactly what the
+    /// rank-directory binary search returns, for every k, including
+    /// out-of-range ones — and stay the exact inverse of `rank0`.
+    #[test]
+    fn sampled_select0_matches_binary_search(
+        bits in prop::collection::vec(any::<bool>(), 0..4000),
+        probes in prop::collection::vec(any::<u64>(), 0..32),
+    ) {
+        let bv = BitVector::from_bits(bits.iter().copied());
+        for k in 0..=bv.count_zeros() + 2 {
+            prop_assert_eq!(bv.select0(k), bv.select0_rank_search(k), "k={}", k);
+        }
+        for &p in &probes {
+            prop_assert_eq!(bv.select0(p), bv.select0_rank_search(p), "probe={}", p);
+        }
+        let mut zeros = 0u64;
+        for (i, &b) in bits.iter().enumerate() {
+            prop_assert_eq!(bv.rank0(i), zeros);
+            if !b {
+                zeros += 1;
+                prop_assert_eq!(bv.select0(zeros), Some(i));
+            }
+        }
+        prop_assert_eq!(bv.count_zeros(), zeros);
+    }
+
     #[test]
     fn bp_navigation_matches_pointer_tree(xml in arb_tree()) {
         let bp = BpTree::from_xml(&xml);

@@ -1,11 +1,13 @@
 //! Path queries over grammar-compressed XML, without decompression.
 //!
 //! The example compresses a synthetic XMark-like auction document, runs a set
-//! of path queries (child and descendant axes) twice — once with the memoized
-//! dynamic program over the grammar, once with the streaming document cursor —
-//! and cross-checks both against evaluation on the uncompressed document.
-//! It finishes with a query on an *exponentially* compressed grammar whose
-//! document could never be materialized.
+//! of path queries (child and descendant axes) three ways — the memoized
+//! counting dynamic program over the grammar, the memoized *output-sensitive*
+//! materialization (`evaluate`), and the linear streaming document cursor
+//! (`evaluate_streaming`) — and cross-checks all of them against evaluation
+//! on the uncompressed document. It finishes with a query on an
+//! *exponentially* compressed grammar whose document could never be
+//! materialized.
 //!
 //! Run with: `cargo run --release --example xpath_query`
 
@@ -42,9 +44,10 @@ fn main() {
         "/site/*/item",
         "//listitem//keyword",
     ];
+    let tables = slt_xml::grammar_repair::navigate::NavTables::build(&grammar);
     println!(
-        "{:<28}{:>12}{:>16}{:>16}",
-        "query", "matches", "grammar count", "streamed"
+        "{:<28}{:>12}{:>16}{:>16}{:>16}",
+        "query", "matches", "grammar count", "evaluate", "streamed"
     );
     for text in queries {
         let query = PathQuery::parse(text).expect("well-formed query");
@@ -55,14 +58,19 @@ fn main() {
         let count_time = t.elapsed();
 
         let t = Instant::now();
-        let streamed = query.evaluate(&grammar).len() as u128;
+        let materialized = query.evaluate_with_tables(&grammar, &tables).len() as u128;
+        let evaluate_time = t.elapsed();
+
+        let t = Instant::now();
+        let streamed = query.evaluate_streaming(&grammar).len() as u128;
         let stream_time = t.elapsed();
 
         assert_eq!(counted, reference, "grammar count disagrees for {text}");
+        assert_eq!(materialized, reference, "memoized evaluate disagrees for {text}");
         assert_eq!(streamed, reference, "streaming disagrees for {text}");
         println!(
-            "{:<28}{:>12}{:>13.2?}{:>13.2?}",
-            text, counted, count_time, stream_time
+            "{:<28}{:>12}{:>13.2?}{:>13.2?}{:>13.2?}",
+            text, counted, count_time, evaluate_time, stream_time
         );
     }
 
