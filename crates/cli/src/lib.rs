@@ -11,6 +11,7 @@
 //! sltxml query      <in.xml | in.sltg> <path expression> [--positions]
 //! sltxml update     <in.sltg> -o <out.sltg> [--rename idx=label]... [--delete idx]...
 //!                   [--insert idx=<xml>]... [--recompress]
+//! sltxml store      <in.xml | in.sltg>... [--query <path>]
 //! sltxml sizes      <in.xml>
 //! sltxml generate   <dataset> [--scale f] -o <out.xml>
 //! ```
@@ -68,6 +69,7 @@ USAGE:
   sltxml query      <in.xml | in.sltg> <path> [--positions]
   sltxml update     <in.sltg> -o <out.sltg> [--rename idx=label]... [--delete idx]...
                     [--insert idx=<xml>]... [--recompress]
+  sltxml store      <in.xml | in.sltg>... [--query <path>]
   sltxml sizes      <in.xml>
   sltxml generate   <dataset> [--scale f] -o <out.xml>
       datasets: exi-weblog, xmark, exi-telecomp, treebank, medline, ncbi";
@@ -85,6 +87,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "stats" => cmd_stats(rest),
         "query" => cmd_query(rest),
         "update" => cmd_update(rest),
+        "store" => cmd_store(rest),
         "sizes" => cmd_sizes(rest),
         "generate" => cmd_generate(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
@@ -108,6 +111,7 @@ const VALUE_OPTIONS: &[&str] = &[
     "--rename",
     "--delete",
     "--insert",
+    "--query",
 ];
 
 fn parse_args(args: &[String]) -> Result<Parsed, CliError> {
@@ -395,6 +399,77 @@ fn cmd_update(args: &[String]) -> Result<String, CliError> {
     Ok(report)
 }
 
+fn cmd_store(args: &[String]) -> Result<String, CliError> {
+    let parsed = parse_args(args)?;
+    if parsed.positionals.is_empty() {
+        return Err(CliError::usage("store expects at least one input file"));
+    }
+    let mut store = grammar_repair::store::DomStore::new();
+    let mut report = String::new();
+    writeln!(
+        report,
+        "{:<6}{:<28}{:>10}{:>12}",
+        "doc", "input", "edges", "elements"
+    )
+    .unwrap();
+    let mut ids = Vec::new();
+    for path in &parsed.positionals {
+        let id = match load_input(path)? {
+            Input::Xml(xml) => store
+                .load_xml(&xml)
+                .map_err(|e| CliError::failure(format!("cannot load `{path}`: {e}")))?,
+            Input::Grammar(g) => store
+                .load_grammar(g)
+                .map_err(|e| CliError::failure(format!("cannot load `{path}`: {e}")))?,
+        };
+        let short = Path::new(path)
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.clone());
+        writeln!(
+            report,
+            "#{:<5}{:<28}{:>10}{:>12}",
+            id.0,
+            short,
+            store.edge_count(id).unwrap(),
+            element_count(store.grammar(id).unwrap()),
+        )
+        .unwrap();
+        ids.push(id);
+    }
+    let stats = store.symbol_stats();
+    writeln!(report).unwrap();
+    writeln!(report, "documents          {}", store.len()).unwrap();
+    writeln!(report, "shared alphabet    {} symbols", stats.master_symbols).unwrap();
+    writeln!(
+        report,
+        "label tables       {} B resident ({} B shared once + {} B private)",
+        stats.resident_bytes(),
+        stats.shared_bytes,
+        stats.private_bytes
+    )
+    .unwrap();
+    writeln!(
+        report,
+        "per-document would be {} B ({:.2}x)",
+        stats.unshared_bytes,
+        stats.unshared_bytes as f64 / stats.resident_bytes().max(1) as f64
+    )
+    .unwrap();
+    if let Some(path) = parsed.option(&["--query"]) {
+        let query = PathQuery::parse(path).map_err(|e| CliError::failure(e.to_string()))?;
+        writeln!(report).unwrap();
+        writeln!(report, "query {path} across the store:").unwrap();
+        for &id in &ids {
+            let count = store
+                .query_count(id, &query)
+                .map_err(|e| CliError::failure(e.to_string()))?;
+            writeln!(report, "  doc #{:<4} {count} matches", id.0).unwrap();
+        }
+    }
+    Ok(report)
+}
+
 fn cmd_sizes(args: &[String]) -> Result<String, CliError> {
     let parsed = parse_args(args)?;
     let [input] = parsed.positionals.as_slice() else {
@@ -614,6 +689,45 @@ mod tests {
 
         // No-op update is rejected.
         let err = run(&args(&["update", &updated, "-o", &updated])).unwrap_err();
+        assert!(err.message.contains("at least one"));
+    }
+
+    #[test]
+    fn store_loads_many_documents_and_reports_sharing() {
+        let a = write_doc("store-a.xml");
+        let b_path = temp_path("store-b.xml");
+        fs::write(
+            &b_path,
+            "<catalog><item><name/><price/></item><extra/></catalog>",
+        )
+        .unwrap();
+        let c_compressed = temp_path("store-c.sltg");
+        run(&args(&["compress", &a, "-o", &c_compressed])).unwrap();
+
+        let report = run(&args(&[
+            "store",
+            &a,
+            &b_path,
+            &c_compressed,
+            "--query",
+            "//item/name",
+        ]))
+        .unwrap();
+        assert!(report.contains("documents          3"), "{report}");
+        assert!(report.contains("shared alphabet"), "{report}");
+        assert!(report.contains("doc #0    4 matches"), "{report}");
+        assert!(report.contains("doc #1    1 matches"), "{report}");
+        assert!(report.contains("doc #2    4 matches"), "{report}");
+        // Sharing must beat per-document tables on this similar corpus.
+        let factor: f64 = report
+            .lines()
+            .find(|l| l.contains("per-document would be"))
+            .and_then(|l| l.split('(').nth(1))
+            .and_then(|s| s.trim_end_matches(['x', ')']).parse().ok())
+            .expect("factor line present");
+        assert!(factor > 1.0, "expected sharing to win, got {factor}x in\n{report}");
+
+        let err = run(&args(&["store"])).unwrap_err();
         assert!(err.message.contains("at least one"));
     }
 

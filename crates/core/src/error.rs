@@ -22,6 +22,11 @@ pub enum RepairError {
         /// Description of the violation.
         detail: String,
     },
+    /// A document id does not name a live document of the store.
+    NoSuchDocument {
+        /// The raw id that failed to resolve.
+        id: u32,
+    },
     /// An underlying grammar error (validation, derivation limit, …).
     Grammar(sltgrammar::GrammarError),
     /// An underlying XML error (fragment conversion, …).
@@ -36,6 +41,9 @@ impl fmt::Display for RepairError {
                 "target preorder index {index} is out of range (derived tree has {size} nodes)"
             ),
             RepairError::InvalidUpdate { detail } => write!(f, "invalid update: {detail}"),
+            RepairError::NoSuchDocument { id } => {
+                write!(f, "document #{id} is not loaded in this store")
+            }
             RepairError::InvalidQuery { detail } => write!(f, "invalid query: {detail}"),
             RepairError::Grammar(e) => write!(f, "grammar error: {e}"),
             RepairError::Xml(e) => write!(f, "xml error: {e}"),

@@ -389,15 +389,24 @@ pub fn isolate_many(g: &mut Grammar, targets: &[u128]) -> Result<(Vec<NodeId>, I
     ))
 }
 
-/// Reads the terminal label at preorder index `target` of the derived tree,
-/// isolating the path to it as a side effect.
-pub fn label_at(g: &mut Grammar, target: u128) -> Result<String> {
-    let (node, _) = isolate(g, target)?;
-    let kind = g.rule(g.start()).rhs.kind(node);
-    match kind {
-        NodeKind::Term(t) => Ok(g.symbols.name(t).to_string()),
-        _ => unreachable!("isolate always returns a terminal node"),
+/// Reads the terminal label at preorder index `target` of the derived tree.
+///
+/// This is a **read-only** lookup: it resolves through freshly built
+/// [`crate::navigate::NavTables`] and a positional cursor jump
+/// ([`crate::navigate::Cursor::node_at_preorder`]) instead of isolating the
+/// path, so the grammar is never mutated by a read. Holders with a cached
+/// table snapshot ([`crate::session::CompressedDom`],
+/// [`crate::store::DomStore`]) answer the same lookup without the O(grammar)
+/// table build this convenience wrapper pays.
+pub fn label_at(g: &Grammar, target: u128) -> Result<String> {
+    let mut cursor = crate::navigate::Cursor::new(g);
+    if !cursor.node_at_preorder(target) {
+        return Err(RepairError::TargetOutOfRange {
+            index: target,
+            size: derived_size(g),
+        });
     }
+    Ok(cursor.label().to_string())
 }
 
 #[cfg(test)]
@@ -443,8 +452,7 @@ mod tests {
             })
             .collect();
         for (i, want) in expected.iter().enumerate() {
-            let mut g = g0.clone();
-            let got = label_at(&mut g, i as u128).unwrap();
+            let got = label_at(&g0, i as u128).unwrap();
             assert_eq!(&got, want, "label mismatch at preorder index {i}");
         }
     }
@@ -513,8 +521,7 @@ mod tests {
                 NodeKind::Term(t) => g.symbols.name(t).to_string(),
                 other => panic!("expected terminal, got {other:?}"),
             };
-            let mut g1 = g0.clone();
-            let want = label_at(&mut g1, i as u128).unwrap();
+            let want = label_at(&g0, i as u128).unwrap();
             assert_eq!(got, want, "label mismatch at preorder index {i}");
         }
         // Isolating everything at once at worst unfolds the document.

@@ -19,8 +19,14 @@
 //!   (rename, insert-before, delete-subtree) on the grammar, plus
 //!   [`update::apply_batch`] for whole operation sequences.
 //! * [`udc`] — the update–decompress–compress baseline the paper compares against.
-//! * [`session`] — [`session::CompressedDom`], a mutable always-compressed
-//!   document handle with an automatic recompression policy.
+//! * [`session`] / [`store`] — the application-facing handles:
+//!   [`session::CompressedDom`], a mutable always-compressed single-document
+//!   handle with a fixed-interval recompression policy, and
+//!   [`store::DomStore`], the multi-document session it is a thin wrapper
+//!   over — many documents behind one shared [`sltgrammar::SymbolTable`]
+//!   (similar documents share one resident alphabet) and a store-level
+//!   scheduler that recompresses by *update debt* (edge growth since the
+//!   last recompression), draining the worst offenders on a budget.
 //! * [`navigate`] / [`query`] — the read path: cursor navigation, streaming
 //!   preorder traversal, label statistics and child/descendant path queries,
 //!   all evaluated directly on the grammar without decompression and resolved
@@ -59,6 +65,7 @@ pub mod query;
 pub mod repair;
 pub mod replace;
 pub mod session;
+pub mod store;
 pub mod udc;
 pub mod update;
 
@@ -67,4 +74,5 @@ pub use navigate::{Cursor, NavTables, PreorderLabels};
 pub use query::{PathQuery, QueryMatches};
 pub use repair::{GrammarRePair, GrammarRePairConfig, RepairStats};
 pub use session::CompressedDom;
+pub use store::{DocId, DomStore, MaintenanceReport, SchedulerConfig};
 pub use udc::{update_decompress_compress, UdcStats};

@@ -131,6 +131,12 @@ pub(crate) struct RuleNav {
     /// Element count of `val(A)` excluding parameter contents
     /// (`elems_at[root]`).
     pub(crate) own_elems: u128,
+    /// Derived-node count (nulls included) of the expansion of each
+    /// position's subtree, with parameters contributing zero.
+    pub(crate) derived_at: Vec<u128>,
+    /// Derived-node count of `val(A)` excluding parameter contents
+    /// (`derived_at[root]`).
+    pub(crate) own_derived: u128,
 }
 
 impl RuleNav {
@@ -165,7 +171,11 @@ impl RuleNav {
             let kind = match rhs.kind(node) {
                 NodeKind::Term(t) => NavKind::Term {
                     term: t,
-                    rank: g.symbols.rank(t) as u32,
+                    // The node's actual child count: equal to the symbol rank
+                    // on validated grammars, and the structurally correct
+                    // choice for navigation either way (e.g. string grammars
+                    // whose renamed labels were interned at rank 2).
+                    rank: rhs.children(node).len() as u32,
                     null: g.symbols.is_null(t),
                 },
                 NodeKind::Nt(c) => NavKind::Nt(c),
@@ -192,22 +202,29 @@ impl RuleNav {
             size[parent[p] as usize] += size[p];
         }
 
-        // Element counts of each position's expansion (parameters = 0,
-        // callees contribute their own elements).
+        // Element and derived-node counts of each position's expansion
+        // (parameters = 0, callees contribute their own counts).
         let mut elems_at = vec![0u128; n];
+        let mut derived_at = vec![0u128; n];
         for p in (0..n).rev() {
-            let own: u128 = match kinds[p] {
-                NavKind::Term { null, .. } => u128::from(!null),
-                NavKind::Nt(c) => done[c.index()].as_ref().expect("callees built first").own_elems,
-                NavKind::Param(_) => 0,
+            let (own_e, own_d): (u128, u128) = match kinds[p] {
+                NavKind::Term { null, .. } => (u128::from(!null), 1),
+                NavKind::Nt(c) => {
+                    let callee = done[c.index()].as_ref().expect("callees built first");
+                    (callee.own_elems, callee.own_derived)
+                }
+                NavKind::Param(_) => (0, 0),
             };
-            elems_at[p] = elems_at[p].saturating_add(own);
+            elems_at[p] = elems_at[p].saturating_add(own_e);
+            derived_at[p] = derived_at[p].saturating_add(own_d);
             if p > 0 {
                 let par = parent[p] as usize;
                 elems_at[par] = elems_at[par].saturating_add(elems_at[p]);
+                derived_at[par] = derived_at[par].saturating_add(derived_at[p]);
             }
         }
         let own_elems = elems_at[0];
+        let own_derived = derived_at[0];
 
         let nav = RuleNav {
             kinds,
@@ -220,6 +237,8 @@ impl RuleNav {
             params_by_pos: Vec::new(),
             elems_at,
             own_elems,
+            derived_at,
+            own_derived,
         };
 
         // Resolved first terminal: reverse preorder, so children (and the
@@ -376,6 +395,39 @@ impl NavTables {
 struct Frame {
     nt: NtId,
     pos: u32,
+}
+
+/// Full weight of the expansion of position `pos` in `frames[frame_idx]`,
+/// *including* the contents plugged into any parameter holes inside that
+/// subtree. `weights[i]` holds, for frame `i`, the full weight of the
+/// argument subtree bound to each of its rule's parameters (empty for the
+/// start frame). `elements_only` selects the element counts (`elems_at`,
+/// nulls excluded) or the derived-node counts (`derived_at`).
+///
+/// The parameter holes inside `[pos, pos + size)` are found by binary search
+/// on the rule's position-sorted hole layout, so one call costs
+/// O(log(params) + params-inside), not a subtree walk.
+fn pos_weight(
+    tables: &NavTables,
+    frames: &[Frame],
+    weights: &[Vec<u128>],
+    frame_idx: usize,
+    pos: u32,
+    elements_only: bool,
+) -> u128 {
+    let nav = tables.rule(frames[frame_idx].nt);
+    let mut w = if elements_only {
+        nav.elems_at[pos as usize]
+    } else {
+        nav.derived_at[pos as usize]
+    };
+    let end = pos + nav.size[pos as usize];
+    let lo = nav.params_by_pos.partition_point(|&(p, _)| p < pos);
+    let hi = nav.params_by_pos.partition_point(|&(p, _)| p < end);
+    for &(_, j) in &nav.params_by_pos[lo..hi] {
+        w = w.saturating_add(weights[frame_idx][j as usize]);
+    }
+    w
 }
 
 /// A read-only position in the derived binary tree `val(G)`.
@@ -576,6 +628,145 @@ impl<'g> Cursor<'g> {
     /// position is nested in the grammar (not the derived-tree depth).
     pub fn frame_depth(&self) -> usize {
         self.stack.len()
+    }
+
+    // ----- positional addressing through the precomputed counts -----
+
+    /// Jumps to the node with 0-based preorder index `index` of the derived
+    /// binary tree (nulls included — the same addressing update targets and
+    /// `label_at` use). Returns `false` and stays put when the index is out
+    /// of range.
+    ///
+    /// The jump is a single root-to-node descent steered by the precomputed
+    /// per-position subtree counts — no path isolation, no grammar mutation,
+    /// no expansion of skipped siblings. Each step resolves the weight of a
+    /// candidate subtree in O(log rank + holes-inside) via the rule's hole
+    /// layout, so a jump costs O(depth · rank) table lookups in total.
+    pub fn node_at_preorder(&mut self, index: u128) -> bool {
+        self.jump(index, false)
+    }
+
+    /// Jumps to the `index`-th *element* (non-null node) in document preorder
+    /// — the addressing [`crate::query::QueryMatches::positions`] reports, so
+    /// query hits can be turned into cursors directly. Returns `false` and
+    /// stays put when the index is out of range.
+    pub fn nth_element(&mut self, index: u128) -> bool {
+        self.jump(index, true)
+    }
+
+    fn jump(&mut self, index: u128, elements_only: bool) -> bool {
+        let tables = self.tables.clone();
+        let start = tables.start();
+        let total = if elements_only {
+            tables.rule(start).own_elems
+        } else {
+            tables.rule(start).own_derived
+        };
+        if index >= total {
+            return false;
+        }
+        let mut frames = vec![Frame { nt: start, pos: 0 }];
+        let mut weights: Vec<Vec<u128>> = vec![Vec::new()];
+        let mut remaining = index;
+        loop {
+            let top = *frames.last().expect("jump stack is never empty");
+            let nav = tables.rule(top.nt);
+            match nav.kinds[top.pos as usize] {
+                NavKind::Term { rank, null, .. } => {
+                    let counts = !elements_only || !null;
+                    if counts {
+                        if remaining == 0 {
+                            self.stack = frames;
+                            return true;
+                        }
+                        remaining -= 1;
+                    }
+                    // Steer into the child subtree containing the target.
+                    let frame_idx = frames.len() - 1;
+                    let mut child = top.pos + 1;
+                    let mut descended = false;
+                    for _ in 0..rank {
+                        let w =
+                            pos_weight(&tables, &frames, &weights, frame_idx, child, elements_only);
+                        if remaining < w {
+                            frames[frame_idx].pos = child;
+                            descended = true;
+                            break;
+                        }
+                        remaining -= w;
+                        child += nav.size[child as usize];
+                    }
+                    if !descended {
+                        // Unreachable for in-range indices: the root weight
+                        // bounds the index and every weight is exact.
+                        debug_assert!(false, "weighted descent lost the target");
+                        return false;
+                    }
+                }
+                NavKind::Nt(callee) => {
+                    // The target is inside this call's expansion (its own
+                    // production or a plugged argument — the descent inside
+                    // the callee distinguishes them through the argument
+                    // weights computed here, in the caller's context).
+                    let frame_idx = frames.len() - 1;
+                    let rank = tables.rule(callee).param_pos.len();
+                    let mut args = Vec::with_capacity(rank);
+                    let mut child = top.pos + 1;
+                    for _ in 0..rank {
+                        args.push(pos_weight(
+                            &tables,
+                            &frames,
+                            &weights,
+                            frame_idx,
+                            child,
+                            elements_only,
+                        ));
+                        child += nav.size[child as usize];
+                    }
+                    frames.push(Frame { nt: callee, pos: 0 });
+                    weights.push(args);
+                }
+                NavKind::Param(j) => {
+                    // The target fell through this hole: continue in the
+                    // caller's argument subtree (same transition as resolve).
+                    frames.pop();
+                    weights.pop();
+                    let caller = frames.last_mut().expect("parameters only occur in callees");
+                    caller.pos = tables.rule(caller.nt).child_pos(caller.pos, j);
+                }
+            }
+        }
+    }
+
+    /// Number of nodes (nulls included) of the derived subtree rooted at the
+    /// current node, read off the precomputed per-position subtree counts —
+    /// no traversal of the subtree. Costs O(frame depth · rank) table
+    /// lookups: the weights plugged into each live frame's parameters are
+    /// re-derived from the stack, never from the document.
+    pub fn subtree_size(&self) -> u128 {
+        let mut weights: Vec<Vec<u128>> = Vec::with_capacity(self.stack.len());
+        weights.push(Vec::new());
+        for i in 1..self.stack.len() {
+            let caller = self.stack[i - 1];
+            let nav = self.nav(caller.nt);
+            let rank = self.nav(self.stack[i].nt).param_pos.len();
+            let mut args = Vec::with_capacity(rank);
+            let mut child = caller.pos + 1;
+            for _ in 0..rank {
+                args.push(pos_weight(&self.tables, &self.stack, &weights, i - 1, child, false));
+                child += nav.size[child as usize];
+            }
+            weights.push(args);
+        }
+        let top = self.stack.len() - 1;
+        pos_weight(
+            &self.tables,
+            &self.stack,
+            &weights,
+            top,
+            self.stack[top].pos,
+            false,
+        )
     }
 
     // ----- document (element) view over the binary encoding -----
@@ -1012,6 +1203,103 @@ mod tests {
         let mut cursor = Cursor::with_tables(&g, Arc::new(fresh));
         assert!(cursor.doc_first_child());
         assert_eq!(cursor.label(), "c");
+    }
+
+    #[test]
+    fn positional_jumps_agree_with_stepping_everywhere() {
+        let (g, _) = compressed(
+            "<lib><book><ch><p/><p/></ch><ch/></book><book><ch><p/><p/></ch><ch/></book><x/></lib>",
+        );
+        let tables = Arc::new(NavTables::build(&g));
+        let total = derived_size(&g);
+        // Walk the whole derived tree in preorder by stepping; at every index
+        // the jump must land on the same label with the same frame stack
+        // semantics (verified via label + subtree_size + parent label).
+        let mut stepper = Cursor::with_tables(&g, tables.clone());
+        let mut element_index: u128 = 0;
+        for idx in 0..total {
+            let mut jumper = Cursor::with_tables(&g, tables.clone());
+            assert!(jumper.node_at_preorder(idx), "index {idx} in range");
+            assert_eq!(jumper.label(), stepper.label(), "label at {idx}");
+            assert_eq!(jumper.rank(), stepper.rank());
+            if !stepper.is_null() {
+                let mut by_element = Cursor::with_tables(&g, tables.clone());
+                assert!(by_element.nth_element(element_index));
+                assert_eq!(by_element.label(), stepper.label(), "element {element_index}");
+                element_index += 1;
+            }
+            // Advance the stepper in preorder.
+            if stepper.rank() > 0 {
+                stepper.down(0);
+            } else {
+                loop {
+                    match stepper.up() {
+                        None => break,
+                        Some(i) if i + 1 < stepper.rank() => {
+                            stepper.down(i + 1);
+                            break;
+                        }
+                        Some(_) => continue,
+                    }
+                }
+            }
+        }
+        // Out-of-range jumps refuse and stay put.
+        let mut c = Cursor::with_tables(&g, tables.clone());
+        c.down(0);
+        let label = c.label().to_string();
+        assert!(!c.node_at_preorder(total));
+        assert!(!c.nth_element(element_index));
+        assert_eq!(c.label(), label);
+    }
+
+    #[test]
+    fn subtree_size_matches_materialized_subtrees() {
+        let (g, _) = compressed(
+            "<db><r><k/><v><a/><b/></v></r><r><k/><v><a/><b/></v></r><r><k/><v/></r></db>",
+        );
+        let val = sltgrammar::derive::val(&g).unwrap();
+        let pre = val.preorder();
+        let tables = Arc::new(NavTables::build(&g));
+        for (idx, &node) in pre.iter().enumerate() {
+            let mut c = Cursor::with_tables(&g, tables.clone());
+            assert!(c.node_at_preorder(idx as u128));
+            assert_eq!(
+                c.subtree_size(),
+                val.subtree_size(node) as u128,
+                "subtree size at preorder {idx}"
+            );
+        }
+        // The root's subtree is the whole derived tree.
+        let mut c = Cursor::with_tables(&g, tables);
+        assert_eq!(c.subtree_size(), derived_size(&g));
+        // Constant across down/up round trips.
+        c.down(0);
+        c.up();
+        assert_eq!(c.subtree_size(), derived_size(&g));
+    }
+
+    #[test]
+    fn positional_jump_works_on_exponentially_compressed_grammars() {
+        // 2^20 a-nodes in a monadic chain: jumps must not expand anything.
+        let mut text = String::from("S -> A1(A1(#))\n");
+        for i in 1..=19 {
+            text.push_str(&format!("A{i} -> A{}(A{}(y1))\n", i + 1, i + 1));
+        }
+        text.push_str("A20 -> a(y1)");
+        let g = parse_grammar(&text).unwrap();
+        let total = derived_size(&g);
+        assert_eq!(total, (1u128 << 20) + 1);
+        let tables = Arc::new(NavTables::build(&g));
+        let mut c = Cursor::with_tables(&g, tables);
+        for idx in [0u128, 1, 12345, total - 2] {
+            assert!(c.node_at_preorder(idx));
+            assert_eq!(c.label(), "a");
+            assert_eq!(c.subtree_size(), total - idx);
+        }
+        assert!(c.node_at_preorder(total - 1));
+        assert!(c.is_null());
+        assert!(!c.node_at_preorder(total));
     }
 
     #[test]

@@ -262,6 +262,30 @@ impl GrammarRePair {
         let stats = self.recompress(&mut g);
         (g, stats)
     }
+
+    /// Like [`GrammarRePair::compress_xml`], but interns the document's labels
+    /// into `shared` and hands the grammar a *clone* of it: the caller's table
+    /// is sealed ([`SymbolTable::seal`]) after interning, so the grammar's
+    /// whole load-time alphabet references the caller's resident strings
+    /// instead of copying them. This is the multi-document seam
+    /// [`crate::store::DomStore`] loads through.
+    ///
+    /// Fails if a document label was already interned with a different rank.
+    /// On failure `shared` keeps the labels interned before the conflict
+    /// (unsealed, in its local tail) — callers that need all-or-nothing
+    /// semantics should intern into a scratch clone and commit on success,
+    /// as [`crate::store::DomStore::load_xml`] does.
+    pub fn compress_xml_shared(
+        &self,
+        xml: &XmlTree,
+        shared: &mut SymbolTable,
+    ) -> crate::error::Result<(Grammar, RepairStats)> {
+        let bin = to_binary(xml, shared)?;
+        shared.seal();
+        let mut g = Grammar::new(shared.clone(), bin);
+        let stats = self.recompress(&mut g);
+        Ok((g, stats))
+    }
 }
 
 #[cfg(test)]

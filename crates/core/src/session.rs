@@ -5,6 +5,17 @@
 //! grammar in memory, apply updates directly on the grammar, and let
 //! GrammarRePair restore compression every `recompress_every` updates.
 //!
+//! Since the store redesign this handle is a thin wrapper over a
+//! single-document [`DomStore`]: the read surface (cursors, streaming
+//! preorder, queries, point label reads, cached [`NavTables`]) and the
+//! update plumbing are the store's, exercised by every single-document test
+//! and bench on the exact code path the multi-document session serves. What
+//! the wrapper adds is the paper's **fixed-interval recompression policy**
+//! (`recompress_every`), implemented on top of the store with its debt
+//! scheduler disabled — multi-document holders should use [`DomStore`]
+//! directly and let its debt-based scheduler decide, instead of N
+//! fixed-interval counters.
+//!
 //! # Single-operation vs batched updates
 //!
 //! [`CompressedDom::apply`] is the paper's per-operation path: one isolation
@@ -40,92 +51,120 @@ use std::sync::Arc;
 
 use sltgrammar::fingerprint::derived_size;
 use sltgrammar::Grammar;
-use xmltree::binary::from_binary;
 use xmltree::updates::UpdateOp;
 use xmltree::XmlTree;
 
 use crate::error::{RepairError, Result};
-use crate::isolate::label_at;
 use crate::navigate::{Cursor, NavTables, PreorderLabels};
 use crate::query::{PathQuery, QueryMatches};
-use crate::repair::{GrammarRePair, GrammarRePairConfig, RepairStats};
-use crate::update::{apply_batch, apply_update, BatchStats, UpdateStats};
+use crate::repair::{GrammarRePairConfig, RepairStats};
+use crate::store::{DocId, DomStore, SchedulerConfig};
+use crate::update::{BatchStats, UpdateStats};
 
-/// Policy and state of a mutable compressed document.
+/// Policy and state of a mutable compressed document — a single-document
+/// [`DomStore`] plus the paper's fixed-interval recompression counter.
 #[derive(Debug, Clone)]
 pub struct CompressedDom {
-    grammar: Grammar,
-    repair: GrammarRePair,
+    store: DomStore,
+    doc: DocId,
     /// Recompress after this many updates (0 disables automatic recompression).
     pub recompress_every: usize,
     updates_since_recompress: usize,
-    total_updates: usize,
-    recompressions: usize,
-    /// Lazily built, version-validated navigation tables (see module docs).
-    nav_cache: Option<Arc<NavTables>>,
+}
+
+/// The wrapper's store never schedules on its own: the counter decides.
+fn manual_store() -> DomStore {
+    DomStore::new().with_scheduler(SchedulerConfig {
+        auto: false,
+        ..SchedulerConfig::default()
+    })
 }
 
 impl CompressedDom {
     /// Compresses `xml` and wraps it in a DOM handle that recompresses after
     /// every `recompress_every` updates (the paper uses 100).
     pub fn from_xml(xml: &XmlTree, recompress_every: usize) -> Self {
-        let (grammar, _) = GrammarRePair::default().compress_xml(xml);
-        CompressedDom::from_grammar(grammar, recompress_every)
-    }
-
-    /// Wraps an existing grammar.
-    pub fn from_grammar(grammar: Grammar, recompress_every: usize) -> Self {
+        let mut store = manual_store();
+        let doc = store
+            .load_xml(xml)
+            .expect("a parsed document's labels always intern");
         CompressedDom {
-            grammar,
-            repair: GrammarRePair::default(),
+            store,
+            doc,
             recompress_every,
             updates_since_recompress: 0,
-            total_updates: 0,
-            recompressions: 0,
-            nav_cache: None,
+        }
+    }
+
+    /// Wraps an existing grammar, rebasing it onto the handle's store (see
+    /// [`DomStore::load_grammar`]): labels keep their *names*, but unused
+    /// entries of the grammar's symbol table are dropped and [`sltgrammar::TermId`]s
+    /// may be reassigned — resolve ids through `grammar().symbols` afterwards
+    /// rather than holding ids from the original table.
+    pub fn from_grammar(grammar: Grammar, recompress_every: usize) -> Self {
+        let mut store = manual_store();
+        let doc = store
+            .load_grammar(grammar)
+            .expect("a valid grammar's alphabet rebases onto an empty store");
+        CompressedDom {
+            store,
+            doc,
+            recompress_every,
+            updates_since_recompress: 0,
         }
     }
 
     /// Uses a custom recompression configuration.
     pub fn with_config(mut self, config: GrammarRePairConfig) -> Self {
-        self.repair = GrammarRePair::new(config);
+        self.store.set_config(config);
         self
+    }
+
+    #[inline]
+    fn state_ok<T>(result: Result<T>) -> T {
+        result.expect("the wrapped document lives as long as the handle")
     }
 
     /// Read-only access to the underlying grammar.
     pub fn grammar(&self) -> &Grammar {
-        &self.grammar
+        Self::state_ok(self.store.grammar(self.doc))
     }
 
     /// Consumes the handle and returns the grammar.
-    pub fn into_grammar(self) -> Grammar {
-        self.grammar
+    pub fn into_grammar(mut self) -> Grammar {
+        Self::state_ok(self.store.remove(self.doc))
+    }
+
+    /// The single-document [`DomStore`] behind this handle — an escape hatch
+    /// for code migrating to the multi-document API.
+    pub fn store(&self) -> &DomStore {
+        &self.store
     }
 
     /// Current grammar size in edges (the paper's size measure).
     pub fn edge_count(&self) -> usize {
-        self.grammar.edge_count()
+        Self::state_ok(self.store.edge_count(self.doc))
     }
 
     /// Number of nodes of the represented (uncompressed) binary tree.
     pub fn derived_size(&self) -> u128 {
-        derived_size(&self.grammar)
+        derived_size(self.grammar())
     }
 
     /// Number of updates applied so far.
     pub fn total_updates(&self) -> usize {
-        self.total_updates
+        Self::state_ok(self.store.total_updates(self.doc))
     }
 
     /// Number of automatic recompressions performed so far.
     pub fn recompressions(&self) -> usize {
-        self.recompressions
+        Self::state_ok(self.store.recompressions(self.doc))
     }
 
-    /// Label of the node at the given preorder index of the represented binary
-    /// tree (isolates the path as a side effect, like any read-modify access).
+    /// Label of the node at the given preorder index of the represented
+    /// binary tree — a read-only positional jump through the cached tables.
     pub fn label_at(&mut self, preorder_index: u128) -> Result<String> {
-        label_at(&mut self.grammar, preorder_index)
+        self.store.label_at(self.doc, preorder_index)
     }
 
     // ----- read path through cached navigation tables -----
@@ -134,33 +173,23 @@ impl CompressedDom {
     /// revalidated against the rule version counters and rebuilt lazily
     /// after any mutation.
     pub fn nav_tables(&mut self) -> Arc<NavTables> {
-        if let Some(tables) = &self.nav_cache {
-            if tables.is_current(&self.grammar) {
-                return tables.clone();
-            }
-        }
-        let tables = Arc::new(NavTables::build(&self.grammar));
-        self.nav_cache = Some(tables.clone());
-        tables
+        Self::state_ok(self.store.nav_tables(self.doc))
     }
 
     /// A navigation cursor at the document root, backed by the cached tables.
     pub fn cursor(&mut self) -> Cursor<'_> {
-        let tables = self.nav_tables();
-        Cursor::with_tables(&self.grammar, tables)
+        Self::state_ok(self.store.cursor(self.doc))
     }
 
     /// A streaming preorder label iterator backed by the cached tables.
     pub fn preorder_labels(&mut self) -> PreorderLabels<'_> {
-        let tables = self.nav_tables();
-        PreorderLabels::with_tables(&self.grammar, tables)
+        Self::state_ok(self.store.preorder_labels(self.doc))
     }
 
     /// Materializes a path query through the memoized, output-sensitive
     /// evaluator ([`PathQuery::evaluate_with_tables`]) over the cached tables.
     pub fn query(&mut self, query: &PathQuery) -> QueryMatches {
-        let tables = self.nav_tables();
-        query.evaluate_with_tables(&self.grammar, &tables)
+        Self::state_ok(self.store.query(self.doc, query))
     }
 
     /// Parses and materializes a path query in one call.
@@ -170,7 +199,7 @@ impl CompressedDom {
 
     /// Counts the matches of a path query without materializing them.
     pub fn query_count(&self, query: &PathQuery) -> u128 {
-        query.count(&self.grammar)
+        Self::state_ok(self.store.query_count(self.doc, query))
     }
 
     /// Applies one update; recompresses automatically when the policy says so.
@@ -183,7 +212,7 @@ impl CompressedDom {
     /// charged. [`CompressedDom::total_updates`] only counts applied
     /// operations.
     pub fn apply(&mut self, op: &UpdateOp) -> Result<(UpdateStats, Option<RepairStats>)> {
-        let result = apply_update(&mut self.grammar, op);
+        let result = self.store.apply(self.doc, op).map(|(stats, _)| stats);
         if matches!(result, Err(RepairError::TargetOutOfRange { .. })) {
             return result.map(|stats| (stats, None));
         }
@@ -192,7 +221,6 @@ impl CompressedDom {
             self.recompress_every > 0 && self.updates_since_recompress >= self.recompress_every;
         match result {
             Ok(stats) => {
-                self.total_updates += 1;
                 let repair = due.then(|| self.recompress_now());
                 Ok((stats, repair))
             }
@@ -218,16 +246,15 @@ impl CompressedDom {
     /// — but [`CompressedDom::total_updates`] only counts fully applied
     /// batches.
     pub fn apply_batch(&mut self, ops: &[UpdateOp]) -> Result<(BatchStats, Option<RepairStats>)> {
+        let result = self.store.apply_batch(self.doc, ops).map(|(stats, _)| stats);
         if ops.is_empty() {
-            return Ok((apply_batch(&mut self.grammar, ops)?, None));
+            return result.map(|stats| (stats, None));
         }
-        let result = apply_batch(&mut self.grammar, ops);
         self.updates_since_recompress += 1;
         let due =
             self.recompress_every > 0 && self.updates_since_recompress >= self.recompress_every;
         match result {
             Ok(stats) => {
-                self.total_updates += ops.len();
                 let repair = due.then(|| self.recompress_now());
                 Ok((stats, repair))
             }
@@ -246,16 +273,14 @@ impl CompressedDom {
     /// Forces a GrammarRePair recompression.
     pub fn recompress_now(&mut self) -> RepairStats {
         self.updates_since_recompress = 0;
-        self.recompressions += 1;
-        self.repair.recompress(&mut self.grammar)
+        Self::state_ok(self.store.recompress(self.doc))
     }
 
     /// Materializes the document back to an [`XmlTree`]. Only intended for
     /// small documents (tests, exports); errors if the document exceeds the
     /// default derivation limit.
     pub fn to_xml(&self) -> Result<XmlTree> {
-        let bin = sltgrammar::derive::val(&self.grammar)?;
-        Ok(from_binary(&bin, &self.grammar.symbols)?)
+        self.store.to_xml(self.doc)
     }
 }
 

@@ -1,0 +1,928 @@
+//! `DomStore` — a multi-document session with a shared symbol table and
+//! cross-document recompression scheduling.
+//!
+//! The paper's motivating scenario is a long-lived service that keeps many
+//! XML documents in memory in compressed form while serving interleaved reads
+//! and updates. [`crate::session::CompressedDom`] is the single-document
+//! handle; `DomStore` generalizes it to a collection: documents are loaded
+//! into the store, addressed by [`DocId`], and served through the same read
+//! and update surface the single-document handle offers — cursors, streaming
+//! preorder, path queries, point label reads, single and batched updates —
+//! each document with its own lazily revalidated [`NavTables`] snapshot.
+//!
+//! # Shared symbol table
+//!
+//! Collections of similar documents share most of their label alphabet (the
+//! observation behind structural self-indexes over XML collections), so the
+//! store owns one **master** [`SymbolTable`] and loads every document
+//! against it: the document's labels are interned into the master, the
+//! master's tail is sealed into an immutable shared segment
+//! ([`SymbolTable::seal`]), and the document's grammar receives a clone that
+//! *shares* the segments instead of copying the strings. The invariants:
+//!
+//! * ids below a table's [`SymbolTable::shared_len`] mean the **same label in
+//!   every document** of the store (and in the master) — the property a
+//!   cross-document index or query planner needs;
+//! * labels interned by later updates (fresh rename labels, fragment labels)
+//!   go to the owning document's private local tail and never perturb other
+//!   documents — updating document A cannot change document B's
+//!   serialization, ids, or cached tables;
+//! * one resident copy of the common alphabet serves the whole store: with N
+//!   similar documents the per-store label-table footprint is O(alphabet +
+//!   Σ private tails) instead of N × O(alphabet) (reported by
+//!   [`DomStore::symbol_stats`], quantified by the `store_multidoc` bench).
+//!
+//! Existing grammars join through [`DomStore::load_grammar`], which re-interns
+//! their alphabet into the master ([`SymbolTable::absorb`]) and relabels the
+//! rule bodies ([`sltgrammar::Grammar::relabel_terms`]) — a no-op when the id
+//! assignment already agrees.
+//!
+//! # Debt-based recompression scheduling
+//!
+//! The single-document handle recompresses after a fixed number of updates
+//! (`recompress_every`), which generalizes badly to a store: a hot document
+//! stalls its readers at fixed intervals regardless of how little its grammar
+//! actually grew, while a cold-but-drifted document never reaches its counter
+//! and never recompresses. The store replaces the counter with **update
+//! debt**: per document, the edge-count growth since its last recompression
+//! (`debt = edges_now − edges_at_last_recompress`), i.e. exactly the blow-up
+//! GrammarRePair exists to undo. The scheduler
+//! ([`DomStore::maintain`]) drains the *worst offenders first* under a
+//! configurable budget:
+//!
+//! * a document becomes **eligible** when its debt reaches
+//!   [`SchedulerConfig::debt_threshold`];
+//! * one maintenance sweep recompresses eligible documents in decreasing debt
+//!   order until [`SchedulerConfig::drain_budget`] (measured in grammar edges
+//!   processed, a proxy for recompression work) is exhausted — at least one
+//!   eligible document is always drained, so a single oversized document
+//!   cannot starve maintenance forever;
+//! * with [`SchedulerConfig::auto`] (the default) a sweep runs after every
+//!   update or batch, so callers get bounded-pause maintenance for free;
+//!   services that prefer explicit maintenance windows set `auto: false` and
+//!   call [`DomStore::maintain`] themselves.
+//!
+//! Batches are the natural ingestion unit (FLUX-style functional update
+//! programs emit per-document operation sequences); debt is measured from
+//! actual growth, so a 100-op batch that barely grew the grammar schedules no
+//! work while a single pathological insert can make a document immediately
+//! eligible.
+//!
+//! # Example
+//!
+//! ```
+//! use grammar_repair::store::DomStore;
+//! use xmltree::parse::parse_xml;
+//! use xmltree::updates::UpdateOp;
+//!
+//! let mut store = DomStore::new();
+//! let a = store.load_xml(&parse_xml("<log><e/><e/></log>").unwrap()).unwrap();
+//! let b = store.load_xml(&parse_xml("<log><e/><e/><e/></log>").unwrap()).unwrap();
+//! // One shared alphabet: both documents agree on every load-time id.
+//! assert_eq!(
+//!     store.grammar(a).unwrap().symbols.get("e"),
+//!     store.grammar(b).unwrap().symbols.get("e"),
+//! );
+//! // Updates address one document and never perturb the others.
+//! store.apply(a, &UpdateOp::Rename { target: 1, label: "entry".into() }).unwrap();
+//! assert_eq!(store.label_at(a, 1).unwrap(), "entry");
+//! assert_eq!(store.query_str(b, "//e").unwrap().len(), 3);
+//! ```
+
+use std::sync::Arc;
+
+use sltgrammar::fingerprint::derived_size;
+use sltgrammar::{Grammar, SymbolTable};
+use xmltree::binary::from_binary;
+use xmltree::updates::UpdateOp;
+use xmltree::XmlTree;
+
+use crate::error::{RepairError, Result};
+use crate::navigate::{Cursor, NavTables, PreorderLabels};
+use crate::query::{PathQuery, QueryMatches};
+use crate::repair::{GrammarRePair, GrammarRePairConfig, RepairStats};
+use crate::update::{apply_batch, apply_update, BatchStats, UpdateStats};
+
+/// The distinct terminals occurring in `g`'s rule bodies — a document's own
+/// alphabet, as opposed to whatever else its symbol table carries.
+fn used_terms(g: &Grammar) -> std::collections::HashSet<sltgrammar::TermId> {
+    let mut used = std::collections::HashSet::new();
+    for nt in g.nonterminals() {
+        let rhs = &g.rule(nt).rhs;
+        for node in rhs.preorder() {
+            if let sltgrammar::NodeKind::Term(t) = rhs.kind(node) {
+                used.insert(t);
+            }
+        }
+    }
+    used
+}
+
+/// Store-level identifier of a loaded document. Ids are never reused within
+/// one store, so a stale id after [`DomStore::remove`] fails cleanly with
+/// [`RepairError::NoSuchDocument`] instead of addressing a different document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DocId(pub u32);
+
+impl DocId {
+    /// Index into the store's document vector.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Policy of the store-level recompression scheduler (see the module docs).
+#[derive(Debug, Clone, Copy)]
+pub struct SchedulerConfig {
+    /// A document becomes eligible for recompression once its update debt
+    /// (edge growth since the last recompression) reaches this many edges.
+    /// Treated as at least 1 — zero-debt documents are never recompressed.
+    pub debt_threshold: usize,
+    /// Maximum total work (sum of the drained documents' current edge
+    /// counts) per maintenance sweep; `0` means unbounded. At least one
+    /// eligible document is drained per sweep regardless of the budget.
+    pub drain_budget: usize,
+    /// Run a maintenance sweep automatically after every update or batch.
+    pub auto: bool,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            debt_threshold: 512,
+            drain_budget: 1 << 16,
+            auto: true,
+        }
+    }
+}
+
+/// Outcome of one maintenance sweep: which documents were recompressed.
+#[derive(Debug, Clone, Default)]
+pub struct MaintenanceReport {
+    /// `(document, recompression stats)` in drain order (worst debt first).
+    pub drained: Vec<(DocId, RepairStats)>,
+}
+
+impl MaintenanceReport {
+    /// Whether the sweep recompressed anything.
+    pub fn is_empty(&self) -> bool {
+        self.drained.is_empty()
+    }
+}
+
+/// Resident label-table footprint of a store (estimated heap bytes),
+/// separating the shared alphabet from private per-document tails.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SymbolStats {
+    /// Bytes of the shared segments, each resident allocation counted once
+    /// across the master and every document.
+    pub shared_bytes: usize,
+    /// Bytes of the private local tails (master + all documents).
+    pub private_bytes: usize,
+    /// What per-document tables would occupy instead: each document
+    /// privately interning exactly the labels its grammar uses (what
+    /// [`crate::session::CompressedDom::from_xml`]-style loading builds) —
+    /// a conservative baseline, since a real private table would also keep
+    /// labels that updates have since removed from the document.
+    pub unshared_bytes: usize,
+    /// Number of symbols in the master table.
+    pub master_symbols: usize,
+}
+
+impl SymbolStats {
+    /// Actual resident total under sharing.
+    pub fn resident_bytes(&self) -> usize {
+        self.shared_bytes + self.private_bytes
+    }
+}
+
+/// One document of the store.
+#[derive(Debug, Clone)]
+struct DocState {
+    grammar: Grammar,
+    /// Lazily built, version-validated navigation tables (same contract as
+    /// the single-document handle's cache).
+    nav: Option<Arc<NavTables>>,
+    /// Edge count right after the last recompression (or load) — the debt
+    /// baseline.
+    baseline_edges: usize,
+    /// Cached current edge count, maintained from update statistics so debt
+    /// checks never walk the grammar.
+    current_edges: usize,
+    total_updates: usize,
+    recompressions: usize,
+}
+
+impl DocState {
+    fn debt(&self) -> usize {
+        self.current_edges.saturating_sub(self.baseline_edges)
+    }
+}
+
+/// A multi-document session: many compressed documents behind one shared
+/// symbol table and one recompression scheduler (see the module docs).
+#[derive(Debug, Clone)]
+pub struct DomStore {
+    /// Master symbol table; every interned load-time label lives in one of
+    /// its shared segments.
+    symbols: SymbolTable,
+    docs: Vec<Option<DocState>>,
+    repair: GrammarRePair,
+    scheduler: SchedulerConfig,
+}
+
+impl Default for DomStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DomStore {
+    /// Creates an empty store with the default scheduler.
+    pub fn new() -> Self {
+        DomStore {
+            symbols: SymbolTable::new(),
+            docs: Vec::new(),
+            repair: GrammarRePair::default(),
+            scheduler: SchedulerConfig::default(),
+        }
+    }
+
+    /// Uses a custom scheduler policy.
+    pub fn with_scheduler(mut self, scheduler: SchedulerConfig) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Uses a custom recompression configuration for every document.
+    pub fn with_config(mut self, config: GrammarRePairConfig) -> Self {
+        self.set_config(config);
+        self
+    }
+
+    /// Replaces the recompression configuration in place.
+    pub fn set_config(&mut self, config: GrammarRePairConfig) {
+        self.repair = GrammarRePair::new(config);
+    }
+
+    /// The current scheduler policy.
+    pub fn scheduler(&self) -> SchedulerConfig {
+        self.scheduler
+    }
+
+    /// Replaces the scheduler policy.
+    pub fn set_scheduler(&mut self, scheduler: SchedulerConfig) {
+        self.scheduler = scheduler;
+    }
+
+    // ----- loading and membership -----
+
+    /// Compresses `xml` against the shared symbol table and adds it to the
+    /// store. The document's load-time alphabet is interned into the master
+    /// table and sealed, so similar documents share one resident alphabet.
+    ///
+    /// Fails (without adding the document or touching the master table) when
+    /// a label clashes with a different rank already interned in the store.
+    pub fn load_xml(&mut self, xml: &XmlTree) -> Result<DocId> {
+        // Intern into a scratch clone and commit only on success: a rank
+        // conflict partway through the document must not leave its earlier
+        // labels behind in the master (the clone shares the sealed segments,
+        // so this copies at most the usually-empty local tail).
+        let mut master = self.symbols.clone();
+        let (grammar, _) = self.repair.compress_xml_shared(xml, &mut master)?;
+        self.symbols = master;
+        Ok(self.push_doc(grammar))
+    }
+
+    /// Adds an already-compressed grammar to the store, rebasing it onto the
+    /// shared symbol table: its alphabet is re-interned into the master
+    /// ([`SymbolTable::absorb`]), its rule bodies are relabelled when the id
+    /// assignment differs, and its table is replaced by a clone of the
+    /// master's — after which the invariants of the module docs hold for it
+    /// like for any loaded document.
+    ///
+    /// Only labels the grammar's rule bodies actually use are interned —
+    /// stale entries in the foreign table (e.g. labels renamed away before
+    /// the grammar left another store) neither join the shared alphabet nor
+    /// cause spurious rank conflicts. Fails (without adding the document or
+    /// touching the master table) when a *used* label clashes with a
+    /// different rank already interned in the store.
+    pub fn load_grammar(&mut self, mut grammar: Grammar) -> Result<DocId> {
+        let used = used_terms(&grammar);
+        // Intern into a scratch clone first: interning keeps the symbols
+        // added before a rank conflict, and a half-absorbed foreign alphabet
+        // must not poison the master on failure. The clone shares the sealed
+        // segments, so this copies at most the (usually empty) local tail.
+        let mut master = self.symbols.clone();
+        let mut map = Vec::with_capacity(grammar.symbols.len());
+        for (id, name, rank) in grammar.symbols.iter() {
+            // Unused ids keep themselves as placeholders: they never occur
+            // in a body, so `relabel_terms` never reads them, and an
+            // all-identity map still short-circuits the relabel walk.
+            map.push(if used.contains(&id) {
+                master.intern(name, rank)?
+            } else {
+                id
+            });
+        }
+        master.seal();
+        self.symbols = master;
+        grammar.relabel_terms(&map);
+        grammar.symbols = self.symbols.clone();
+        Ok(self.push_doc(grammar))
+    }
+
+    fn push_doc(&mut self, grammar: Grammar) -> DocId {
+        let edges = grammar.edge_count();
+        let id = DocId(self.docs.len() as u32);
+        self.docs.push(Some(DocState {
+            grammar,
+            nav: None,
+            baseline_edges: edges,
+            current_edges: edges,
+            total_updates: 0,
+            recompressions: 0,
+        }));
+        id
+    }
+
+    /// Removes a document and returns its grammar (with its private table).
+    pub fn remove(&mut self, doc: DocId) -> Result<Grammar> {
+        let state = self
+            .docs
+            .get_mut(doc.index())
+            .and_then(Option::take)
+            .ok_or(RepairError::NoSuchDocument { id: doc.0 })?;
+        Ok(state.grammar)
+    }
+
+    /// Whether `doc` names a live document.
+    pub fn contains(&self, doc: DocId) -> bool {
+        self.docs
+            .get(doc.index())
+            .map(|d| d.is_some())
+            .unwrap_or(false)
+    }
+
+    /// Ids of all live documents, in load order.
+    pub fn doc_ids(&self) -> Vec<DocId> {
+        (0..self.docs.len() as u32)
+            .map(DocId)
+            .filter(|&id| self.contains(id))
+            .collect()
+    }
+
+    /// Number of live documents.
+    pub fn len(&self) -> usize {
+        self.docs.iter().filter(|d| d.is_some()).count()
+    }
+
+    /// Whether the store holds no documents.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn state(&self, doc: DocId) -> Result<&DocState> {
+        self.docs
+            .get(doc.index())
+            .and_then(Option::as_ref)
+            .ok_or(RepairError::NoSuchDocument { id: doc.0 })
+    }
+
+    fn state_mut(&mut self, doc: DocId) -> Result<&mut DocState> {
+        self.docs
+            .get_mut(doc.index())
+            .and_then(Option::as_mut)
+            .ok_or(RepairError::NoSuchDocument { id: doc.0 })
+    }
+
+    // ----- shared-table introspection -----
+
+    /// Read-only access to the master symbol table.
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
+    /// Resident label-table footprint of the store, deduplicating shared
+    /// segments across the master and all documents (see [`SymbolStats`]).
+    pub fn symbol_stats(&self) -> SymbolStats {
+        let mut seen = std::collections::HashSet::new();
+        let mut stats = SymbolStats {
+            master_symbols: self.symbols.len(),
+            ..SymbolStats::default()
+        };
+        let mut visit = |table: &SymbolTable, stats: &mut SymbolStats| {
+            for (key, bytes) in table.shared_segments() {
+                if seen.insert(key) {
+                    stats.shared_bytes += bytes;
+                }
+            }
+            stats.private_bytes += table.local_heap_bytes();
+        };
+        visit(&self.symbols, &mut stats);
+        for doc in self.docs.iter().flatten() {
+            visit(&doc.grammar.symbols, &mut stats);
+            // Per-document baseline: only the labels this grammar uses.
+            stats.unshared_bytes += used_terms(&doc.grammar)
+                .into_iter()
+                .map(|t| doc.grammar.symbols.symbol_heap_bytes(t))
+                .sum::<usize>();
+        }
+        stats
+    }
+
+    // ----- per-document read surface -----
+
+    /// Read-only access to a document's grammar.
+    pub fn grammar(&self, doc: DocId) -> Result<&Grammar> {
+        Ok(&self.state(doc)?.grammar)
+    }
+
+    /// Current grammar size in edges (the paper's size measure).
+    pub fn edge_count(&self, doc: DocId) -> Result<usize> {
+        Ok(self.state(doc)?.current_edges)
+    }
+
+    /// Number of nodes of the document's (uncompressed) binary tree.
+    pub fn derived_size(&self, doc: DocId) -> Result<u128> {
+        Ok(derived_size(&self.state(doc)?.grammar))
+    }
+
+    /// Update debt of a document: edge growth since its last recompression.
+    pub fn debt(&self, doc: DocId) -> Result<usize> {
+        Ok(self.state(doc)?.debt())
+    }
+
+    /// Number of updates applied to a document so far.
+    pub fn total_updates(&self, doc: DocId) -> Result<usize> {
+        Ok(self.state(doc)?.total_updates)
+    }
+
+    /// Number of recompressions of a document so far (scheduled or forced).
+    pub fn recompressions(&self, doc: DocId) -> Result<usize> {
+        Ok(self.state(doc)?.recompressions)
+    }
+
+    /// The shared [`NavTables`] snapshot for a document's current grammar
+    /// version, revalidated against the rule version counters and rebuilt
+    /// lazily after any mutation — the same contract as
+    /// [`crate::session::CompressedDom::nav_tables`], held per document.
+    pub fn nav_tables(&mut self, doc: DocId) -> Result<Arc<NavTables>> {
+        let state = self.state_mut(doc)?;
+        if let Some(tables) = &state.nav {
+            if tables.is_current(&state.grammar) {
+                return Ok(tables.clone());
+            }
+        }
+        let tables = Arc::new(NavTables::build(&state.grammar));
+        state.nav = Some(tables.clone());
+        Ok(tables)
+    }
+
+    /// A navigation cursor at a document's root, backed by its cached tables.
+    pub fn cursor(&mut self, doc: DocId) -> Result<Cursor<'_>> {
+        let tables = self.nav_tables(doc)?;
+        let state = self.state(doc)?;
+        Ok(Cursor::with_tables(&state.grammar, tables))
+    }
+
+    /// A streaming preorder label iterator over a document.
+    pub fn preorder_labels(&mut self, doc: DocId) -> Result<PreorderLabels<'_>> {
+        let tables = self.nav_tables(doc)?;
+        let state = self.state(doc)?;
+        Ok(PreorderLabels::with_tables(&state.grammar, tables))
+    }
+
+    /// Label of the node at `preorder_index` of a document's binary tree — a
+    /// read-only positional jump through the cached tables (the grammar is
+    /// never mutated by reads).
+    pub fn label_at(&mut self, doc: DocId, preorder_index: u128) -> Result<String> {
+        let mut cursor = self.cursor(doc)?;
+        if cursor.node_at_preorder(preorder_index) {
+            return Ok(cursor.label().to_string());
+        }
+        drop(cursor);
+        Err(RepairError::TargetOutOfRange {
+            index: preorder_index,
+            size: derived_size(&self.state(doc)?.grammar),
+        })
+    }
+
+    /// Materializes a path query against a document through the memoized,
+    /// output-sensitive evaluator over its cached tables.
+    pub fn query(&mut self, doc: DocId, query: &PathQuery) -> Result<QueryMatches> {
+        let tables = self.nav_tables(doc)?;
+        let state = self.state(doc)?;
+        Ok(query.evaluate_with_tables(&state.grammar, &tables))
+    }
+
+    /// Parses and materializes a path query in one call.
+    pub fn query_str(&mut self, doc: DocId, query: &str) -> Result<QueryMatches> {
+        self.query(doc, &PathQuery::parse(query)?)
+    }
+
+    /// Counts the matches of a path query without materializing them.
+    pub fn query_count(&self, doc: DocId, query: &PathQuery) -> Result<u128> {
+        Ok(query.count(&self.state(doc)?.grammar))
+    }
+
+    /// Materializes a document back to an [`XmlTree`]. Only intended for
+    /// small documents (tests, exports).
+    pub fn to_xml(&self, doc: DocId) -> Result<XmlTree> {
+        let grammar = &self.state(doc)?.grammar;
+        let bin = sltgrammar::derive::val(grammar)?;
+        Ok(from_binary(&bin, &grammar.symbols)?)
+    }
+
+    // ----- updates and scheduling -----
+
+    /// Applies one update to a document, then (under [`SchedulerConfig::auto`])
+    /// runs a maintenance sweep over the *whole store* — the drained documents
+    /// need not include the updated one.
+    ///
+    /// Error semantics match the single-document handle: out-of-range targets
+    /// are rejected before anything mutates; splice-time failures leave the
+    /// isolation growth in place (debt measures it, so maintenance still
+    /// happens — failing updates cannot starve recompression). Note that a
+    /// sweep triggered by a *failing* update has no channel back to the
+    /// caller (`Err` carries no report); callers tracking drain events
+    /// exactly should observe [`DomStore::recompressions`] instead.
+    pub fn apply(&mut self, doc: DocId, op: &UpdateOp) -> Result<(UpdateStats, MaintenanceReport)> {
+        let state = self.state_mut(doc)?;
+        let result = apply_update(&mut state.grammar, op);
+        match &result {
+            Err(RepairError::TargetOutOfRange { .. }) => {
+                // Rejected before anything mutated: no debt, no maintenance.
+                return result.map(|stats| (stats, MaintenanceReport::default()));
+            }
+            Ok(stats) => {
+                state.current_edges = stats.edges_after;
+                state.total_updates += 1;
+            }
+            Err(_) => {
+                // Splice-time failure: isolation already grew the grammar.
+                state.current_edges = state.grammar.edge_count();
+            }
+        }
+        let report = if self.scheduler.auto {
+            self.maintain()
+        } else {
+            MaintenanceReport::default()
+        };
+        result.map(|stats| (stats, report))
+    }
+
+    /// Applies an operation sequence to a document through the batched
+    /// isolation pipeline (shared path prefixes isolated once per chunk),
+    /// then (under [`SchedulerConfig::auto`]) runs a maintenance sweep.
+    ///
+    /// On error the document reflects every fully applied chunk, and the
+    /// growth is tracked as debt (see [`crate::update::apply_batch`]).
+    pub fn apply_batch(
+        &mut self,
+        doc: DocId,
+        ops: &[UpdateOp],
+    ) -> Result<(BatchStats, MaintenanceReport)> {
+        let state = self.state_mut(doc)?;
+        let result = apply_batch(&mut state.grammar, ops);
+        match &result {
+            Ok(stats) => {
+                state.current_edges = stats.edges_after;
+                state.total_updates += ops.len();
+            }
+            Err(_) => {
+                state.current_edges = state.grammar.edge_count();
+            }
+        }
+        let report = if self.scheduler.auto && !ops.is_empty() {
+            self.maintain()
+        } else {
+            MaintenanceReport::default()
+        };
+        result.map(|stats| (stats, report))
+    }
+
+    /// Runs one maintenance sweep: recompresses eligible documents (debt ≥
+    /// threshold) in decreasing debt order until the drain budget is spent.
+    /// At least one eligible document is drained per sweep. Returns what was
+    /// drained (possibly nothing).
+    pub fn maintain(&mut self) -> MaintenanceReport {
+        let threshold = self.scheduler.debt_threshold.max(1);
+        let mut eligible: Vec<(usize, DocId)> = (0..self.docs.len() as u32)
+            .map(DocId)
+            .filter_map(|id| {
+                let state = self.docs[id.index()].as_ref()?;
+                (state.debt() >= threshold).then_some((state.debt(), id))
+            })
+            .collect();
+        // Worst offender first; ties broken by id for determinism.
+        eligible.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+
+        let budget = self.scheduler.drain_budget;
+        let mut spent = 0usize;
+        let mut report = MaintenanceReport::default();
+        for (_, id) in eligible {
+            let cost = self.docs[id.index()]
+                .as_ref()
+                .expect("eligible documents are live")
+                .current_edges;
+            if !report.drained.is_empty() && budget > 0 && spent.saturating_add(cost) > budget {
+                break;
+            }
+            let stats = self.recompress(id).expect("eligible documents are live");
+            spent = spent.saturating_add(cost);
+            report.drained.push((id, stats));
+            if budget > 0 && spent >= budget {
+                break;
+            }
+        }
+        report
+    }
+
+    /// Forces a recompression of one document, resetting its debt baseline.
+    pub fn recompress(&mut self, doc: DocId) -> Result<RepairStats> {
+        let repair = self.repair.clone();
+        let state = self.state_mut(doc)?;
+        let stats = repair.recompress(&mut state.grammar);
+        state.current_edges = stats.output_edges;
+        state.baseline_edges = stats.output_edges;
+        state.recompressions += 1;
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmltree::parse::parse_xml;
+
+    fn doc(tag: &str, n: usize) -> XmlTree {
+        let mut s = format!("<{tag}>");
+        for _ in 0..n {
+            s.push_str("<item><title/><body><p/><p/></body></item>");
+        }
+        s.push_str(&format!("</{tag}>"));
+        parse_xml(&s).unwrap()
+    }
+
+    /// Preorder indices (in the binary tree) of all element nodes of `xml`.
+    fn element_positions(xml: &XmlTree) -> Vec<usize> {
+        let mut symbols = SymbolTable::new();
+        let bin = xmltree::binary::to_binary(xml, &mut symbols).unwrap();
+        bin.preorder()
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| {
+                matches!(bin.kind(n), sltgrammar::NodeKind::Term(t) if !symbols.is_null(t))
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    #[test]
+    fn loading_shares_the_alphabet_and_round_trips() {
+        let mut store = DomStore::new();
+        let a = store.load_xml(&doc("feed", 6)).unwrap();
+        let b = store.load_xml(&doc("feed", 9)).unwrap();
+        let c = store.load_xml(&doc("blog", 4)).unwrap();
+        assert_eq!(store.len(), 3);
+        for (id, xml) in [(a, doc("feed", 6)), (b, doc("feed", 9)), (c, doc("blog", 4))] {
+            assert_eq!(store.to_xml(id).unwrap().to_xml(), xml.to_xml());
+        }
+        let stats = store.symbol_stats();
+        assert!(
+            stats.resident_bytes() < stats.unshared_bytes,
+            "sharing must beat per-document tables: {stats:?}"
+        );
+        // All load-time labels are shared; nothing is private yet.
+        assert_eq!(stats.private_bytes, 0);
+    }
+
+    #[test]
+    fn shared_ids_agree_across_documents() {
+        let mut store = DomStore::new();
+        let a = store.load_xml(&doc("feed", 3)).unwrap();
+        let b = store.load_xml(&doc("feed", 5)).unwrap();
+        let ga = store.grammar(a).unwrap();
+        let gb = store.grammar(b).unwrap();
+        for name in ["feed", "item", "title", "body", "p", "#"] {
+            let ia = ga.symbols.get(name).expect("label interned");
+            assert_eq!(Some(ia), gb.symbols.get(name), "id of `{name}` must agree");
+            assert_eq!(Some(ia), store.symbols().get(name));
+        }
+    }
+
+    #[test]
+    fn reads_resolve_through_cached_tables() {
+        let mut store = DomStore::new();
+        let a = store.load_xml(&doc("feed", 5)).unwrap();
+        let t1 = store.nav_tables(a).unwrap();
+        let t2 = store.nav_tables(a).unwrap();
+        assert!(Arc::ptr_eq(&t1, &t2));
+        assert_eq!(store.cursor(a).unwrap().label(), "feed");
+        assert_eq!(store.label_at(a, 1).unwrap(), "item");
+        assert_eq!(store.query_str(a, "//item").unwrap().len(), 5);
+        let q = PathQuery::parse("//item/title").unwrap();
+        assert_eq!(
+            store.query(a, &q).unwrap().len() as u128,
+            store.query_count(a, &q).unwrap()
+        );
+        let labels: usize = store.preorder_labels(a).unwrap().count();
+        assert_eq!(labels as u128, store.derived_size(a).unwrap());
+        // Reads never invalidate the snapshot.
+        let t3 = store.nav_tables(a).unwrap();
+        assert!(Arc::ptr_eq(&t1, &t3));
+    }
+
+    #[test]
+    fn updates_accrue_debt_and_the_scheduler_drains_the_worst_offender() {
+        let mut store = DomStore::new().with_scheduler(SchedulerConfig {
+            debt_threshold: 10,
+            drain_budget: 0,
+            auto: false,
+        });
+        let hot_xml = doc("feed", 10);
+        let elements = element_positions(&hot_xml);
+        let hot = store.load_xml(&hot_xml).unwrap();
+        let cold = store.load_xml(&doc("blog", 10)).unwrap();
+        assert_eq!(store.debt(hot).unwrap(), 0);
+        for i in 0..6 {
+            store
+                .apply(
+                    hot,
+                    &UpdateOp::Rename {
+                        target: elements[3 * i + 1],
+                        label: format!("hot{i}"),
+                    },
+                )
+                .unwrap();
+        }
+        assert!(store.debt(hot).unwrap() >= 10, "renames blow the grammar up");
+        assert_eq!(store.debt(cold).unwrap(), 0);
+        let report = store.maintain();
+        assert_eq!(report.drained.len(), 1);
+        assert_eq!(report.drained[0].0, hot);
+        assert_eq!(store.debt(hot).unwrap(), 0);
+        assert_eq!(store.recompressions(hot).unwrap(), 1);
+        assert_eq!(store.recompressions(cold).unwrap(), 0, "cold docs are left alone");
+        // Nothing eligible → empty sweep.
+        assert!(store.maintain().is_empty());
+    }
+
+    #[test]
+    fn auto_maintenance_runs_after_updates_and_batches() {
+        let mut store = DomStore::new().with_scheduler(SchedulerConfig {
+            debt_threshold: 8,
+            drain_budget: 0,
+            auto: true,
+        });
+        let xml = doc("feed", 12);
+        let elements = element_positions(&xml);
+        let a = store.load_xml(&xml).unwrap();
+        let mut drained = 0;
+        for i in 0..20 {
+            let (_, report) = store
+                .apply(
+                    a,
+                    &UpdateOp::Rename {
+                        target: elements[2 * (i % 8) + 1],
+                        label: format!("x{i}"),
+                    },
+                )
+                .unwrap();
+            drained += report.drained.len();
+        }
+        assert!(drained >= 1, "auto sweeps must fire once debt builds");
+        assert_eq!(store.recompressions(a).unwrap(), drained);
+        store.grammar(a).unwrap().validate().unwrap();
+        // The cached edge count the debt policy runs on stays exact.
+        assert_eq!(
+            store.edge_count(a).unwrap(),
+            store.grammar(a).unwrap().edge_count()
+        );
+    }
+
+    #[test]
+    fn drain_budget_bounds_one_sweep_but_starves_nobody() {
+        let mut store = DomStore::new().with_scheduler(SchedulerConfig {
+            debt_threshold: 1,
+            drain_budget: 1, // absurdly small: every sweep drains exactly one doc
+            auto: false,
+        });
+        let xml_a = doc("feed", 8);
+        let xml_b = doc("blog", 8);
+        let ea = element_positions(&xml_a);
+        let eb = element_positions(&xml_b);
+        let a = store.load_xml(&xml_a).unwrap();
+        let b = store.load_xml(&xml_b).unwrap();
+        for (i, id, elements) in [(0usize, a, &ea), (1, b, &eb), (2, a, &ea), (3, b, &eb)] {
+            store
+                .apply(
+                    id,
+                    &UpdateOp::Rename {
+                        target: elements[2 * (i % 4) + 1],
+                        label: format!("y{i}"),
+                    },
+                )
+                .unwrap();
+        }
+        let first = store.maintain();
+        assert_eq!(first.drained.len(), 1, "budget restricts the sweep");
+        let worst = first.drained[0].0;
+        let second = store.maintain();
+        assert_eq!(second.drained.len(), 1);
+        assert_ne!(second.drained[0].0, worst, "the other doc drains next sweep");
+        assert!(store.maintain().is_empty());
+    }
+
+    #[test]
+    fn removed_documents_fail_cleanly_and_ids_are_not_reused() {
+        let mut store = DomStore::new();
+        let a = store.load_xml(&doc("feed", 3)).unwrap();
+        let g = store.remove(a).unwrap();
+        g.validate().unwrap();
+        assert!(!store.contains(a));
+        assert!(matches!(
+            store.label_at(a, 0),
+            Err(RepairError::NoSuchDocument { .. })
+        ));
+        assert!(matches!(store.remove(a), Err(RepairError::NoSuchDocument { .. })));
+        let b = store.load_xml(&doc("blog", 3)).unwrap();
+        assert_ne!(a, b, "ids are never reused");
+        assert_eq!(store.doc_ids(), vec![b]);
+    }
+
+    #[test]
+    fn failed_load_grammar_leaves_the_master_table_untouched() {
+        use sltgrammar::text::parse_grammar;
+        let mut store = DomStore::new();
+        store.load_xml(&doc("feed", 3)).unwrap();
+        let symbols_before = store.symbols().len();
+        // A foreign monadic grammar: `fresh` (rank 1) absorbs fine before
+        // `item` conflicts with the store's rank-2 interning — the failed
+        // load must not leave `fresh` (or anything else) behind.
+        let foreign = parse_grammar("S -> fresh(item(#))").unwrap();
+        assert!(store.load_grammar(foreign).is_err());
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.symbols().len(), symbols_before);
+        assert!(store.symbols().get("fresh").is_none(), "no partial absorb");
+        // The store still loads ordinary documents using the same labels.
+        store.load_xml(&doc("feed", 2)).unwrap();
+    }
+
+    #[test]
+    fn failed_load_xml_leaves_the_master_table_untouched() {
+        use sltgrammar::text::parse_grammar;
+        let mut store = DomStore::new();
+        // A monadic grammar interns `item` at rank 1 into the store.
+        store.load_grammar(parse_grammar("S -> item(#)").unwrap()).unwrap();
+        let symbols_before = store.symbols().len();
+        // Loading XML that uses <item> (rank 2) fails — and must not leave
+        // the document's *other* labels behind in the master.
+        let xml = parse_xml("<feed><item/><other/></feed>").unwrap();
+        assert!(store.load_xml(&xml).is_err());
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.symbols().len(), symbols_before);
+        assert!(store.symbols().get("feed").is_none(), "no partial intern");
+        assert_eq!(store.symbol_stats().private_bytes, 0);
+    }
+
+    #[test]
+    fn load_grammar_ignores_unused_foreign_labels() {
+        // The foreign table carries a stale `item` at rank 1 that no rule
+        // body uses; it must neither conflict with the store's rank-2 `item`
+        // nor join the shared alphabet.
+        let mut store = DomStore::new();
+        store.load_xml(&doc("feed", 3)).unwrap();
+        let mut foreign_symbols = SymbolTable::new();
+        foreign_symbols.intern("item", 1).unwrap();
+        let xml = parse_xml("<other><x/></other>").unwrap();
+        let bin = xmltree::binary::to_binary(&xml, &mut foreign_symbols).unwrap();
+        let foreign = sltgrammar::Grammar::new(foreign_symbols, bin);
+        let id = store.load_grammar(foreign).unwrap();
+        assert_eq!(store.to_xml(id).unwrap().to_xml(), xml.to_xml());
+        assert_eq!(
+            store.symbols().rank(store.symbols().get("item").unwrap()),
+            2,
+            "the store-wide `item` keeps its XML rank"
+        );
+        assert_eq!(store.query_str(id, "//x").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn load_grammar_rebases_foreign_alphabets() {
+        // A grammar compressed privately (its own table, different id order)
+        // joins the store and keeps serializing identically.
+        let mut store = DomStore::new();
+        store.load_xml(&doc("feed", 4)).unwrap();
+        let xml = parse_xml("<other><title/><feed/><zzz/></other>").unwrap();
+        let (foreign, _) = GrammarRePair::default().compress_xml(&xml);
+        let id = store.load_grammar(foreign).unwrap();
+        assert_eq!(store.to_xml(id).unwrap().to_xml(), xml.to_xml());
+        // Rebased labels share the store-wide ids.
+        let g = store.grammar(id).unwrap();
+        assert_eq!(g.symbols.get("title"), store.symbols().get("title"));
+        assert_eq!(store.query_str(id, "//zzz").unwrap().len(), 1);
+    }
+}

@@ -5,7 +5,7 @@ use std::collections::{HashMap, HashSet};
 use crate::error::{GrammarError, Result};
 use crate::node::{NodeId, NodeKind};
 use crate::rhs::RhsTree;
-use crate::symbol::{NtId, SymbolTable};
+use crate::symbol::{NtId, SymbolTable, TermId};
 
 /// One grammar rule `A → t_A`.
 #[derive(Debug, Clone)]
@@ -314,6 +314,38 @@ impl Grammar {
             }
         }
         self.remove_rule(nt);
+    }
+
+    /// Rewrites every terminal node through `map` (`map[old.index()]` is the
+    /// replacement id), the grammar half of rebasing a document onto a shared
+    /// [`SymbolTable`] (see [`SymbolTable::absorb`]). Returns the number of
+    /// nodes relabelled; when the map is the identity nothing is touched and
+    /// no [`RhsTree::version`] counter moves, so cached navigation survives.
+    ///
+    /// The caller is responsible for installing a table that actually defines
+    /// the mapped ids (typically a clone of the table `map` came from).
+    pub fn relabel_terms(&mut self, map: &[TermId]) -> usize {
+        if map.iter().enumerate().all(|(i, t)| t.index() == i) {
+            return 0;
+        }
+        let mut relabelled = 0;
+        for nt in self.nonterminals() {
+            let rhs = &self.rule(nt).rhs;
+            let changes: Vec<(NodeId, TermId)> = rhs
+                .preorder()
+                .into_iter()
+                .filter_map(|node| match rhs.kind(node) {
+                    NodeKind::Term(t) if map[t.index()] != t => Some((node, map[t.index()])),
+                    _ => None,
+                })
+                .collect();
+            relabelled += changes.len();
+            let rhs = &mut self.rule_mut(nt).rhs;
+            for (node, term) in changes {
+                rhs.set_kind(node, NodeKind::Term(term));
+            }
+        }
+        relabelled
     }
 
     /// Removes rules unreachable from the start rule. Returns how many were removed.

@@ -1,10 +1,39 @@
-//! Ranked terminal alphabet with string interning.
+//! Ranked terminal alphabet with string interning and cross-table sharing.
 //!
 //! A [`SymbolTable`] maps terminal names to compact [`TermId`]s and records the
 //! rank (number of children) of each terminal. Binary XML trees use terminals of
 //! rank 2 plus the distinguished *null* symbol `#` (the paper's `⊥`) of rank 0.
+//!
+//! # Shared segments
+//!
+//! Collections of similar documents share most of their label alphabet (the
+//! observation behind structural self-indexes over document collections), so a
+//! table is internally split into two parts:
+//!
+//! * a list of immutable **shared segments** behind [`Arc`]s — cloning the
+//!   table clones the `Arc`s, not the strings, so any number of documents can
+//!   reference one resident copy of the common alphabet, and ids interned in a
+//!   shared segment mean the *same* label in every table that shares it;
+//! * a mutable **local tail** holding symbols interned after the last
+//!   [`SymbolTable::seal`] — private to this table (the same local id may name
+//!   different labels in two tables that diverged after forking).
+//!
+//! [`SymbolTable::seal`] rolls the local tail into a fresh shared segment;
+//! the id of every symbol is stable across sealing and cloning. A store that
+//! owns a master table interns a new document's labels, seals, and hands the
+//! document a clone — the document's whole load-time alphabet is then shared.
+//! Sealing with an empty tail is a no-op, so segments only accumulate when a
+//! load actually introduced labels; name lookups that *miss* probe one map
+//! per segment, the deliberate trade-off for zero-copy cloning (a cumulative
+//! per-table name index would duplicate exactly the memory sharing saves).
+//! [`SymbolTable::absorb`] re-interns a foreign table's symbols and returns
+//! the id remapping, the seam for rebasing an existing grammar onto a shared
+//! table. [`SymbolTable::heap_bytes`] / [`SymbolTable::local_heap_bytes`] /
+//! [`SymbolTable::shared_segments`] expose the (estimated) resident sizes so
+//! a multi-document holder can report deduplicated totals.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::error::{GrammarError, Result};
 
@@ -35,12 +64,54 @@ impl NtId {
     }
 }
 
-/// Interned ranked alphabet of terminal symbols.
-#[derive(Debug, Clone, Default)]
-pub struct SymbolTable {
+/// One immutable run of interned symbols covering ids
+/// `[start, start + names.len())`, shared between tables behind an [`Arc`].
+#[derive(Debug)]
+struct Segment {
+    /// First id covered by this segment.
+    start: u32,
     names: Vec<String>,
     ranks: Vec<usize>,
+    /// Name → global id, for the names of this segment only.
     by_name: HashMap<String, TermId>,
+}
+
+impl Segment {
+    fn len(&self) -> u32 {
+        self.names.len() as u32
+    }
+
+    /// Estimated resident heap bytes of this segment (strings + map entries).
+    fn heap_bytes(&self) -> usize {
+        symbol_heap_bytes(&self.names)
+    }
+}
+
+/// Estimated heap bytes one symbol of the given name length contributes:
+/// two string buffers (vector + map key) + two `String` headers + rank +
+/// map-entry overhead. An estimate with a fixed per-entry constant — the
+/// point is comparing layouts (shared vs private), not byte-exact accounting.
+fn one_symbol_heap_bytes(name_len: usize) -> usize {
+    2 * name_len + 2 * std::mem::size_of::<String>() + 8 + 16
+}
+
+/// Estimated heap bytes of `names` interned once (see [`one_symbol_heap_bytes`]).
+fn symbol_heap_bytes(names: &[String]) -> usize {
+    names.iter().map(|n| one_symbol_heap_bytes(n.len())).sum()
+}
+
+/// Interned ranked alphabet of terminal symbols (see the module docs for the
+/// shared-segment layout).
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable {
+    /// Immutable shared segments, ordered by `start`, gap-free from id 0.
+    segments: Vec<Arc<Segment>>,
+    /// Total number of ids covered by `segments`.
+    shared_len: u32,
+    /// Symbols interned after the last seal; id `shared_len + i` for index `i`.
+    local_names: Vec<String>,
+    local_ranks: Vec<usize>,
+    local_by_name: HashMap<String, TermId>,
 }
 
 impl SymbolTable {
@@ -54,8 +125,8 @@ impl SymbolTable {
     /// Returns the existing id if the symbol is already present with the same
     /// rank, and an error if it was previously interned with a different rank.
     pub fn intern(&mut self, name: &str, rank: usize) -> Result<TermId> {
-        if let Some(&id) = self.by_name.get(name) {
-            let existing = self.ranks[id.index()];
+        if let Some(id) = self.get(name) {
+            let existing = self.rank(id);
             if existing != rank {
                 return Err(GrammarError::RankMismatch {
                     name: name.to_string(),
@@ -65,10 +136,10 @@ impl SymbolTable {
             }
             return Ok(id);
         }
-        let id = TermId(self.names.len() as u32);
-        self.names.push(name.to_string());
-        self.ranks.push(rank);
-        self.by_name.insert(name.to_string(), id);
+        let id = TermId(self.shared_len + self.local_names.len() as u32);
+        self.local_names.push(name.to_string());
+        self.local_ranks.push(rank);
+        self.local_by_name.insert(name.to_string(), id);
         Ok(id)
     }
 
@@ -80,41 +151,146 @@ impl SymbolTable {
 
     /// Looks up a symbol by name without interning it.
     pub fn get(&self, name: &str) -> Option<TermId> {
-        self.by_name.get(name).copied()
+        if let Some(&id) = self.local_by_name.get(name) {
+            return Some(id);
+        }
+        self.segments
+            .iter()
+            .find_map(|seg| seg.by_name.get(name).copied())
     }
 
     /// Returns `true` if `id` is the null symbol.
     pub fn is_null(&self, id: TermId) -> bool {
-        self.names[id.index()] == NULL_SYMBOL_NAME
+        self.name(id) == NULL_SYMBOL_NAME
+    }
+
+    /// The segment containing `id` and `id`'s offset inside it. `id` must be
+    /// a shared id (`id.0 < self.shared_len`).
+    #[inline]
+    fn shared_slot(&self, id: TermId) -> (&Segment, usize) {
+        let i = self
+            .segments
+            .partition_point(|seg| seg.start + seg.len() <= id.0);
+        let seg = &self.segments[i];
+        (seg, (id.0 - seg.start) as usize)
     }
 
     /// Name of a terminal.
     pub fn name(&self, id: TermId) -> &str {
-        &self.names[id.index()]
+        if id.0 >= self.shared_len {
+            return &self.local_names[(id.0 - self.shared_len) as usize];
+        }
+        let (seg, off) = self.shared_slot(id);
+        &seg.names[off]
     }
 
     /// Rank (number of children) of a terminal.
     pub fn rank(&self, id: TermId) -> usize {
-        self.ranks[id.index()]
+        if id.0 >= self.shared_len {
+            return self.local_ranks[(id.0 - self.shared_len) as usize];
+        }
+        let (seg, off) = self.shared_slot(id);
+        seg.ranks[off]
     }
 
     /// Number of interned symbols.
     pub fn len(&self) -> usize {
-        self.names.len()
+        self.shared_len as usize + self.local_names.len()
     }
 
     /// Whether the table is empty.
     pub fn is_empty(&self) -> bool {
-        self.names.is_empty()
+        self.len() == 0
     }
 
-    /// Iterates over all `(id, name, rank)` triples.
+    /// Iterates over all `(id, name, rank)` triples in id order.
     pub fn iter(&self) -> impl Iterator<Item = (TermId, &str, usize)> + '_ {
-        self.names
+        let shared = self.segments.iter().flat_map(|seg| {
+            seg.names
+                .iter()
+                .zip(seg.ranks.iter())
+                .enumerate()
+                .map(move |(i, (n, &r))| (TermId(seg.start + i as u32), n.as_str(), r))
+        });
+        let base = self.shared_len;
+        let local = self
+            .local_names
             .iter()
-            .zip(self.ranks.iter())
+            .zip(self.local_ranks.iter())
             .enumerate()
-            .map(|(i, (n, &r))| (TermId(i as u32), n.as_str(), r))
+            .map(move |(i, (n, &r))| (TermId(base + i as u32), n.as_str(), r));
+        shared.chain(local)
+    }
+
+    // ----- sharing -----
+
+    /// Rolls the local tail into a fresh immutable shared segment. Ids are
+    /// unchanged; clones taken *after* sealing share the new segment's strings
+    /// instead of copying them. No-op if the local tail is empty.
+    pub fn seal(&mut self) {
+        if self.local_names.is_empty() {
+            return;
+        }
+        let seg = Segment {
+            start: self.shared_len,
+            names: std::mem::take(&mut self.local_names),
+            ranks: std::mem::take(&mut self.local_ranks),
+            by_name: std::mem::take(&mut self.local_by_name),
+        };
+        self.shared_len += seg.len();
+        self.segments.push(Arc::new(seg));
+    }
+
+    /// Interns every symbol of `other` into this table (in `other`'s id
+    /// order) and returns the id map: `map[old.index()]` is the id here.
+    ///
+    /// Fails on a rank conflict; symbols interned before the conflict remain.
+    pub fn absorb(&mut self, other: &SymbolTable) -> Result<Vec<TermId>> {
+        let mut map = Vec::with_capacity(other.len());
+        for (_, name, rank) in other.iter() {
+            map.push(self.intern(name, rank)?);
+        }
+        Ok(map)
+    }
+
+    /// Number of ids covered by immutable shared segments (a gap-free prefix
+    /// of the id space). Ids below this bound mean the same label in every
+    /// table sharing the segments; local ids above it are private.
+    pub fn shared_len(&self) -> usize {
+        self.shared_len as usize
+    }
+
+    // ----- resident-size accounting -----
+
+    /// Estimated resident heap bytes of the whole table, counting shared
+    /// segments as if privately owned. See [`SymbolTable::shared_segments`]
+    /// for deduplicated accounting across tables.
+    pub fn heap_bytes(&self) -> usize {
+        self.segments
+            .iter()
+            .map(|seg| seg.heap_bytes())
+            .sum::<usize>()
+            + self.local_heap_bytes()
+    }
+
+    /// Estimated resident heap bytes of the private local tail only.
+    pub fn local_heap_bytes(&self) -> usize {
+        symbol_heap_bytes(&self.local_names)
+    }
+
+    /// Estimated resident heap bytes one interned symbol contributes — what
+    /// a table holding just this symbol privately would spend on it.
+    pub fn symbol_heap_bytes(&self, id: TermId) -> usize {
+        one_symbol_heap_bytes(self.name(id).len())
+    }
+
+    /// The shared segments as `(identity, bytes)` pairs, where `identity` is
+    /// stable for one resident allocation (the `Arc` pointer). A holder of
+    /// many tables sums each identity once to get the true resident total.
+    pub fn shared_segments(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.segments
+            .iter()
+            .map(|seg| (Arc::as_ptr(seg) as usize, seg.heap_bytes()))
     }
 }
 
@@ -165,5 +341,87 @@ mod tests {
         t.intern("b", 0).unwrap();
         let all: Vec<_> = t.iter().map(|(_, n, r)| (n.to_string(), r)).collect();
         assert_eq!(all, vec![("a".to_string(), 2), ("b".to_string(), 0)]);
+    }
+
+    #[test]
+    fn sealing_preserves_ids_names_and_lookups() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("a", 2).unwrap();
+        let null = t.null();
+        t.seal();
+        assert_eq!(t.shared_len(), 2);
+        let b = t.intern("b", 2).unwrap();
+        t.seal();
+        let c = t.intern("c", 0).unwrap();
+        assert_eq!(
+            (a, null, b, c),
+            (TermId(0), TermId(1), TermId(2), TermId(3))
+        );
+        assert_eq!(t.name(a), "a");
+        assert_eq!(t.name(b), "b");
+        assert_eq!(t.name(c), "c");
+        assert_eq!(t.rank(b), 2);
+        assert!(t.is_null(null));
+        assert_eq!(t.get("b"), Some(b));
+        assert_eq!(t.get("c"), Some(c));
+        assert_eq!(t.intern("a", 2).unwrap(), a, "re-intern hits the segment");
+        let all: Vec<_> = t.iter().map(|(id, n, _)| (id, n.to_string())).collect();
+        assert_eq!(
+            all,
+            vec![
+                (a, "a".to_string()),
+                (null, "#".to_string()),
+                (b, "b".to_string()),
+                (c, "c".to_string())
+            ]
+        );
+        // Sealing twice without new symbols is a no-op.
+        t.seal();
+        t.seal();
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn clones_share_sealed_segments_but_not_local_tails() {
+        let mut master = SymbolTable::new();
+        master.intern("shared", 2).unwrap();
+        master.null();
+        master.seal();
+        let mut doc1 = master.clone();
+        let mut doc2 = master.clone();
+        let x1 = doc1.intern("only1", 2).unwrap();
+        let x2 = doc2.intern("only2", 2).unwrap();
+        // Same local id, different labels — local ids are private.
+        assert_eq!(x1, x2);
+        assert_eq!(doc1.name(x1), "only1");
+        assert_eq!(doc2.name(x2), "only2");
+        assert!(master.get("only1").is_none());
+        // The sealed segment is one resident allocation across all three.
+        let keys = |t: &SymbolTable| t.shared_segments().map(|(k, _)| k).collect::<Vec<_>>();
+        assert_eq!(keys(&master), keys(&doc1));
+        assert_eq!(keys(&master), keys(&doc2));
+        // Shared accounting: full bytes exceed the deduplicated local tails.
+        assert!(doc1.heap_bytes() > doc1.local_heap_bytes());
+    }
+
+    #[test]
+    fn absorb_returns_the_id_remapping() {
+        let mut a = SymbolTable::new();
+        a.intern("x", 2).unwrap();
+        a.intern("y", 2).unwrap();
+        let mut b = SymbolTable::new();
+        b.intern("y", 2).unwrap(); // different order
+        b.intern("z", 0).unwrap();
+        b.intern("x", 2).unwrap();
+        let map = a.absorb(&b).unwrap();
+        assert_eq!(map.len(), 3);
+        assert_eq!(a.name(map[0]), "y");
+        assert_eq!(a.name(map[1]), "z");
+        assert_eq!(a.name(map[2]), "x");
+        assert_eq!(map[2], TermId(0), "existing symbols keep their ids");
+        // Rank conflicts abort.
+        let mut c = SymbolTable::new();
+        c.intern("x", 3).unwrap();
+        assert!(a.absorb(&c).is_err());
     }
 }
