@@ -40,7 +40,7 @@ fn fleet_workloads(docs: &[XmlTree]) -> Vec<Vec<UpdateOp>> {
 }
 
 fn loaded_store(docs: &[XmlTree]) -> DomStore {
-    let mut store = DomStore::new().with_scheduler(SchedulerConfig {
+    let store = DomStore::new().with_scheduler(SchedulerConfig {
         debt_threshold: 300,
         drain_budget: 30_000,
         auto: true,
@@ -86,7 +86,7 @@ fn bench_store_multidoc(c: &mut Criterion) {
         &(&store, &workloads),
         |b, (store, workloads)| {
             b.iter(|| {
-                let mut store = (*store).clone();
+                let store = (*store).clone();
                 let ids = store.doc_ids();
                 let mut matched = 0usize;
                 for round in 0..OPS_PER_DOC / CHUNK {

@@ -404,7 +404,7 @@ fn cmd_store(args: &[String]) -> Result<String, CliError> {
     if parsed.positionals.is_empty() {
         return Err(CliError::usage("store expects at least one input file"));
     }
-    let mut store = grammar_repair::store::DomStore::new();
+    let store = grammar_repair::store::DomStore::new();
     let mut report = String::new();
     writeln!(
         report,
@@ -429,10 +429,10 @@ fn cmd_store(args: &[String]) -> Result<String, CliError> {
         writeln!(
             report,
             "#{:<5}{:<28}{:>10}{:>12}",
-            id.0,
+            id.slot(),
             short,
             store.edge_count(id).unwrap(),
-            element_count(store.grammar(id).unwrap()),
+            element_count(&store.grammar(id).unwrap()),
         )
         .unwrap();
         ids.push(id);
@@ -464,7 +464,7 @@ fn cmd_store(args: &[String]) -> Result<String, CliError> {
             let count = store
                 .query_count(id, &query)
                 .map_err(|e| CliError::failure(e.to_string()))?;
-            writeln!(report, "  doc #{:<4} {count} matches", id.0).unwrap();
+            writeln!(report, "  doc #{:<4} {count} matches", id.slot()).unwrap();
         }
     }
     Ok(report)

@@ -66,6 +66,7 @@ pub mod repair;
 pub mod replace;
 pub mod session;
 pub mod store;
+pub mod sync;
 pub mod udc;
 pub mod update;
 
@@ -74,5 +75,5 @@ pub use navigate::{Cursor, NavTables, PreorderLabels};
 pub use query::{PathQuery, QueryMatches};
 pub use repair::{GrammarRePair, GrammarRePairConfig, RepairStats};
 pub use session::CompressedDom;
-pub use store::{DocId, DomStore, MaintenanceReport, SchedulerConfig};
+pub use store::{DocId, DomStore, MaintenanceReport, SchedulerConfig, Snapshot};
 pub use udc::{update_decompress_compress, UdcStats};

@@ -812,6 +812,30 @@ impl<'g> Cursor<'g> {
             }
         }
     }
+
+    /// Moves to the previous sibling *element* of the current element.
+    /// Returns `false` and stays put if the current element is its parent's
+    /// first child (or the document root).
+    ///
+    /// In the first-child/next-sibling encoding an element's previous sibling
+    /// *is* its binary parent whenever the element sits in next-sibling
+    /// position (child index 1) — so this is one [`Cursor::up`] step through
+    /// the parent-side tables (per-position parent and child-index arrays of
+    /// [`NavTables`]), the mirror of [`Cursor::doc_next_sibling`]'s single
+    /// `down(1)`.
+    pub fn doc_prev_sibling(&mut self) -> bool {
+        self.saved.clear();
+        self.saved.extend_from_slice(&self.stack);
+        match self.up() {
+            Some(1) => true,
+            // Child index 0 (we were a first child: `up` moved to the doc
+            // parent) or the root — restore and report no previous sibling.
+            _ => {
+                std::mem::swap(&mut self.stack, &mut self.saved);
+                false
+            }
+        }
+    }
 }
 
 /// One frame of the [`PreorderLabels`] expansion machine: a slice
@@ -1089,6 +1113,41 @@ mod tests {
         assert_eq!(cursor.label(), "lib");
 
         let _ = xml;
+    }
+
+    #[test]
+    fn doc_prev_sibling_mirrors_doc_next_sibling() {
+        let doc = "<lib><book><title/><ch/><ch/></book><mag><title/></mag><book/></lib>";
+        let (g, _) = compressed(doc);
+        let mut cursor = Cursor::new(&g);
+        assert!(!cursor.doc_prev_sibling(), "the document root has no siblings");
+        assert_eq!(cursor.label(), "lib");
+
+        // Walk to the last sibling of the lib children, then walk back.
+        assert!(cursor.doc_first_child());
+        assert!(cursor.doc_next_sibling());
+        assert!(cursor.doc_next_sibling());
+        assert_eq!(cursor.label(), "book");
+        assert!(cursor.doc_prev_sibling());
+        assert_eq!(cursor.label(), "mag");
+        assert!(cursor.doc_prev_sibling());
+        assert_eq!(cursor.label(), "book");
+        assert!(
+            !cursor.doc_prev_sibling(),
+            "a first child has no previous sibling"
+        );
+        assert_eq!(cursor.label(), "book", "failed moves stay put");
+
+        // prev/next are inverses at every inner sibling position.
+        assert!(cursor.doc_first_child());
+        assert!(cursor.doc_next_sibling());
+        assert_eq!(cursor.label(), "ch");
+        let before = cursor.subtree_size();
+        assert!(cursor.doc_prev_sibling());
+        assert_eq!(cursor.label(), "title");
+        assert!(cursor.doc_next_sibling());
+        assert_eq!(cursor.label(), "ch");
+        assert_eq!(cursor.subtree_size(), before, "round trip lands on the same node");
     }
 
     #[test]

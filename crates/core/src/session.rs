@@ -40,12 +40,11 @@
 //! # Cached navigation tables
 //!
 //! Reads through [`CompressedDom::cursor`], [`CompressedDom::preorder_labels`]
-//! and [`CompressedDom::query`] resolve through one shared
-//! [`NavTables`] snapshot cached behind an [`Arc`]. The cache is revalidated
-//! on every access against the rule bodies'
-//! [`sltgrammar::RhsTree::version`] counters ([`NavTables::is_current`],
-//! O(rules)) and rebuilt lazily after any update, batch or recompression —
-//! read-heavy phases between updates pay the O(grammar) build exactly once.
+//! and [`CompressedDom::query`] resolve through the store's published
+//! [`crate::store::Snapshot`] — one shared grammar + [`NavTables`] version
+//! behind `Arc`s, republished lazily after any update, batch or
+//! recompression. Read-heavy phases between updates pay the O(grammar)
+//! table build exactly once and share the same `Arc` from then on.
 
 use std::sync::Arc;
 
@@ -58,7 +57,7 @@ use crate::error::{RepairError, Result};
 use crate::navigate::{Cursor, NavTables, PreorderLabels};
 use crate::query::{PathQuery, QueryMatches};
 use crate::repair::{GrammarRePairConfig, RepairStats};
-use crate::store::{DocId, DomStore, SchedulerConfig};
+use crate::store::{DocId, DomStore, SchedulerConfig, Snapshot};
 use crate::update::{BatchStats, UpdateStats};
 
 /// Policy and state of a mutable compressed document — a single-document
@@ -67,6 +66,9 @@ use crate::update::{BatchStats, UpdateStats};
 pub struct CompressedDom {
     store: DomStore,
     doc: DocId,
+    /// The published snapshot backing borrowing reads (cursors, preorder
+    /// iterators); refreshed on each such read so they see the latest state.
+    snap: Snapshot,
     /// Recompress after this many updates (0 disables automatic recompression).
     pub recompress_every: usize,
     updates_since_recompress: usize,
@@ -84,13 +86,15 @@ impl CompressedDom {
     /// Compresses `xml` and wraps it in a DOM handle that recompresses after
     /// every `recompress_every` updates (the paper uses 100).
     pub fn from_xml(xml: &XmlTree, recompress_every: usize) -> Self {
-        let mut store = manual_store();
+        let store = manual_store();
         let doc = store
             .load_xml(xml)
             .expect("a parsed document's labels always intern");
+        let snap = Self::state_ok(store.snapshot(doc));
         CompressedDom {
             store,
             doc,
+            snap,
             recompress_every,
             updates_since_recompress: 0,
         }
@@ -102,20 +106,22 @@ impl CompressedDom {
     /// may be reassigned — resolve ids through `grammar().symbols` afterwards
     /// rather than holding ids from the original table.
     pub fn from_grammar(grammar: Grammar, recompress_every: usize) -> Self {
-        let mut store = manual_store();
+        let store = manual_store();
         let doc = store
             .load_grammar(grammar)
             .expect("a valid grammar's alphabet rebases onto an empty store");
+        let snap = Self::state_ok(store.snapshot(doc));
         CompressedDom {
             store,
             doc,
+            snap,
             recompress_every,
             updates_since_recompress: 0,
         }
     }
 
     /// Uses a custom recompression configuration.
-    pub fn with_config(mut self, config: GrammarRePairConfig) -> Self {
+    pub fn with_config(self, config: GrammarRePairConfig) -> Self {
         self.store.set_config(config);
         self
     }
@@ -125,13 +131,14 @@ impl CompressedDom {
         result.expect("the wrapped document lives as long as the handle")
     }
 
-    /// Read-only access to the underlying grammar.
-    pub fn grammar(&self) -> &Grammar {
+    /// Read-only access to the underlying grammar (the current published
+    /// snapshot's — an `Arc` that stays valid however long it is held).
+    pub fn grammar(&self) -> Arc<Grammar> {
         Self::state_ok(self.store.grammar(self.doc))
     }
 
     /// Consumes the handle and returns the grammar.
-    pub fn into_grammar(mut self) -> Grammar {
+    pub fn into_grammar(self) -> Grammar {
         Self::state_ok(self.store.remove(self.doc))
     }
 
@@ -148,7 +155,7 @@ impl CompressedDom {
 
     /// Number of nodes of the represented (uncompressed) binary tree.
     pub fn derived_size(&self) -> u128 {
-        derived_size(self.grammar())
+        derived_size(&self.grammar())
     }
 
     /// Number of updates applied so far.
@@ -163,37 +170,38 @@ impl CompressedDom {
 
     /// Label of the node at the given preorder index of the represented
     /// binary tree — a read-only positional jump through the cached tables.
-    pub fn label_at(&mut self, preorder_index: u128) -> Result<String> {
+    pub fn label_at(&self, preorder_index: u128) -> Result<String> {
         self.store.label_at(self.doc, preorder_index)
     }
 
     // ----- read path through cached navigation tables -----
 
-    /// The shared [`NavTables`] snapshot for the current grammar version,
-    /// revalidated against the rule version counters and rebuilt lazily
-    /// after any mutation.
-    pub fn nav_tables(&mut self) -> Arc<NavTables> {
+    /// The shared [`NavTables`] of the current published snapshot — built on
+    /// first use, then the same `Arc` for every read until the next mutation.
+    pub fn nav_tables(&self) -> Arc<NavTables> {
         Self::state_ok(self.store.nav_tables(self.doc))
     }
 
     /// A navigation cursor at the document root, backed by the cached tables.
     pub fn cursor(&mut self) -> Cursor<'_> {
-        Self::state_ok(self.store.cursor(self.doc))
+        self.snap = Self::state_ok(self.store.snapshot(self.doc));
+        self.snap.cursor()
     }
 
     /// A streaming preorder label iterator backed by the cached tables.
     pub fn preorder_labels(&mut self) -> PreorderLabels<'_> {
-        Self::state_ok(self.store.preorder_labels(self.doc))
+        self.snap = Self::state_ok(self.store.snapshot(self.doc));
+        self.snap.preorder_labels()
     }
 
     /// Materializes a path query through the memoized, output-sensitive
     /// evaluator ([`PathQuery::evaluate_with_tables`]) over the cached tables.
-    pub fn query(&mut self, query: &PathQuery) -> QueryMatches {
+    pub fn query(&self, query: &PathQuery) -> QueryMatches {
         Self::state_ok(self.store.query(self.doc, query))
     }
 
     /// Parses and materializes a path query in one call.
-    pub fn query_str(&mut self, query: &str) -> Result<QueryMatches> {
+    pub fn query_str(&self, query: &str) -> Result<QueryMatches> {
         Ok(self.query(&PathQuery::parse(query)?))
     }
 
@@ -343,7 +351,7 @@ mod tests {
     #[test]
     fn label_access_reads_through_the_compression() {
         let xml = doc(3);
-        let mut dom = CompressedDom::from_xml(&xml, 0);
+        let dom = CompressedDom::from_xml(&xml, 0);
         assert_eq!(dom.label_at(0).unwrap(), "feed");
         assert_eq!(dom.label_at(1).unwrap(), "item");
         let size = dom.derived_size();

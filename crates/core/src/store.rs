@@ -1,5 +1,6 @@
-//! `DomStore` — a multi-document session with a shared symbol table and
-//! cross-document recompression scheduling.
+//! `DomStore` — a concurrent multi-document session with a shared symbol
+//! table, lock-free snapshot reads, and cross-document recompression
+//! scheduling.
 //!
 //! The paper's motivating scenario is a long-lived service that keeps many
 //! XML documents in memory in compressed form while serving interleaved reads
@@ -7,8 +8,61 @@
 //! handle; `DomStore` generalizes it to a collection: documents are loaded
 //! into the store, addressed by [`DocId`], and served through the same read
 //! and update surface the single-document handle offers — cursors, streaming
-//! preorder, path queries, point label reads, single and batched updates —
-//! each document with its own lazily revalidated [`NavTables`] snapshot.
+//! preorder, path queries, point label reads, single and batched updates.
+//! The store is `Send + Sync`: many threads share one `DomStore` (or clones
+//! of an `Arc<DomStore>`), reads proceed without locks, writes to distinct
+//! documents proceed in parallel, and a background thread can drain the
+//! recompression scheduler off the request path.
+//!
+//! # Concurrency architecture: shards, snapshots, epochs
+//!
+//! The store is sharded per document. Each live [`DocId`] resolves (through
+//! one lock-free [`crate::sync::ArcSwapCell`] load of the document map) to a
+//! `DocShard` holding
+//!
+//! * the **write state** — the authoritative grammar behind the shard's own
+//!   `Mutex`, so writers to *different* documents never contend; and
+//! * the **published snapshot** — an `Arc` of (grammar, lazily built
+//!   [`NavTables`]) behind an [`crate::sync::ArcSwapCell`], the version
+//!   readers see.
+//!
+//! **Readers take zero locks on the steady-state path.** A read resolves the
+//! document map (atomic load), checks the shard's `clean` flag (atomic
+//! load), and loads the published snapshot (atomic loads) — then runs
+//! entirely on immutable `Arc`-shared state: the snapshot grammar, its
+//! `NavTables` (built on first use through a `OnceLock`), and the sealed
+//! symbol segments shared with the master table.
+//!
+//! **Writers copy on write.** An update locks its shard, mutates the grammar
+//! through `Arc::make_mut` — deep-cloning at most once per read→write phase
+//! transition, since the published snapshot keeps the old `Arc` alive — and
+//! marks the shard dirty. The next reader republishes: if the shard lock is
+//! free it publishes the current grammar (an `Arc` clone, not a copy); if a
+//! writer is mid-flight it serves the previous published snapshot instead of
+//! blocking. Readers therefore observe **snapshot semantics**: every read
+//! runs on one internally consistent document version, at least as new as
+//! the last completed-and-published write, never a torn intermediate state.
+//! A thread that writes and then reads with no concurrent writer always sees
+//! its own write (the publish path catches up through the uncontended lock).
+//!
+//! **Recompression swaps atomically.** [`DomStore::recompress`] (forced, or
+//! scheduled via [`DomStore::maintain`], or run by the background thread)
+//! recompresses **aside** — on a copy-on-write clone under the shard lock,
+//! never touching the published snapshot — and then publishes the result
+//! with one atomic swap. In-flight readers finish on the old snapshot `Arc`
+//! (which stays fully usable for as long as anyone holds it); subsequent
+//! reads get the new one. This is an MVCC-flavored red/green split: the red
+//! (write) and green (published) versions share all unchanged structure
+//! through `Arc`s and diverge only while a writer is active.
+//!
+//! Lock discipline, for auditing: the **master symbol table lock** is taken
+//! only at load/seal time ([`DomStore::load_xml`] / [`DomStore::load_many`] /
+//! [`DomStore::load_grammar`]) and by [`DomStore::symbol_stats`] /
+//! [`DomStore::symbols`]; the **map write lock** serializes document
+//! insertion/removal (readers resolve through the lock-free cell instead);
+//! each **shard lock** serializes writes to one document and the publish of
+//! its snapshot; locks are never nested except shard-after-map-write in
+//! [`DomStore::remove`]. Steady-state reads take none of them.
 //!
 //! # Shared symbol table
 //!
@@ -30,12 +84,23 @@
 //! * one resident copy of the common alphabet serves the whole store: with N
 //!   similar documents the per-store label-table footprint is O(alphabet +
 //!   Σ private tails) instead of N × O(alphabet) (reported by
-//!   [`DomStore::symbol_stats`], quantified by the `store_multidoc` bench).
+//!   [`DomStore::symbol_stats`], which counts each shared segment once no
+//!   matter how many write states and published snapshots reference it).
 //!
 //! Existing grammars join through [`DomStore::load_grammar`], which re-interns
-//! their alphabet into the master ([`SymbolTable::absorb`]) and relabels the
-//! rule bodies ([`sltgrammar::Grammar::relabel_terms`]) — a no-op when the id
+//! their alphabet into the master and relabels the rule bodies
+//! ([`sltgrammar::Grammar::relabel_terms`]) — a no-op when the id
 //! assignment already agrees.
+//!
+//! # Generation-tagged document ids
+//!
+//! Document slots are a slab: [`DomStore::remove`] frees a slot for reuse,
+//! and every insertion bumps the slot's generation counter. A [`DocId`]
+//! carries both slot and generation, so a stale id held across a
+//! remove/insert cycle fails with [`RepairError::NoSuchDocument`] instead of
+//! silently addressing whichever document reused the slot (ABA safety —
+//! a prerequisite for handing ids to concurrent holders). Maintenance sweeps
+//! iterate the live list only, so heavy churn does not grow them.
 //!
 //! # Debt-based recompression scheduling
 //!
@@ -58,15 +123,10 @@
 //!   eligible document is always drained, so a single oversized document
 //!   cannot starve maintenance forever;
 //! * with [`SchedulerConfig::auto`] (the default) a sweep runs after every
-//!   update or batch, so callers get bounded-pause maintenance for free;
-//!   services that prefer explicit maintenance windows set `auto: false` and
-//!   call [`DomStore::maintain`] themselves.
-//!
-//! Batches are the natural ingestion unit (FLUX-style functional update
-//! programs emit per-document operation sequences); debt is measured from
-//! actual growth, so a 100-op batch that barely grew the grammar schedules no
-//! work while a single pathological insert can make a document immediately
-//! eligible.
+//!   update or batch — inline when no background thread is attached, or
+//!   signalled to the background thread started by
+//!   [`DomStore::start_maintenance`], which drains debt off the request path
+//!   and atomically swaps the recompressed snapshots in.
 //!
 //! # Example
 //!
@@ -75,7 +135,7 @@
 //! use xmltree::parse::parse_xml;
 //! use xmltree::updates::UpdateOp;
 //!
-//! let mut store = DomStore::new();
+//! let store = DomStore::new();
 //! let a = store.load_xml(&parse_xml("<log><e/><e/></log>").unwrap()).unwrap();
 //! let b = store.load_xml(&parse_xml("<log><e/><e/><e/></log>").unwrap()).unwrap();
 //! // One shared alphabet: both documents agree on every load-time id.
@@ -83,17 +143,20 @@
 //!     store.grammar(a).unwrap().symbols.get("e"),
 //!     store.grammar(b).unwrap().symbols.get("e"),
 //! );
-//! // Updates address one document and never perturb the others.
+//! // Updates address one document and never perturb the others; reads are
+//! // `&self` and can run from any thread.
 //! store.apply(a, &UpdateOp::Rename { target: 1, label: "entry".into() }).unwrap();
 //! assert_eq!(store.label_at(a, 1).unwrap(), "entry");
 //! assert_eq!(store.query_str(b, "//e").unwrap().len(), 3);
 //! ```
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
+use std::time::Duration;
 
 use sltgrammar::fingerprint::derived_size;
 use sltgrammar::{Grammar, SymbolTable};
-use xmltree::binary::from_binary;
+use xmltree::binary::{from_binary, to_binary};
 use xmltree::updates::UpdateOp;
 use xmltree::XmlTree;
 
@@ -101,6 +164,7 @@ use crate::error::{RepairError, Result};
 use crate::navigate::{Cursor, NavTables, PreorderLabels};
 use crate::query::{PathQuery, QueryMatches};
 use crate::repair::{GrammarRePair, GrammarRePairConfig, RepairStats};
+use crate::sync::ArcSwapCell;
 use crate::update::{apply_batch, apply_update, BatchStats, UpdateStats};
 
 /// The distinct terminals occurring in `g`'s rule bodies — a document's own
@@ -118,17 +182,34 @@ fn used_terms(g: &Grammar) -> std::collections::HashSet<sltgrammar::TermId> {
     used
 }
 
-/// Store-level identifier of a loaded document. Ids are never reused within
-/// one store, so a stale id after [`DomStore::remove`] fails cleanly with
-/// [`RepairError::NoSuchDocument`] instead of addressing a different document.
+/// Store-level identifier of a loaded document: a slab slot plus its
+/// generation. Slots are reused after [`DomStore::remove`], generations never
+/// are, so a stale id fails cleanly with [`RepairError::NoSuchDocument`]
+/// instead of aliasing whichever document reused the slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct DocId(pub u32);
+pub struct DocId {
+    slot: u32,
+    generation: u32,
+}
 
 impl DocId {
-    /// Index into the store's document vector.
+    /// Slab slot of the document (reused across removals; not unique over
+    /// the store's lifetime — the `(slot, generation)` pair is).
+    #[inline]
+    pub fn slot(self) -> u32 {
+        self.slot
+    }
+
+    /// Generation of the slot this id was minted at.
+    #[inline]
+    pub fn generation(self) -> u32 {
+        self.generation
+    }
+
+    /// Index into the store's slot vector.
     #[inline]
     pub fn index(self) -> usize {
-        self.0 as usize
+        self.slot as usize
     }
 }
 
@@ -143,7 +224,8 @@ pub struct SchedulerConfig {
     /// counts) per maintenance sweep; `0` means unbounded. At least one
     /// eligible document is drained per sweep regardless of the budget.
     pub drain_budget: usize,
-    /// Run a maintenance sweep automatically after every update or batch.
+    /// Run a maintenance sweep automatically after every update or batch —
+    /// inline, or on the background thread when one is attached.
     pub auto: bool,
 }
 
@@ -176,9 +258,11 @@ impl MaintenanceReport {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SymbolStats {
     /// Bytes of the shared segments, each resident allocation counted once
-    /// across the master and every document.
+    /// across the master, every document's write state, and every published
+    /// snapshot.
     pub shared_bytes: usize,
-    /// Bytes of the private local tails (master + all documents).
+    /// Bytes of the private local tails (master + all documents; a published
+    /// snapshot lagging behind its write state counts its own tail copy).
     pub private_bytes: usize,
     /// What per-document tables would occupy instead: each document
     /// privately interning exactly the labels its grammar uses (what
@@ -197,440 +281,383 @@ impl SymbolStats {
     }
 }
 
-/// One document of the store.
+/// The immutable state behind one published document version: the grammar
+/// plus its navigation tables, built lazily on first read and shared by
+/// every reader of this version from then on.
+#[derive(Debug)]
+struct SnapshotInner {
+    grammar: Arc<Grammar>,
+    nav: OnceLock<Arc<NavTables>>,
+}
+
+impl SnapshotInner {
+    fn of(grammar: Arc<Grammar>) -> Arc<Self> {
+        Arc::new(SnapshotInner {
+            grammar,
+            nav: OnceLock::new(),
+        })
+    }
+}
+
+/// An owned, immutable view of one document version.
+///
+/// A snapshot is what the store's lock-free read path hands out: it stays
+/// fully readable — cursors, preorder streaming, queries, point reads — for
+/// as long as the handle lives, unaffected by concurrent updates or
+/// recompressions of the document (which publish *new* snapshots instead of
+/// touching this one). Cloning is an `Arc` clone.
 #[derive(Debug, Clone)]
-struct DocState {
-    grammar: Grammar,
-    /// Lazily built, version-validated navigation tables (same contract as
-    /// the single-document handle's cache).
-    nav: Option<Arc<NavTables>>,
+pub struct Snapshot {
+    inner: Arc<SnapshotInner>,
+}
+
+impl Snapshot {
+    /// The snapshot's grammar.
+    pub fn grammar(&self) -> &Grammar {
+        &self.inner.grammar
+    }
+
+    /// The snapshot's grammar as an owned `Arc` (cheap; shares the data).
+    pub fn grammar_arc(&self) -> Arc<Grammar> {
+        self.inner.grammar.clone()
+    }
+
+    /// The snapshot's [`NavTables`], built on first use and shared (same
+    /// `Arc`) by every subsequent read of this snapshot.
+    pub fn nav_tables(&self) -> Arc<NavTables> {
+        self.inner
+            .nav
+            .get_or_init(|| Arc::new(NavTables::build(&self.inner.grammar)))
+            .clone()
+    }
+
+    /// A navigation cursor at the document root.
+    pub fn cursor(&self) -> Cursor<'_> {
+        Cursor::with_tables(&self.inner.grammar, self.nav_tables())
+    }
+
+    /// A streaming preorder label iterator over the snapshot.
+    pub fn preorder_labels(&self) -> PreorderLabels<'_> {
+        PreorderLabels::with_tables(&self.inner.grammar, self.nav_tables())
+    }
+
+    /// Number of nodes of the snapshot's (uncompressed) binary tree.
+    pub fn derived_size(&self) -> u128 {
+        derived_size(&self.inner.grammar)
+    }
+
+    /// Label of the node at `preorder_index` of the snapshot's binary tree.
+    pub fn label_at(&self, preorder_index: u128) -> Result<String> {
+        let mut cursor = self.cursor();
+        if cursor.node_at_preorder(preorder_index) {
+            return Ok(cursor.label().to_string());
+        }
+        Err(RepairError::TargetOutOfRange {
+            index: preorder_index,
+            size: self.derived_size(),
+        })
+    }
+
+    /// Materializes a path query against the snapshot through the memoized,
+    /// output-sensitive evaluator.
+    pub fn query(&self, query: &PathQuery) -> QueryMatches {
+        query.evaluate_with_tables(&self.inner.grammar, &self.nav_tables())
+    }
+
+    /// Counts the matches of a path query without materializing them.
+    pub fn query_count(&self, query: &PathQuery) -> u128 {
+        query.count(&self.inner.grammar)
+    }
+
+    /// Materializes the snapshot back to an [`XmlTree`]. Only intended for
+    /// small documents (tests, exports).
+    pub fn to_xml(&self) -> Result<XmlTree> {
+        let bin = sltgrammar::derive::val(&self.inner.grammar)?;
+        Ok(from_binary(&bin, &self.inner.grammar.symbols)?)
+    }
+}
+
+/// One document of the store: write state behind the shard's own lock,
+/// published snapshot behind a lock-free cell (see the module docs).
+#[derive(Debug)]
+struct DocShard {
+    /// The authoritative grammar. `Arc::make_mut` gives writers copy-on-write
+    /// against the published snapshot: the deep clone happens at most once
+    /// per read→write phase transition, in-place mutation otherwise.
+    write: Mutex<Arc<Grammar>>,
+    published: ArcSwapCell<SnapshotInner>,
+    /// Whether `published` reflects the write state. Cleared by writers,
+    /// set by the (lazy) publish and by recompression's eager publish.
+    clean: AtomicBool,
     /// Edge count right after the last recompression (or load) — the debt
     /// baseline.
-    baseline_edges: usize,
+    baseline_edges: AtomicUsize,
     /// Cached current edge count, maintained from update statistics so debt
     /// checks never walk the grammar.
-    current_edges: usize,
-    total_updates: usize,
-    recompressions: usize,
+    current_edges: AtomicUsize,
+    total_updates: AtomicUsize,
+    recompressions: AtomicUsize,
 }
 
-impl DocState {
-    fn debt(&self) -> usize {
-        self.current_edges.saturating_sub(self.baseline_edges)
-    }
-}
-
-/// A multi-document session: many compressed documents behind one shared
-/// symbol table and one recompression scheduler (see the module docs).
-#[derive(Debug, Clone)]
-pub struct DomStore {
-    /// Master symbol table; every interned load-time label lives in one of
-    /// its shared segments.
-    symbols: SymbolTable,
-    docs: Vec<Option<DocState>>,
-    repair: GrammarRePair,
-    scheduler: SchedulerConfig,
-}
-
-impl Default for DomStore {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl DomStore {
-    /// Creates an empty store with the default scheduler.
-    pub fn new() -> Self {
-        DomStore {
-            symbols: SymbolTable::new(),
-            docs: Vec::new(),
-            repair: GrammarRePair::default(),
-            scheduler: SchedulerConfig::default(),
+impl DocShard {
+    fn new(grammar: Grammar) -> Self {
+        let edges = grammar.edge_count();
+        let grammar = Arc::new(grammar);
+        DocShard {
+            published: ArcSwapCell::new(SnapshotInner::of(grammar.clone())),
+            write: Mutex::new(grammar),
+            clean: AtomicBool::new(true),
+            baseline_edges: AtomicUsize::new(edges),
+            current_edges: AtomicUsize::new(edges),
+            total_updates: AtomicUsize::new(0),
+            recompressions: AtomicUsize::new(0),
         }
     }
 
-    /// Uses a custom scheduler policy.
-    pub fn with_scheduler(mut self, scheduler: SchedulerConfig) -> Self {
-        self.scheduler = scheduler;
-        self
+    /// A deep-ish copy for [`DomStore::clone`]: shares the grammar `Arc`
+    /// (copy-on-write protects both sides), copies the counters.
+    fn duplicate(&self) -> Self {
+        let grammar = self.write.lock().expect("shard lock never poisoned").clone();
+        DocShard {
+            published: ArcSwapCell::new(SnapshotInner::of(grammar.clone())),
+            write: Mutex::new(grammar),
+            clean: AtomicBool::new(true),
+            baseline_edges: AtomicUsize::new(self.baseline_edges.load(Ordering::Relaxed)),
+            current_edges: AtomicUsize::new(self.current_edges.load(Ordering::Relaxed)),
+            total_updates: AtomicUsize::new(self.total_updates.load(Ordering::Relaxed)),
+            recompressions: AtomicUsize::new(self.recompressions.load(Ordering::Relaxed)),
+        }
     }
 
-    /// Uses a custom recompression configuration for every document.
-    pub fn with_config(mut self, config: GrammarRePairConfig) -> Self {
-        self.set_config(config);
-        self
+    fn debt(&self) -> usize {
+        self.current_edges
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.baseline_edges.load(Ordering::Relaxed))
     }
 
-    /// Replaces the recompression configuration in place.
-    pub fn set_config(&mut self, config: GrammarRePairConfig) {
-        self.repair = GrammarRePair::new(config);
+    /// The read path. Steady state (`clean`): two atomic loads, zero locks.
+    /// After a write: republish through the uncontended shard lock, or — if
+    /// a writer holds it right now — serve the previous published snapshot
+    /// rather than block (snapshot semantics; see the module docs).
+    fn snapshot(&self) -> Snapshot {
+        if self.clean.load(Ordering::Acquire) {
+            return Snapshot {
+                inner: self.published.load(),
+            };
+        }
+        match self.write.try_lock() {
+            Ok(guard) => {
+                let inner = SnapshotInner::of(guard.clone());
+                self.published.store(inner.clone());
+                self.clean.store(true, Ordering::Release);
+                drop(guard);
+                Snapshot { inner }
+            }
+            Err(_) => Snapshot {
+                inner: self.published.load(),
+            },
+        }
     }
 
-    /// The current scheduler policy.
-    pub fn scheduler(&self) -> SchedulerConfig {
-        self.scheduler
+    /// Publishes the current write state while already holding the shard
+    /// lock — the atomic snapshot swap after a recompression.
+    fn publish_locked(&self, grammar: &Arc<Grammar>) {
+        self.published.store(SnapshotInner::of(grammar.clone()));
+        self.clean.store(true, Ordering::Release);
+    }
+}
+
+/// One slab slot: its current generation plus the shard, if live.
+#[derive(Debug, Clone, Default)]
+struct Slot {
+    generation: u32,
+    shard: Option<Arc<DocShard>>,
+}
+
+/// The copy-on-write document map readers resolve through. Replaced
+/// wholesale (via [`ArcSwapCell`]) on insert/remove, never mutated in place.
+#[derive(Debug, Clone, Default)]
+struct DocMap {
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    /// Live ids in insertion order — what `doc_ids` reports and what
+    /// maintenance sweeps iterate (dead slots are never scanned).
+    live: Vec<DocId>,
+}
+
+impl DocMap {
+    fn get(&self, doc: DocId) -> Option<&Arc<DocShard>> {
+        let slot = self.slots.get(doc.index())?;
+        if slot.generation != doc.generation {
+            return None;
+        }
+        slot.shard.as_ref()
+    }
+}
+
+/// Signals between the request path and the background maintenance thread.
+#[derive(Debug, Default)]
+struct WorkerSignal {
+    pending: bool,
+    shutdown: bool,
+}
+
+/// The shared interior of a [`DomStore`] (see the module docs for the lock
+/// discipline).
+#[derive(Debug)]
+struct StoreInner {
+    symbols: Mutex<SymbolTable>,
+    map: ArcSwapCell<DocMap>,
+    /// Serializes insert/remove (which copy-on-write-replace `map`).
+    map_write: Mutex<()>,
+    repair: RwLock<GrammarRePair>,
+    scheduler: RwLock<SchedulerConfig>,
+    /// Fast check on the update path: is a background thread attached?
+    worker_attached: AtomicBool,
+    worker: Mutex<WorkerSignal>,
+    wake: Condvar,
+}
+
+impl StoreInner {
+    fn resolve(&self, doc: DocId) -> Result<Arc<DocShard>> {
+        self.map
+            .load()
+            .get(doc)
+            .cloned()
+            .ok_or(RepairError::NoSuchDocument { id: doc.slot })
     }
 
-    /// Replaces the scheduler policy.
-    pub fn set_scheduler(&mut self, scheduler: SchedulerConfig) {
-        self.scheduler = scheduler;
-    }
-
-    // ----- loading and membership -----
-
-    /// Compresses `xml` against the shared symbol table and adds it to the
-    /// store. The document's load-time alphabet is interned into the master
-    /// table and sealed, so similar documents share one resident alphabet.
-    ///
-    /// Fails (without adding the document or touching the master table) when
-    /// a label clashes with a different rank already interned in the store.
-    pub fn load_xml(&mut self, xml: &XmlTree) -> Result<DocId> {
+    /// Interns `xml`'s alphabet into the master under the master lock and
+    /// returns a sealed table clone for the document. The expensive
+    /// compression runs *outside* the lock on that clone — concurrent loads
+    /// only serialize on this (cheap) walk, which also keeps id assignment
+    /// identical to fully sequential loads.
+    fn intern_labels(&self, xml: &XmlTree) -> Result<SymbolTable> {
+        let mut master = self.symbols.lock().expect("master lock never poisoned");
         // Intern into a scratch clone and commit only on success: a rank
         // conflict partway through the document must not leave its earlier
         // labels behind in the master (the clone shares the sealed segments,
         // so this copies at most the usually-empty local tail).
-        let mut master = self.symbols.clone();
-        let (grammar, _) = self.repair.compress_xml_shared(xml, &mut master)?;
-        self.symbols = master;
-        Ok(self.push_doc(grammar))
+        let mut scratch = master.clone();
+        to_binary(xml, &mut scratch)?;
+        scratch.seal();
+        *master = scratch.clone();
+        Ok(scratch)
     }
 
-    /// Adds an already-compressed grammar to the store, rebasing it onto the
-    /// shared symbol table: its alphabet is re-interned into the master
-    /// ([`SymbolTable::absorb`]), its rule bodies are relabelled when the id
-    /// assignment differs, and its table is replaced by a clone of the
-    /// master's — after which the invariants of the module docs hold for it
-    /// like for any loaded document.
-    ///
-    /// Only labels the grammar's rule bodies actually use are interned —
-    /// stale entries in the foreign table (e.g. labels renamed away before
-    /// the grammar left another store) neither join the shared alphabet nor
-    /// cause spurious rank conflicts. Fails (without adding the document or
-    /// touching the master table) when a *used* label clashes with a
-    /// different rank already interned in the store.
-    pub fn load_grammar(&mut self, mut grammar: Grammar) -> Result<DocId> {
-        let used = used_terms(&grammar);
-        // Intern into a scratch clone first: interning keeps the symbols
-        // added before a rank conflict, and a half-absorbed foreign alphabet
-        // must not poison the master on failure. The clone shares the sealed
-        // segments, so this copies at most the (usually empty) local tail.
-        let mut master = self.symbols.clone();
-        let mut map = Vec::with_capacity(grammar.symbols.len());
-        for (id, name, rank) in grammar.symbols.iter() {
-            // Unused ids keep themselves as placeholders: they never occur
-            // in a body, so `relabel_terms` never reads them, and an
-            // all-identity map still short-circuits the relabel walk.
-            map.push(if used.contains(&id) {
-                master.intern(name, rank)?
-            } else {
-                id
-            });
-        }
-        master.seal();
-        self.symbols = master;
-        grammar.relabel_terms(&map);
-        grammar.symbols = self.symbols.clone();
-        Ok(self.push_doc(grammar))
-    }
-
-    fn push_doc(&mut self, grammar: Grammar) -> DocId {
-        let edges = grammar.edge_count();
-        let id = DocId(self.docs.len() as u32);
-        self.docs.push(Some(DocState {
-            grammar,
-            nav: None,
-            baseline_edges: edges,
-            current_edges: edges,
-            total_updates: 0,
-            recompressions: 0,
-        }));
+    fn insert_doc(&self, grammar: Grammar) -> DocId {
+        let shard = Arc::new(DocShard::new(grammar));
+        let _guard = self.map_write.lock().expect("map lock never poisoned");
+        let mut map = (*self.map.load()).clone();
+        let slot = map.free.pop().unwrap_or_else(|| {
+            map.slots.push(Slot::default());
+            (map.slots.len() - 1) as u32
+        });
+        let entry = &mut map.slots[slot as usize];
+        entry.generation += 1;
+        entry.shard = Some(shard);
+        let id = DocId {
+            slot,
+            generation: entry.generation,
+        };
+        map.live.push(id);
+        self.map.store(Arc::new(map));
         id
     }
 
-    /// Removes a document and returns its grammar (with its private table).
-    pub fn remove(&mut self, doc: DocId) -> Result<Grammar> {
-        let state = self
-            .docs
-            .get_mut(doc.index())
-            .and_then(Option::take)
-            .ok_or(RepairError::NoSuchDocument { id: doc.0 })?;
-        Ok(state.grammar)
-    }
-
-    /// Whether `doc` names a live document.
-    pub fn contains(&self, doc: DocId) -> bool {
-        self.docs
-            .get(doc.index())
-            .map(|d| d.is_some())
-            .unwrap_or(false)
-    }
-
-    /// Ids of all live documents, in load order.
-    pub fn doc_ids(&self) -> Vec<DocId> {
-        (0..self.docs.len() as u32)
-            .map(DocId)
-            .filter(|&id| self.contains(id))
-            .collect()
-    }
-
-    /// Number of live documents.
-    pub fn len(&self) -> usize {
-        self.docs.iter().filter(|d| d.is_some()).count()
-    }
-
-    /// Whether the store holds no documents.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    fn state(&self, doc: DocId) -> Result<&DocState> {
-        self.docs
-            .get(doc.index())
-            .and_then(Option::as_ref)
-            .ok_or(RepairError::NoSuchDocument { id: doc.0 })
-    }
-
-    fn state_mut(&mut self, doc: DocId) -> Result<&mut DocState> {
-        self.docs
-            .get_mut(doc.index())
-            .and_then(Option::as_mut)
-            .ok_or(RepairError::NoSuchDocument { id: doc.0 })
-    }
-
-    // ----- shared-table introspection -----
-
-    /// Read-only access to the master symbol table.
-    pub fn symbols(&self) -> &SymbolTable {
-        &self.symbols
-    }
-
-    /// Resident label-table footprint of the store, deduplicating shared
-    /// segments across the master and all documents (see [`SymbolStats`]).
-    pub fn symbol_stats(&self) -> SymbolStats {
-        let mut seen = std::collections::HashSet::new();
-        let mut stats = SymbolStats {
-            master_symbols: self.symbols.len(),
-            ..SymbolStats::default()
-        };
-        let mut visit = |table: &SymbolTable, stats: &mut SymbolStats| {
-            for (key, bytes) in table.shared_segments() {
-                if seen.insert(key) {
-                    stats.shared_bytes += bytes;
-                }
-            }
-            stats.private_bytes += table.local_heap_bytes();
-        };
-        visit(&self.symbols, &mut stats);
-        for doc in self.docs.iter().flatten() {
-            visit(&doc.grammar.symbols, &mut stats);
-            // Per-document baseline: only the labels this grammar uses.
-            stats.unshared_bytes += used_terms(&doc.grammar)
-                .into_iter()
-                .map(|t| doc.grammar.symbols.symbol_heap_bytes(t))
-                .sum::<usize>();
-        }
-        stats
-    }
-
-    // ----- per-document read surface -----
-
-    /// Read-only access to a document's grammar.
-    pub fn grammar(&self, doc: DocId) -> Result<&Grammar> {
-        Ok(&self.state(doc)?.grammar)
-    }
-
-    /// Current grammar size in edges (the paper's size measure).
-    pub fn edge_count(&self, doc: DocId) -> Result<usize> {
-        Ok(self.state(doc)?.current_edges)
-    }
-
-    /// Number of nodes of the document's (uncompressed) binary tree.
-    pub fn derived_size(&self, doc: DocId) -> Result<u128> {
-        Ok(derived_size(&self.state(doc)?.grammar))
-    }
-
-    /// Update debt of a document: edge growth since its last recompression.
-    pub fn debt(&self, doc: DocId) -> Result<usize> {
-        Ok(self.state(doc)?.debt())
-    }
-
-    /// Number of updates applied to a document so far.
-    pub fn total_updates(&self, doc: DocId) -> Result<usize> {
-        Ok(self.state(doc)?.total_updates)
-    }
-
-    /// Number of recompressions of a document so far (scheduled or forced).
-    pub fn recompressions(&self, doc: DocId) -> Result<usize> {
-        Ok(self.state(doc)?.recompressions)
-    }
-
-    /// The shared [`NavTables`] snapshot for a document's current grammar
-    /// version, revalidated against the rule version counters and rebuilt
-    /// lazily after any mutation — the same contract as
-    /// [`crate::session::CompressedDom::nav_tables`], held per document.
-    pub fn nav_tables(&mut self, doc: DocId) -> Result<Arc<NavTables>> {
-        let state = self.state_mut(doc)?;
-        if let Some(tables) = &state.nav {
-            if tables.is_current(&state.grammar) {
-                return Ok(tables.clone());
-            }
-        }
-        let tables = Arc::new(NavTables::build(&state.grammar));
-        state.nav = Some(tables.clone());
-        Ok(tables)
-    }
-
-    /// A navigation cursor at a document's root, backed by its cached tables.
-    pub fn cursor(&mut self, doc: DocId) -> Result<Cursor<'_>> {
-        let tables = self.nav_tables(doc)?;
-        let state = self.state(doc)?;
-        Ok(Cursor::with_tables(&state.grammar, tables))
-    }
-
-    /// A streaming preorder label iterator over a document.
-    pub fn preorder_labels(&mut self, doc: DocId) -> Result<PreorderLabels<'_>> {
-        let tables = self.nav_tables(doc)?;
-        let state = self.state(doc)?;
-        Ok(PreorderLabels::with_tables(&state.grammar, tables))
-    }
-
-    /// Label of the node at `preorder_index` of a document's binary tree — a
-    /// read-only positional jump through the cached tables (the grammar is
-    /// never mutated by reads).
-    pub fn label_at(&mut self, doc: DocId, preorder_index: u128) -> Result<String> {
-        let mut cursor = self.cursor(doc)?;
-        if cursor.node_at_preorder(preorder_index) {
-            return Ok(cursor.label().to_string());
-        }
-        drop(cursor);
-        Err(RepairError::TargetOutOfRange {
-            index: preorder_index,
-            size: derived_size(&self.state(doc)?.grammar),
-        })
-    }
-
-    /// Materializes a path query against a document through the memoized,
-    /// output-sensitive evaluator over its cached tables.
-    pub fn query(&mut self, doc: DocId, query: &PathQuery) -> Result<QueryMatches> {
-        let tables = self.nav_tables(doc)?;
-        let state = self.state(doc)?;
-        Ok(query.evaluate_with_tables(&state.grammar, &tables))
-    }
-
-    /// Parses and materializes a path query in one call.
-    pub fn query_str(&mut self, doc: DocId, query: &str) -> Result<QueryMatches> {
-        self.query(doc, &PathQuery::parse(query)?)
-    }
-
-    /// Counts the matches of a path query without materializing them.
-    pub fn query_count(&self, doc: DocId, query: &PathQuery) -> Result<u128> {
-        Ok(query.count(&self.state(doc)?.grammar))
-    }
-
-    /// Materializes a document back to an [`XmlTree`]. Only intended for
-    /// small documents (tests, exports).
-    pub fn to_xml(&self, doc: DocId) -> Result<XmlTree> {
-        let grammar = &self.state(doc)?.grammar;
-        let bin = sltgrammar::derive::val(grammar)?;
-        Ok(from_binary(&bin, &grammar.symbols)?)
-    }
-
-    // ----- updates and scheduling -----
-
-    /// Applies one update to a document, then (under [`SchedulerConfig::auto`])
-    /// runs a maintenance sweep over the *whole store* — the drained documents
-    /// need not include the updated one.
-    ///
-    /// Error semantics match the single-document handle: out-of-range targets
-    /// are rejected before anything mutates; splice-time failures leave the
-    /// isolation growth in place (debt measures it, so maintenance still
-    /// happens — failing updates cannot starve recompression). Note that a
-    /// sweep triggered by a *failing* update has no channel back to the
-    /// caller (`Err` carries no report); callers tracking drain events
-    /// exactly should observe [`DomStore::recompressions`] instead.
-    pub fn apply(&mut self, doc: DocId, op: &UpdateOp) -> Result<(UpdateStats, MaintenanceReport)> {
-        let state = self.state_mut(doc)?;
-        let result = apply_update(&mut state.grammar, op);
+    /// Applies one mutation under the shard lock; the closure runs on the
+    /// copy-on-write grammar and reports `(result, edges_after)` so the
+    /// shard's counters stay exact without re-walking the grammar.
+    fn apply_one(&self, doc: DocId, op: &UpdateOp) -> Result<UpdateStats> {
+        let shard = self.resolve(doc)?;
+        let mut guard = shard.write.lock().expect("shard lock never poisoned");
+        let grammar = Arc::make_mut(&mut guard);
+        let result = apply_update(grammar, op);
         match &result {
             Err(RepairError::TargetOutOfRange { .. }) => {
-                // Rejected before anything mutated: no debt, no maintenance.
-                return result.map(|stats| (stats, MaintenanceReport::default()));
+                // Rejected before anything mutated: the published snapshot
+                // still matches the write state.
             }
             Ok(stats) => {
-                state.current_edges = stats.edges_after;
-                state.total_updates += 1;
+                shard.current_edges.store(stats.edges_after, Ordering::Relaxed);
+                shard.total_updates.fetch_add(1, Ordering::Relaxed);
+                shard.clean.store(false, Ordering::Release);
             }
             Err(_) => {
                 // Splice-time failure: isolation already grew the grammar.
-                state.current_edges = state.grammar.edge_count();
+                shard
+                    .current_edges
+                    .store(grammar.edge_count(), Ordering::Relaxed);
+                shard.clean.store(false, Ordering::Release);
             }
         }
-        let report = if self.scheduler.auto {
-            self.maintain()
-        } else {
-            MaintenanceReport::default()
-        };
-        result.map(|stats| (stats, report))
+        result
     }
 
-    /// Applies an operation sequence to a document through the batched
-    /// isolation pipeline (shared path prefixes isolated once per chunk),
-    /// then (under [`SchedulerConfig::auto`]) runs a maintenance sweep.
-    ///
-    /// On error the document reflects every fully applied chunk, and the
-    /// growth is tracked as debt (see [`crate::update::apply_batch`]).
-    pub fn apply_batch(
-        &mut self,
-        doc: DocId,
-        ops: &[UpdateOp],
-    ) -> Result<(BatchStats, MaintenanceReport)> {
-        let state = self.state_mut(doc)?;
-        let result = apply_batch(&mut state.grammar, ops);
+    fn apply_batch_one(&self, doc: DocId, ops: &[UpdateOp]) -> Result<BatchStats> {
+        let shard = self.resolve(doc)?;
+        let mut guard = shard.write.lock().expect("shard lock never poisoned");
+        let grammar = Arc::make_mut(&mut guard);
+        let result = apply_batch(grammar, ops);
         match &result {
             Ok(stats) => {
-                state.current_edges = stats.edges_after;
-                state.total_updates += ops.len();
+                shard.current_edges.store(stats.edges_after, Ordering::Relaxed);
+                shard.total_updates.fetch_add(ops.len(), Ordering::Relaxed);
             }
             Err(_) => {
-                state.current_edges = state.grammar.edge_count();
+                shard
+                    .current_edges
+                    .store(grammar.edge_count(), Ordering::Relaxed);
             }
         }
-        let report = if self.scheduler.auto && !ops.is_empty() {
-            self.maintain()
-        } else {
-            MaintenanceReport::default()
-        };
-        result.map(|stats| (stats, report))
+        if !ops.is_empty() {
+            shard.clean.store(false, Ordering::Release);
+        }
+        result
     }
 
-    /// Runs one maintenance sweep: recompresses eligible documents (debt ≥
-    /// threshold) in decreasing debt order until the drain budget is spent.
-    /// At least one eligible document is drained per sweep. Returns what was
-    /// drained (possibly nothing).
-    pub fn maintain(&mut self) -> MaintenanceReport {
-        let threshold = self.scheduler.debt_threshold.max(1);
-        let mut eligible: Vec<(usize, DocId)> = (0..self.docs.len() as u32)
-            .map(DocId)
-            .filter_map(|id| {
-                let state = self.docs[id.index()].as_ref()?;
-                (state.debt() >= threshold).then_some((state.debt(), id))
+    /// Post-update scheduling: inline sweep, or a signal to the background
+    /// thread when one is attached (whose drains then happen off this path).
+    fn after_update(&self) -> MaintenanceReport {
+        if !self.scheduler.read().expect("scheduler lock").auto {
+            return MaintenanceReport::default();
+        }
+        if self.worker_attached.load(Ordering::Acquire) {
+            let mut signal = self.worker.lock().expect("worker lock never poisoned");
+            signal.pending = true;
+            self.wake.notify_one();
+            return MaintenanceReport::default();
+        }
+        self.maintain()
+    }
+
+    fn maintain(&self) -> MaintenanceReport {
+        let scheduler = *self.scheduler.read().expect("scheduler lock");
+        let threshold = scheduler.debt_threshold.max(1);
+        let map = self.map.load();
+        let mut eligible: Vec<(usize, DocId)> = map
+            .live
+            .iter()
+            .filter_map(|&id| {
+                let shard = map.get(id)?;
+                let debt = shard.debt();
+                (debt >= threshold).then_some((debt, id))
             })
             .collect();
         // Worst offender first; ties broken by id for determinism.
         eligible.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
 
-        let budget = self.scheduler.drain_budget;
+        let budget = scheduler.drain_budget;
         let mut spent = 0usize;
         let mut report = MaintenanceReport::default();
         for (_, id) in eligible {
-            let cost = self.docs[id.index()]
-                .as_ref()
-                .expect("eligible documents are live")
-                .current_edges;
+            // Re-resolve: the document may have been removed since the scan.
+            let Ok(shard) = self.resolve(id) else { continue };
+            let cost = shard.current_edges.load(Ordering::Relaxed);
             if !report.drained.is_empty() && budget > 0 && spent.saturating_add(cost) > budget {
                 break;
             }
-            let stats = self.recompress(id).expect("eligible documents are live");
+            let Ok(stats) = self.recompress(id) else { continue };
             spent = spent.saturating_add(cost);
             report.drained.push((id, stats));
             if budget > 0 && spent >= budget {
@@ -640,15 +667,589 @@ impl DomStore {
         report
     }
 
-    /// Forces a recompression of one document, resetting its debt baseline.
-    pub fn recompress(&mut self, doc: DocId) -> Result<RepairStats> {
-        let repair = self.repair.clone();
-        let state = self.state_mut(doc)?;
-        let stats = repair.recompress(&mut state.grammar);
-        state.current_edges = stats.output_edges;
-        state.baseline_edges = stats.output_edges;
-        state.recompressions += 1;
+    fn recompress(&self, doc: DocId) -> Result<RepairStats> {
+        let shard = self.resolve(doc)?;
+        let repair = self.repair.read().expect("repair lock").clone();
+        let mut guard = shard.write.lock().expect("shard lock never poisoned");
+        // Recompress aside: `make_mut` clones iff a published snapshot (or
+        // other reader) still shares this grammar, so in-flight readers keep
+        // their version while the recompressor works on the copy.
+        let stats = repair.recompress(Arc::make_mut(&mut guard));
+        shard.current_edges.store(stats.output_edges, Ordering::Relaxed);
+        shard.baseline_edges.store(stats.output_edges, Ordering::Relaxed);
+        shard.recompressions.fetch_add(1, Ordering::Relaxed);
+        // The atomic swap: publish the recompressed grammar; readers holding
+        // the old snapshot finish on it undisturbed.
+        shard.publish_locked(&guard);
         Ok(stats)
+    }
+}
+
+/// How many OS threads a parallel multi-document operation fans out over.
+fn pool_size(jobs: usize) -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    jobs.min(cores).clamp(1, 8)
+}
+
+/// Runs `work(i)` for every `i < jobs` on a small scoped worker pool,
+/// collecting results in index order. Serial when the pool would be size 1.
+fn fan_out<T: Send>(jobs: usize, work: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    let workers = pool_size(jobs);
+    if workers <= 1 {
+        return (0..jobs).map(work).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<T>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs {
+                    break;
+                }
+                let out = work(i);
+                *results[i].lock().expect("result slot never poisoned") = Some(out);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot never poisoned")
+                .expect("every job index is visited exactly once")
+        })
+        .collect()
+}
+
+/// A concurrent multi-document session: many compressed documents behind one
+/// shared symbol table and one recompression scheduler (see the module docs).
+///
+/// `DomStore` is `Send + Sync`; share it across threads directly or behind an
+/// `Arc`. Reads ([`DomStore::snapshot`] and everything built on it) are
+/// `&self` and lock-free in steady state; writes to distinct documents run
+/// in parallel.
+#[derive(Debug)]
+pub struct DomStore {
+    inner: Arc<StoreInner>,
+    worker: Option<std::thread::JoinHandle<()>>,
+}
+
+// Compile-time guarantee: the store and its snapshots cross threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<DomStore>();
+    assert_send_sync::<Snapshot>();
+};
+
+impl Default for DomStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clone for DomStore {
+    /// Clones the store's *contents*: the copy shares grammar data
+    /// structurally (copy-on-write, so writes to either side never show in
+    /// the other) but has its own locks, scheduler, and document map, with
+    /// every [`DocId`] preserved. The clone starts without a background
+    /// maintenance thread.
+    fn clone(&self) -> Self {
+        let master = self.inner.symbols.lock().expect("master lock").clone();
+        let src = self.inner.map.load();
+        let slots = src
+            .slots
+            .iter()
+            .map(|slot| Slot {
+                generation: slot.generation,
+                shard: slot.shard.as_ref().map(|s| Arc::new(s.duplicate())),
+            })
+            .collect();
+        let map = DocMap {
+            slots,
+            free: src.free.clone(),
+            live: src.live.clone(),
+        };
+        DomStore {
+            inner: Arc::new(StoreInner {
+                symbols: Mutex::new(master),
+                map: ArcSwapCell::new(Arc::new(map)),
+                map_write: Mutex::new(()),
+                repair: RwLock::new(self.inner.repair.read().expect("repair lock").clone()),
+                scheduler: RwLock::new(*self.inner.scheduler.read().expect("scheduler lock")),
+                worker_attached: AtomicBool::new(false),
+                worker: Mutex::new(WorkerSignal::default()),
+                wake: Condvar::new(),
+            }),
+            worker: None,
+        }
+    }
+}
+
+impl Drop for DomStore {
+    fn drop(&mut self) {
+        self.stop_maintenance();
+    }
+}
+
+impl DomStore {
+    /// Creates an empty store with the default scheduler.
+    pub fn new() -> Self {
+        DomStore {
+            inner: Arc::new(StoreInner {
+                symbols: Mutex::new(SymbolTable::new()),
+                map: ArcSwapCell::new(Arc::new(DocMap::default())),
+                map_write: Mutex::new(()),
+                repair: RwLock::new(GrammarRePair::default()),
+                scheduler: RwLock::new(SchedulerConfig::default()),
+                worker_attached: AtomicBool::new(false),
+                worker: Mutex::new(WorkerSignal::default()),
+                wake: Condvar::new(),
+            }),
+            worker: None,
+        }
+    }
+
+    /// Uses a custom scheduler policy.
+    pub fn with_scheduler(self, scheduler: SchedulerConfig) -> Self {
+        self.set_scheduler(scheduler);
+        self
+    }
+
+    /// Uses a custom recompression configuration for every document.
+    pub fn with_config(self, config: GrammarRePairConfig) -> Self {
+        self.set_config(config);
+        self
+    }
+
+    /// Replaces the recompression configuration in place.
+    pub fn set_config(&self, config: GrammarRePairConfig) {
+        *self.inner.repair.write().expect("repair lock") = GrammarRePair::new(config);
+    }
+
+    /// The current scheduler policy.
+    pub fn scheduler(&self) -> SchedulerConfig {
+        *self.inner.scheduler.read().expect("scheduler lock")
+    }
+
+    /// Replaces the scheduler policy.
+    pub fn set_scheduler(&self, scheduler: SchedulerConfig) {
+        *self.inner.scheduler.write().expect("scheduler lock") = scheduler;
+    }
+
+    // ----- background maintenance -----
+
+    /// Starts the background maintenance thread: it runs [`DomStore::maintain`]
+    /// whenever an update signals debt (under [`SchedulerConfig::auto`]) and
+    /// at least every `poll` as a fallback, recompressing aside and swapping
+    /// snapshots in atomically — readers never wait on it. With a worker
+    /// attached, `apply`/`apply_batch` return empty [`MaintenanceReport`]s;
+    /// observe [`DomStore::recompressions`] for drain counts. No-op if a
+    /// worker is already running.
+    pub fn start_maintenance(&mut self, poll: Duration) {
+        if self.worker.is_some() {
+            return;
+        }
+        {
+            let mut signal = self.inner.worker.lock().expect("worker lock");
+            signal.shutdown = false;
+            signal.pending = false;
+        }
+        self.inner.worker_attached.store(true, Ordering::Release);
+        let inner = self.inner.clone();
+        self.worker = Some(std::thread::spawn(move || {
+            loop {
+                {
+                    let mut signal = inner.worker.lock().expect("worker lock");
+                    while !signal.pending && !signal.shutdown {
+                        let (guard, timeout) = inner
+                            .wake
+                            .wait_timeout(signal, poll)
+                            .expect("worker lock never poisoned");
+                        signal = guard;
+                        if timeout.timed_out() {
+                            break; // periodic sweep even without signals
+                        }
+                    }
+                    if signal.shutdown {
+                        return;
+                    }
+                    signal.pending = false;
+                }
+                inner.maintain();
+            }
+        }));
+    }
+
+    /// Stops and joins the background maintenance thread (no-op without
+    /// one). Pending debt stays until the next sweep — inline sweeps resume
+    /// on the request path once no worker is attached.
+    pub fn stop_maintenance(&mut self) {
+        self.inner.worker_attached.store(false, Ordering::Release);
+        if let Some(handle) = self.worker.take() {
+            {
+                let mut signal = self.inner.worker.lock().expect("worker lock");
+                signal.shutdown = true;
+            }
+            self.inner.wake.notify_all();
+            let _ = handle.join();
+            self.inner.worker.lock().expect("worker lock").shutdown = false;
+        }
+    }
+
+    /// Whether a background maintenance thread is currently attached.
+    pub fn maintenance_running(&self) -> bool {
+        self.worker.is_some()
+    }
+
+    // ----- loading and membership -----
+
+    /// Compresses `xml` against the shared symbol table and adds it to the
+    /// store. The document's load-time alphabet is interned into the master
+    /// table and sealed, so similar documents share one resident alphabet.
+    /// Only the (cheap) interning holds the master lock; compression runs
+    /// on the sealed clone, so concurrent loads overlap.
+    ///
+    /// Fails (without adding the document or touching the master table) when
+    /// a label clashes with a different rank already interned in the store.
+    pub fn load_xml(&self, xml: &XmlTree) -> Result<DocId> {
+        let mut table = self.inner.intern_labels(xml)?;
+        let repair = self.inner.repair.read().expect("repair lock").clone();
+        let (grammar, _) = repair.compress_xml_shared(xml, &mut table)?;
+        Ok(self.inner.insert_doc(grammar))
+    }
+
+    /// Loads many documents, compressing them in parallel on a small worker
+    /// pool. Ids, shared-alphabet assignment, and the resulting grammars are
+    /// identical to loading the same sequence one [`DomStore::load_xml`] at a
+    /// time: alphabets are interned serially (in order) first, then the
+    /// per-document compressions — independent by construction — fan out.
+    ///
+    /// On error no document is added; alphabets of documents interned before
+    /// the failing one remain in the master (harmless: unused shared labels).
+    pub fn load_many(&self, xmls: &[XmlTree]) -> Result<Vec<DocId>> {
+        let mut tables = Vec::with_capacity(xmls.len());
+        for xml in xmls {
+            tables.push(self.inner.intern_labels(xml)?);
+        }
+        let repair = self.inner.repair.read().expect("repair lock").clone();
+        let grammars = fan_out(xmls.len(), |i| {
+            let mut table = tables[i].clone();
+            repair
+                .compress_xml_shared(&xmls[i], &mut table)
+                .map(|(grammar, _)| grammar)
+        });
+        let mut ids = Vec::with_capacity(xmls.len());
+        for grammar in grammars {
+            ids.push(self.inner.insert_doc(grammar?));
+        }
+        Ok(ids)
+    }
+
+    /// Adds an already-compressed grammar to the store, rebasing it onto the
+    /// shared symbol table: its alphabet is re-interned into the master,
+    /// its rule bodies are relabelled when the id assignment differs, and
+    /// its table is replaced by a clone of the master's — after which the
+    /// invariants of the module docs hold for it like for any loaded
+    /// document.
+    ///
+    /// Only labels the grammar's rule bodies actually use are interned —
+    /// stale entries in the foreign table (e.g. labels renamed away before
+    /// the grammar left another store) neither join the shared alphabet nor
+    /// cause spurious rank conflicts. Fails (without adding the document or
+    /// touching the master table) when a *used* label clashes with a
+    /// different rank already interned in the store.
+    pub fn load_grammar(&self, mut grammar: Grammar) -> Result<DocId> {
+        let used = used_terms(&grammar);
+        let table = {
+            let mut master = self.inner.symbols.lock().expect("master lock");
+            // Intern into a scratch clone first: interning keeps the symbols
+            // added before a rank conflict, and a half-absorbed foreign
+            // alphabet must not poison the master on failure.
+            let mut scratch = master.clone();
+            let mut map = Vec::with_capacity(grammar.symbols.len());
+            for (id, name, rank) in grammar.symbols.iter() {
+                // Unused ids keep themselves as placeholders: they never
+                // occur in a body, so `relabel_terms` never reads them, and
+                // an all-identity map still short-circuits the relabel walk.
+                map.push(if used.contains(&id) {
+                    scratch.intern(name, rank)?
+                } else {
+                    id
+                });
+            }
+            scratch.seal();
+            *master = scratch.clone();
+            grammar.relabel_terms(&map);
+            scratch
+        };
+        grammar.symbols = table;
+        Ok(self.inner.insert_doc(grammar))
+    }
+
+    /// Removes a document and returns its grammar (with its private table).
+    /// The slot becomes reusable; the removed [`DocId`] never resolves again
+    /// (generation tagging). Operations racing with the removal either
+    /// resolve the shard first and complete against the document's final
+    /// state (which this call may then return without them) or fail with
+    /// [`RepairError::NoSuchDocument`].
+    pub fn remove(&self, doc: DocId) -> Result<Grammar> {
+        let shard = {
+            let _guard = self.inner.map_write.lock().expect("map lock");
+            let mut map = (*self.inner.map.load()).clone();
+            let entry = map
+                .slots
+                .get_mut(doc.index())
+                .filter(|slot| slot.generation == doc.generation)
+                .and_then(|slot| slot.shard.take())
+                .ok_or(RepairError::NoSuchDocument { id: doc.slot })?;
+            map.free.push(doc.slot);
+            map.live.retain(|&id| id != doc);
+            self.inner.map.store(Arc::new(map));
+            entry
+        };
+        // Unwrap as far as sharing allows; clone only if snapshots of the
+        // final state are still held elsewhere.
+        let grammar = match Arc::try_unwrap(shard) {
+            Ok(shard) => {
+                let grammar = shard.write.into_inner().expect("shard lock never poisoned");
+                drop(shard.published); // releases the snapshot's grammar ref
+                grammar
+            }
+            Err(shard) => shard.write.lock().expect("shard lock never poisoned").clone(),
+        };
+        Ok(Arc::try_unwrap(grammar).unwrap_or_else(|shared| (*shared).clone()))
+    }
+
+    /// Whether `doc` names a live document.
+    pub fn contains(&self, doc: DocId) -> bool {
+        self.inner.map.load().get(doc).is_some()
+    }
+
+    /// Ids of all live documents, in insertion order.
+    pub fn doc_ids(&self) -> Vec<DocId> {
+        self.inner.map.load().live.clone()
+    }
+
+    /// Number of live documents.
+    pub fn len(&self) -> usize {
+        self.inner.map.load().live.len()
+    }
+
+    /// Whether the store holds no documents.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    // ----- shared-table introspection -----
+
+    /// The master symbol table (a clone sharing the sealed segments — cheap).
+    pub fn symbols(&self) -> SymbolTable {
+        self.inner.symbols.lock().expect("master lock").clone()
+    }
+
+    /// Resident label-table footprint of the store, deduplicating shared
+    /// segments across the master, every document's write state, and every
+    /// published snapshot (see [`SymbolStats`]) — a segment referenced from
+    /// N snapshots still counts once.
+    pub fn symbol_stats(&self) -> SymbolStats {
+        let mut seen = std::collections::HashSet::new();
+        let mut stats = SymbolStats::default();
+        let mut visit = |table: &SymbolTable, stats: &mut SymbolStats| {
+            for (key, bytes) in table.shared_segments() {
+                if seen.insert(key) {
+                    stats.shared_bytes += bytes;
+                }
+            }
+            stats.private_bytes += table.local_heap_bytes();
+        };
+        {
+            let master = self.inner.symbols.lock().expect("master lock");
+            stats.master_symbols = master.len();
+            visit(&master, &mut stats);
+        }
+        let map = self.inner.map.load();
+        for &id in &map.live {
+            let Some(shard) = map.get(id) else { continue };
+            let write = shard.write.lock().expect("shard lock never poisoned").clone();
+            visit(&write.symbols, &mut stats);
+            // Per-document baseline: only the labels this grammar uses.
+            stats.unshared_bytes += used_terms(&write)
+                .into_iter()
+                .map(|t| write.symbols.symbol_heap_bytes(t))
+                .sum::<usize>();
+            // A published snapshot lagging behind the write state holds its
+            // own table object: shared segments dedup through `seen`, a
+            // diverged local tail is honestly a second resident copy.
+            let published = shard.published.load();
+            if !Arc::ptr_eq(&published.grammar, &write) {
+                visit(&published.grammar.symbols, &mut stats);
+            }
+        }
+        stats
+    }
+
+    // ----- per-document read surface (lock-free in steady state) -----
+
+    /// The current published [`Snapshot`] of a document — the entry point of
+    /// the lock-free read path; every other read method is sugar over it.
+    /// The snapshot stays valid (and immutable) for as long as it is held,
+    /// across concurrent updates, recompressions, and removal.
+    pub fn snapshot(&self, doc: DocId) -> Result<Snapshot> {
+        Ok(self.inner.resolve(doc)?.snapshot())
+    }
+
+    /// A document's current grammar (an `Arc` into the published snapshot).
+    pub fn grammar(&self, doc: DocId) -> Result<Arc<Grammar>> {
+        Ok(self.snapshot(doc)?.grammar_arc())
+    }
+
+    /// Current grammar size in edges (the paper's size measure).
+    pub fn edge_count(&self, doc: DocId) -> Result<usize> {
+        Ok(self.inner.resolve(doc)?.current_edges.load(Ordering::Relaxed))
+    }
+
+    /// Number of nodes of the document's (uncompressed) binary tree.
+    pub fn derived_size(&self, doc: DocId) -> Result<u128> {
+        Ok(self.snapshot(doc)?.derived_size())
+    }
+
+    /// Update debt of a document: edge growth since its last recompression.
+    pub fn debt(&self, doc: DocId) -> Result<usize> {
+        Ok(self.inner.resolve(doc)?.debt())
+    }
+
+    /// Number of updates applied to a document so far.
+    pub fn total_updates(&self, doc: DocId) -> Result<usize> {
+        Ok(self.inner.resolve(doc)?.total_updates.load(Ordering::Relaxed))
+    }
+
+    /// Number of recompressions of a document so far (scheduled or forced).
+    pub fn recompressions(&self, doc: DocId) -> Result<usize> {
+        Ok(self.inner.resolve(doc)?.recompressions.load(Ordering::Relaxed))
+    }
+
+    /// The shared [`NavTables`] of a document's published snapshot — built
+    /// on first use, then the same `Arc` for every read until the next
+    /// mutation publishes a new snapshot.
+    pub fn nav_tables(&self, doc: DocId) -> Result<Arc<NavTables>> {
+        Ok(self.snapshot(doc)?.nav_tables())
+    }
+
+    /// Label of the node at `preorder_index` of a document's binary tree — a
+    /// read-only positional jump through the snapshot tables. (For cursors
+    /// and streaming iterators, which borrow their snapshot, take a
+    /// [`DomStore::snapshot`] and use [`Snapshot::cursor`] /
+    /// [`Snapshot::preorder_labels`].)
+    pub fn label_at(&self, doc: DocId, preorder_index: u128) -> Result<String> {
+        self.snapshot(doc)?.label_at(preorder_index)
+    }
+
+    /// Materializes a path query against a document through the memoized,
+    /// output-sensitive evaluator over the snapshot tables.
+    pub fn query(&self, doc: DocId, query: &PathQuery) -> Result<QueryMatches> {
+        Ok(self.snapshot(doc)?.query(query))
+    }
+
+    /// Parses and materializes a path query in one call.
+    pub fn query_str(&self, doc: DocId, query: &str) -> Result<QueryMatches> {
+        self.query(doc, &PathQuery::parse(query)?)
+    }
+
+    /// Counts the matches of a path query without materializing them.
+    pub fn query_count(&self, doc: DocId, query: &PathQuery) -> Result<u128> {
+        Ok(self.snapshot(doc)?.query_count(query))
+    }
+
+    /// Materializes a document back to an [`XmlTree`]. Only intended for
+    /// small documents (tests, exports).
+    pub fn to_xml(&self, doc: DocId) -> Result<XmlTree> {
+        self.snapshot(doc)?.to_xml()
+    }
+
+    // ----- updates and scheduling -----
+
+    /// Applies one update to a document, then (under [`SchedulerConfig::auto`])
+    /// runs a maintenance sweep over the *whole store* — inline, or signalled
+    /// to the background thread when one is attached (empty report then).
+    ///
+    /// Error semantics match the single-document handle: out-of-range targets
+    /// are rejected before anything mutates; splice-time failures leave the
+    /// isolation growth in place (debt measures it, so maintenance still
+    /// happens — failing updates cannot starve recompression). Note that a
+    /// sweep triggered by a *failing* update has no channel back to the
+    /// caller (`Err` carries no report); callers tracking drain events
+    /// exactly should observe [`DomStore::recompressions`] instead.
+    pub fn apply(&self, doc: DocId, op: &UpdateOp) -> Result<(UpdateStats, MaintenanceReport)> {
+        let result = self.inner.apply_one(doc, op);
+        if matches!(&result, Err(RepairError::TargetOutOfRange { .. })) {
+            // Rejected before anything mutated: no debt, no maintenance.
+            return result.map(|stats| (stats, MaintenanceReport::default()));
+        }
+        let report = self.inner.after_update();
+        result.map(|stats| (stats, report))
+    }
+
+    /// Applies an operation sequence to a document through the batched
+    /// isolation pipeline (shared path prefixes isolated once per chunk),
+    /// then (under [`SchedulerConfig::auto`]) runs or signals a maintenance
+    /// sweep like [`DomStore::apply`].
+    ///
+    /// On error the document reflects every fully applied chunk, and the
+    /// growth is tracked as debt (see [`crate::update::apply_batch`]).
+    pub fn apply_batch(
+        &self,
+        doc: DocId,
+        ops: &[UpdateOp],
+    ) -> Result<(BatchStats, MaintenanceReport)> {
+        let result = self.inner.apply_batch_one(doc, ops);
+        let report = if ops.is_empty() {
+            MaintenanceReport::default()
+        } else {
+            self.inner.after_update()
+        };
+        result.map(|stats| (stats, report))
+    }
+
+    /// Applies one batch per document **in parallel** over a small worker
+    /// pool — the fan-out counterpart of [`DomStore::apply_batch`] for
+    /// cross-document write workloads. Jobs addressing *distinct* documents
+    /// run concurrently on their own shards; jobs sharing a document
+    /// serialize on its shard lock in unspecified relative order (pass
+    /// distinct ids for deterministic results). One maintenance sweep (or
+    /// background signal) runs after all jobs, not one per job.
+    ///
+    /// Returns per-job results in job order plus the sweep's report.
+    pub fn apply_batch_many(
+        &self,
+        jobs: &[(DocId, Vec<UpdateOp>)],
+    ) -> (Vec<Result<BatchStats>>, MaintenanceReport) {
+        let results = fan_out(jobs.len(), |i| {
+            let (doc, ops) = &jobs[i];
+            self.inner.apply_batch_one(*doc, ops)
+        });
+        let report = if jobs.iter().any(|(_, ops)| !ops.is_empty()) {
+            self.inner.after_update()
+        } else {
+            MaintenanceReport::default()
+        };
+        (results, report)
+    }
+
+    /// Runs one maintenance sweep: recompresses eligible documents (debt ≥
+    /// threshold) in decreasing debt order until the drain budget is spent.
+    /// At least one eligible document is drained per sweep. Returns what was
+    /// drained (possibly nothing). Safe to call from any thread; each drain
+    /// recompresses aside and swaps the document's snapshot atomically.
+    pub fn maintain(&self) -> MaintenanceReport {
+        self.inner.maintain()
+    }
+
+    /// Forces a recompression of one document, resetting its debt baseline.
+    /// The recompression runs aside on the shard (readers stay on the old
+    /// snapshot) and publishes with one atomic swap.
+    pub fn recompress(&self, doc: DocId) -> Result<RepairStats> {
+        self.inner.recompress(doc)
     }
 }
 
@@ -682,7 +1283,7 @@ mod tests {
 
     #[test]
     fn loading_shares_the_alphabet_and_round_trips() {
-        let mut store = DomStore::new();
+        let store = DomStore::new();
         let a = store.load_xml(&doc("feed", 6)).unwrap();
         let b = store.load_xml(&doc("feed", 9)).unwrap();
         let c = store.load_xml(&doc("blog", 4)).unwrap();
@@ -700,8 +1301,34 @@ mod tests {
     }
 
     #[test]
+    fn load_many_matches_sequential_loads_exactly() {
+        let xmls = vec![doc("feed", 6), doc("blog", 4), doc("feed", 9), doc("log", 5)];
+        let parallel = DomStore::new();
+        let par_ids = parallel.load_many(&xmls).unwrap();
+        let sequential = DomStore::new();
+        let seq_ids: Vec<DocId> = xmls.iter().map(|x| sequential.load_xml(x).unwrap()).collect();
+        assert_eq!(par_ids, seq_ids, "id assignment must match sequential loads");
+        assert_eq!(parallel.symbols().len(), sequential.symbols().len());
+        for (&p, &s) in par_ids.iter().zip(&seq_ids) {
+            assert_eq!(
+                parallel.to_xml(p).unwrap().to_xml(),
+                sequential.to_xml(s).unwrap().to_xml()
+            );
+            assert_eq!(
+                parallel.edge_count(p).unwrap(),
+                sequential.edge_count(s).unwrap(),
+                "parallel compression must produce the sequential grammar"
+            );
+        }
+        // Shared ids agree between the two stores (same interning order).
+        for name in ["feed", "item", "title", "#"] {
+            assert_eq!(parallel.symbols().get(name), sequential.symbols().get(name));
+        }
+    }
+
+    #[test]
     fn shared_ids_agree_across_documents() {
-        let mut store = DomStore::new();
+        let store = DomStore::new();
         let a = store.load_xml(&doc("feed", 3)).unwrap();
         let b = store.load_xml(&doc("feed", 5)).unwrap();
         let ga = store.grammar(a).unwrap();
@@ -714,13 +1341,14 @@ mod tests {
     }
 
     #[test]
-    fn reads_resolve_through_cached_tables() {
-        let mut store = DomStore::new();
+    fn reads_resolve_through_one_published_snapshot() {
+        let store = DomStore::new();
         let a = store.load_xml(&doc("feed", 5)).unwrap();
         let t1 = store.nav_tables(a).unwrap();
         let t2 = store.nav_tables(a).unwrap();
         assert!(Arc::ptr_eq(&t1, &t2));
-        assert_eq!(store.cursor(a).unwrap().label(), "feed");
+        let snap = store.snapshot(a).unwrap();
+        assert_eq!(snap.cursor().label(), "feed");
         assert_eq!(store.label_at(a, 1).unwrap(), "item");
         assert_eq!(store.query_str(a, "//item").unwrap().len(), 5);
         let q = PathQuery::parse("//item/title").unwrap();
@@ -728,7 +1356,7 @@ mod tests {
             store.query(a, &q).unwrap().len() as u128,
             store.query_count(a, &q).unwrap()
         );
-        let labels: usize = store.preorder_labels(a).unwrap().count();
+        let labels: usize = snap.preorder_labels().count();
         assert_eq!(labels as u128, store.derived_size(a).unwrap());
         // Reads never invalidate the snapshot.
         let t3 = store.nav_tables(a).unwrap();
@@ -736,8 +1364,32 @@ mod tests {
     }
 
     #[test]
+    fn held_snapshots_survive_updates_and_recompression() {
+        let store = DomStore::new();
+        let xml = doc("feed", 6);
+        let elements = element_positions(&xml);
+        let a = store.load_xml(&xml).unwrap();
+        let old = store.snapshot(a).unwrap();
+        let old_xml = old.to_xml().unwrap().to_xml();
+        let old_tables = old.nav_tables();
+
+        store
+            .apply(a, &UpdateOp::Rename { target: elements[1], label: "renamed".into() })
+            .unwrap();
+        store.recompress(a).unwrap();
+
+        // The held snapshot is bit-for-bit the pre-update document…
+        assert_eq!(old.to_xml().unwrap().to_xml(), old_xml);
+        assert!(Arc::ptr_eq(&old.nav_tables(), &old_tables));
+        // …while fresh reads see the new version through a new snapshot.
+        let new = store.snapshot(a).unwrap();
+        assert!(!Arc::ptr_eq(&old.grammar_arc(), &new.grammar_arc()));
+        assert_eq!(new.label_at(elements[1] as u128).unwrap(), "renamed");
+    }
+
+    #[test]
     fn updates_accrue_debt_and_the_scheduler_drains_the_worst_offender() {
-        let mut store = DomStore::new().with_scheduler(SchedulerConfig {
+        let store = DomStore::new().with_scheduler(SchedulerConfig {
             debt_threshold: 10,
             drain_budget: 0,
             auto: false,
@@ -772,7 +1424,7 @@ mod tests {
 
     #[test]
     fn auto_maintenance_runs_after_updates_and_batches() {
-        let mut store = DomStore::new().with_scheduler(SchedulerConfig {
+        let store = DomStore::new().with_scheduler(SchedulerConfig {
             debt_threshold: 8,
             drain_budget: 0,
             auto: true,
@@ -805,7 +1457,7 @@ mod tests {
 
     #[test]
     fn drain_budget_bounds_one_sweep_but_starves_nobody() {
-        let mut store = DomStore::new().with_scheduler(SchedulerConfig {
+        let store = DomStore::new().with_scheduler(SchedulerConfig {
             debt_threshold: 1,
             drain_budget: 1, // absurdly small: every sweep drains exactly one doc
             auto: false,
@@ -838,7 +1490,7 @@ mod tests {
 
     #[test]
     fn removed_documents_fail_cleanly_and_ids_are_not_reused() {
-        let mut store = DomStore::new();
+        let store = DomStore::new();
         let a = store.load_xml(&doc("feed", 3)).unwrap();
         let g = store.remove(a).unwrap();
         g.validate().unwrap();
@@ -854,9 +1506,129 @@ mod tests {
     }
 
     #[test]
+    fn generation_tags_make_stale_ids_aba_safe_under_slot_reuse() {
+        let store = DomStore::new();
+        let a = store.load_xml(&doc("feed", 3)).unwrap();
+        store.remove(a).unwrap();
+        let b = store.load_xml(&doc("blog", 3)).unwrap();
+        // The slot is reused, the id is not: the stale id must NOT address b.
+        assert_eq!(a.slot(), b.slot(), "the slab must reuse the freed slot");
+        assert!(a.generation() < b.generation());
+        assert!(matches!(
+            store.query_str(a, "//item"),
+            Err(RepairError::NoSuchDocument { .. })
+        ));
+        assert_eq!(store.label_at(b, 0).unwrap(), "blog");
+        // Churn: repeated remove/load cycles keep the slot vector bounded
+        // and maintenance sweeps only visit live documents.
+        for i in 0..10 {
+            let id = store.load_xml(&doc("churn", 2 + i % 3)).unwrap();
+            store.remove(id).unwrap();
+        }
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.doc_ids(), vec![b]);
+        assert!(store.maintain().is_empty());
+        assert!(
+            self::DomStore::new().inner.map.load().slots.is_empty(),
+            "sanity: fresh stores start with no slots"
+        );
+        assert!(
+            store.inner.map.load().slots.len() <= 2,
+            "freed slots must be reused, not appended"
+        );
+    }
+
+    #[test]
+    fn published_snapshots_do_not_inflate_resident_bytes() {
+        let store = DomStore::new();
+        let xml = doc("feed", 6);
+        let elements = element_positions(&xml);
+        let a = store.load_xml(&xml).unwrap();
+        let b = store.load_xml(&doc("blog", 4)).unwrap();
+        let baseline = store.symbol_stats();
+
+        // Hold several published snapshots and diverge the write state from
+        // the published one: the sealed segments are now referenced from the
+        // master, two write grammars, and the held snapshots — and must
+        // still count once.
+        let snap_a1 = store.snapshot(a).unwrap();
+        let snap_b = store.snapshot(b).unwrap();
+        store
+            .apply(a, &UpdateOp::Rename { target: elements[1], label: "zzz_private".into() })
+            .unwrap();
+        let snap_a2 = store.snapshot(a).unwrap();
+        let stats = store.symbol_stats();
+        assert_eq!(
+            stats.shared_bytes, baseline.shared_bytes,
+            "shared segments must count once across all snapshots: {stats:?}"
+        );
+        // The rename interned a private label: only tail bytes may grow.
+        assert!(stats.private_bytes > baseline.private_bytes);
+        drop((snap_a1, snap_a2, snap_b));
+    }
+
+    #[test]
+    fn cloned_stores_are_independent() {
+        let store = DomStore::new();
+        let xml = doc("feed", 5);
+        let elements = element_positions(&xml);
+        let a = store.load_xml(&xml).unwrap();
+        let before = store.to_xml(a).unwrap().to_xml();
+        let copy = store.clone();
+        assert_eq!(copy.to_xml(a).unwrap().to_xml(), before, "ids survive cloning");
+        copy.apply(a, &UpdateOp::Rename { target: elements[1], label: "only_copy".into() })
+            .unwrap();
+        assert_eq!(store.to_xml(a).unwrap().to_xml(), before, "copy-on-write isolation");
+        assert_ne!(copy.to_xml(a).unwrap().to_xml(), before);
+    }
+
+    #[test]
+    fn background_maintenance_drains_debt_off_the_request_path() {
+        let mut store = DomStore::new().with_scheduler(SchedulerConfig {
+            debt_threshold: 8,
+            drain_budget: 0,
+            auto: true,
+        });
+        store.start_maintenance(Duration::from_millis(1));
+        assert!(store.maintenance_running());
+        let xml = doc("feed", 12);
+        let elements = element_positions(&xml);
+        let a = store.load_xml(&xml).unwrap();
+        for i in 0..20 {
+            let (_, report) = store
+                .apply(
+                    a,
+                    &UpdateOp::Rename {
+                        target: elements[2 * (i % 8) + 1],
+                        label: format!("x{i}"),
+                    },
+                )
+                .unwrap();
+            assert!(
+                report.is_empty(),
+                "with a worker attached, drains leave the request path"
+            );
+        }
+        // The worker catches up within its poll interval.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while store.debt(a).unwrap() >= 8 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(store.debt(a).unwrap() < 8, "the background thread must drain debt");
+        assert!(store.recompressions(a).unwrap() >= 1);
+        store.stop_maintenance();
+        assert!(!store.maintenance_running());
+        store.grammar(a).unwrap().validate().unwrap();
+        assert!(
+            store.to_xml(a).unwrap().to_xml().matches("x19").count() >= 1,
+            "updates and background recompression must compose"
+        );
+    }
+
+    #[test]
     fn failed_load_grammar_leaves_the_master_table_untouched() {
         use sltgrammar::text::parse_grammar;
-        let mut store = DomStore::new();
+        let store = DomStore::new();
         store.load_xml(&doc("feed", 3)).unwrap();
         let symbols_before = store.symbols().len();
         // A foreign monadic grammar: `fresh` (rank 1) absorbs fine before
@@ -874,7 +1646,7 @@ mod tests {
     #[test]
     fn failed_load_xml_leaves_the_master_table_untouched() {
         use sltgrammar::text::parse_grammar;
-        let mut store = DomStore::new();
+        let store = DomStore::new();
         // A monadic grammar interns `item` at rank 1 into the store.
         store.load_grammar(parse_grammar("S -> item(#)").unwrap()).unwrap();
         let symbols_before = store.symbols().len();
@@ -893,7 +1665,7 @@ mod tests {
         // The foreign table carries a stale `item` at rank 1 that no rule
         // body uses; it must neither conflict with the store's rank-2 `item`
         // nor join the shared alphabet.
-        let mut store = DomStore::new();
+        let store = DomStore::new();
         store.load_xml(&doc("feed", 3)).unwrap();
         let mut foreign_symbols = SymbolTable::new();
         foreign_symbols.intern("item", 1).unwrap();
@@ -914,7 +1686,7 @@ mod tests {
     fn load_grammar_rebases_foreign_alphabets() {
         // A grammar compressed privately (its own table, different id order)
         // joins the store and keeps serializing identically.
-        let mut store = DomStore::new();
+        let store = DomStore::new();
         store.load_xml(&doc("feed", 4)).unwrap();
         let xml = parse_xml("<other><title/><feed/><zzz/></other>").unwrap();
         let (foreign, _) = GrammarRePair::default().compress_xml(&xml);

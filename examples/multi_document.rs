@@ -16,7 +16,7 @@ use slt_xml::DomStore;
 
 fn main() {
     // 1. Load six similar documents into one store.
-    let mut store = DomStore::new().with_scheduler(SchedulerConfig {
+    let store = DomStore::new().with_scheduler(SchedulerConfig {
         debt_threshold: 400,
         drain_budget: 20_000,
         auto: true,

@@ -23,14 +23,14 @@ fn main() {
         2 * xml.node_count()
     );
     let dom = CompressedDom::from_xml(&xml, 100);
-    let bytes = serialize::encode(dom.grammar());
+    let bytes = serialize::encode(&dom.grammar());
     println!(
         "compressed: {} grammar edges, {} bytes on disk ({:.2} bytes per element)",
         dom.edge_count(),
         bytes.len(),
         bytes.len() as f64 / xml.node_count() as f64
     );
-    let original_fingerprint = fingerprint(dom.grammar());
+    let original_fingerprint = fingerprint(&dom.grammar());
 
     // 2. Reload from the serialized form — the grammar round-trips exactly.
     let reloaded = serialize::decode(&bytes).expect("well-formed .sltg bytes");
@@ -41,7 +41,7 @@ fn main() {
     let mut dom = CompressedDom::from_grammar(reloaded, 50);
     let citations_before = PathQuery::parse("//citation")
         .unwrap()
-        .count(dom.grammar());
+        .count(&dom.grammar());
     let fragment = slt_xml::xmltree::parse::parse_xml(
         "<citation><pmid/><article><title/><abstract/></article></citation>",
     )
@@ -63,17 +63,17 @@ fn main() {
     );
     let citations_after = PathQuery::parse("//citation")
         .unwrap()
-        .count(dom.grammar());
+        .count(&dom.grammar());
     println!("citations: {citations_before} -> {citations_after}");
 
     // 4. Store the edited document again.
-    let edited = serialize::encode(dom.grammar());
+    let edited = serialize::encode(&dom.grammar());
     println!(
         "edited document stored in {} bytes (was {} bytes)",
         edited.len(),
         bytes.len()
     );
     let back = serialize::decode(&edited).expect("well-formed .sltg bytes");
-    assert_eq!(fingerprint(&back), fingerprint(dom.grammar()));
+    assert_eq!(fingerprint(&back), fingerprint(&dom.grammar()));
     println!("round-trip of the edited grammar verified");
 }

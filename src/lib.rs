@@ -27,7 +27,7 @@ pub use grammar_repair::session::CompressedDom;
 /// Convenience re-export of the multi-document session: many compressed
 /// documents behind one shared symbol table and a debt-based recompression
 /// scheduler.
-pub use grammar_repair::store::{DocId, DomStore};
+pub use grammar_repair::store::{DocId, DomStore, Snapshot};
 
 /// Convenience re-export of the read-only navigation cursor over a grammar.
 pub use grammar_repair::navigate::Cursor;

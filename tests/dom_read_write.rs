@@ -51,7 +51,7 @@ fn mixed_workload_with_recompression_matches_the_reference() {
     let mut reference_bin = to_binary(&xml, &mut symbols).unwrap();
 
     let mut dom = CompressedDom::from_xml(&xml, 25);
-    assert_eq!(fingerprint(dom.grammar()), tree_fingerprint(&reference_bin, &symbols));
+    assert_eq!(fingerprint(&dom.grammar()), tree_fingerprint(&reference_bin, &symbols));
 
     let fragment = parse_xml("<erratum><note/></erratum>").unwrap();
     let labels = ["paper", "retracted", "editorial", "report"];
@@ -89,20 +89,20 @@ fn mixed_workload_with_recompression_matches_the_reference() {
         if step % 10 == 0 {
             // Structural equivalence.
             assert_eq!(
-                fingerprint(dom.grammar()),
+                fingerprint(&dom.grammar()),
                 tree_fingerprint(&reference_bin, &symbols),
                 "divergence after {applied} applied updates"
             );
             // Read path equivalence.
             let reference_xml = from_binary(&reference_bin, &symbols).unwrap();
             assert_eq!(
-                element_count(dom.grammar()),
+                element_count(&dom.grammar()),
                 reference_xml.node_count() as u128
             );
             for text in queries {
                 let q = PathQuery::parse(text).unwrap();
                 assert_eq!(
-                    q.count(dom.grammar()),
+                    q.count(&dom.grammar()),
                     q.evaluate_uncompressed(&reference_xml).len() as u128,
                     "query {text} diverged after {applied} applied updates"
                 );
@@ -137,13 +137,13 @@ fn recompression_never_changes_query_results() {
     let queries = ["//paper", "//tag0", "//tag3//a", "//issue/paper/title"];
     let before: Vec<u128> = queries
         .iter()
-        .map(|q| PathQuery::parse(q).unwrap().count(dom.grammar()))
+        .map(|q| PathQuery::parse(q).unwrap().count(&dom.grammar()))
         .collect();
     let edges_before = dom.edge_count();
     dom.recompress_now();
     let after: Vec<u128> = queries
         .iter()
-        .map(|q| PathQuery::parse(q).unwrap().count(dom.grammar()))
+        .map(|q| PathQuery::parse(q).unwrap().count(&dom.grammar()))
         .collect();
     assert_eq!(before, after);
     // Allow a handful of edges of slack: recompression of small grammars can

@@ -235,6 +235,63 @@ fn assert_reads_match_binary(
     }
 }
 
+/// `doc_prev_sibling` vs the pointer-tree oracle: at every element of every
+/// corpus document (both compressors), the cursor's previous-sibling move
+/// must agree with the parent's child list — including the round trip back
+/// via `doc_next_sibling` and the stay-put guarantee at first children.
+#[test]
+fn doc_prev_sibling_matches_the_pointer_tree_oracle() {
+    let mut documents: Vec<(String, XmlTree)> = vec![(
+        "heterogeneous".to_string(),
+        heterogeneous_records_like(4, 24),
+    )];
+    documents.push((
+        Dataset::ExiWeblog.name().to_string(),
+        Dataset::ExiWeblog.generate(0.01),
+    ));
+    for (name, xml) in &documents {
+        // Oracle: per document-preorder element, its previous sibling's
+        // label (None for first children and the root).
+        let order = xml.preorder();
+        let prev_label: Vec<Option<String>> = order
+            .iter()
+            .map(|&n| {
+                let parent = xml.parent(n)?;
+                let siblings = xml.children(parent);
+                let at = siblings.iter().position(|&s| s == n).expect("child listed");
+                (at > 0).then(|| xml.label(siblings[at - 1]).to_string())
+            })
+            .collect();
+
+        for (compressor, g) in [
+            ("grammarrepair", GrammarRePair::default().compress_xml(xml).0),
+            ("treerepair", TreeRePair::default().compress_xml(xml).0),
+        ] {
+            let tables = Arc::new(NavTables::build(&g));
+            for (i, expected) in prev_label.iter().enumerate() {
+                let context = format!("{name}/{compressor}: element {i}");
+                let mut cursor = Cursor::with_tables(&g, tables.clone());
+                assert!(cursor.nth_element(i as u128), "{context} addressable");
+                let here = xml.label(order[i]);
+                assert_eq!(cursor.label(), here, "{context} positioned");
+                match expected {
+                    Some(prev) => {
+                        assert!(cursor.doc_prev_sibling(), "{context} has a prev sibling");
+                        assert_eq!(cursor.label(), prev, "{context} prev label");
+                        // The move is invertible: next-sibling returns here.
+                        assert!(cursor.doc_next_sibling(), "{context} round trip");
+                        assert_eq!(cursor.label(), here, "{context} round-trip label");
+                    }
+                    None => {
+                        assert!(!cursor.doc_prev_sibling(), "{context} is a first child");
+                        assert_eq!(cursor.label(), here, "{context} failed move stays put");
+                    }
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn fast_read_paths_match_oracles_on_the_heterogeneous_corpus() {
     let mut documents: Vec<(String, XmlTree)> = vec![(
@@ -288,11 +345,11 @@ fn session_reads_survive_update_recompress_cycles() {
                     "{label}: batch {b} must invalidate the cached NavTables"
                 );
             }
-            assert!(tables.is_current(dom.grammar()));
+            assert!(tables.is_current(&dom.grammar()));
             last_tables = Some(tables.clone());
 
             let context = format!("{label}/batch{b}");
-            assert_reads_match_binary(&oracle, &symbols, dom.grammar(), &tables, &context);
+            assert_reads_match_binary(&oracle, &symbols, &dom.grammar(), &tables, &context);
 
             // Session convenience reads resolve through the same cache.
             let q = PathQuery::parse("//entry").unwrap();
@@ -311,7 +368,7 @@ fn session_reads_survive_update_recompress_cycles() {
                 );
                 last_tables = Some(tables.clone());
                 let context = format!("{label}/batch{b}/recompressed");
-                assert_reads_match_binary(&oracle, &symbols, dom.grammar(), &tables, &context);
+                assert_reads_match_binary(&oracle, &symbols, &dom.grammar(), &tables, &context);
             }
         }
     }

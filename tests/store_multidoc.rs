@@ -109,7 +109,7 @@ fn interleaved_updates_across_documents_stay_byte_identical_to_their_oracles() {
     let docs = corpus();
     let ops = workloads(&docs, 48);
     // Small threshold + auto: the scheduler recompresses mid-schedule.
-    let mut store = DomStore::new().with_scheduler(SchedulerConfig {
+    let store = DomStore::new().with_scheduler(SchedulerConfig {
         debt_threshold: 60,
         drain_budget: 0,
         auto: true,
@@ -166,7 +166,7 @@ fn interleaved_updates_across_documents_stay_byte_identical_to_their_oracles() {
 #[test]
 fn updating_one_document_never_invalidates_anothers_tables() {
     let docs = corpus();
-    let mut store = DomStore::new();
+    let store = DomStore::new();
     let a = store.load_xml(&docs[0]).unwrap();
     let b = store.load_xml(&docs[1]).unwrap();
     let b_before = store_serialization(&store, b);
@@ -190,7 +190,7 @@ fn updating_one_document_never_invalidates_anothers_tables() {
 #[test]
 fn shared_table_round_trips_and_beats_private_tables() {
     let docs = corpus();
-    let mut store = DomStore::new();
+    let store = DomStore::new();
     let ids: Vec<DocId> = docs.iter().map(|x| store.load_xml(x).unwrap()).collect();
     // Byte-identical round trip for every document through the shared table.
     for (xml, &id) in docs.iter().zip(&ids) {
@@ -214,7 +214,7 @@ fn shared_table_round_trips_and_beats_private_tables() {
     // Serialize/decode round trip per document (private table view).
     for &id in &ids {
         let g = store.grammar(id).unwrap();
-        let bytes = slt_xml::sltgrammar::serialize::encode(g);
+        let bytes = slt_xml::sltgrammar::serialize::encode(&g);
         let back = slt_xml::sltgrammar::serialize::decode(&bytes).unwrap();
         assert_eq!(
             from_binary(
@@ -231,7 +231,7 @@ fn shared_table_round_trips_and_beats_private_tables() {
 #[test]
 fn update_interned_labels_stay_private_to_their_document() {
     let docs = corpus();
-    let mut store = DomStore::new();
+    let store = DomStore::new();
     let a = store.load_xml(&docs[0]).unwrap();
     let b = store.load_xml(&docs[1]).unwrap();
     // Rename an element of A to a label no document has seen.
@@ -277,11 +277,11 @@ fn positional_reads_agree_with_cursor_stepping_across_update_cycles() {
         // and element numbering.
         let tables = store.nav_tables(id).unwrap();
         let grammar = store.grammar(id).unwrap();
-        let mut stepper = slt_xml::Cursor::with_tables(grammar, tables.clone());
+        let mut stepper = slt_xml::Cursor::with_tables(&grammar, tables.clone());
         let mut elements: u128 = 0;
         let mut sizes: Vec<u128> = Vec::new();
         for idx in 0..total {
-            let mut jumper = slt_xml::Cursor::with_tables(grammar, tables.clone());
+            let mut jumper = slt_xml::Cursor::with_tables(&grammar, tables.clone());
             assert!(jumper.node_at_preorder(idx), "{context}: index {idx} in range");
             assert_eq!(jumper.label(), stepper.label(), "{context}: label at {idx}");
             assert_eq!(
@@ -291,7 +291,7 @@ fn positional_reads_agree_with_cursor_stepping_across_update_cycles() {
             );
             sizes.push(stepper.subtree_size());
             if !stepper.is_null() {
-                let mut nth = slt_xml::Cursor::with_tables(grammar, tables.clone());
+                let mut nth = slt_xml::Cursor::with_tables(&grammar, tables.clone());
                 assert!(nth.nth_element(elements), "{context}: element {elements}");
                 assert_eq!(nth.label(), stepper.label());
                 elements += 1;
@@ -311,7 +311,7 @@ fn positional_reads_agree_with_cursor_stepping_across_update_cycles() {
                 }
             }
         }
-        assert!(!slt_xml::Cursor::with_tables(grammar, tables).node_at_preorder(total));
+        assert!(!slt_xml::Cursor::with_tables(&grammar, tables).node_at_preorder(total));
         // Subtree sizes are consistent: each node's size is 1 + children.
         // (Cheap sanity on top of the cross-check above: the root covers all.)
         assert_eq!(sizes[0], total, "{context}: root subtree covers the document");
