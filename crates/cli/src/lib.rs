@@ -11,10 +11,17 @@
 //! sltxml query      <in.xml | in.sltg> <path expression> [--positions]
 //! sltxml update     <in.sltg> -o <out.sltg> [--rename idx=label]... [--delete idx]...
 //!                   [--insert idx=<xml>]... [--recompress]
-//! sltxml store      <in.xml | in.sltg>... [--query <path>]
+//! sltxml store      <in.xml | in.sltg>... [--query <path>] [--wal <dir>]
+//! sltxml store      checkpoint --wal <dir>
+//! sltxml store      recover    --wal <dir>
 //! sltxml sizes      <in.xml>
 //! sltxml generate   <dataset> [--scale f] -o <out.xml>
 //! ```
+//!
+//! With `--wal <dir>` the store becomes durable: documents are loaded
+//! through a write-ahead log in `<dir>`, `store checkpoint` folds the log
+//! into an atomic snapshot, and `store recover` replays whatever a crash
+//! left behind and reports what it found.
 
 use std::fmt::Write as _;
 use std::fs;
@@ -25,7 +32,9 @@ use datasets::Dataset;
 use grammar_repair::navigate::{element_count, label_counts};
 use grammar_repair::query::PathQuery;
 use grammar_repair::update::{delete, insert_before, rename};
-use grammar_repair::{GrammarRePair, GrammarRePairConfig};
+use grammar_repair::{
+    DomStore, DurableStore, GrammarRePair, GrammarRePairConfig, RecoveryReport,
+};
 use sltgrammar::{serialize, Grammar};
 use succinct_xml::SuccinctDom;
 use treerepair::TreeRePair;
@@ -69,7 +78,9 @@ USAGE:
   sltxml query      <in.xml | in.sltg> <path> [--positions]
   sltxml update     <in.sltg> -o <out.sltg> [--rename idx=label]... [--delete idx]...
                     [--insert idx=<xml>]... [--recompress]
-  sltxml store      <in.xml | in.sltg>... [--query <path>]
+  sltxml store      <in.xml | in.sltg>... [--query <path>] [--wal <dir>]
+  sltxml store      checkpoint --wal <dir>
+  sltxml store      recover    --wal <dir>
   sltxml sizes      <in.xml>
   sltxml generate   <dataset> [--scale f] -o <out.xml>
       datasets: exi-weblog, xmark, exi-telecomp, treebank, medline, ncbi";
@@ -112,6 +123,7 @@ const VALUE_OPTIONS: &[&str] = &[
     "--delete",
     "--insert",
     "--query",
+    "--wal",
 ];
 
 fn parse_args(args: &[String]) -> Result<Parsed, CliError> {
@@ -399,12 +411,114 @@ fn cmd_update(args: &[String]) -> Result<String, CliError> {
     Ok(report)
 }
 
+/// A store backing for `sltxml store`: plain in-memory, or write-ahead
+/// logged into a `--wal` directory.
+enum StoreBacking {
+    Plain(DomStore),
+    Durable(Box<DurableStore>, RecoveryReport),
+}
+
+impl StoreBacking {
+    fn dom(&self) -> &DomStore {
+        match self {
+            StoreBacking::Plain(s) => s,
+            StoreBacking::Durable(s, _) => s.dom(),
+        }
+    }
+
+    fn load(&self, input: Input) -> grammar_repair::Result<grammar_repair::DocId> {
+        match (self, input) {
+            (StoreBacking::Plain(s), Input::Xml(xml)) => s.load_xml(&xml),
+            (StoreBacking::Plain(s), Input::Grammar(g)) => s.load_grammar(g),
+            (StoreBacking::Durable(s, _), Input::Xml(xml)) => s.load_xml(&xml),
+            (StoreBacking::Durable(s, _), Input::Grammar(g)) => s.load_grammar(g),
+        }
+    }
+}
+
+fn open_wal_dir(dir: &str) -> Result<(DurableStore, RecoveryReport), CliError> {
+    DurableStore::open(dir)
+        .map_err(|e| CliError::failure(format!("cannot open WAL directory `{dir}`: {e}")))
+}
+
+fn recovery_lines(report: &mut String, recovery: &RecoveryReport) {
+    writeln!(report, "recovered to lsn   {}", recovery.last_lsn).unwrap();
+    writeln!(
+        report,
+        "checkpoint         lsn {}, {} documents",
+        recovery.checkpoint_lsn, recovery.checkpoint_docs
+    )
+    .unwrap();
+    writeln!(report, "records replayed   {}", recovery.replayed).unwrap();
+    if recovery.torn_tail {
+        writeln!(
+            report,
+            "torn tail          truncated {} bytes of an unfinished record",
+            recovery.truncated_bytes
+        )
+        .unwrap();
+    } else {
+        writeln!(report, "torn tail          none").unwrap();
+    }
+}
+
+fn cmd_store_recover(parsed: &Parsed) -> Result<String, CliError> {
+    let Some(dir) = parsed.option(&["--wal"]) else {
+        return Err(CliError::usage("store recover needs `--wal <dir>`"));
+    };
+    let (store, recovery) = open_wal_dir(dir)?;
+    let mut report = String::new();
+    recovery_lines(&mut report, &recovery);
+    writeln!(report, "documents          {}", store.len()).unwrap();
+    for id in store.doc_ids() {
+        let grammar = store
+            .grammar(id)
+            .map_err(|e| CliError::failure(e.to_string()))?;
+        writeln!(
+            report,
+            "  doc #{:<4} {:>10} edges {:>12} elements",
+            id.slot(),
+            store.edge_count(id).map_err(|e| CliError::failure(e.to_string()))?,
+            element_count(&grammar),
+        )
+        .unwrap();
+    }
+    Ok(report)
+}
+
+fn cmd_store_checkpoint(parsed: &Parsed) -> Result<String, CliError> {
+    let Some(dir) = parsed.option(&["--wal"]) else {
+        return Err(CliError::usage("store checkpoint needs `--wal <dir>`"));
+    };
+    let (store, recovery) = open_wal_dir(dir)?;
+    let checkpoint = store
+        .checkpoint()
+        .map_err(|e| CliError::failure(format!("checkpoint failed: {e}")))?;
+    let mut report = String::new();
+    recovery_lines(&mut report, &recovery);
+    writeln!(report, "{checkpoint}").unwrap();
+    Ok(report)
+}
+
 fn cmd_store(args: &[String]) -> Result<String, CliError> {
     let parsed = parse_args(args)?;
+    match parsed.positionals.first().map(String::as_str) {
+        Some("recover") if parsed.positionals.len() == 1 => return cmd_store_recover(&parsed),
+        Some("checkpoint") if parsed.positionals.len() == 1 => {
+            return cmd_store_checkpoint(&parsed)
+        }
+        _ => {}
+    }
     if parsed.positionals.is_empty() {
         return Err(CliError::usage("store expects at least one input file"));
     }
-    let store = grammar_repair::store::DomStore::new();
+    let backing = match parsed.option(&["--wal"]) {
+        Some(dir) => {
+            let (store, recovery) = open_wal_dir(dir)?;
+            StoreBacking::Durable(Box::new(store), recovery)
+        }
+        None => StoreBacking::Plain(DomStore::new()),
+    };
     let mut report = String::new();
     writeln!(
         report,
@@ -414,14 +528,10 @@ fn cmd_store(args: &[String]) -> Result<String, CliError> {
     .unwrap();
     let mut ids = Vec::new();
     for path in &parsed.positionals {
-        let id = match load_input(path)? {
-            Input::Xml(xml) => store
-                .load_xml(&xml)
-                .map_err(|e| CliError::failure(format!("cannot load `{path}`: {e}")))?,
-            Input::Grammar(g) => store
-                .load_grammar(g)
-                .map_err(|e| CliError::failure(format!("cannot load `{path}`: {e}")))?,
-        };
+        let id = backing
+            .load(load_input(path)?)
+            .map_err(|e| CliError::failure(format!("cannot load `{path}`: {e}")))?;
+        let store = backing.dom();
         let short = Path::new(path)
             .file_name()
             .map(|n| n.to_string_lossy().into_owned())
@@ -437,6 +547,7 @@ fn cmd_store(args: &[String]) -> Result<String, CliError> {
         .unwrap();
         ids.push(id);
     }
+    let store = backing.dom();
     let stats = store.symbol_stats();
     writeln!(report).unwrap();
     writeln!(report, "documents          {}", store.len()).unwrap();
@@ -456,6 +567,11 @@ fn cmd_store(args: &[String]) -> Result<String, CliError> {
         stats.unshared_bytes as f64 / stats.resident_bytes().max(1) as f64
     )
     .unwrap();
+    if let StoreBacking::Durable(durable, recovery) = &backing {
+        writeln!(report).unwrap();
+        recovery_lines(&mut report, recovery);
+        writeln!(report, "durable lsn        {}", durable.durable_lsn()).unwrap();
+    }
     if let Some(path) = parsed.option(&["--query"]) {
         let query = PathQuery::parse(path).map_err(|e| CliError::failure(e.to_string()))?;
         writeln!(report).unwrap();
@@ -729,6 +845,53 @@ mod tests {
 
         let err = run(&args(&["store"])).unwrap_err();
         assert!(err.message.contains("at least one"));
+    }
+
+    #[test]
+    fn store_with_wal_loads_checkpoints_and_recovers() {
+        let a = write_doc("wal-a.xml");
+        let b_path = temp_path("wal-b.xml");
+        fs::write(
+            &b_path,
+            "<catalog><item><name/><price/></item><extra/></catalog>",
+        )
+        .unwrap();
+        let dir = temp_path("wal-dir");
+        let _ = fs::remove_dir_all(&dir);
+
+        // Load two documents through the log.
+        let report = run(&args(&["store", &a, &b_path, "--wal", &dir])).unwrap();
+        assert!(report.contains("documents          2"), "{report}");
+        assert!(report.contains("durable lsn        2"), "{report}");
+        assert!(report.contains("torn tail          none"), "{report}");
+
+        // A fresh process recovers both documents purely from the log.
+        let report = run(&args(&["store", "recover", "--wal", &dir])).unwrap();
+        assert!(report.contains("records replayed   2"), "{report}");
+        assert!(report.contains("documents          2"), "{report}");
+
+        // Checkpoint folds the log into a snapshot...
+        let report = run(&args(&["store", "checkpoint", "--wal", &dir])).unwrap();
+        assert!(report.contains("checkpoint at lsn 2: 2 docs"), "{report}");
+
+        // ...after which recovery replays nothing.
+        let report = run(&args(&["store", "recover", "--wal", &dir])).unwrap();
+        assert!(report.contains("records replayed   0"), "{report}");
+        assert!(report.contains("checkpoint         lsn 2, 2 documents"), "{report}");
+
+        // A torn tail (half a record appended by a crashed writer) is
+        // truncated and reported, not an error.
+        let log = format!("{dir}/wal.log");
+        let mut bytes = fs::read(&log).unwrap();
+        bytes.extend_from_slice(&[42, 0, 0, 0, 1, 2, 3]); // length says 42, 3 payload bytes present
+        fs::write(&log, &bytes).unwrap();
+        let report = run(&args(&["store", "recover", "--wal", &dir])).unwrap();
+        assert!(report.contains("torn tail          truncated 7 bytes"), "{report}");
+
+        let err = run(&args(&["store", "recover"])).unwrap_err();
+        assert!(err.message.contains("--wal"));
+        let err = run(&args(&["store", "checkpoint"])).unwrap_err();
+        assert!(err.message.contains("--wal"));
     }
 
     #[test]

@@ -1,0 +1,735 @@
+//! `DurableStore` — a crash-safe [`DomStore`]: every mutation is written
+//! ahead to a [`crate::wal::Wal`], checkpoints serialize the whole store
+//! atomically, and [`DurableStore::open`] recovers the exact pre-crash state
+//! by restoring the last checkpoint and replaying the log tail.
+//!
+//! # What is logged, and when
+//!
+//! Each mutating call commits exactly one record *before* touching the
+//! in-memory store (fsync-before-apply — see the [`crate::wal`] module docs
+//! for the commit protocol):
+//!
+//! * [`DurableStore::load_xml`] logs the XML fragment itself; replay re-runs
+//!   the same compression against the same shared-alphabet state, so the
+//!   recovered grammar and [`DocId`] are bit-identical to the original.
+//! * [`DurableStore::load_grammar`] logs the grammar's binary encoding.
+//! * [`DurableStore::remove`] logs the removed id; replay reproduces the
+//!   slab's free-list state (and therefore all later id assignments).
+//! * [`DurableStore::apply`] / [`DurableStore::apply_batch`] log the batch;
+//!   [`DurableStore::apply_batch_many`] logs **one** record for the whole
+//!   fan-out, so the multi-document batch pays one fsync built-in, and
+//!   concurrent single-document writers share fsyncs through the log's
+//!   leader-based group commit.
+//!
+//! Maintenance (recompression) is deliberately **not** logged: it never
+//! changes the derived document, so replaying the update log against the
+//! checkpoint reproduces the same documents regardless of when
+//! recompressions ran.
+//!
+//! # Ordering discipline
+//!
+//! Replay applies records strictly in LSN order, so the log order must
+//! agree with the in-memory apply order wherever the two operations do not
+//! commute: a per-document lock is held across *commit + apply* for
+//! updates, a store-level lifecycle lock for loads and removals (which
+//! contend on the slab and the shared alphabet). Operations on distinct
+//! documents commute, so their records may interleave freely — that is
+//! what lets their commits coalesce into shared fsyncs.
+//!
+//! # Checkpoints and recovery
+//!
+//! [`DurableStore::checkpoint`] quiesces writers (a write-gate every
+//! mutator holds for read), captures the slab layout and every document's
+//! grammar (via `sltgrammar::serialize`, CRC-framed), writes the checkpoint
+//! file atomically (temp + rename), and only then truncates the log.
+//! Recovery reads the checkpoint (if any), restores the slab, replays log
+//! records with `lsn > checkpoint_lsn`, truncates a torn final record
+//! silently, and surfaces genuinely corrupt records as
+//! [`RepairError::WalCorrupt`]. Replayed operations that failed originally
+//! (stale ids, out-of-range targets) fail identically on replay — per-op
+//! errors are deliberately not fatal to recovery.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, RwLock};
+
+use sltgrammar::serialize;
+use sltgrammar::Grammar;
+use xmltree::updates::UpdateOp;
+use xmltree::wire::{self, WireReader};
+use xmltree::XmlTree;
+
+use crate::error::{RepairError, Result};
+use crate::navigate::NavTables;
+use crate::query::QueryMatches;
+use crate::repair::RepairStats;
+use crate::store::{DocId, DomStore, MaintenanceReport, SlabLayout, Snapshot};
+use crate::update::{BatchStats, UpdateStats};
+use crate::wal::{read_log, DiskFs, StorageFs, Wal, WalEntry, WalRecord};
+
+/// Magic bytes of the checkpoint file.
+pub const CHECKPOINT_MAGIC: &[u8; 4] = b"SLCK";
+/// Version byte of the checkpoint format.
+pub const CHECKPOINT_VERSION: u8 = 1;
+
+/// What [`DurableStore::open`] found and did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// LSN recorded in the checkpoint (0 when none existed).
+    pub checkpoint_lsn: u64,
+    /// Documents restored from the checkpoint.
+    pub checkpoint_docs: usize,
+    /// Log records replayed (those with `lsn > checkpoint_lsn`).
+    pub replayed: u64,
+    /// LSN of the last durable record after recovery.
+    pub last_lsn: u64,
+    /// Whether a torn final record was truncated from the log.
+    pub torn_tail: bool,
+    /// Bytes the torn-tail truncation removed.
+    pub truncated_bytes: u64,
+}
+
+impl std::fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "recovered to lsn {} (checkpoint: lsn {}, {} docs; replayed {} records{})",
+            self.last_lsn,
+            self.checkpoint_lsn,
+            self.checkpoint_docs,
+            self.replayed,
+            if self.torn_tail {
+                format!("; truncated a torn tail of {} bytes", self.truncated_bytes)
+            } else {
+                String::new()
+            }
+        )
+    }
+}
+
+/// What [`DurableStore::checkpoint`] wrote.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CheckpointReport {
+    /// LSN the checkpoint covers: replay skips records at or below it.
+    pub last_lsn: u64,
+    /// Documents serialized into the checkpoint.
+    pub documents: usize,
+    /// Size of the checkpoint file in bytes.
+    pub bytes: usize,
+}
+
+impl std::fmt::Display for CheckpointReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "checkpoint at lsn {}: {} docs, {} bytes; log truncated",
+            self.last_lsn, self.documents, self.bytes
+        )
+    }
+}
+
+/// A crash-safe multi-document store: a [`DomStore`] whose every mutation
+/// is write-ahead logged, plus checkpointing and recovery (see the module
+/// docs).
+pub struct DurableStore {
+    store: DomStore,
+    wal: Wal,
+    fs: Arc<dyn StorageFs>,
+    checkpoint_path: String,
+    /// Writers hold this for read across commit+apply; [`DurableStore::checkpoint`]
+    /// takes it for write to quiesce them all.
+    gate: RwLock<()>,
+    /// Orders lifecycle events (load/remove) among themselves: they contend
+    /// on the slab and the shared alphabet, so their log order must match
+    /// their apply order.
+    lifecycle: Mutex<()>,
+    /// Per-document commit+apply locks: ops on one document must reach the
+    /// log in the order they reach the grammar.
+    doc_locks: Mutex<HashMap<DocId, Arc<Mutex<()>>>>,
+}
+
+fn log_path(dir: &str) -> String {
+    format!("{dir}/wal.log")
+}
+
+fn checkpoint_path(dir: &str) -> String {
+    format!("{dir}/checkpoint.slck")
+}
+
+impl DurableStore {
+    /// Opens (or creates) a durable store in `dir` on the real filesystem,
+    /// recovering whatever a previous incarnation left there. The directory
+    /// is created if missing.
+    pub fn open(dir: &str) -> Result<(Self, RecoveryReport)> {
+        std::fs::create_dir_all(dir).map_err(|e| RepairError::Storage {
+            detail: format!("create `{dir}`: {e}"),
+        })?;
+        Self::open_with(Arc::new(DiskFs), dir)
+    }
+
+    /// Opens (or creates) a durable store over an injected storage backend —
+    /// the seam the fault-injection suite drives with
+    /// [`crate::wal::testing::FailpointFs`].
+    pub fn open_with(fs: Arc<dyn StorageFs>, dir: &str) -> Result<(Self, RecoveryReport)> {
+        let log = log_path(dir);
+        let ckpt = checkpoint_path(dir);
+        let store = DomStore::new();
+        let mut report = RecoveryReport::default();
+
+        if let Some(bytes) = fs.read(&ckpt)? {
+            let (lsn, layout, docs) = decode_checkpoint(&bytes)?;
+            report.checkpoint_lsn = lsn;
+            report.checkpoint_docs = docs.len();
+            store.restore_slab(layout, docs)?;
+        }
+
+        let log_bytes = fs.read(&log)?.unwrap_or_default();
+        let replay = read_log(&log_bytes)?;
+        if replay.torn {
+            report.torn_tail = true;
+            report.truncated_bytes = log_bytes.len() as u64 - replay.valid_len;
+            fs.set_len(&log, replay.valid_len)?;
+            fs.sync(&log)?;
+        }
+        let mut last_lsn = report.checkpoint_lsn.max(replay.last_lsn());
+        for (lsn, entry) in replay.records {
+            if lsn <= report.checkpoint_lsn {
+                continue; // already folded into the checkpoint
+            }
+            apply_entry(&store, entry);
+            report.replayed += 1;
+            last_lsn = last_lsn.max(lsn);
+        }
+        report.last_lsn = last_lsn;
+
+        let wal = Wal::new(fs.clone(), log, report.last_lsn);
+        Ok((
+            DurableStore {
+                store,
+                wal,
+                fs,
+                checkpoint_path: ckpt,
+                gate: RwLock::new(()),
+                lifecycle: Mutex::new(()),
+                doc_locks: Mutex::new(HashMap::new()),
+            },
+            report,
+        ))
+    }
+
+    fn doc_lock(&self, doc: DocId) -> Arc<Mutex<()>> {
+        self.doc_locks
+            .lock()
+            .expect("doc-lock map never poisoned")
+            .entry(doc)
+            .or_default()
+            .clone()
+    }
+
+    // ----- logged mutations (fsync before apply; see the module docs) -----
+
+    /// Durable [`DomStore::load_xml`]: the fragment is logged and fsync'd,
+    /// then compressed into the store.
+    pub fn load_xml(&self, xml: &XmlTree) -> Result<DocId> {
+        let _gate = self.gate.read().expect("gate never poisoned");
+        let _order = self.lifecycle.lock().expect("lifecycle lock never poisoned");
+        self.wal.commit(&WalRecord::LoadXml { tree: xml })?;
+        self.store.load_xml(xml)
+    }
+
+    /// Durable [`DomStore::load_grammar`]: the grammar's binary encoding is
+    /// logged, then the grammar joins the store.
+    pub fn load_grammar(&self, grammar: Grammar) -> Result<DocId> {
+        let _gate = self.gate.read().expect("gate never poisoned");
+        let _order = self.lifecycle.lock().expect("lifecycle lock never poisoned");
+        let bytes = serialize::encode(&grammar);
+        self.wal.commit(&WalRecord::LoadGrammar { bytes: &bytes })?;
+        self.store.load_grammar(grammar)
+    }
+
+    /// Durable [`DomStore::remove`].
+    pub fn remove(&self, doc: DocId) -> Result<Grammar> {
+        let _gate = self.gate.read().expect("gate never poisoned");
+        let _order = self.lifecycle.lock().expect("lifecycle lock never poisoned");
+        let lock = self.doc_lock(doc);
+        let _doc = lock.lock().expect("doc lock never poisoned");
+        self.wal.commit(&WalRecord::Remove { doc })?;
+        let result = self.store.remove(doc);
+        if result.is_ok() {
+            self.doc_locks
+                .lock()
+                .expect("doc-lock map never poisoned")
+                .remove(&doc);
+        }
+        result
+    }
+
+    /// Durable [`DomStore::apply`] (logged as a batch of one).
+    pub fn apply(&self, doc: DocId, op: &UpdateOp) -> Result<(UpdateStats, MaintenanceReport)> {
+        let _gate = self.gate.read().expect("gate never poisoned");
+        let lock = self.doc_lock(doc);
+        let _doc = lock.lock().expect("doc lock never poisoned");
+        self.wal.commit(&WalRecord::ApplyBatch {
+            doc,
+            ops: std::slice::from_ref(op),
+        })?;
+        self.store.apply(doc, op)
+    }
+
+    /// Durable [`DomStore::apply_batch`].
+    pub fn apply_batch(
+        &self,
+        doc: DocId,
+        ops: &[UpdateOp],
+    ) -> Result<(BatchStats, MaintenanceReport)> {
+        let _gate = self.gate.read().expect("gate never poisoned");
+        let lock = self.doc_lock(doc);
+        let _doc = lock.lock().expect("doc lock never poisoned");
+        self.wal.commit(&WalRecord::ApplyBatch { doc, ops })?;
+        self.store.apply_batch(doc, ops)
+    }
+
+    /// Durable [`DomStore::apply_batch_many`]: **one** log record (one
+    /// fsync) covers the whole multi-document fan-out.
+    pub fn apply_batch_many(
+        &self,
+        jobs: &[(DocId, Vec<UpdateOp>)],
+    ) -> (Vec<Result<BatchStats>>, MaintenanceReport) {
+        if jobs.is_empty() {
+            return (Vec::new(), MaintenanceReport::default());
+        }
+        let _gate = self.gate.read().expect("gate never poisoned");
+        // Lock every distinct target in sorted order (no deadlocks with
+        // concurrent multi-document batches).
+        let mut targets: Vec<DocId> = jobs.iter().map(|(doc, _)| *doc).collect();
+        targets.sort();
+        targets.dedup();
+        let locks: Vec<Arc<Mutex<()>>> = targets.iter().map(|&d| self.doc_lock(d)).collect();
+        let _guards: Vec<_> = locks
+            .iter()
+            .map(|l| l.lock().expect("doc lock never poisoned"))
+            .collect();
+        if let Err(e) = self.wal.commit(&WalRecord::ApplyMany { jobs }) {
+            let results = jobs.iter().map(|_| Err(e.clone())).collect();
+            return (results, MaintenanceReport::default());
+        }
+        self.store.apply_batch_many(jobs)
+    }
+
+    // ----- checkpointing -----
+
+    /// Quiesces writers, serializes the whole store (slab layout plus every
+    /// document's grammar) into the checkpoint file **atomically**
+    /// (temp + rename), then truncates the log. After a crash at any point
+    /// of this sequence, recovery sees either the old checkpoint plus the
+    /// full log or the new checkpoint (plus a log whose records it skips
+    /// by LSN) — never a half state.
+    pub fn checkpoint(&self) -> Result<CheckpointReport> {
+        let _gate = self.gate.write().expect("gate never poisoned");
+        // Quiesced: no commit or apply is in flight anywhere.
+        let last_lsn = self.wal.durable_lsn();
+        let layout = self.store.capture_slab();
+        let ids = layout.live.clone();
+        let mut docs = Vec::with_capacity(ids.len());
+        for &id in &ids {
+            let grammar = self.store.grammar(id)?;
+            docs.push((id, serialize::encode(&grammar)));
+        }
+        let bytes = encode_checkpoint(last_lsn, &layout, &docs);
+        self.fs.write_atomic(&self.checkpoint_path, &bytes)?;
+        self.wal.truncate()?;
+        Ok(CheckpointReport {
+            last_lsn,
+            documents: ids.len(),
+            bytes: bytes.len(),
+        })
+    }
+
+    // ----- read surface (delegated; reads need no logging) -----
+
+    /// The wrapped [`DomStore`], for its full read surface. Mutating the
+    /// store through this reference **bypasses the log** — recovered state
+    /// will not include such changes; use the logged methods above instead.
+    pub fn dom(&self) -> &DomStore {
+        &self.store
+    }
+
+    /// See [`DomStore::snapshot`].
+    pub fn snapshot(&self, doc: DocId) -> Result<Snapshot> {
+        self.store.snapshot(doc)
+    }
+
+    /// See [`DomStore::grammar`].
+    pub fn grammar(&self, doc: DocId) -> Result<Arc<Grammar>> {
+        self.store.grammar(doc)
+    }
+
+    /// See [`DomStore::to_xml`].
+    pub fn to_xml(&self, doc: DocId) -> Result<XmlTree> {
+        self.store.to_xml(doc)
+    }
+
+    /// See [`DomStore::query_str`].
+    pub fn query_str(&self, doc: DocId, query: &str) -> Result<QueryMatches> {
+        self.store.query_str(doc, query)
+    }
+
+    /// See [`DomStore::label_at`].
+    pub fn label_at(&self, doc: DocId, preorder_index: u128) -> Result<String> {
+        self.store.label_at(doc, preorder_index)
+    }
+
+    /// See [`DomStore::nav_tables`].
+    pub fn nav_tables(&self, doc: DocId) -> Result<Arc<NavTables>> {
+        self.store.nav_tables(doc)
+    }
+
+    /// See [`DomStore::doc_ids`].
+    pub fn doc_ids(&self) -> Vec<DocId> {
+        self.store.doc_ids()
+    }
+
+    /// See [`DomStore::contains`].
+    pub fn contains(&self, doc: DocId) -> bool {
+        self.store.contains(doc)
+    }
+
+    /// See [`DomStore::len`].
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// See [`DomStore::is_empty`].
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// See [`DomStore::edge_count`].
+    pub fn edge_count(&self, doc: DocId) -> Result<usize> {
+        self.store.edge_count(doc)
+    }
+
+    /// See [`DomStore::derived_size`].
+    pub fn derived_size(&self, doc: DocId) -> Result<u128> {
+        self.store.derived_size(doc)
+    }
+
+    /// See [`DomStore::maintain`]. Recompression is not logged: it never
+    /// changes the derived document, so replay is unaffected by when (or
+    /// whether) maintenance ran.
+    pub fn maintain(&self) -> MaintenanceReport {
+        self.store.maintain()
+    }
+
+    /// See [`DomStore::recompress`] (not logged, like [`DurableStore::maintain`]).
+    pub fn recompress(&self, doc: DocId) -> Result<RepairStats> {
+        self.store.recompress(doc)
+    }
+
+    /// LSN of the last durably committed record.
+    pub fn durable_lsn(&self) -> u64 {
+        self.wal.durable_lsn()
+    }
+
+    /// Number of log fsyncs so far (commits ÷ fsyncs = group-commit
+    /// coalescing factor).
+    pub fn wal_sync_count(&self) -> u64 {
+        self.wal.sync_count()
+    }
+}
+
+/// Replays one decoded record against the store. Per-op failures are
+/// expected (they reproduce failures of the original run — stale ids,
+/// out-of-range targets) and deliberately non-fatal.
+fn apply_entry(store: &DomStore, entry: WalEntry) {
+    match entry {
+        WalEntry::LoadXml { tree } => {
+            let _ = store.load_xml(&tree);
+        }
+        WalEntry::LoadGrammar { bytes } => {
+            if let Ok(grammar) = serialize::decode(&bytes) {
+                let _ = store.load_grammar(grammar);
+            }
+        }
+        WalEntry::Remove { doc } => {
+            let _ = store.remove(doc);
+        }
+        WalEntry::ApplyBatch { doc, ops } => {
+            let _ = store.apply_batch(doc, &ops);
+        }
+        WalEntry::ApplyMany { jobs } => {
+            let _ = store.apply_batch_many(&jobs);
+        }
+    }
+}
+
+// ----- checkpoint file format -----
+
+fn encode_checkpoint(last_lsn: u64, layout: &SlabLayout, docs: &[(DocId, Vec<u8>)]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(CHECKPOINT_MAGIC);
+    out.push(CHECKPOINT_VERSION);
+    out.extend_from_slice(&[0u8; 4]); // CRC placeholder
+    let body_start = out.len();
+    wire::write_varint(&mut out, last_lsn);
+    wire::write_varint(&mut out, layout.generations.len() as u64);
+    for &generation in &layout.generations {
+        wire::write_varint(&mut out, generation as u64);
+    }
+    wire::write_varint(&mut out, layout.free.len() as u64);
+    for &slot in &layout.free {
+        wire::write_varint(&mut out, slot as u64);
+    }
+    wire::write_varint(&mut out, layout.live.len() as u64);
+    for &id in &layout.live {
+        wire::write_varint(&mut out, id.slot() as u64);
+        wire::write_varint(&mut out, id.generation() as u64);
+    }
+    wire::write_varint(&mut out, docs.len() as u64);
+    for (id, bytes) in docs {
+        wire::write_varint(&mut out, id.slot() as u64);
+        wire::write_varint(&mut out, id.generation() as u64);
+        wire::write_varint(&mut out, bytes.len() as u64);
+        out.extend_from_slice(bytes);
+    }
+    let crc = sltgrammar::crc32::crc32(&out[body_start..]);
+    out[5..9].copy_from_slice(&crc.to_le_bytes());
+    out
+}
+
+fn ckpt_err(detail: impl Into<String>) -> RepairError {
+    RepairError::Storage {
+        detail: format!("checkpoint corrupt: {}", detail.into()),
+    }
+}
+
+#[allow(clippy::type_complexity)]
+fn decode_checkpoint(bytes: &[u8]) -> Result<(u64, SlabLayout, Vec<(DocId, Grammar)>)> {
+    if bytes.len() < 9 || &bytes[..4] != CHECKPOINT_MAGIC {
+        return Err(ckpt_err("bad magic bytes"));
+    }
+    if bytes[4] != CHECKPOINT_VERSION {
+        return Err(ckpt_err(format!("unsupported version {}", bytes[4])));
+    }
+    let expected = u32::from_le_bytes(bytes[5..9].try_into().expect("4 bytes"));
+    let found = sltgrammar::crc32::crc32(&bytes[9..]);
+    if expected != found {
+        return Err(ckpt_err(format!(
+            "checksum mismatch (header {expected:#010x}, body {found:#010x})"
+        )));
+    }
+    let mut r = WireReader::new(&bytes[9..]);
+    let fail = |e: xmltree::XmlError| ckpt_err(e.to_string());
+    let last_lsn = r.varint().map_err(fail)?;
+    let mut layout = SlabLayout::default();
+    let slots = bounded_count(&mut r, 1, "slot")?;
+    for _ in 0..slots {
+        layout.generations.push(r.varint().map_err(fail)? as u32);
+    }
+    let free = bounded_count(&mut r, 1, "free-slot")?;
+    for _ in 0..free {
+        layout.free.push(r.varint().map_err(fail)? as u32);
+    }
+    let live = bounded_count(&mut r, 2, "live-doc")?;
+    for _ in 0..live {
+        let slot = r.varint().map_err(fail)? as u32;
+        let generation = r.varint().map_err(fail)? as u32;
+        layout.live.push(DocId::from_parts(slot, generation));
+    }
+    let doc_count = bounded_count(&mut r, 3, "document")?;
+    let mut docs = Vec::with_capacity(doc_count);
+    for _ in 0..doc_count {
+        let slot = r.varint().map_err(fail)? as u32;
+        let generation = r.varint().map_err(fail)? as u32;
+        let len = r.varint().map_err(fail)? as usize;
+        let grammar_bytes = r.bytes(len).map_err(fail)?;
+        let grammar = serialize::decode(grammar_bytes)
+            .map_err(|e| ckpt_err(format!("document grammar: {e}")))?;
+        docs.push((DocId::from_parts(slot, generation), grammar));
+    }
+    if !r.finished() {
+        return Err(ckpt_err("trailing bytes"));
+    }
+    Ok((last_lsn, layout, docs))
+}
+
+/// Reads a count bounded by the remaining input (each element needs at
+/// least `min_bytes`), so corrupt checkpoints cannot drive allocations.
+fn bounded_count(r: &mut WireReader<'_>, min_bytes: usize, what: &str) -> Result<usize> {
+    let n = r.varint().map_err(|e| ckpt_err(e.to_string()))? as usize;
+    if n > r.remaining() / min_bytes {
+        return Err(ckpt_err(format!(
+            "{what} count {n} exceeds what the remaining input could hold"
+        )));
+    }
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wal::testing::FailpointFs;
+    use xmltree::parse::parse_xml;
+
+    fn doc(tag: &str, n: usize) -> XmlTree {
+        let mut s = format!("<{tag}>");
+        for _ in 0..n {
+            s.push_str("<item><title/><body><p/><p/></body></item>");
+        }
+        s.push_str(&format!("</{tag}>"));
+        parse_xml(&s).unwrap()
+    }
+
+    fn mem_store() -> (Arc<FailpointFs>, DurableStore) {
+        let fs = Arc::new(FailpointFs::new());
+        let (store, report) = DurableStore::open_with(fs.clone(), "db").unwrap();
+        assert_eq!(report, RecoveryReport::default());
+        (fs, store)
+    }
+
+    #[test]
+    fn loads_and_updates_replay_to_identical_state() {
+        let (fs, store) = mem_store();
+        let a = store.load_xml(&doc("feed", 4)).unwrap();
+        let b = store.load_xml(&doc("blog", 3)).unwrap();
+        store
+            .apply(a, &UpdateOp::Rename { target: 1, label: "entry".into() })
+            .unwrap();
+        store
+            .apply_batch(b, &[UpdateOp::Delete { target: 1 }])
+            .unwrap();
+        let want_a = store.to_xml(a).unwrap().to_xml();
+        let want_b = store.to_xml(b).unwrap().to_xml();
+        drop(store); // "crash": memory gone, fs survives
+
+        let (recovered, report) = DurableStore::open_with(fs, "db").unwrap();
+        assert_eq!(report.replayed, 4);
+        assert!(!report.torn_tail);
+        assert_eq!(recovered.doc_ids(), vec![a, b], "ids survive recovery");
+        assert_eq!(recovered.to_xml(a).unwrap().to_xml(), want_a);
+        assert_eq!(recovered.to_xml(b).unwrap().to_xml(), want_b);
+    }
+
+    #[test]
+    fn checkpoint_restores_without_replay_and_truncates_the_log() {
+        let (fs, store) = mem_store();
+        let a = store.load_xml(&doc("feed", 4)).unwrap();
+        store
+            .apply(a, &UpdateOp::Rename { target: 1, label: "entry".into() })
+            .unwrap();
+        let report = store.checkpoint().unwrap();
+        assert_eq!(report.last_lsn, 2);
+        assert_eq!(report.documents, 1);
+        assert_eq!(fs.file("db/wal.log").unwrap().len(), 0, "log truncated");
+        let want = store.to_xml(a).unwrap().to_xml();
+        drop(store);
+
+        let (recovered, report) = DurableStore::open_with(fs, "db").unwrap();
+        assert_eq!(report.checkpoint_lsn, 2);
+        assert_eq!(report.replayed, 0);
+        assert_eq!(recovered.to_xml(a).unwrap().to_xml(), want);
+    }
+
+    #[test]
+    fn removal_and_slot_reuse_replay_identically() {
+        let (fs, store) = mem_store();
+        let a = store.load_xml(&doc("feed", 2)).unwrap();
+        let b = store.load_xml(&doc("blog", 2)).unwrap();
+        store.remove(a).unwrap();
+        let c = store.load_xml(&doc("log", 2)).unwrap();
+        assert_eq!(c.slot(), a.slot(), "slot reused");
+        assert_ne!(c.generation(), a.generation());
+        drop(store);
+
+        let (recovered, _) = DurableStore::open_with(fs, "db").unwrap();
+        assert_eq!(recovered.doc_ids(), vec![b, c]);
+        assert!(!recovered.contains(a), "stale id stays dead after recovery");
+    }
+
+    #[test]
+    fn checkpoint_then_more_writes_replays_only_the_tail() {
+        let (fs, store) = mem_store();
+        let a = store.load_xml(&doc("feed", 4)).unwrap();
+        store.checkpoint().unwrap();
+        store
+            .apply(a, &UpdateOp::Rename { target: 1, label: "x".into() })
+            .unwrap();
+        let b = store.load_xml(&doc("blog", 2)).unwrap();
+        let want_a = store.to_xml(a).unwrap().to_xml();
+        let want_b = store.to_xml(b).unwrap().to_xml();
+        drop(store);
+
+        let (recovered, report) = DurableStore::open_with(fs, "db").unwrap();
+        assert_eq!(report.checkpoint_lsn, 1);
+        assert_eq!(report.replayed, 2);
+        assert_eq!(recovered.to_xml(a).unwrap().to_xml(), want_a);
+        assert_eq!(recovered.to_xml(b).unwrap().to_xml(), want_b);
+    }
+
+    #[test]
+    fn load_grammar_records_replay() {
+        let (fs, store) = mem_store();
+        let plain = DomStore::new();
+        let tmp = plain.load_xml(&doc("feed", 3)).unwrap();
+        let grammar = plain.remove(tmp).unwrap();
+        let id = store.load_grammar(grammar).unwrap();
+        let want = store.to_xml(id).unwrap().to_xml();
+        drop(store);
+        let (recovered, _) = DurableStore::open_with(fs, "db").unwrap();
+        assert_eq!(recovered.to_xml(id).unwrap().to_xml(), want);
+    }
+
+    #[test]
+    fn apply_batch_many_is_one_record_one_fsync() {
+        let (fs, store) = mem_store();
+        let ids: Vec<DocId> = (0..4).map(|i| store.load_xml(&doc("feed", 2 + i)).unwrap()).collect();
+        let syncs_before = fs.sync_count();
+        let jobs: Vec<(DocId, Vec<UpdateOp>)> = ids
+            .iter()
+            .map(|&id| (id, vec![UpdateOp::Rename { target: 1, label: "x".into() }]))
+            .collect();
+        let (results, _) = store.apply_batch_many(&jobs);
+        for r in results {
+            r.unwrap();
+        }
+        assert_eq!(fs.sync_count() - syncs_before, 1, "one fsync for the whole fan-out");
+        let wants: Vec<String> = ids.iter().map(|&id| store.to_xml(id).unwrap().to_xml()).collect();
+        drop(store);
+        let (recovered, _) = DurableStore::open_with(fs, "db").unwrap();
+        for (&id, want) in ids.iter().zip(&wants) {
+            assert_eq!(&recovered.to_xml(id).unwrap().to_xml(), want);
+        }
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_rejected() {
+        let (fs, store) = mem_store();
+        store.load_xml(&doc("feed", 3)).unwrap();
+        store.checkpoint().unwrap();
+        drop(store);
+        let mut bytes = fs.file("db/checkpoint.slck").unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        fs.set_file("db/checkpoint.slck", bytes);
+        assert!(matches!(
+            DurableStore::open_with(fs, "db"),
+            Err(RepairError::Storage { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_mid_log_record_is_a_typed_error() {
+        let (fs, store) = mem_store();
+        let a = store.load_xml(&doc("feed", 3)).unwrap();
+        store
+            .apply(a, &UpdateOp::Rename { target: 1, label: "x".into() })
+            .unwrap();
+        drop(store);
+        let mut bytes = fs.file("db/wal.log").unwrap();
+        bytes[10] ^= 0x20; // inside the first record's payload
+        fs.set_file("db/wal.log", bytes);
+        assert!(matches!(
+            DurableStore::open_with(fs, "db"),
+            Err(RepairError::WalCorrupt { .. })
+        ));
+    }
+}

@@ -31,6 +31,23 @@ pub enum RepairError {
     Grammar(sltgrammar::GrammarError),
     /// An underlying XML error (fragment conversion, …).
     Xml(xmltree::XmlError),
+    /// A storage operation of the durable layer failed (I/O error, or an
+    /// injected fault in tests).
+    Storage {
+        /// Description of the failed operation.
+        detail: String,
+    },
+    /// A write-ahead-log record failed its integrity check *before* the end
+    /// of the log — genuine corruption, as opposed to the torn final record
+    /// a crash legitimately leaves behind (which recovery truncates).
+    WalCorrupt {
+        /// Sequence number of the last intact record, 0 when none.
+        lsn: u64,
+        /// Byte offset of the corrupt frame in the log file.
+        offset: u64,
+        /// Description of the problem.
+        detail: String,
+    },
 }
 
 impl fmt::Display for RepairError {
@@ -47,6 +64,11 @@ impl fmt::Display for RepairError {
             RepairError::InvalidQuery { detail } => write!(f, "invalid query: {detail}"),
             RepairError::Grammar(e) => write!(f, "grammar error: {e}"),
             RepairError::Xml(e) => write!(f, "xml error: {e}"),
+            RepairError::Storage { detail } => write!(f, "storage error: {detail}"),
+            RepairError::WalCorrupt { lsn, offset, detail } => write!(
+                f,
+                "write-ahead log corrupt at byte {offset} (last intact record: lsn {lsn}): {detail}"
+            ),
         }
     }
 }

@@ -5,7 +5,7 @@
 //! compression executed **directly on an SLCF tree grammar** (GrammarRePair)
 //! combined with update operations that never decompress the document.
 //!
-//! The crate provides four layers:
+//! The crate provides these layers:
 //!
 //! * [`repair`] — the [`repair::GrammarRePair`] recompressor (Algorithm 1 with
 //!   the optimized replacement of Algorithms 6–8), built on
@@ -27,6 +27,12 @@
 //!   (similar documents share one resident alphabet) and a store-level
 //!   scheduler that recompresses by *update debt* (edge growth since the
 //!   last recompression), draining the worst offenders on a budget.
+//! * [`wal`] / [`durable`] — crash safety: a length-prefixed, CRC-framed
+//!   write-ahead op log with leader-based group commit, and
+//!   [`durable::DurableStore`], a [`store::DomStore`] wrapper that logs every
+//!   mutation before applying it, checkpoints the whole store atomically and
+//!   recovers the exact pre-crash state (checkpoint + log-tail replay, torn
+//!   final records truncated, interior corruption rejected loudly).
 //! * [`navigate`] / [`query`] — the read path: cursor navigation, streaming
 //!   preorder traversal, label statistics and child/descendant path queries,
 //!   all evaluated directly on the grammar without decompression and resolved
@@ -56,6 +62,7 @@
 
 #![warn(missing_docs)]
 
+pub mod durable;
 pub mod error;
 pub mod isolate;
 pub mod navigate;
@@ -69,7 +76,9 @@ pub mod store;
 pub mod sync;
 pub mod udc;
 pub mod update;
+pub mod wal;
 
+pub use durable::{CheckpointReport, DurableStore, RecoveryReport};
 pub use error::{RepairError, Result};
 pub use navigate::{Cursor, NavTables, PreorderLabels};
 pub use query::{PathQuery, QueryMatches};

@@ -211,6 +211,15 @@ impl DocId {
     pub fn index(self) -> usize {
         self.slot as usize
     }
+
+    /// Reassembles an id from its parts — for the durable layer, which logs
+    /// and replays `(slot, generation)` pairs. A reassembled id is only as
+    /// valid as the pair it was built from; resolution still checks the
+    /// generation.
+    #[inline]
+    pub(crate) fn from_parts(slot: u32, generation: u32) -> Self {
+        DocId { slot, generation }
+    }
 }
 
 /// Policy of the store-level recompression scheduler (see the module docs).
@@ -543,6 +552,37 @@ impl StoreInner {
         scratch.seal();
         *master = scratch.clone();
         Ok(scratch)
+    }
+
+    /// Re-interns the labels `grammar`'s rule bodies actually use into the
+    /// master table (committing only on success), relabels the bodies when
+    /// the id assignment differs, and replaces the grammar's table with a
+    /// sealed master clone — the shared-alphabet rebase behind
+    /// [`DomStore::load_grammar`] and checkpoint restoration.
+    fn rebase_onto_master(&self, grammar: &mut Grammar) -> Result<()> {
+        let used = used_terms(grammar);
+        let mut master = self.symbols.lock().expect("master lock");
+        // Intern into a scratch clone first: interning keeps the symbols
+        // added before a rank conflict, and a half-absorbed foreign
+        // alphabet must not poison the master on failure.
+        let mut scratch = master.clone();
+        let mut map = Vec::with_capacity(grammar.symbols.len());
+        for (id, name, rank) in grammar.symbols.iter() {
+            // Unused ids keep themselves as placeholders: they never
+            // occur in a body, so `relabel_terms` never reads them, and
+            // an all-identity map still short-circuits the relabel walk.
+            map.push(if used.contains(&id) {
+                scratch.intern(name, rank)?
+            } else {
+                id
+            });
+        }
+        scratch.seal();
+        *master = scratch.clone();
+        drop(master);
+        grammar.relabel_terms(&map);
+        grammar.symbols = scratch;
+        Ok(())
     }
 
     fn insert_doc(&self, grammar: Grammar) -> DocId {
@@ -960,30 +1000,7 @@ impl DomStore {
     /// touching the master table) when a *used* label clashes with a
     /// different rank already interned in the store.
     pub fn load_grammar(&self, mut grammar: Grammar) -> Result<DocId> {
-        let used = used_terms(&grammar);
-        let table = {
-            let mut master = self.inner.symbols.lock().expect("master lock");
-            // Intern into a scratch clone first: interning keeps the symbols
-            // added before a rank conflict, and a half-absorbed foreign
-            // alphabet must not poison the master on failure.
-            let mut scratch = master.clone();
-            let mut map = Vec::with_capacity(grammar.symbols.len());
-            for (id, name, rank) in grammar.symbols.iter() {
-                // Unused ids keep themselves as placeholders: they never
-                // occur in a body, so `relabel_terms` never reads them, and
-                // an all-identity map still short-circuits the relabel walk.
-                map.push(if used.contains(&id) {
-                    scratch.intern(name, rank)?
-                } else {
-                    id
-                });
-            }
-            scratch.seal();
-            *master = scratch.clone();
-            grammar.relabel_terms(&map);
-            scratch
-        };
-        grammar.symbols = table;
+        self.inner.rebase_onto_master(&mut grammar)?;
         Ok(self.inner.insert_doc(grammar))
     }
 
@@ -1251,6 +1268,89 @@ impl DomStore {
     pub fn recompress(&self, doc: DocId) -> Result<RepairStats> {
         self.inner.recompress(doc)
     }
+
+    // ----- slab capture/restore (the durable layer's checkpoint seam) -----
+
+    /// Captures the slab layout — per-slot generations, the free list, the
+    /// live list — for checkpointing. Restoring the exact layout (and then
+    /// replaying the logged lifecycle events in order) makes [`DocId`]
+    /// assignment after recovery identical to the original run.
+    pub(crate) fn capture_slab(&self) -> SlabLayout {
+        let map = self.inner.map.load();
+        SlabLayout {
+            generations: map.slots.iter().map(|slot| slot.generation).collect(),
+            free: map.free.clone(),
+            live: map.live.clone(),
+        }
+    }
+
+    /// Rebuilds an **empty** store from a captured layout plus the grammars
+    /// of the live documents (supplied in live order so master-table
+    /// interning is deterministic). Each grammar is rebased onto the shared
+    /// symbol table like [`DomStore::load_grammar`] does, but placed at its
+    /// recorded `(slot, generation)` instead of through slab allocation.
+    pub(crate) fn restore_slab(
+        &self,
+        layout: SlabLayout,
+        docs: Vec<(DocId, Grammar)>,
+    ) -> Result<()> {
+        let _guard = self.inner.map_write.lock().expect("map lock never poisoned");
+        if !self.inner.map.load().live.is_empty() {
+            return Err(RepairError::Storage {
+                detail: "checkpoint restore requires an empty store".to_string(),
+            });
+        }
+        let mut slots: Vec<Slot> = layout
+            .generations
+            .iter()
+            .map(|&generation| Slot {
+                generation,
+                shard: None,
+            })
+            .collect();
+        for (id, mut grammar) in docs {
+            self.inner.rebase_onto_master(&mut grammar)?;
+            let slot = slots.get_mut(id.index()).ok_or(RepairError::Storage {
+                detail: format!("checkpoint document slot {} exceeds the slab", id.slot),
+            })?;
+            if slot.generation != id.generation || slot.shard.is_some() {
+                return Err(RepairError::Storage {
+                    detail: format!(
+                        "checkpoint document (slot {}, generation {}) conflicts with the slab layout",
+                        id.slot, id.generation
+                    ),
+                });
+            }
+            slot.shard = Some(Arc::new(DocShard::new(grammar)));
+        }
+        for &id in &layout.live {
+            let ok = slots
+                .get(id.index())
+                .is_some_and(|slot| slot.generation == id.generation && slot.shard.is_some());
+            if !ok {
+                return Err(RepairError::Storage {
+                    detail: format!("checkpoint live document (slot {}) has no grammar", id.slot),
+                });
+            }
+        }
+        self.inner.map.store(Arc::new(DocMap {
+            slots,
+            free: layout.free,
+            live: layout.live,
+        }));
+        Ok(())
+    }
+}
+
+/// Snapshot of the document slab's layout (see [`DomStore::capture_slab`]).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SlabLayout {
+    /// Per-slot generation counters, in slot order.
+    pub generations: Vec<u32>,
+    /// Free slots, in stack order (the next insertion pops the last).
+    pub free: Vec<u32>,
+    /// Live ids, in insertion order.
+    pub live: Vec<DocId>,
 }
 
 #[cfg(test)]

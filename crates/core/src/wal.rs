@@ -1,0 +1,875 @@
+//! Write-ahead op log for the durable store: framed, checksummed, versioned
+//! records over an injectable storage backend, with leader-based group
+//! commit.
+//!
+//! # Commit protocol
+//!
+//! Every mutation of a [`crate::durable::DurableStore`] becomes exactly one
+//! log record, assigned a **log sequence number** (LSN, 1-based, strictly
+//! sequential) at enqueue time. The durability discipline is
+//! *fsync-before-apply*: a record is appended to the log file and fsync'd
+//! **before** the corresponding in-memory change is made, so any state a
+//! reader could ever observe is reconstructible by replay. A crash between
+//! fsync and apply merely means recovery replays a record whose effect was
+//! never visible — replay is idempotent against that because recovery starts
+//! from the checkpoint, not from the crashed process's memory.
+//!
+//! **Group commit.** Concurrent committers enqueue their encoded frames
+//! under the log mutex and then elect a leader: the first committer finding
+//! no leader active drains *every* pending frame (its own and everyone
+//! else's enqueued meanwhile) with one `append` + one `fsync`, then wakes
+//! the waiters whose LSNs the flush covered. Writers to distinct documents
+//! therefore share fsyncs under load instead of paying one each —
+//! [`Wal::sync_count`] exposes the actual fsync count so tests can pin the
+//! coalescing. A failed append or fsync poisons the log (the record cannot
+//! be half-trusted); every later commit fails with the same storage error.
+//!
+//! # Frame format
+//!
+//! ```text
+//! frame:   length u32-LE | crc32 u32-LE (of payload) | payload
+//! payload: version u8 | lsn varint | kind u8 | body
+//! ```
+//!
+//! Bodies use the `xmltree::wire` encoding for trees and update operations.
+//! Record kinds cover the store's whole mutation surface: document loads
+//! (as the XML fragment, or as encoded grammar bytes), removal, per-document
+//! update batches, and the multi-document batch (one record per
+//! `apply_batch_many` call — built-in group commit).
+//!
+//! # Torn-tail rule
+//!
+//! [`read_log`] distinguishes two failure shapes. An **incomplete final
+//! frame** — the file ends before the frame's declared length — is exactly
+//! what a crash mid-append leaves behind; it is reported as a torn tail and
+//! recovery truncates it silently (the record never committed: its fsync
+//! cannot have returned). A **complete frame that fails its CRC, version,
+//! or LSN-sequence check** is genuine corruption of already-durable data and
+//! yields the typed [`RepairError::WalCorrupt`] instead — silently dropping
+//! a record whose fsync succeeded would break the durability contract.
+//!
+//! # Checkpoint atomicity
+//!
+//! Checkpoints are written through [`StorageFs::write_atomic`] (temp file +
+//! rename): the checkpoint file is always either the complete old one or
+//! the complete new one. The log is truncated only *after* the rename; a
+//! crash in between is harmless because replay skips records with
+//! `lsn <= checkpoint_lsn` — truncation is an optimization, not a
+//! correctness step.
+
+use std::sync::{Arc, Condvar, Mutex};
+
+use sltgrammar::crc32::crc32;
+use xmltree::updates::UpdateOp;
+use xmltree::wire::{self, WireReader};
+use xmltree::XmlTree;
+
+use crate::error::{RepairError, Result};
+use crate::store::DocId;
+
+/// Version byte of the record payload format.
+pub const WAL_VERSION: u8 = 1;
+
+fn storage_err(op: &str, path: &str, e: std::io::Error) -> RepairError {
+    RepairError::Storage {
+        detail: format!("{op} `{path}`: {e}"),
+    }
+}
+
+/// The storage operations the durable layer needs, as an injectable trait:
+/// [`DiskFs`] is the real implementation, `testing::FailpointFs` the
+/// fault-injecting in-memory one the kill-and-recover suite drives.
+pub trait StorageFs: Send + Sync {
+    /// Appends `bytes` to the file at `path`, creating it if missing.
+    fn append(&self, path: &str, bytes: &[u8]) -> Result<()>;
+    /// Forces the file's content to durable storage (fsync).
+    fn sync(&self, path: &str) -> Result<()>;
+    /// Reads the whole file; `Ok(None)` when it does not exist.
+    fn read(&self, path: &str) -> Result<Option<Vec<u8>>>;
+    /// Replaces the file's content atomically (temp file + rename + fsync):
+    /// after a crash the file holds either the old or the new content,
+    /// never a mix.
+    fn write_atomic(&self, path: &str, bytes: &[u8]) -> Result<()>;
+    /// Truncates the file to `len` bytes.
+    fn set_len(&self, path: &str, len: u64) -> Result<()>;
+}
+
+/// [`StorageFs`] over the real filesystem.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DiskFs;
+
+impl StorageFs for DiskFs {
+    fn append(&self, path: &str, bytes: &[u8]) -> Result<()> {
+        use std::io::Write;
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| storage_err("open for append", path, e))?;
+        file.write_all(bytes).map_err(|e| storage_err("append to", path, e))
+    }
+
+    fn sync(&self, path: &str) -> Result<()> {
+        std::fs::File::open(path)
+            .and_then(|f| f.sync_all())
+            .map_err(|e| storage_err("sync", path, e))
+    }
+
+    fn read(&self, path: &str) -> Result<Option<Vec<u8>>> {
+        match std::fs::read(path) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(storage_err("read", path, e)),
+        }
+    }
+
+    fn write_atomic(&self, path: &str, bytes: &[u8]) -> Result<()> {
+        let tmp = format!("{path}.tmp");
+        std::fs::write(&tmp, bytes).map_err(|e| storage_err("write", &tmp, e))?;
+        std::fs::File::open(&tmp)
+            .and_then(|f| f.sync_all())
+            .map_err(|e| storage_err("sync", &tmp, e))?;
+        std::fs::rename(&tmp, path).map_err(|e| storage_err("rename into", path, e))
+    }
+
+    fn set_len(&self, path: &str, len: u64) -> Result<()> {
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(path)
+            .and_then(|f| f.set_len(len))
+            .map_err(|e| storage_err("truncate", path, e))
+    }
+}
+
+// ----- records -----
+
+/// A record to be committed, borrowing the caller's data (encode side).
+#[derive(Debug, Clone, Copy)]
+pub enum WalRecord<'a> {
+    /// A document load from an XML fragment ([`crate::store::DomStore::load_xml`]).
+    LoadXml {
+        /// The document, replayed through `load_xml` for bit-identical
+        /// compression and alphabet interning.
+        tree: &'a XmlTree,
+    },
+    /// A document load from an already-compressed grammar, carried as its
+    /// `sltgrammar::serialize` encoding.
+    LoadGrammar {
+        /// The encoded grammar bytes.
+        bytes: &'a [u8],
+    },
+    /// A document removal.
+    Remove {
+        /// The removed document.
+        doc: DocId,
+    },
+    /// One update batch against one document (a single update is a batch of
+    /// one).
+    ApplyBatch {
+        /// The targeted document (possibly already stale — replay reproduces
+        /// the original failure in that case).
+        doc: DocId,
+        /// The operations, in order.
+        ops: &'a [UpdateOp],
+    },
+    /// One multi-document batch (`apply_batch_many`): one record — and
+    /// therefore at most one fsync — for the whole fan-out.
+    ApplyMany {
+        /// The per-document jobs, in job order.
+        jobs: &'a [(DocId, Vec<UpdateOp>)],
+    },
+}
+
+/// A decoded record (owned; the replay side of [`WalRecord`]).
+#[derive(Debug, Clone)]
+pub enum WalEntry {
+    /// See [`WalRecord::LoadXml`].
+    LoadXml {
+        /// The document to load.
+        tree: XmlTree,
+    },
+    /// See [`WalRecord::LoadGrammar`].
+    LoadGrammar {
+        /// The encoded grammar bytes.
+        bytes: Vec<u8>,
+    },
+    /// See [`WalRecord::Remove`].
+    Remove {
+        /// The removed document.
+        doc: DocId,
+    },
+    /// See [`WalRecord::ApplyBatch`].
+    ApplyBatch {
+        /// The targeted document.
+        doc: DocId,
+        /// The operations, in order.
+        ops: Vec<UpdateOp>,
+    },
+    /// See [`WalRecord::ApplyMany`].
+    ApplyMany {
+        /// The per-document jobs, in job order.
+        jobs: Vec<(DocId, Vec<UpdateOp>)>,
+    },
+}
+
+fn write_doc(out: &mut Vec<u8>, doc: DocId) {
+    wire::write_varint(out, doc.slot() as u64);
+    wire::write_varint(out, doc.generation() as u64);
+}
+
+fn read_doc(r: &mut WireReader<'_>) -> std::result::Result<DocId, xmltree::XmlError> {
+    let slot = r.varint()? as u32;
+    let generation = r.varint()? as u32;
+    Ok(DocId::from_parts(slot, generation))
+}
+
+/// Encodes one record into a complete frame (length, CRC, payload).
+pub fn encode_frame(lsn: u64, record: &WalRecord<'_>) -> Vec<u8> {
+    let mut payload = Vec::new();
+    payload.push(WAL_VERSION);
+    wire::write_varint(&mut payload, lsn);
+    match record {
+        WalRecord::LoadXml { tree } => {
+            payload.push(0);
+            wire::write_tree(&mut payload, tree);
+        }
+        WalRecord::LoadGrammar { bytes } => {
+            payload.push(1);
+            wire::write_varint(&mut payload, bytes.len() as u64);
+            payload.extend_from_slice(bytes);
+        }
+        WalRecord::Remove { doc } => {
+            payload.push(2);
+            write_doc(&mut payload, *doc);
+        }
+        WalRecord::ApplyBatch { doc, ops } => {
+            payload.push(3);
+            write_doc(&mut payload, *doc);
+            wire::write_ops(&mut payload, ops);
+        }
+        WalRecord::ApplyMany { jobs } => {
+            payload.push(4);
+            wire::write_varint(&mut payload, jobs.len() as u64);
+            for (doc, ops) in jobs.iter() {
+                write_doc(&mut payload, *doc);
+                wire::write_ops(&mut payload, ops);
+            }
+        }
+    }
+    let mut frame = Vec::with_capacity(payload.len() + 8);
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+/// Decodes one frame payload into `(lsn, entry)`.
+fn decode_payload(payload: &[u8]) -> std::result::Result<(u64, WalEntry), String> {
+    let mut r = WireReader::new(payload);
+    let fail = |e: xmltree::XmlError| e.to_string();
+    let version = r.byte().map_err(fail)?;
+    if version != WAL_VERSION {
+        return Err(format!("unsupported record version {version}"));
+    }
+    let lsn = r.varint().map_err(fail)?;
+    let entry = match r.byte().map_err(fail)? {
+        0 => WalEntry::LoadXml {
+            tree: r.tree().map_err(fail)?,
+        },
+        1 => {
+            let len = r.varint().map_err(fail)? as usize;
+            WalEntry::LoadGrammar {
+                bytes: r.bytes(len).map_err(fail)?.to_vec(),
+            }
+        }
+        2 => WalEntry::Remove {
+            doc: read_doc(&mut r).map_err(fail)?,
+        },
+        3 => WalEntry::ApplyBatch {
+            doc: read_doc(&mut r).map_err(fail)?,
+            ops: r.ops().map_err(fail)?,
+        },
+        4 => {
+            let count = r.varint().map_err(fail)? as usize;
+            let mut jobs = Vec::new();
+            for _ in 0..count {
+                let doc = read_doc(&mut r).map_err(fail)?;
+                jobs.push((doc, r.ops().map_err(fail)?));
+            }
+            WalEntry::ApplyMany { jobs }
+        }
+        other => return Err(format!("unknown record kind {other}")),
+    };
+    if !r.finished() {
+        return Err("trailing bytes after the record body".to_string());
+    }
+    Ok((lsn, entry))
+}
+
+/// The outcome of scanning a log file (see the module docs for the
+/// torn-tail rule).
+#[derive(Debug, Default)]
+pub struct WalReplay {
+    /// Intact records in LSN order.
+    pub records: Vec<(u64, WalEntry)>,
+    /// Length in bytes of the valid prefix (everything before the torn
+    /// tail, or the whole file when intact).
+    pub valid_len: u64,
+    /// Whether an incomplete final frame was found (and excluded).
+    pub torn: bool,
+}
+
+impl WalReplay {
+    /// LSN of the last intact record (0 when the log is empty).
+    pub fn last_lsn(&self) -> u64 {
+        self.records.last().map_or(0, |(lsn, _)| *lsn)
+    }
+}
+
+/// Scans a log file's bytes. Incomplete trailing frames are reported as a
+/// torn tail; complete frames failing their CRC / version / LSN-sequence
+/// checks yield [`RepairError::WalCorrupt`].
+pub fn read_log(bytes: &[u8]) -> Result<WalReplay> {
+    let mut replay = WalReplay::default();
+    let mut pos = 0usize;
+    let mut prev_lsn = 0u64;
+    while pos < bytes.len() {
+        let corrupt = |detail: String| RepairError::WalCorrupt {
+            lsn: prev_lsn,
+            offset: pos as u64,
+            detail,
+        };
+        let remaining = bytes.len() - pos;
+        if remaining < 8 {
+            replay.torn = true;
+            break;
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        if remaining - 8 < len {
+            // The frame's payload never made it to disk: a torn final write.
+            replay.torn = true;
+            break;
+        }
+        let expected = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        let payload = &bytes[pos + 8..pos + 8 + len];
+        let found = crc32(payload);
+        if expected != found {
+            return Err(corrupt(format!(
+                "record checksum mismatch (header {expected:#010x}, payload {found:#010x})"
+            )));
+        }
+        let (lsn, entry) = decode_payload(payload).map_err(corrupt)?;
+        if prev_lsn != 0 && lsn != prev_lsn + 1 {
+            return Err(corrupt(format!(
+                "record lsn {lsn} breaks the sequence after {prev_lsn}"
+            )));
+        }
+        prev_lsn = lsn;
+        pos += 8 + len;
+        replay.valid_len = pos as u64;
+        replay.records.push((lsn, entry));
+    }
+    Ok(replay)
+}
+
+// ----- the log writer -----
+
+#[derive(Debug)]
+struct WalState {
+    /// LSN the next enqueued record receives.
+    next_lsn: u64,
+    /// Highest LSN whose frame has been appended *and* fsync'd.
+    durable_lsn: u64,
+    /// Encoded frames enqueued but not yet flushed.
+    pending: Vec<u8>,
+    /// Highest LSN in `pending`.
+    pending_hi: u64,
+    /// Whether a leader is currently flushing outside the lock.
+    leader: bool,
+    /// Set once an append/fsync fails: the log is poisoned (its tail state
+    /// on storage is unknown) and every later commit fails fast.
+    poisoned: Option<String>,
+    syncs: u64,
+}
+
+/// The write-ahead log: sequential LSN assignment, leader-based group
+/// commit, fsync-before-return (see the module docs).
+pub struct Wal {
+    fs: Arc<dyn StorageFs>,
+    path: String,
+    state: Mutex<WalState>,
+    flushed: Condvar,
+}
+
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wal").field("path", &self.path).finish_non_exhaustive()
+    }
+}
+
+impl Wal {
+    /// Opens a log writer over `path`, continuing after `last_lsn` (0 for a
+    /// fresh log). The caller is responsible for having scanned/truncated
+    /// the existing file first ([`read_log`]).
+    pub fn new(fs: Arc<dyn StorageFs>, path: String, last_lsn: u64) -> Self {
+        Wal {
+            fs,
+            path,
+            state: Mutex::new(WalState {
+                next_lsn: last_lsn + 1,
+                durable_lsn: last_lsn,
+                pending: Vec::new(),
+                pending_hi: last_lsn,
+                leader: false,
+                poisoned: None,
+                syncs: 0,
+            }),
+            flushed: Condvar::new(),
+        }
+    }
+
+    /// Commits one record: assigns it the next LSN, enqueues its frame, and
+    /// returns once the frame is appended **and fsync'd** — possibly by
+    /// another committer's flush (group commit). Returns the record's LSN.
+    pub fn commit(&self, record: &WalRecord<'_>) -> Result<u64> {
+        let mut state = self.state.lock().expect("wal lock never poisoned");
+        if let Some(detail) = &state.poisoned {
+            return Err(RepairError::Storage { detail: detail.clone() });
+        }
+        let lsn = state.next_lsn;
+        state.next_lsn += 1;
+        let frame = encode_frame(lsn, record);
+        state.pending.extend_from_slice(&frame);
+        state.pending_hi = lsn;
+        loop {
+            if state.durable_lsn >= lsn {
+                return Ok(lsn);
+            }
+            if let Some(detail) = &state.poisoned {
+                return Err(RepairError::Storage { detail: detail.clone() });
+            }
+            if state.leader {
+                // A flush is in flight; wait for it (it may cover our LSN,
+                // or we become the next leader after it).
+                state = self.flushed.wait(state).expect("wal lock never poisoned");
+                continue;
+            }
+            // Become the leader: drain everything pending (our frame plus
+            // whatever other committers enqueued meanwhile) in one
+            // append + one fsync, outside the lock.
+            state.leader = true;
+            let batch = std::mem::take(&mut state.pending);
+            let batch_hi = state.pending_hi;
+            drop(state);
+            let result = self
+                .fs
+                .append(&self.path, &batch)
+                .and_then(|()| self.fs.sync(&self.path));
+            state = self.state.lock().expect("wal lock never poisoned");
+            state.leader = false;
+            match result {
+                Ok(()) => {
+                    state.syncs += 1;
+                    state.durable_lsn = state.durable_lsn.max(batch_hi);
+                }
+                Err(e) => {
+                    state.poisoned = Some(e.to_string());
+                }
+            }
+            self.flushed.notify_all();
+        }
+    }
+
+    /// Number of fsyncs performed so far — committers per fsync is the
+    /// group-commit coalescing factor.
+    pub fn sync_count(&self) -> u64 {
+        self.state.lock().expect("wal lock never poisoned").syncs
+    }
+
+    /// LSN of the last durably committed record.
+    pub fn durable_lsn(&self) -> u64 {
+        self.state.lock().expect("wal lock never poisoned").durable_lsn
+    }
+
+    /// Truncates the log file to zero length — called after a checkpoint
+    /// has been atomically written (replay skips `lsn <= checkpoint` even
+    /// if this truncation never happens, so it is purely an optimization).
+    pub fn truncate(&self) -> Result<()> {
+        let state = self.state.lock().expect("wal lock never poisoned");
+        if let Some(detail) = &state.poisoned {
+            return Err(RepairError::Storage { detail: detail.clone() });
+        }
+        debug_assert!(state.pending.is_empty(), "truncate with pending frames");
+        self.fs.set_len(&self.path, 0)?;
+        self.fs.sync(&self.path)
+    }
+}
+
+pub mod testing {
+    //! Fault injection for the durable layer: an in-memory [`StorageFs`]
+    //! that kills the "process" at a configurable point of its I/O stream.
+    //!
+    //! Fault accounting: appending `n` bytes consumes `n` fault points (and
+    //! a kill mid-append leaves the prefix written — exactly a torn write);
+    //! `sync`, the rename step of `write_atomic`, and `set_len` consume one
+    //! point each (they either happened or didn't). Killing at every point
+    //! `k` of a workload's total therefore simulates a crash at every byte
+    //! offset and after every sync, which is what the kill-and-recover
+    //! differential suite iterates.
+
+    use super::*;
+    use std::collections::HashMap;
+
+    #[derive(Debug, Default)]
+    struct FailState {
+        files: HashMap<String, Vec<u8>>,
+        /// Remaining fault points; `None` = no fault armed.
+        budget: Option<u64>,
+        /// Total points consumed since the last [`FailpointFs::reset_consumed`].
+        consumed: u64,
+        /// Set once the budget ran out: every later operation fails until
+        /// [`FailpointFs::disarm`] (the "process" is dead; the files map is
+        /// the disk image the next incarnation recovers from).
+        dead: bool,
+        syncs: u64,
+    }
+
+    /// An in-memory [`StorageFs`] with an armable kill point (see the
+    /// module docs for the accounting).
+    #[derive(Debug, Default)]
+    pub struct FailpointFs {
+        state: Mutex<FailState>,
+    }
+
+    impl FailpointFs {
+        /// A fresh, empty, unarmed filesystem.
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        /// Arms the kill: the filesystem dies after `points` further fault
+        /// points are consumed.
+        pub fn arm(&self, points: u64) {
+            let mut st = self.state.lock().expect("failpoint lock");
+            st.budget = Some(points);
+            st.dead = false;
+        }
+
+        /// Disarms the kill and revives the filesystem — the files are the
+        /// disk image the crash left behind, ready for recovery.
+        pub fn disarm(&self) {
+            let mut st = self.state.lock().expect("failpoint lock");
+            st.budget = None;
+            st.dead = false;
+        }
+
+        /// Whether the armed kill has fired.
+        pub fn is_dead(&self) -> bool {
+            self.state.lock().expect("failpoint lock").dead
+        }
+
+        /// Total fault points consumed so far — the size of the kill matrix.
+        pub fn consumed(&self) -> u64 {
+            self.state.lock().expect("failpoint lock").consumed
+        }
+
+        /// Resets the consumed-points counter (not the files).
+        pub fn reset_consumed(&self) {
+            self.state.lock().expect("failpoint lock").consumed = 0;
+        }
+
+        /// Number of successful syncs (for group-commit assertions).
+        pub fn sync_count(&self) -> u64 {
+            self.state.lock().expect("failpoint lock").syncs
+        }
+
+        /// Raw content of a file, if present (post-mortem inspection).
+        pub fn file(&self, path: &str) -> Option<Vec<u8>> {
+            self.state.lock().expect("failpoint lock").files.get(path).cloned()
+        }
+
+        /// Overwrites a file's bytes directly — for corruption tests that
+        /// flip bits behind the log writer's back.
+        pub fn set_file(&self, path: &str, bytes: Vec<u8>) {
+            self.state
+                .lock()
+                .expect("failpoint lock")
+                .files
+                .insert(path.to_string(), bytes);
+        }
+
+        fn dead_err() -> RepairError {
+            RepairError::Storage {
+                detail: "injected fault: storage is dead".to_string(),
+            }
+        }
+
+        /// Consumes up to `wanted` points; returns how many were granted.
+        /// Granting fewer than `wanted` kills the filesystem.
+        fn charge(st: &mut FailState, wanted: u64) -> u64 {
+            st.consumed += wanted;
+            match st.budget {
+                None => wanted,
+                Some(left) => {
+                    if left >= wanted {
+                        st.budget = Some(left - wanted);
+                        wanted
+                    } else {
+                        st.budget = Some(0);
+                        st.dead = true;
+                        left
+                    }
+                }
+            }
+        }
+    }
+
+    impl StorageFs for FailpointFs {
+        fn append(&self, path: &str, bytes: &[u8]) -> Result<()> {
+            let mut st = self.state.lock().expect("failpoint lock");
+            if st.dead {
+                return Err(Self::dead_err());
+            }
+            let granted = Self::charge(&mut st, bytes.len() as u64) as usize;
+            let dead = st.dead;
+            st.files
+                .entry(path.to_string())
+                .or_default()
+                .extend_from_slice(&bytes[..granted]);
+            if dead {
+                return Err(RepairError::Storage {
+                    detail: format!(
+                        "injected fault: append died after {granted} of {} bytes",
+                        bytes.len()
+                    ),
+                });
+            }
+            Ok(())
+        }
+
+        fn sync(&self, path: &str) -> Result<()> {
+            let mut st = self.state.lock().expect("failpoint lock");
+            if st.dead {
+                return Err(Self::dead_err());
+            }
+            if Self::charge(&mut st, 1) < 1 {
+                return Err(RepairError::Storage {
+                    detail: format!("injected fault: sync of `{path}` died"),
+                });
+            }
+            st.syncs += 1;
+            Ok(())
+        }
+
+        fn read(&self, path: &str) -> Result<Option<Vec<u8>>> {
+            let st = self.state.lock().expect("failpoint lock");
+            if st.dead {
+                return Err(Self::dead_err());
+            }
+            Ok(st.files.get(path).cloned())
+        }
+
+        fn write_atomic(&self, path: &str, bytes: &[u8]) -> Result<()> {
+            let mut st = self.state.lock().expect("failpoint lock");
+            if st.dead {
+                return Err(Self::dead_err());
+            }
+            // The temp-file write: a kill here loses the (invisible) temp
+            // file and leaves the destination untouched.
+            let granted = Self::charge(&mut st, bytes.len() as u64);
+            if (granted as usize) < bytes.len() {
+                return Err(RepairError::Storage {
+                    detail: "injected fault: atomic write died in the temp file".to_string(),
+                });
+            }
+            // The rename: one point; a kill here also leaves the old file.
+            if Self::charge(&mut st, 1) < 1 {
+                return Err(RepairError::Storage {
+                    detail: "injected fault: atomic write died before the rename".to_string(),
+                });
+            }
+            st.files.insert(path.to_string(), bytes.to_vec());
+            Ok(())
+        }
+
+        fn set_len(&self, path: &str, len: u64) -> Result<()> {
+            let mut st = self.state.lock().expect("failpoint lock");
+            if st.dead {
+                return Err(Self::dead_err());
+            }
+            if Self::charge(&mut st, 1) < 1 {
+                return Err(RepairError::Storage {
+                    detail: format!("injected fault: truncate of `{path}` died"),
+                });
+            }
+            let file = st.files.entry(path.to_string()).or_default();
+            file.truncate(len as usize);
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testing::FailpointFs;
+    use super::*;
+    use xmltree::parse::parse_xml;
+
+    fn sample_entries() -> Vec<Vec<u8>> {
+        let tree = parse_xml("<a><b/><c/></a>").unwrap();
+        let doc = DocId::from_parts(0, 1);
+        let ops = vec![
+            UpdateOp::Rename { target: 1, label: "x".into() },
+            UpdateOp::Delete { target: 3 },
+        ];
+        vec![
+            encode_frame(1, &WalRecord::LoadXml { tree: &tree }),
+            encode_frame(2, &WalRecord::ApplyBatch { doc, ops: &ops }),
+            encode_frame(3, &WalRecord::Remove { doc }),
+            encode_frame(
+                4,
+                &WalRecord::ApplyMany {
+                    jobs: &[(doc, ops.clone()), (DocId::from_parts(1, 1), vec![])],
+                },
+            ),
+            encode_frame(5, &WalRecord::LoadGrammar { bytes: b"not really a grammar" }),
+        ]
+    }
+
+    #[test]
+    fn frames_roundtrip_through_read_log() {
+        let mut log = Vec::new();
+        for frame in sample_entries() {
+            log.extend_from_slice(&frame);
+        }
+        let replay = read_log(&log).unwrap();
+        assert_eq!(replay.records.len(), 5);
+        assert_eq!(replay.last_lsn(), 5);
+        assert!(!replay.torn);
+        assert_eq!(replay.valid_len, log.len() as u64);
+        assert!(matches!(replay.records[0].1, WalEntry::LoadXml { .. }));
+        assert!(matches!(replay.records[1].1, WalEntry::ApplyBatch { ref ops, .. } if ops.len() == 2));
+        assert!(matches!(replay.records[2].1, WalEntry::Remove { .. }));
+        assert!(matches!(replay.records[3].1, WalEntry::ApplyMany { ref jobs } if jobs.len() == 2));
+        assert!(matches!(replay.records[4].1, WalEntry::LoadGrammar { .. }));
+    }
+
+    #[test]
+    fn every_torn_tail_is_detected_and_prefix_kept() {
+        let frames = sample_entries();
+        let mut log = Vec::new();
+        let mut boundaries = vec![0usize];
+        for frame in &frames {
+            log.extend_from_slice(frame);
+            boundaries.push(log.len());
+        }
+        for cut in 0..log.len() {
+            let replay = read_log(&log[..cut]).expect("torn tails are not errors");
+            let complete = boundaries.iter().filter(|&&b| b > 0 && b <= cut).count();
+            assert_eq!(replay.records.len(), complete, "cut at {cut}");
+            assert_eq!(replay.torn, !boundaries.contains(&cut), "cut at {cut}");
+            assert_eq!(replay.valid_len as usize, boundaries[complete], "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn mid_log_corruption_is_a_typed_error() {
+        let frames = sample_entries();
+        let mut log = Vec::new();
+        for frame in &frames {
+            log.extend_from_slice(frame);
+        }
+        // Flip one payload byte of the second frame: its CRC check fires.
+        let mut bad = log.clone();
+        let offset = frames[0].len() + 10;
+        bad[offset] ^= 0x01;
+        match read_log(&bad) {
+            Err(RepairError::WalCorrupt { lsn, .. }) => assert_eq!(lsn, 1),
+            other => panic!("expected WalCorrupt, got {other:?}"),
+        }
+        // A wrong version byte in a mid-log frame is corruption too.
+        let mut bad = log.clone();
+        let payload_start = frames[0].len() + 8;
+        let payload_len = u32::from_le_bytes(
+            log[frames[0].len()..frames[0].len() + 4].try_into().unwrap(),
+        ) as usize;
+        bad[payload_start] = 99;
+        let crc = crc32(&bad[payload_start..payload_start + payload_len]);
+        bad[frames[0].len() + 4..frames[0].len() + 8].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(read_log(&bad), Err(RepairError::WalCorrupt { .. })));
+    }
+
+    #[test]
+    fn lsn_gaps_are_corruption() {
+        let tree = parse_xml("<a/>").unwrap();
+        let mut log = Vec::new();
+        log.extend_from_slice(&encode_frame(1, &WalRecord::LoadXml { tree: &tree }));
+        log.extend_from_slice(&encode_frame(3, &WalRecord::LoadXml { tree: &tree }));
+        assert!(matches!(read_log(&log), Err(RepairError::WalCorrupt { lsn: 1, .. })));
+    }
+
+    #[test]
+    fn commit_assigns_sequential_lsns_and_survives_reads() {
+        let fs = Arc::new(FailpointFs::new());
+        let wal = Wal::new(fs.clone(), "wal.log".into(), 0);
+        let tree = parse_xml("<a><b/></a>").unwrap();
+        for expected in 1..=5u64 {
+            let lsn = wal.commit(&WalRecord::LoadXml { tree: &tree }).unwrap();
+            assert_eq!(lsn, expected);
+        }
+        assert_eq!(wal.durable_lsn(), 5);
+        let bytes = fs.read("wal.log").unwrap().unwrap();
+        let replay = read_log(&bytes).unwrap();
+        assert_eq!(replay.last_lsn(), 5);
+        assert!(!replay.torn);
+    }
+
+    #[test]
+    fn a_failed_flush_poisons_the_log() {
+        let fs = Arc::new(FailpointFs::new());
+        let wal = Wal::new(fs.clone(), "wal.log".into(), 0);
+        let tree = parse_xml("<a/>").unwrap();
+        wal.commit(&WalRecord::LoadXml { tree: &tree }).unwrap();
+        fs.arm(2); // dies mid-append of the next frame
+        assert!(wal.commit(&WalRecord::LoadXml { tree: &tree }).is_err());
+        fs.disarm();
+        // Poisoned: even with storage revived, the writer refuses.
+        assert!(matches!(
+            wal.commit(&WalRecord::LoadXml { tree: &tree }),
+            Err(RepairError::Storage { .. })
+        ));
+        // The on-disk image is a valid prefix plus a torn tail.
+        let bytes = fs.file("wal.log").unwrap();
+        let replay = read_log(&bytes).unwrap();
+        assert_eq!(replay.last_lsn(), 1);
+        assert!(replay.torn);
+    }
+
+    #[test]
+    fn concurrent_commits_share_fsyncs() {
+        let fs = Arc::new(FailpointFs::new());
+        let wal = Arc::new(Wal::new(fs.clone(), "wal.log".into(), 0));
+        let tree = parse_xml("<a><b/><c/></a>").unwrap();
+        let threads = 8;
+        let commits_per_thread = 16;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let wal = wal.clone();
+                let tree = &tree;
+                scope.spawn(move || {
+                    for _ in 0..commits_per_thread {
+                        wal.commit(&WalRecord::LoadXml { tree }).unwrap();
+                    }
+                });
+            }
+        });
+        let total = (threads * commits_per_thread) as u64;
+        assert_eq!(wal.durable_lsn(), total);
+        // Group commit can never use more fsyncs than commits; the log must
+        // replay completely either way.
+        assert!(wal.sync_count() <= total);
+        let replay = read_log(&fs.read("wal.log").unwrap().unwrap()).unwrap();
+        assert_eq!(replay.last_lsn(), total);
+        assert!(!replay.torn);
+    }
+}

@@ -1,0 +1,82 @@
+//! CRC-32 (IEEE 802.3, the zlib/gzip polynomial) over byte slices.
+//!
+//! The persistent formats of this workspace — the `.sltg` grammar encoding
+//! ([`crate::serialize`]) and the write-ahead log / checkpoint files of the
+//! durable store — frame their payloads with this checksum so that torn
+//! writes and bit rot are detected at decode time instead of surfacing as
+//! corrupted grammars. The implementation is the standard reflected
+//! table-driven one; the table is built at compile time.
+
+/// The reflected CRC-32 lookup table for polynomial `0xEDB88320`.
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 of `data` (initial value `!0`, final complement — the common
+/// "crc32" every zlib-compatible tool computes).
+pub fn crc32(data: &[u8]) -> u32 {
+    update(!0, data) ^ !0
+}
+
+/// Feeds `data` into a running (pre-complement) CRC state. Start from `!0`,
+/// finish by XOR-ing with `!0`; `crc32(x)` is the one-shot form.
+pub fn update(mut state: u32, data: &[u8]) -> u32 {
+    for &byte in data {
+        state = (state >> 8) ^ TABLE[((state ^ byte as u32) & 0xFF) as usize];
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn incremental_update_matches_one_shot() {
+        let data = b"incremental checksum over several chunks";
+        let mut state = !0u32;
+        for chunk in data.chunks(7) {
+            state = update(state, chunk);
+        }
+        assert_eq!(state ^ !0, crc32(data));
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let data = b"some framed record payload";
+        let reference = crc32(data);
+        let mut copy = data.to_vec();
+        for i in 0..copy.len() * 8 {
+            copy[i / 8] ^= 1 << (i % 8);
+            assert_ne!(crc32(&copy), reference, "bit flip {i} must change the CRC");
+            copy[i / 8] ^= 1 << (i % 8);
+        }
+    }
+}

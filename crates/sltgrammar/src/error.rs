@@ -69,6 +69,17 @@ pub enum GrammarError {
         /// Description of the problem.
         detail: String,
     },
+    /// The binary serialization's CRC-32 does not match its payload: the
+    /// bytes were corrupted in storage or transit (distinct from [`Decode`]
+    /// so callers can tell bit rot from a malformed or foreign file).
+    ///
+    /// [`Decode`]: GrammarError::Decode
+    Checksum {
+        /// Checksum recorded in the frame header.
+        expected: u32,
+        /// Checksum computed over the payload actually present.
+        found: u32,
+    },
 }
 
 impl fmt::Display for GrammarError {
@@ -114,6 +125,10 @@ impl fmt::Display for GrammarError {
             GrammarError::Decode { offset, detail } => {
                 write!(f, "binary grammar decode error at byte {offset}: {detail}")
             }
+            GrammarError::Checksum { expected, found } => write!(
+                f,
+                "checksum mismatch: frame header says {expected:#010x}, payload hashes to {found:#010x}"
+            ),
         }
     }
 }

@@ -34,6 +34,7 @@
 
 #![warn(missing_docs)]
 
+pub mod crc32;
 pub mod derive;
 pub mod error;
 pub mod fingerprint;

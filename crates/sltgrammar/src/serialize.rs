@@ -6,7 +6,7 @@
 //! deliberately simple:
 //!
 //! ```text
-//! magic "SLTG"  version u8
+//! magic "SLTG"  version u8  crc32 u32-LE (over everything that follows)
 //! symbol count          (varint)
 //!   per symbol: rank (varint), name length (varint), name bytes (UTF-8)
 //! rule count            (varint)
@@ -24,7 +24,28 @@
 //!
 //! All integers use LEB128 variable-length encoding, so small grammars stay
 //! small: the encoded size is roughly `nodes + names` bytes.
+//!
+//! # Versioning and integrity
+//!
+//! Version 2 (current) places a CRC-32 of the body right after the version
+//! byte; [`decode`] verifies it before parsing and rejects mismatches with
+//! the dedicated [`GrammarError::Checksum`] variant, so bit rot in a stored
+//! grammar is reported as corruption instead of as a confusing structural
+//! error. Version 1 files (no checksum) are still decoded — a deliberate
+//! backward-compatibility shim: the format change ships without invalidating
+//! existing `.sltg` files, and the shim costs four bytes of branch in
+//! `decode`. Unknown versions are rejected.
+//!
+//! # Robustness against corrupt input
+//!
+//! `decode` is safe to run on untrusted bytes: every length field is checked
+//! against the number of bytes actually remaining before any allocation is
+//! sized from it (a flipped bit in a count cannot trigger an OOM-sized
+//! `Vec::with_capacity`), and a successful decode always returns a validated
+//! grammar. The property tests in `tests/serialization_baselines.rs` pin
+//! this on arbitrary, truncated and bit-flipped inputs.
 
+use crate::crc32::crc32;
 use crate::error::{GrammarError, Result};
 use crate::grammar::Grammar;
 use crate::node::{NodeId, NodeKind};
@@ -33,8 +54,14 @@ use crate::symbol::{NtId, SymbolTable, TermId};
 
 /// Magic bytes identifying the format.
 pub const MAGIC: &[u8; 4] = b"SLTG";
-/// Current format version.
-pub const VERSION: u8 = 1;
+/// Current format version: CRC-32 of the body follows the version byte.
+pub const VERSION: u8 = 2;
+/// The original format version (no checksum). [`decode`] still accepts it so
+/// files written before the CRC was introduced remain readable.
+pub const LEGACY_VERSION: u8 = 1;
+/// Byte offset of the CRC-32 field in a version-2 encoding; the checksummed
+/// body starts at `CRC_OFFSET + 4`.
+const CRC_OFFSET: usize = MAGIC.len() + 1;
 
 // ----- varint primitives -----
 
@@ -109,6 +136,23 @@ impl<'a> Reader<'a> {
         String::from_utf8(bytes.to_vec()).map_err(|_| self.error("name is not valid UTF-8"))
     }
 
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Reads a count varint and bounds it by the bytes actually remaining:
+    /// every counted element occupies at least `min_bytes` bytes of input, so
+    /// a larger count is corrupt and must not size an allocation.
+    fn count(&mut self, min_bytes: usize, what: &str) -> Result<usize> {
+        let n = self.varint()? as usize;
+        if n > self.remaining() / min_bytes {
+            return Err(self.error(&format!(
+                "{what} count {n} exceeds what the remaining input could hold"
+            )));
+        }
+        Ok(n)
+    }
+
     fn finished(&self) -> bool {
         self.pos == self.data.len()
     }
@@ -116,11 +160,13 @@ impl<'a> Reader<'a> {
 
 // ----- encoding -----
 
-/// Encodes a grammar into the compact binary format.
+/// Encodes a grammar into the compact binary format (version 2: the four
+/// bytes after the version hold a CRC-32 of everything that follows them).
 pub fn encode(g: &Grammar) -> Vec<u8> {
     let mut out = Vec::new();
     out.extend_from_slice(MAGIC);
     out.push(VERSION);
+    out.extend_from_slice(&[0u8; 4]); // CRC placeholder, patched below.
 
     // Symbol table.
     write_varint(&mut out, g.symbols.len() as u64);
@@ -168,6 +214,8 @@ pub fn encode(g: &Grammar) -> Vec<u8> {
             }
         }
     }
+    let crc = crc32(&out[CRC_OFFSET + 4..]);
+    out[CRC_OFFSET..CRC_OFFSET + 4].copy_from_slice(&crc.to_le_bytes());
     out
 }
 
@@ -202,12 +250,23 @@ pub fn decode(data: &[u8]) -> Result<Grammar> {
         return Err(r.error("bad magic bytes (not an SLTG file)"));
     }
     let version = r.byte()?;
-    if version != VERSION {
-        return Err(r.error(&format!("unsupported format version {version}")));
+    match version {
+        VERSION => {
+            let header = r.bytes(4)?;
+            let expected = u32::from_le_bytes(header.try_into().expect("4-byte slice"));
+            let found = crc32(&data[r.pos..]);
+            if expected != found {
+                return Err(GrammarError::Checksum { expected, found });
+            }
+        }
+        // Backward-compat shim: version 1 carried no checksum.
+        LEGACY_VERSION => {}
+        other => return Err(r.error(&format!("unsupported format version {other}"))),
     }
 
-    // Symbol table.
-    let symbol_count = r.varint()? as usize;
+    // Symbol table. Every count below is bounded by the bytes remaining
+    // before it sizes an allocation (a corrupt count must not OOM).
+    let symbol_count = r.count(2, "symbol")?;
     let mut symbols = SymbolTable::new();
     let mut symbol_ranks = Vec::with_capacity(symbol_count);
     for _ in 0..symbol_count {
@@ -221,7 +280,7 @@ pub fn decode(data: &[u8]) -> Result<Grammar> {
     }
 
     // Rule headers.
-    let rule_count = r.varint()? as usize;
+    let rule_count = r.count(2, "rule")?;
     if rule_count == 0 {
         return Err(r.error("grammar must have at least a start rule"));
     }
@@ -235,7 +294,7 @@ pub fn decode(data: &[u8]) -> Result<Grammar> {
     // Rule bodies.
     let mut bodies: Vec<RhsTree> = Vec::with_capacity(rule_count);
     for rule_name in rule_names.iter().take(rule_count) {
-        let node_count = r.varint()? as usize;
+        let node_count = r.count(2, "node")?;
         if node_count == 0 {
             return Err(r.error(&format!("rule `{rule_name}` has an empty body")));
         }
@@ -347,6 +406,13 @@ mod tests {
         parse_grammar("S -> f(A(B,B),#)\nB -> A(#,#)\nA -> a(#, a(y1, y2))").unwrap()
     }
 
+    /// Recomputes the CRC field after a test deliberately corrupts the body,
+    /// so the corruption reaches the structural validation under test.
+    fn reframe(bytes: &mut [u8]) {
+        let crc = crc32(&bytes[CRC_OFFSET + 4..]);
+        bytes[CRC_OFFSET..CRC_OFFSET + 4].copy_from_slice(&crc.to_le_bytes());
+    }
+
     #[test]
     fn roundtrip_preserves_structure_names_and_derived_tree() {
         let g = paper_grammar();
@@ -401,10 +467,67 @@ mod tests {
             assert!(decode(truncated).is_err(), "truncation to {len} bytes must fail");
         }
 
-        // Trailing garbage.
+        // Trailing garbage (caught by the CRC before parsing even starts).
         let mut bad = bytes.clone();
         bad.push(0);
         assert!(decode(&bad).is_err());
+
+        // Trailing garbage with a fixed-up CRC still fails structurally.
+        reframe(&mut bad);
+        assert!(matches!(decode(&bad), Err(GrammarError::Decode { .. })));
+    }
+
+    #[test]
+    fn checksum_mismatch_is_a_distinct_error() {
+        let g = paper_grammar();
+        let mut bytes = encode(&g);
+        // Flip a bit in the body: the CRC check must fire with the dedicated
+        // variant, not a confusing structural decode error.
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        match decode(&bytes) {
+            Err(GrammarError::Checksum { expected, found }) => assert_ne!(expected, found),
+            other => panic!("expected Checksum error, got {other:?}"),
+        }
+        // Corrupting the CRC field itself is also a checksum mismatch.
+        let mut bytes = encode(&g);
+        bytes[CRC_OFFSET] ^= 0xFF;
+        assert!(matches!(decode(&bytes), Err(GrammarError::Checksum { .. })));
+    }
+
+    #[test]
+    fn legacy_v1_files_still_decode() {
+        // A version-1 file is the version-2 body with no CRC field and the
+        // version byte set to 1; the compat shim must accept it unchanged.
+        let g = paper_grammar();
+        let v2 = encode(&g);
+        let mut v1 = Vec::with_capacity(v2.len() - 4);
+        v1.extend_from_slice(MAGIC);
+        v1.push(LEGACY_VERSION);
+        v1.extend_from_slice(&v2[CRC_OFFSET + 4..]);
+        let back = decode(&v1).unwrap();
+        assert_eq!(fingerprint(&g), fingerprint(&back));
+        assert_eq!(print_grammar(&g), print_grammar(&back));
+    }
+
+    #[test]
+    fn corrupt_counts_cannot_cause_huge_allocations() {
+        // Hand-craft a file whose symbol count claims ~2^60 entries; decode
+        // must reject it from the remaining-bytes bound, not try to allocate.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.push(VERSION);
+        bytes.extend_from_slice(&[0u8; 4]);
+        let mut body = Vec::new();
+        write_varint(&mut body, 1u64 << 60);
+        bytes.extend_from_slice(&body);
+        reframe(&mut bytes);
+        match decode(&bytes) {
+            Err(GrammarError::Decode { detail, .. }) => {
+                assert!(detail.contains("count"), "unexpected detail: {detail}")
+            }
+            other => panic!("expected Decode error, got {other:?}"),
+        }
     }
 
     #[test]
@@ -430,6 +553,7 @@ mod tests {
         let len = bytes.len();
         bytes[len - 2] = 2;
         bytes[len - 1] = 5;
+        reframe(&mut bytes); // keep the CRC valid so validation is what fires
         assert!(decode(&bytes).is_err());
     }
 }

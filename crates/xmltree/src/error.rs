@@ -26,6 +26,14 @@ pub enum XmlError {
         /// Description of the problem.
         detail: String,
     },
+    /// The binary wire encoding of a tree or update operation could not be
+    /// decoded (see [`crate::wire`]).
+    Decode {
+        /// Byte offset at which decoding failed.
+        offset: usize,
+        /// Description of the problem.
+        detail: String,
+    },
 }
 
 impl fmt::Display for XmlError {
@@ -39,6 +47,9 @@ impl fmt::Display for XmlError {
             }
             XmlError::Empty => write!(f, "document contains no root element"),
             XmlError::InvalidUpdate { detail } => write!(f, "invalid update: {detail}"),
+            XmlError::Decode { offset, detail } => {
+                write!(f, "wire decode error at byte {offset}: {detail}")
+            }
         }
     }
 }

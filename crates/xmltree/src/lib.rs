@@ -34,6 +34,7 @@ pub mod error;
 pub mod parse;
 pub mod tree;
 pub mod updates;
+pub mod wire;
 
 pub use error::{Result, XmlError};
 pub use tree::{XmlNodeId, XmlTree};

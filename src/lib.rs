@@ -29,6 +29,10 @@ pub use grammar_repair::session::CompressedDom;
 /// scheduler.
 pub use grammar_repair::store::{DocId, DomStore, Snapshot};
 
+/// Convenience re-export of the crash-safe store: a [`DomStore`] behind a
+/// write-ahead log with checkpointing and recovery.
+pub use grammar_repair::durable::{CheckpointReport, DurableStore, RecoveryReport};
+
 /// Convenience re-export of the read-only navigation cursor over a grammar.
 pub use grammar_repair::navigate::Cursor;
 

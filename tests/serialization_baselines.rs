@@ -157,4 +157,44 @@ proptest! {
         rename(&mut reloaded, 0, &label).unwrap();
         prop_assert_eq!(fingerprint(&direct), fingerprint(&reloaded));
     }
+
+    /// Adversarial input: `decode` on arbitrary byte strings never panics and
+    /// never allocates from a corrupt length field — it returns an error or a
+    /// grammar that passes validation.
+    #[test]
+    fn prop_decode_survives_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        if let Ok(g) = serialize::decode(&bytes) {
+            prop_assert!(g.validate().is_ok());
+        }
+        // Arbitrary bytes prefixed with the real magic + version exercise the
+        // parser past the header checks.
+        let mut framed = b"SLTG\x02".to_vec();
+        framed.extend_from_slice(&bytes);
+        if let Ok(g) = serialize::decode(&framed) {
+            prop_assert!(g.validate().is_ok());
+        }
+        let mut legacy = b"SLTG\x01".to_vec();
+        legacy.extend_from_slice(&bytes);
+        if let Ok(g) = serialize::decode(&legacy) {
+            prop_assert!(g.validate().is_ok());
+        }
+    }
+
+    /// Adversarial input: truncating or bit-flipping a real encoding never
+    /// panics; truncation always errors, a flip errors or decodes valid.
+    #[test]
+    fn prop_decode_survives_truncation_and_bit_flips(xml in arbitrary_xml(40), seed in any::<u64>()) {
+        let (g, _) = TreeRePair::default().compress_xml(&xml);
+        let bytes = serialize::encode(&g);
+        for len in 0..bytes.len() {
+            prop_assert!(serialize::decode(&bytes[..len]).is_err(),
+                "truncation to {} of {} bytes must fail", len, bytes.len());
+        }
+        let mut flipped = bytes.clone();
+        let bit = (seed as usize) % (bytes.len() * 8);
+        flipped[bit / 8] ^= 1 << (bit % 8);
+        if let Ok(g) = serialize::decode(&flipped) {
+            prop_assert!(g.validate().is_ok());
+        }
+    }
 }
