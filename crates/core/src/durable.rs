@@ -47,7 +47,10 @@
 //! silently, and surfaces genuinely corrupt records as
 //! [`RepairError::WalCorrupt`]. Replayed operations that failed originally
 //! (stale ids, out-of-range targets) fail identically on replay — per-op
-//! errors are deliberately not fatal to recovery.
+//! errors are deliberately not fatal to recovery. A `LoadGrammar` payload
+//! that fails to decode is *not* such a per-op error: the original commit
+//! encoded a real grammar, so an undecodable payload behind a valid frame
+//! CRC is inconsistency, and it too surfaces as [`RepairError::WalCorrupt`].
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, RwLock};
@@ -191,11 +194,11 @@ impl DurableStore {
             fs.sync(&log)?;
         }
         let mut last_lsn = report.checkpoint_lsn.max(replay.last_lsn());
-        for (lsn, entry) in replay.records {
+        for (lsn, offset, entry) in replay.records {
             if lsn <= report.checkpoint_lsn {
                 continue; // already folded into the checkpoint
             }
-            apply_entry(&store, entry);
+            apply_entry(&store, lsn, offset, entry)?;
             report.replayed += 1;
             last_lsn = last_lsn.max(lsn);
         }
@@ -217,12 +220,16 @@ impl DurableStore {
     }
 
     fn doc_lock(&self, doc: DocId) -> Arc<Mutex<()>> {
-        self.doc_locks
-            .lock()
-            .expect("doc-lock map never poisoned")
-            .entry(doc)
-            .or_default()
-            .clone()
+        let mut map = self.doc_locks.lock().expect("doc-lock map never poisoned");
+        // Stale ids fed to apply/apply_batch/remove create entries too, and
+        // only a successful remove() deletes one — so the map would grow by
+        // one Arc per distinct id ever touched. Prune dead entries (nobody
+        // holds the Arc, document no longer live) whenever the map outgrows
+        // the live-document count, keeping it bounded on long-lived stores.
+        if map.len() > 2 * self.store.len() + 16 {
+            map.retain(|&id, lock| Arc::strong_count(lock) > 1 || self.store.contains(id));
+        }
+        map.entry(doc).or_default().clone()
     }
 
     // ----- logged mutations (fsync before apply; see the module docs) -----
@@ -439,16 +446,26 @@ impl DurableStore {
 
 /// Replays one decoded record against the store. Per-op failures are
 /// expected (they reproduce failures of the original run — stale ids,
-/// out-of-range targets) and deliberately non-fatal.
-fn apply_entry(store: &DomStore, entry: WalEntry) {
+/// out-of-range targets) and deliberately non-fatal. A `LoadGrammar`
+/// payload that fails to decode is different: its frame passed the CRC, so
+/// this is genuine inconsistency, and silently skipping the load would
+/// shift every later slab assignment away from the pre-crash state — it
+/// surfaces as [`RepairError::WalCorrupt`] instead.
+fn apply_entry(store: &DomStore, lsn: u64, offset: u64, entry: WalEntry) -> Result<()> {
     match entry {
         WalEntry::LoadXml { tree } => {
             let _ = store.load_xml(&tree);
         }
         WalEntry::LoadGrammar { bytes } => {
-            if let Ok(grammar) = serialize::decode(&bytes) {
-                let _ = store.load_grammar(grammar);
-            }
+            let grammar = serialize::decode(&bytes).map_err(|e| RepairError::WalCorrupt {
+                lsn: lsn - 1,
+                offset,
+                detail: format!(
+                    "record lsn {lsn}: LoadGrammar payload fails to decode despite a valid \
+                     record checksum: {e}"
+                ),
+            })?;
+            let _ = store.load_grammar(grammar);
         }
         WalEntry::Remove { doc } => {
             let _ = store.remove(doc);
@@ -460,6 +477,7 @@ fn apply_entry(store: &DomStore, entry: WalEntry) {
             let _ = store.apply_batch_many(&jobs);
         }
     }
+    Ok(())
 }
 
 // ----- checkpoint file format -----
@@ -714,6 +732,39 @@ mod tests {
             DurableStore::open_with(fs, "db"),
             Err(RepairError::Storage { .. })
         ));
+    }
+
+    #[test]
+    fn undecodable_load_grammar_record_is_corruption() {
+        let fs = Arc::new(FailpointFs::new());
+        // A frame whose CRC is valid but whose LoadGrammar payload is not a
+        // grammar encoding: replay must fail loudly, not skip the load.
+        let frame = crate::wal::encode_frame(
+            1,
+            &WalRecord::LoadGrammar { bytes: b"not a grammar encoding" },
+        );
+        fs.set_file("db/wal.log", frame);
+        assert!(matches!(
+            DurableStore::open_with(fs, "db"),
+            Err(RepairError::WalCorrupt { lsn: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn stale_doc_lock_entries_are_pruned() {
+        let (_fs, store) = mem_store();
+        let a = store.load_xml(&doc("feed", 1)).unwrap();
+        for slot in 0..200u32 {
+            let stale = DocId::from_parts(slot, 999);
+            let _ = store.apply(stale, &UpdateOp::Delete { target: 1 });
+            let _ = store.remove(stale);
+        }
+        let size = store.doc_locks.lock().unwrap().len();
+        assert!(
+            size <= 2 * store.len() + 17,
+            "doc-lock map should stay bounded, holds {size} entries"
+        );
+        assert!(store.contains(a), "live document survives the pruning");
     }
 
     #[test]

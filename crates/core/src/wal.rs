@@ -50,12 +50,17 @@
 //!
 //! # Checkpoint atomicity
 //!
-//! Checkpoints are written through [`StorageFs::write_atomic`] (temp file +
-//! rename): the checkpoint file is always either the complete old one or
-//! the complete new one. The log is truncated only *after* the rename; a
-//! crash in between is harmless because replay skips records with
-//! `lsn <= checkpoint_lsn` — truncation is an optimization, not a
-//! correctness step.
+//! Checkpoints are written through [`StorageFs::write_atomic`] (temp file,
+//! fsync, rename, parent-directory fsync): the checkpoint file is always
+//! either the complete old one or the complete new one, and the rename
+//! itself is durable — a directory entry only committed to the directory's
+//! own metadata is lost by a power cut, so the parent is fsync'd before
+//! `write_atomic` returns. The log is truncated only *after* that directory
+//! fsync succeeds; a crash in between is harmless because replay skips
+//! records with `lsn <= checkpoint_lsn` — truncation is an optimization,
+//! not a correctness step. The same directory-durability rule covers the
+//! log file's creation: [`DiskFs::append`] fsyncs the parent when it
+//! creates the file, before the first commit can report durability.
 
 use std::sync::{Arc, Condvar, Mutex};
 
@@ -76,6 +81,18 @@ fn storage_err(op: &str, path: &str, e: std::io::Error) -> RepairError {
     }
 }
 
+/// Fsyncs the parent directory of `path`: file creation and rename are
+/// directory mutations, durable only once the directory itself is synced.
+fn sync_parent_dir(path: &str) -> Result<()> {
+    let parent = std::path::Path::new(path)
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+        .unwrap_or_else(|| std::path::Path::new("."));
+    std::fs::File::open(parent)
+        .and_then(|d| d.sync_all())
+        .map_err(|e| storage_err("sync parent directory of", path, e))
+}
+
 /// The storage operations the durable layer needs, as an injectable trait:
 /// [`DiskFs`] is the real implementation, `testing::FailpointFs` the
 /// fault-injecting in-memory one the kill-and-recover suite drives.
@@ -86,9 +103,10 @@ pub trait StorageFs: Send + Sync {
     fn sync(&self, path: &str) -> Result<()>;
     /// Reads the whole file; `Ok(None)` when it does not exist.
     fn read(&self, path: &str) -> Result<Option<Vec<u8>>>;
-    /// Replaces the file's content atomically (temp file + rename + fsync):
-    /// after a crash the file holds either the old or the new content,
-    /// never a mix.
+    /// Replaces the file's content atomically and durably (temp file,
+    /// fsync, rename, parent-directory fsync): after a crash — including a
+    /// power loss — the file holds either the old or the new content, never
+    /// a mix.
     fn write_atomic(&self, path: &str, bytes: &[u8]) -> Result<()>;
     /// Truncates the file to `len` bytes.
     fn set_len(&self, path: &str, len: u64) -> Result<()>;
@@ -101,12 +119,19 @@ pub struct DiskFs;
 impl StorageFs for DiskFs {
     fn append(&self, path: &str, bytes: &[u8]) -> Result<()> {
         use std::io::Write;
+        let created = !std::path::Path::new(path).exists();
         let mut file = std::fs::OpenOptions::new()
             .create(true)
             .append(true)
             .open(path)
             .map_err(|e| storage_err("open for append", path, e))?;
-        file.write_all(bytes).map_err(|e| storage_err("append to", path, e))
+        file.write_all(bytes).map_err(|e| storage_err("append to", path, e))?;
+        if created {
+            // The new directory entry must be durable too, or a power loss
+            // after the first commit's fsync could lose the whole file.
+            sync_parent_dir(path)?;
+        }
+        Ok(())
     }
 
     fn sync(&self, path: &str) -> Result<()> {
@@ -129,7 +154,10 @@ impl StorageFs for DiskFs {
         std::fs::File::open(&tmp)
             .and_then(|f| f.sync_all())
             .map_err(|e| storage_err("sync", &tmp, e))?;
-        std::fs::rename(&tmp, path).map_err(|e| storage_err("rename into", path, e))
+        std::fs::rename(&tmp, path).map_err(|e| storage_err("rename into", path, e))?;
+        // The rename is durable only once the directory entry is: fsync the
+        // parent before reporting success — callers truncate the log on it.
+        sync_parent_dir(path)
     }
 
     fn set_len(&self, path: &str, len: u64) -> Result<()> {
@@ -310,8 +338,8 @@ fn decode_payload(payload: &[u8]) -> std::result::Result<(u64, WalEntry), String
 /// torn-tail rule).
 #[derive(Debug, Default)]
 pub struct WalReplay {
-    /// Intact records in LSN order.
-    pub records: Vec<(u64, WalEntry)>,
+    /// Intact records in LSN order, as `(lsn, frame byte offset, entry)`.
+    pub records: Vec<(u64, u64, WalEntry)>,
     /// Length in bytes of the valid prefix (everything before the torn
     /// tail, or the whole file when intact).
     pub valid_len: u64,
@@ -322,7 +350,7 @@ pub struct WalReplay {
 impl WalReplay {
     /// LSN of the last intact record (0 when the log is empty).
     pub fn last_lsn(&self) -> u64 {
-        self.records.last().map_or(0, |(lsn, _)| *lsn)
+        self.records.last().map_or(0, |(lsn, _, _)| *lsn)
     }
 }
 
@@ -365,9 +393,10 @@ pub fn read_log(bytes: &[u8]) -> Result<WalReplay> {
             )));
         }
         prev_lsn = lsn;
+        let frame_offset = pos as u64;
         pos += 8 + len;
         replay.valid_len = pos as u64;
-        replay.records.push((lsn, entry));
+        replay.records.push((lsn, frame_offset, entry));
     }
     Ok(replay)
 }
@@ -747,11 +776,17 @@ mod tests {
         assert_eq!(replay.last_lsn(), 5);
         assert!(!replay.torn);
         assert_eq!(replay.valid_len, log.len() as u64);
-        assert!(matches!(replay.records[0].1, WalEntry::LoadXml { .. }));
-        assert!(matches!(replay.records[1].1, WalEntry::ApplyBatch { ref ops, .. } if ops.len() == 2));
-        assert!(matches!(replay.records[2].1, WalEntry::Remove { .. }));
-        assert!(matches!(replay.records[3].1, WalEntry::ApplyMany { ref jobs } if jobs.len() == 2));
-        assert!(matches!(replay.records[4].1, WalEntry::LoadGrammar { .. }));
+        assert!(matches!(replay.records[0].2, WalEntry::LoadXml { .. }));
+        assert!(matches!(replay.records[1].2, WalEntry::ApplyBatch { ref ops, .. } if ops.len() == 2));
+        assert!(matches!(replay.records[2].2, WalEntry::Remove { .. }));
+        assert!(matches!(replay.records[3].2, WalEntry::ApplyMany { ref jobs } if jobs.len() == 2));
+        assert!(matches!(replay.records[4].2, WalEntry::LoadGrammar { .. }));
+        let offsets: Vec<u64> = replay.records.iter().map(|(_, off, _)| *off).collect();
+        let mut expected_offset = 0u64;
+        for (frame, &offset) in sample_entries().iter().zip(&offsets) {
+            assert_eq!(offset, expected_offset);
+            expected_offset += frame.len() as u64;
+        }
     }
 
     #[test]
