@@ -105,5 +105,49 @@ fn bench_updates_batched(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_updates, bench_updates_batched);
+/// Batched vs one-at-a-time on the paper's Section V-C **90/10 insert/delete
+/// mix** (uniform targets, no renames). Before the delete-tolerant planner
+/// every delete flushed its isolation chunk, degrading this workload toward
+/// one-at-a-time; with removed-region remapping the mix batches at full
+/// length, so batched is expected to hold a multiple-x advantage here too
+/// (gated ≥3× by the committed baseline discipline).
+fn bench_updates_mixed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("updates_mixed");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for dataset in [Dataset::ExiWeblog, Dataset::XMark] {
+        let xml = dataset.generate(0.05);
+        let ops = random_update_sequence(&xml, 100, 23, WorkloadMix::paper_mix(0.0));
+        let (compressed, _) = TreeRePair::default().compress_xml(&xml);
+
+        group.bench_with_input(
+            BenchmarkId::new("one_at_a_time_100", dataset.name()),
+            &(&compressed, &ops),
+            |b, (g, ops)| {
+                b.iter(|| {
+                    let mut g = (*g).clone();
+                    for op in ops.iter() {
+                        apply_update(&mut g, op).unwrap();
+                    }
+                    g
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("batched_100", dataset.name()),
+            &(&compressed, &ops),
+            |b, (g, ops)| {
+                b.iter(|| {
+                    let mut g = (*g).clone();
+                    apply_batch(&mut g, ops).unwrap();
+                    g
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_updates, bench_updates_batched, bench_updates_mixed);
 criterion_main!(benches);

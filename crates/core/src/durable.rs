@@ -628,6 +628,53 @@ mod tests {
     }
 
     #[test]
+    fn mid_chunk_splice_error_replays_to_the_partial_state() {
+        // The WAL logs an ApplyBatch record *before* the apply; a splice-time
+        // error leaves the chunk's already-spliced prefix applied in memory.
+        // Recovery replays the same record through the same non-fatal
+        // apply_batch, so the recovered document must equal the in-memory
+        // partial state, byte for byte — not the batch-start state.
+        let (fs, store) = mem_store();
+        let a = store.load_xml(&doc("feed", 3)).unwrap();
+        let b = store.load_xml(&doc("blog", 3)).unwrap();
+        let before_a = store.to_xml(a).unwrap().to_xml();
+
+        // Doc a: rename + insert splice fine, then the delete lands on a null
+        // node (preorder 3 is <title/>'s empty child list) and errors.
+        let frag = parse_xml("<ad/>").unwrap();
+        let ops_a = vec![
+            UpdateOp::Rename { target: 1, label: "entry".into() },
+            UpdateOp::InsertBefore { target: 5, fragment: frag },
+            UpdateOp::Delete { target: 3 },
+        ];
+        assert!(store.apply_batch(a, &ops_a).is_err());
+        // Doc b: the rename to the reserved null label errors after a
+        // successful insert in the same chunk.
+        let ops_b = vec![
+            UpdateOp::InsertBefore {
+                target: 1,
+                fragment: parse_xml("<promo/>").unwrap(),
+            },
+            UpdateOp::Rename { target: 3, label: "#".into() },
+        ];
+        assert!(store.apply_batch(b, &ops_b).is_err());
+
+        let want_a = store.to_xml(a).unwrap().to_xml();
+        let want_b = store.to_xml(b).unwrap().to_xml();
+        assert_ne!(want_a, before_a, "the failed batch's prefix must be applied");
+        drop(store); // crash with the poisoned records in the log
+
+        let (recovered, report) = DurableStore::open_with(fs, "db").unwrap();
+        assert_eq!(report.replayed, 4);
+        assert_eq!(
+            recovered.to_xml(a).unwrap().to_xml(),
+            want_a,
+            "replay must reproduce the partial state of the failed batch"
+        );
+        assert_eq!(recovered.to_xml(b).unwrap().to_xml(), want_b);
+    }
+
+    #[test]
     fn checkpoint_restores_without_replay_and_truncates_the_log() {
         let (fs, store) = mem_store();
         let a = store.load_xml(&doc("feed", 4)).unwrap();

@@ -137,8 +137,16 @@ pub fn isolate(g: &mut Grammar, target: u128) -> Result<(NodeId, IsolationStats)
 /// reuses them, patching the subtree-size table incrementally after each
 /// inlining (arena node ids are never reused, so entries of surviving nodes
 /// stay valid). The session is only coherent as long as the grammar is mutated
-/// exclusively through it — callers that splice the start rule (updates) must
-/// finish all isolations of a batch before splicing.
+/// exclusively through it: callers that splice the start rule (updates) must
+/// finish all isolations of a chunk before splicing, and must report every
+/// splice through [`note_inserted`](Self::note_inserted) /
+/// [`note_removed`](Self::note_removed) so the size table and the cached
+/// derived size follow the document. Splices only ever edit the start rule, so
+/// `own_sizes`/`segment_sizes` stay valid across them (and across
+/// [`Grammar::gc`], which never renumbers surviving rules) — one session can
+/// therefore span a whole multi-chunk [`crate::update::apply_batch`] call,
+/// keeping the Lemma-1 factor-two growth bound per *distinct* isolated path
+/// for the entire batch.
 #[derive(Debug)]
 pub struct IsolationBatch {
     own: HashMap<NtId, u128>,
@@ -167,9 +175,60 @@ impl IsolationBatch {
         self.stats
     }
 
-    /// Number of nodes of the derived tree (cached at session start).
+    /// Number of nodes of the derived tree (cached at session start and
+    /// maintained across splices reported through
+    /// [`note_inserted`](Self::note_inserted) /
+    /// [`note_removed`](Self::note_removed)).
     pub fn derived_size(&self) -> u128 {
         self.total
+    }
+
+    /// Derived subtree size of an explicit start-rule node, per the session's
+    /// size table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a start-rule node the session has sized (every
+    /// node reachable at session start or touched by an isolation is).
+    pub fn subtree_size(&self, node: NodeId) -> u128 {
+        self.sizes[&node]
+    }
+
+    /// Records an insert splice: the fragment rooted at the fresh start-rule
+    /// node `frag_root` was grafted in, growing the derived tree by `grown`
+    /// nodes. Sizes of the fresh fragment nodes are filled in (the grafted old
+    /// subtree keeps its entries — arena ids are never recycled) and every
+    /// ancestor of the graft point grows by `grown`.
+    pub fn note_inserted(&mut self, g: &Grammar, frag_root: NodeId, grown: u128) {
+        self.fill_sizes(g, frag_root);
+        let rhs = &g.rule(g.start()).rhs;
+        let mut cur = rhs.parent(frag_root);
+        while let Some(p) = cur {
+            *self
+                .sizes
+                .get_mut(&p)
+                .expect("ancestors of a splice point are sized") += grown;
+            cur = rhs.parent(p);
+        }
+        self.total += grown;
+    }
+
+    /// Records a delete splice: a subtree of `removed` derived nodes was
+    /// spliced out from under `parent` (`None` when the start rule's root
+    /// itself was replaced). Entries of the detached nodes are left behind;
+    /// they are never re-attached, so the stale entries are unreachable.
+    pub fn note_removed(&mut self, g: &Grammar, parent: Option<NodeId>, removed: u128) {
+        let rhs = &g.rule(g.start()).rhs;
+        let mut cur = parent;
+        while let Some(p) = cur {
+            let s = self
+                .sizes
+                .get_mut(&p)
+                .expect("ancestors of a splice point are sized");
+            *s -= removed;
+            cur = rhs.parent(p);
+        }
+        self.total -= removed;
     }
 
     /// Isolates a single target through the session (sizes are reused and

@@ -12,25 +12,37 @@
 //!
 //! [`apply_batch`] executes a *sequence* of operations (each addressed, like
 //! the sequential API, against the document state produced by the preceding
-//! operations) without paying one full isolation per operation. The sequence
-//! is cut into **chunks**; per chunk:
+//! operations) without paying one full isolation per operation. One
+//! [`IsolationBatch`] session spans the whole call — `own_sizes` /
+//! `segment_sizes` are computed once per batch (splices only edit the start
+//! rule, so they stay valid) and the start rule's subtree-size table is
+//! patched through every splice instead of recomputed. The sequence is cut
+//! into **chunks**; per chunk:
 //!
 //! 1. every target is remapped from its sequential coordinates back to the
-//!    chunk-start document coordinates by subtracting the sizes of the
-//!    fragments inserted earlier in the chunk (an *inserted-region* table),
-//! 2. all remapped targets are isolated through one shared
-//!    [`IsolationBatch`] — `own_sizes`/`segment_sizes` are computed once per
-//!    chunk and shared path prefixes are inlined once,
-//! 3. the splices run in operation order against the isolated node ids,
-//!    which stay valid across splices because arena ids are never recycled.
+//!    chunk-start document coordinates through a signed-shift **region
+//!    map**: fragments inserted earlier in the chunk shift later
+//!    targets down, subtrees deleted earlier in the chunk shift them up, and
+//!    a delete whose removed base range encloses earlier regions swallows
+//!    them. Resolution is a binary search (`O(log k)` per op in the number
+//!    of regions); a delete's removed base size comes from the session's
+//!    maintained subtree-size table, so no sizes are ever re-derived,
+//! 2. all remapped targets are isolated through the shared session — shared
+//!    path prefixes are inlined once per batch, keeping the Lemma-1
+//!    factor-two growth bound per *distinct* root-to-target path,
+//! 3. the splices run in operation order against the isolated node ids
+//!    (valid across splices because arena ids are never recycled), each
+//!    splice patching the session's size table as it lands.
 //!
-//! A chunk ends when an operation targets a node *inside* a fragment inserted
-//! earlier in the same chunk (its pre-chunk coordinate does not exist), or
-//! right after a delete (whose removed size in evolving coordinates would
-//! require re-deriving subtree sizes); the next chunk then starts from the
-//! updated grammar. Rename-only and insert-heavy sequences — the paper's
-//! Figure-6 workload and FLUX-style functional update programs — therefore
-//! batch at full length.
+//! A chunk ends only when an operation targets a node *inside* a fragment
+//! inserted earlier in the same chunk (its pre-chunk coordinate does not
+//! exist) or deletes at a position a null node occupies (the splice is
+//! planned, fails like the sequential API would, and nothing past it is);
+//! the next chunk then starts from the updated grammar. Deletes themselves
+//! no longer flush: mixed insert/delete streams — the paper's 90/10 workload
+//! and FLUX-style functional update programs — batch at full length.
+//! Unreachable rules are garbage collected once per chunk that deleted, not
+//! per delete.
 
 use sltgrammar::{Grammar, NodeId, NodeKind};
 use xmltree::binary::to_binary;
@@ -92,8 +104,10 @@ fn node_is_null(g: &Grammar, node: NodeId) -> bool {
 }
 
 /// Splice part of `insert_before`: grafts `fragment` before the
-/// already-isolated start-rule node.
-fn insert_node(g: &mut Grammar, node: NodeId, fragment: &XmlTree) -> Result<()> {
+/// already-isolated start-rule node. Returns the graft root and the number of
+/// derived nodes the document grew by (`2n` for an n-element fragment,
+/// whether the target was an element or a consumed null).
+fn insert_node(g: &mut Grammar, node: NodeId, fragment: &XmlTree) -> Result<(NodeId, u128)> {
     let target_is_null = node_is_null(g, node);
     let frag_bin = to_binary(fragment, &mut g.symbols)?;
     let start = g.start();
@@ -109,7 +123,7 @@ fn insert_node(g: &mut Grammar, node: NodeId, fragment: &XmlTree) -> Result<()> 
     if !target_is_null {
         rhs.replace_subtree(attach, node);
     }
-    Ok(())
+    Ok((frag_root, 2 * fragment.node_count() as u128))
 }
 
 /// Splice part of `delete`: removes the element subtree at the
@@ -204,37 +218,138 @@ pub struct BatchStats {
     pub edges_after: usize,
 }
 
-/// One fragment inserted earlier in the current chunk, in the evolving
-/// sequential coordinates: it occupies `len` preorder positions starting at
-/// `start` and replaced `consumed` (0 or 1) pre-chunk nodes — an insert at a
-/// null position splices the fragment *over* the null leaf.
-struct InsertedRegion {
+/// One splice the current chunk has already planned, in the chunk's evolving
+/// sequential coordinates.
+struct Region {
+    /// Evolving preorder position where the splice takes effect.
     start: u128,
-    len: u128,
-    consumed: u128,
+    /// Length of the freshly inserted range `start..start + fresh`: fragment
+    /// positions with no chunk-start coordinate (0 for deletes). An insert at
+    /// a null position splices the fragment *over* the null leaf, so the
+    /// whole fragment including the consumed slot is fresh.
+    fresh: u128,
+    /// What this splice adds to the base coordinate of every evolving
+    /// position at or beyond `start + fresh`: `-(fresh - consumed)` for an
+    /// insert, `+removed base size` for a delete.
+    shift: i128,
+    /// Running sum of `shift` over this and every earlier region.
+    cum: i128,
 }
 
-/// Maps a target from the chunk's evolving sequential coordinates back to the
-/// chunk-start document coordinates, or `None` if it addresses a node inside a
-/// fragment inserted earlier in the chunk (no pre-chunk coordinate exists).
-fn resolve_base(regions: &[InsertedRegion], t: u128) -> Option<u128> {
-    let mut shift: u128 = 0;
-    for r in regions {
-        if t >= r.start + r.len {
-            shift += r.len - r.consumed;
-        } else if t >= r.start {
+/// The chunk planner's evolving coordinate map: a signed-shift region table
+/// translating targets from the chunk's evolving sequential coordinates back
+/// to the chunk-start document coordinates, across both inserts and deletes.
+///
+/// Regions are kept sorted by `start`. Two invariants carry every proof
+/// below: fresh ranges never contain another region's `start` (a target
+/// inside a fresh range is unresolvable, so no later splice lands there),
+/// and the chunk-start anchors `start + cum-of-earlier-regions` are
+/// non-decreasing along the vector.
+#[derive(Default)]
+struct RegionMap {
+    regions: Vec<Region>,
+}
+
+impl RegionMap {
+    /// Maps the evolving target `t` back to chunk-start coordinates, or
+    /// `None` if it addresses a node inside a fragment inserted earlier in
+    /// the chunk (no chunk-start coordinate exists). `O(log k)` in the
+    /// number of regions.
+    fn resolve(&self, t: u128) -> Option<u128> {
+        let idx = self.regions.partition_point(|r| r.start <= t);
+        let Some(r) = idx.checked_sub(1).map(|i| &self.regions[i]) else {
+            return Some(t);
+        };
+        if t < r.start + r.fresh {
             return None;
+        }
+        // Every region up to `idx` applies its shift: their fresh ranges all
+        // end at or before `t` (they cannot contain `t` — see the struct
+        // invariants — nor reach past a later region's start).
+        Some((t as i128 + r.cum) as u128)
+    }
+
+    /// Records an insert of `len` evolving positions at `t`, where `consumed`
+    /// (zero or one) of them replace the pre-splice node at `t` (a consumed
+    /// null). Binary-searched insertion; no re-sort.
+    fn note_insert(&mut self, t: u128, len: u128, consumed: u128) {
+        let idx = self.regions.partition_point(|r| r.start <= t);
+        for r in &mut self.regions[idx..] {
+            r.start += len - consumed;
+        }
+        self.regions.insert(
+            idx,
+            Region {
+                start: t,
+                fresh: len,
+                shift: -((len - consumed) as i128),
+                cum: 0,
+            },
+        );
+        self.recum(idx);
+    }
+
+    /// Records a delete at evolving position `t` — which the caller resolved
+    /// to the chunk-start coordinate `base` — removing a subtree whose
+    /// chunk-start size is `base_len`. Regions anchored inside the removed
+    /// base range `base..base + base_len` (fragments inserted into, and
+    /// deletes already taken out of, the now-deleted subtree) are swallowed
+    /// by it: the recorded shift is the full chunk-start size, and the
+    /// swallowed regions' shifts stop applying.
+    fn note_delete(&mut self, t: u128, base: u128, base_len: u128) {
+        let end = (base + base_len) as i128;
+        let lo = self.regions.partition_point(|r| r.start <= t);
+        // Anchors are non-decreasing and regions with `start <= t` anchor
+        // strictly before `base`, so the swallowed regions are exactly the
+        // run starting at `lo` whose anchors lie inside the removed range.
+        let mut hi = lo;
+        let mut evolving_len = base_len as i128;
+        while hi < self.regions.len() {
+            let cum_before = if hi == 0 { 0 } else { self.regions[hi - 1].cum };
+            let r = &self.regions[hi];
+            if r.start as i128 + cum_before >= end {
+                break;
+            }
+            // A swallowed insert takes its net fresh growth with it; a
+            // swallowed delete had already taken its positions out.
+            evolving_len -= r.shift;
+            hi += 1;
+        }
+        self.regions.drain(lo..hi);
+        let evolving_len = evolving_len as u128;
+        for r in &mut self.regions[lo..] {
+            r.start -= evolving_len;
+        }
+        self.regions.insert(
+            lo,
+            Region {
+                start: t,
+                fresh: 0,
+                shift: base_len as i128,
+                cum: 0,
+            },
+        );
+        self.recum(lo);
+    }
+
+    /// Rebuilds the cumulative shifts from `from` to the end.
+    fn recum(&mut self, from: usize) {
+        let mut acc = if from == 0 {
+            0
         } else {
-            break; // regions are sorted by start
+            self.regions[from - 1].cum
+        };
+        for r in &mut self.regions[from..] {
+            acc += r.shift;
+            r.cum = acc;
         }
     }
-    Some(t - shift)
 }
 
 /// Applies a sequence of updates with **batched path isolation**: operations
 /// use the same sequential addressing as [`apply_updates`] (each target refers
 /// to the document produced by the preceding operations), but
-/// `own_sizes`/`segment_sizes` are computed once per chunk and nonterminal
+/// `own_sizes`/`segment_sizes` are computed once per batch and nonterminal
 /// references on shared path prefixes are inlined once instead of per
 /// operation. See the module docs for the chunking rules. Unreachable rules
 /// are garbage collected once per deleting chunk, not per delete.
@@ -248,9 +363,9 @@ fn resolve_base(regions: &[InsertedRegion], t: u128) -> Option<u128> {
 /// Targets are validated while a chunk is planned, so an out-of-range target
 /// aborts its **whole chunk** before any of that chunk's splices run
 /// (operations of earlier chunks remain applied). Errors raised by the
-/// splices themselves (renaming a null node, a label rank conflict) leave
-/// the chunk's already-spliced prefix applied, like the sequential API
-/// would.
+/// splices themselves (renaming or deleting a null node, a label rank
+/// conflict) leave the chunk's already-spliced prefix applied, like the
+/// sequential API would.
 pub fn apply_batch(g: &mut Grammar, ops: &[UpdateOp]) -> Result<BatchStats> {
     let mut stats = BatchStats {
         ops: ops.len(),
@@ -258,26 +373,30 @@ pub fn apply_batch(g: &mut Grammar, ops: &[UpdateOp]) -> Result<BatchStats> {
         edges_after: g.edge_count(),
         ..BatchStats::default()
     };
+    // One isolation session for the whole batch: splices only edit the start
+    // rule, so the per-rule tables survive every chunk (and the per-chunk
+    // `gc`, which never renumbers surviving rules); the subtree-size table
+    // and derived size are patched through each splice below.
+    let mut batch = IsolationBatch::new(g);
     let mut i = 0;
     while i < ops.len() {
         // Plan + isolate one chunk against the current grammar. Isolation
         // never changes the derived tree, so chunk-start coordinates stay
         // valid while the chunk's targets are isolated one after another.
-        let mut batch = IsolationBatch::new(g);
-        let mut regions: Vec<InsertedRegion> = Vec::new();
+        let mut regions = RegionMap::default();
         let mut planned: Vec<(usize, NodeId)> = Vec::new();
         let mut chunk_deletes = false;
         let mut j = i;
         while j < ops.len() {
             let t = ops[j].target() as u128;
-            let Some(base) = resolve_base(&regions, t) else {
+            let Some(base) = regions.resolve(t) else {
                 break; // target lives inside a fragment this chunk inserted
             };
             let node = batch.isolate_one(g, base)?;
             planned.push((j, node));
-            let is_delete = match &ops[j] {
-                UpdateOp::Rename { .. } => false,
-                UpdateOp::Delete { .. } => true,
+            j += 1;
+            match &ops[j - 1] {
+                UpdateOp::Rename { .. } => {}
                 UpdateOp::InsertBefore { fragment, .. } => {
                     // The binary encoding of an n-element fragment has 2n+1
                     // nodes. Before an element, its trailing null is replaced
@@ -286,38 +405,48 @@ pub fn apply_batch(g: &mut Grammar, ops: &[UpdateOp]) -> Result<BatchStats> {
                     // consumed (2n+1 fresh positions, net shift still 2n).
                     let consumed = u128::from(node_is_null(g, node));
                     let len = 2 * fragment.node_count() as u128 + consumed;
-                    for r in regions.iter_mut() {
-                        if r.start > t {
-                            r.start += len - consumed;
-                        }
-                    }
-                    regions.push(InsertedRegion {
-                        start: t,
-                        len,
-                        consumed,
-                    });
-                    regions.sort_by_key(|r| r.start);
-                    false
+                    regions.note_insert(t, len, consumed);
                 }
-            };
-            j += 1;
-            if is_delete {
-                chunk_deletes = true;
-                break;
+                UpdateOp::Delete { .. } => {
+                    chunk_deletes = true;
+                    if node_is_null(g, node) {
+                        // The splice will fail on the null target exactly
+                        // like the sequential API; plan nothing past it.
+                        break;
+                    }
+                    // The removed preorder range is the element plus its
+                    // first-child content, contiguous in chunk-start
+                    // coordinates.
+                    let content = g.rule(g.start()).rhs.children(node)[0];
+                    regions.note_delete(t, base, 1 + batch.subtree_size(content));
+                }
             }
         }
-        stats.isolation.inlinings += batch.stats().inlinings;
         stats.chunks += 1;
 
         // Splice in operation order. Node ids of surviving nodes stay valid
         // across splices (the arena never recycles ids), and no operation of
         // this chunk addresses a node an earlier splice removed: consumed
-        // nulls and deleted subtrees are unreachable by construction.
+        // nulls and deleted subtrees are unreachable by construction — a
+        // later target never resolves into a removed base range.
         for &(k, node) in &planned {
             match &ops[k] {
                 UpdateOp::Rename { label, .. } => rename_node(g, node, label)?,
-                UpdateOp::InsertBefore { fragment, .. } => insert_node(g, node, fragment)?,
-                UpdateOp::Delete { .. } => delete_node(g, node)?,
+                UpdateOp::InsertBefore { fragment, .. } => {
+                    let (frag_root, grown) = insert_node(g, node, fragment)?;
+                    batch.note_inserted(g, frag_root, grown);
+                }
+                UpdateOp::Delete { .. } => {
+                    expect_element(g, node)?;
+                    let start = g.start();
+                    let parent = g.rule(start).rhs.parent(node);
+                    let content = g.rule(start).rhs.children(node)[0];
+                    // Splice-time size: earlier splices of this chunk may
+                    // have grown or shrunk the subtree being removed.
+                    let removed = 1 + batch.subtree_size(content);
+                    delete_node(g, node)?;
+                    batch.note_removed(g, parent, removed);
+                }
             }
         }
         if chunk_deletes {
@@ -325,6 +454,7 @@ pub fn apply_batch(g: &mut Grammar, ops: &[UpdateOp]) -> Result<BatchStats> {
         }
         i = j;
     }
+    stats.isolation = batch.stats();
     stats.edges_after = g.edge_count();
     Ok(stats)
 }
@@ -541,7 +671,7 @@ mod tests {
     }
 
     #[test]
-    fn batched_deletes_flush_the_chunk_and_targets_in_fresh_fragments_start_one() {
+    fn targets_in_fresh_fragments_start_a_new_chunk() {
         let (mut g, bin, symbols) = setup(DOC);
         let books: Vec<usize> = bin
             .preorder()
@@ -552,13 +682,11 @@ mod tests {
             .collect();
         let frag = parse_xml("<x><y/></x>").unwrap();
         let ops = vec![
-            // Chunk 1: insert, then a delete (flush).
             UpdateOp::InsertBefore {
                 target: books[0],
                 fragment: frag,
             },
-            UpdateOp::Delete { target: books[0] + 1 }, // <y/> inside the fresh fragment...
-            // Chunk 3: rename addressed after both edits.
+            UpdateOp::Delete { target: books[0] + 1 }, // <y/> inside the fresh fragment
             UpdateOp::Rename {
                 target: books[0],
                 label: "shelf".to_string(),
@@ -569,8 +697,110 @@ mod tests {
         g.validate().unwrap();
         assert_eq!(fingerprint(&g), expected);
         // Op 2 targets inside the fragment op 1 inserted, so the first chunk
-        // holds only op 1; the delete then flushes its own chunk.
-        assert_eq!(stats.chunks, 3);
+        // holds only op 1; the delete and the rename share the second chunk
+        // (deletes no longer flush).
+        assert_eq!(stats.chunks, 2);
+    }
+
+    #[test]
+    fn batched_deletes_keep_later_targets_in_the_same_chunk() {
+        let (mut g, bin, symbols) = setup(DOC);
+        let books: Vec<usize> = bin
+            .preorder()
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| matches!(bin.kind(n), NodeKind::Term(t) if symbols.name(t) == "book"))
+            .map(|(i, _)| i)
+            .collect();
+        // A book subtree occupies 6 binary preorder positions (the element
+        // plus its 2-chapter content). Delete the second book, rename the
+        // third (which slid into its place), then delete the fourth at its
+        // shifted coordinate — all resolvable, so all one chunk.
+        assert_eq!(books[2] - books[1], 6);
+        let ops = vec![
+            UpdateOp::Delete { target: books[1] },
+            UpdateOp::Rename {
+                target: books[1],
+                label: "promoted".to_string(),
+            },
+            UpdateOp::Delete { target: books[3] - 6 },
+        ];
+        let expected = reference_after(&bin, &symbols, &ops);
+        let stats = apply_batch(&mut g, &ops).unwrap();
+        g.validate().unwrap();
+        assert_eq!(fingerprint(&g), expected);
+        assert_eq!(stats.chunks, 1, "deletes no longer cut the chunk");
+    }
+
+    #[test]
+    fn deleting_a_subtree_swallows_regions_planned_inside_it() {
+        let (mut g, bin, symbols) = setup(DOC);
+        let books: Vec<usize> = bin
+            .preorder()
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| matches!(bin.kind(n), NodeKind::Term(t) if symbols.name(t) == "book"))
+            .map(|(i, _)| i)
+            .collect();
+        let ops = vec![
+            // Grow the second book's content by a fresh element...
+            UpdateOp::InsertBefore {
+                target: books[1] + 1,
+                fragment: parse_xml("<x/>").unwrap(),
+            },
+            // ...delete a chapter inside it (at its shifted coordinate)...
+            UpdateOp::Delete { target: books[1] + 3 },
+            // ...then delete the whole book: the removed range encloses both
+            // earlier regions, and the rename after it must still resolve to
+            // the third book.
+            UpdateOp::Delete { target: books[1] },
+            UpdateOp::Rename {
+                target: books[1],
+                label: "survivor".to_string(),
+            },
+        ];
+        let expected = reference_after(&bin, &symbols, &ops);
+        let stats = apply_batch(&mut g, &ops).unwrap();
+        g.validate().unwrap();
+        assert_eq!(fingerprint(&g), expected);
+        assert_eq!(stats.chunks, 1);
+    }
+
+    #[test]
+    fn deleting_at_a_null_position_fails_like_the_sequential_api() {
+        let (mut g, bin, symbols) = setup(DOC);
+        let null_idx = bin
+            .preorder()
+            .iter()
+            .enumerate()
+            .find(|(_, &n)| matches!(bin.kind(n), NodeKind::Term(t) if symbols.is_null(t)))
+            .map(|(i, _)| i)
+            .unwrap();
+        // The rename before the null delete is spliced (the chunk's prefix
+        // stays applied); the op after it is never planned.
+        let ops = vec![
+            UpdateOp::Rename {
+                target: 0,
+                label: "shelf".to_string(),
+            },
+            UpdateOp::Delete { target: null_idx },
+            UpdateOp::Rename {
+                target: 0,
+                label: "never".to_string(),
+            },
+        ];
+        let err = apply_batch(&mut g, &ops).unwrap_err();
+        assert!(matches!(err, RepairError::InvalidUpdate { .. }));
+        g.validate().unwrap();
+        let expected = reference_after(
+            &bin,
+            &symbols,
+            &[UpdateOp::Rename {
+                target: 0,
+                label: "shelf".to_string(),
+            }],
+        );
+        assert_eq!(fingerprint(&g), expected);
     }
 
     #[test]

@@ -47,14 +47,26 @@ pub struct WorkloadMix {
 }
 
 impl WorkloadMix {
-    /// A high-locality mix dominated by renames and inserts — the batching
-    /// sweet spot (deletes flush isolation chunks).
+    /// A high-locality mix dominated by renames and inserts. Historically the
+    /// batching sweet spot (deletes used to flush isolation chunks; since the
+    /// delete-tolerant planner they batch at full length too).
     pub fn clustered(locality: f64) -> Self {
         WorkloadMix {
             insert_probability: 0.95,
             rename_probability: 0.6,
             locality,
             cluster_every: 25,
+            ..WorkloadMix::default()
+        }
+    }
+
+    /// The paper's Section V-C mix — 90 % inserts / 10 % deletes, no renames —
+    /// with a locality knob. `paper_mix(0.0)` equals [`WorkloadMix::default`];
+    /// higher locality clusters the mixed stream the way a real write-heavy
+    /// session does.
+    pub fn paper_mix(locality: f64) -> Self {
+        WorkloadMix {
+            locality,
             ..WorkloadMix::default()
         }
     }

@@ -22,7 +22,7 @@ use slt_xml::sltgrammar::derive::val;
 use slt_xml::sltgrammar::fingerprint::{derived_size, fingerprint};
 use slt_xml::sltgrammar::{serialize, NodeKind, RhsTree, SymbolTable};
 use slt_xml::treerepair::TreeRePair;
-use slt_xml::xmltree::binary::{from_binary, to_binary};
+use slt_xml::xmltree::binary::{from_binary, to_binary, tree_fingerprint};
 use slt_xml::xmltree::parse::parse_xml;
 use slt_xml::xmltree::updates::{self as reference, UpdateOp};
 use slt_xml::xmltree::XmlTree;
@@ -142,11 +142,39 @@ fn differential_insert_delete_rename_across_locality_settings() {
 
 #[test]
 fn differential_paper_insert_delete_mix_with_clustering() {
-    // The paper's 90/10 insert/delete mix, clustered: deletes flush isolation
-    // chunks mid-batch, exercising the multi-chunk path of apply_batch.
+    // The paper's 90/10 insert/delete mix, clustered: deletes stay inside
+    // their isolation chunk (the delete-tolerant planner), so this exercises
+    // removed-region remapping under recompression.
     let xml = feed_doc(10);
     let ops = random_update_sequence(&xml, 80, 0xBADD, WorkloadMix::clustered(0.9));
     run_differential(&xml, &ops, 6, 16, "paper mix, clustered");
+}
+
+#[test]
+fn differential_delete_heavy_mix_across_locality_and_batch_sizes() {
+    // Inverts the paper's ratio: deletes dominate, so nearly every chunk
+    // carries several removed regions, including nested and overlapping-run
+    // shapes the 90/10 mix rarely produces.
+    let xml = feed_doc(16);
+    for &locality in &[0.0, 0.9] {
+        let mix = WorkloadMix {
+            insert_probability: 0.35,
+            rename_probability: 0.15,
+            locality,
+            cluster_every: 10,
+            ..WorkloadMix::default()
+        };
+        let ops = random_update_sequence(&xml, 70, 0xDE1E ^ (locality * 10.0) as u64, mix);
+        for &batch_size in &[4usize, 70] {
+            run_differential(
+                &xml,
+                &ops,
+                5,
+                batch_size,
+                &format!("delete-heavy, locality {locality}, batch {batch_size}"),
+            );
+        }
+    }
 }
 
 #[test]
@@ -197,6 +225,119 @@ fn differential_handcrafted_edits_inside_fresh_fragments() {
     }
     assert_eq!(probe.serialization(), "<r><a/><bee/><c/></r>");
     run_differential(&xml, &ops, 0, ops.len(), "handcrafted fresh-fragment edits");
+}
+
+#[test]
+fn differential_deletes_adjacent_to_and_inside_fresh_fragments() {
+    // Preorder (binary): r0 a1 #2 b3 #4 c5 #6 #7. Op 1 inserts <x><y/></x>
+    // before b, so b slides past the 4 fresh positions. Op 2 deletes b right
+    // *after* the fragment (same chunk — the boundary anchor must not be
+    // swallowed by fragment bookkeeping); op 3 deletes y *inside* the
+    // fragment (chunk break); ops 4–5 clean up at post-splice coordinates.
+    let xml = parse_xml("<r><a/><b/><c/></r>").unwrap();
+    let mut probe = Oracle::new(&xml);
+    let ops = vec![
+        UpdateOp::InsertBefore {
+            target: 3,
+            fragment: parse_xml("<x><y/></x>").unwrap(),
+        },
+        UpdateOp::Delete { target: 7 }, // b, immediately after the fresh fragment
+        UpdateOp::Delete { target: 4 }, // y, inside the fresh fragment
+        UpdateOp::Delete { target: 3 }, // x, now emptied
+        UpdateOp::Rename {
+            target: 3,
+            label: "sea".to_string(),
+        },
+    ];
+    for op in &ops {
+        probe.apply(op); // validates the handcrafted coordinates
+    }
+    assert_eq!(probe.serialization(), "<r><a/><sea/></r>");
+    for &batch_size in &[2usize, ops.len()] {
+        run_differential(&xml, &ops, 0, batch_size, "deletes around fresh fragments");
+    }
+}
+
+#[test]
+fn differential_consecutive_delete_runs() {
+    // Repeated deletes at the *same* evolving position peel off a sibling
+    // run: every op lands on the coordinate the previous delete freed, so
+    // the region map accumulates same-start removed markers whose shifts
+    // must stack. A second run walks backwards through distinct positions.
+    let xml = feed_doc(8);
+    let mut probe = Oracle::new(&xml);
+    let same_spot: Vec<UpdateOp> = (0..5).map(|_| UpdateOp::Delete { target: 1 }).collect();
+    for op in &same_spot {
+        probe.apply(op);
+    }
+    for &batch_size in &[1usize, 2, same_spot.len()] {
+        run_differential(&xml, &same_spot, 0, batch_size, "same-spot delete run");
+    }
+
+    // Backwards run: delete the 3rd, 2nd, then 1st item — later targets lie
+    // *before* earlier removed regions, so their resolution must not shift.
+    let item_positions: Vec<usize> = {
+        let oracle = Oracle::new(&xml);
+        let pre = oracle.bin.preorder();
+        pre.iter()
+            .enumerate()
+            .filter(
+                |(_, &n)| matches!(oracle.bin.kind(n), NodeKind::Term(t) if oracle.symbols.name(t) == "item"),
+            )
+            .map(|(i, _)| i)
+            .collect()
+    };
+    let backwards: Vec<UpdateOp> = item_positions[..3]
+        .iter()
+        .rev()
+        .map(|&i| UpdateOp::Delete { target: i })
+        .collect();
+    let mut probe = Oracle::new(&xml);
+    for op in &backwards {
+        probe.apply(op);
+    }
+    for &batch_size in &[2usize, backwards.len()] {
+        run_differential(&xml, &backwards, 3, batch_size, "backwards delete run");
+    }
+}
+
+#[test]
+fn differential_delete_at_document_root() {
+    // Deleting the root leaves a bare null document — not serializable as
+    // XML, so this scenario compares structural fingerprints instead of
+    // going through run_differential.
+    let xml = feed_doc(3);
+    let ops = vec![
+        UpdateOp::Rename {
+            target: 0,
+            label: "feed2".to_string(),
+        },
+        UpdateOp::Delete { target: 1 }, // first item under the root
+        UpdateOp::Delete { target: 0 }, // the document root itself
+    ];
+    let mut oracle = Oracle::new(&xml);
+    for op in &ops {
+        oracle.apply(op);
+    }
+    // Batched path, all in one batch.
+    let mut dom = CompressedDom::from_xml(&xml, 0);
+    dom.apply_batch(&ops).unwrap();
+    dom.grammar().validate().unwrap();
+    assert_eq!(
+        fingerprint(&dom.grammar()),
+        tree_fingerprint(&oracle.bin, &oracle.symbols),
+        "root deletion: batched path diverged from the oracle"
+    );
+    // Single-op path agrees too.
+    let mut single = CompressedDom::from_xml(&xml, 0);
+    for op in &ops {
+        single.apply(op).unwrap();
+    }
+    assert_eq!(
+        fingerprint(&single.grammar()),
+        tree_fingerprint(&oracle.bin, &oracle.symbols),
+        "root deletion: single-op path diverged from the oracle"
+    );
 }
 
 #[test]
