@@ -11,7 +11,8 @@
 //! sltxml query      <in.xml | in.sltg> <path expression> [--positions]
 //! sltxml update     <in.sltg> -o <out.sltg> [--rename idx=label]... [--delete idx]...
 //!                   [--insert idx=<xml>]... [--recompress]
-//! sltxml store      <in.xml | in.sltg>... [--query <path>] [--wal <dir>]
+//! sltxml store      <in.xml | in.sltg>... [--rename idx=label]... [--delete idx]...
+//!                   [--insert idx=<xml>]... [--query <path>] [--wal <dir>] [--queue]
 //! sltxml store      checkpoint --wal <dir>
 //! sltxml store      recover    --wal <dir>
 //! sltxml sizes      <in.xml>
@@ -21,16 +22,25 @@
 //! With `--wal <dir>` the store becomes durable: documents are loaded
 //! through a write-ahead log in `<dir>`, `store checkpoint` folds the log
 //! into an atomic snapshot, and `store recover` replays whatever a crash
-//! left behind and reports what it found.
+//! left behind and reports what it found — including how many documents the
+//! paged checkpoint left lazily undecoded and how open time split between
+//! checkpoint adoption and log replay.
+//!
+//! Update options given to `store` apply to every loaded document. With
+//! `--queue` (requires `--wal`) they are routed through the ingestion queue:
+//! each document's batch is submitted, a single drain coalesces all of them
+//! into one group-committed WAL record, and the report shows the coalescing.
 
 use std::fmt::Write as _;
 use std::fs;
 use std::path::Path;
+use std::sync::Arc;
 
 use dag_xml::Dag;
 use datasets::Dataset;
 use grammar_repair::navigate::{element_count, label_counts};
 use grammar_repair::query::PathQuery;
+use grammar_repair::queue::IngestQueue;
 use grammar_repair::update::{delete, insert_before, rename};
 use grammar_repair::{
     DomStore, DurableStore, GrammarRePair, GrammarRePairConfig, RecoveryReport,
@@ -40,6 +50,7 @@ use succinct_xml::SuccinctDom;
 use treerepair::TreeRePair;
 use xmltree::binary::{from_binary, to_binary};
 use xmltree::parse::parse_xml;
+use xmltree::updates::UpdateOp;
 use xmltree::XmlTree;
 
 /// Error type of the CLI: a message for the user plus a process exit code.
@@ -78,7 +89,8 @@ USAGE:
   sltxml query      <in.xml | in.sltg> <path> [--positions]
   sltxml update     <in.sltg> -o <out.sltg> [--rename idx=label]... [--delete idx]...
                     [--insert idx=<xml>]... [--recompress]
-  sltxml store      <in.xml | in.sltg>... [--query <path>] [--wal <dir>]
+  sltxml store      <in.xml | in.sltg>... [--rename idx=label]... [--delete idx]...
+                    [--insert idx=<xml>]... [--query <path>] [--wal <dir>] [--queue]
   sltxml store      checkpoint --wal <dir>
   sltxml store      recover    --wal <dir>
   sltxml sizes      <in.xml>
@@ -415,7 +427,7 @@ fn cmd_update(args: &[String]) -> Result<String, CliError> {
 /// logged into a `--wal` directory.
 enum StoreBacking {
     Plain(DomStore),
-    Durable(Box<DurableStore>, RecoveryReport),
+    Durable(Arc<DurableStore>, RecoveryReport),
 }
 
 impl StoreBacking {
@@ -449,7 +461,19 @@ fn recovery_lines(report: &mut String, recovery: &RecoveryReport) {
         recovery.checkpoint_lsn, recovery.checkpoint_docs
     )
     .unwrap();
+    writeln!(
+        report,
+        "lazy documents     {} (decoded on first touch)",
+        recovery.lazy_docs
+    )
+    .unwrap();
     writeln!(report, "records replayed   {}", recovery.replayed).unwrap();
+    writeln!(
+        report,
+        "open time          {:?} (checkpoint {:?} + replay {:?})",
+        recovery.open_elapsed, recovery.checkpoint_elapsed, recovery.replay_elapsed
+    )
+    .unwrap();
     if recovery.torn_tail {
         writeln!(
             report,
@@ -500,6 +524,42 @@ fn cmd_store_checkpoint(parsed: &Parsed) -> Result<String, CliError> {
     Ok(report)
 }
 
+/// Parse the `--rename/--insert/--delete` options of `sltxml store` into a
+/// store-level batch, in the same order `sltxml update` applies them.
+fn store_update_ops(parsed: &Parsed) -> Result<Vec<UpdateOp>, CliError> {
+    let mut ops = Vec::new();
+    for spec in parsed.option_all("--rename") {
+        let (idx, label) = spec.split_once('=').ok_or_else(|| {
+            CliError::usage(format!("--rename expects `index=label`, got `{spec}`"))
+        })?;
+        let target: usize = idx
+            .parse()
+            .map_err(|_| CliError::usage(format!("invalid index `{idx}`")))?;
+        ops.push(UpdateOp::Rename {
+            target,
+            label: label.to_string(),
+        });
+    }
+    for spec in parsed.option_all("--insert") {
+        let (idx, fragment) = spec.split_once('=').ok_or_else(|| {
+            CliError::usage(format!("--insert expects `index=<xml>`, got `{spec}`"))
+        })?;
+        let target: usize = idx
+            .parse()
+            .map_err(|_| CliError::usage(format!("invalid index `{idx}`")))?;
+        let fragment = parse_xml(fragment)
+            .map_err(|e| CliError::failure(format!("invalid fragment: {e}")))?;
+        ops.push(UpdateOp::InsertBefore { target, fragment });
+    }
+    for spec in parsed.option_all("--delete") {
+        let target: usize = spec
+            .parse()
+            .map_err(|_| CliError::usage(format!("invalid index `{spec}`")))?;
+        ops.push(UpdateOp::Delete { target });
+    }
+    Ok(ops)
+}
+
 fn cmd_store(args: &[String]) -> Result<String, CliError> {
     let parsed = parse_args(args)?;
     match parsed.positionals.first().map(String::as_str) {
@@ -512,10 +572,16 @@ fn cmd_store(args: &[String]) -> Result<String, CliError> {
     if parsed.positionals.is_empty() {
         return Err(CliError::usage("store expects at least one input file"));
     }
+    if parsed.flag("--queue") && parsed.option(&["--wal"]).is_none() {
+        return Err(CliError::usage(
+            "--queue fronts the durable store and needs `--wal <dir>`",
+        ));
+    }
+    let ops = store_update_ops(&parsed)?;
     let backing = match parsed.option(&["--wal"]) {
         Some(dir) => {
             let (store, recovery) = open_wal_dir(dir)?;
-            StoreBacking::Durable(Box::new(store), recovery)
+            StoreBacking::Durable(Arc::new(store), recovery)
         }
         None => StoreBacking::Plain(DomStore::new()),
     };
@@ -546,6 +612,48 @@ fn cmd_store(args: &[String]) -> Result<String, CliError> {
         )
         .unwrap();
         ids.push(id);
+    }
+    if !ops.is_empty() {
+        writeln!(report).unwrap();
+        if parsed.flag("--queue") {
+            let StoreBacking::Durable(durable, _) = &backing else {
+                unreachable!("--queue without --wal is rejected above");
+            };
+            let queue = IngestQueue::new(Arc::clone(durable));
+            let tickets: Vec<_> = ids
+                .iter()
+                .map(|&id| queue.submit(id, ops.clone()))
+                .collect();
+            let flush = queue.flush();
+            for ticket in tickets {
+                queue
+                    .wait(ticket)
+                    .map_err(|e| CliError::failure(format!("queued update failed: {e}")))?;
+            }
+            writeln!(
+                report,
+                "ingest queue       {} batches coalesced into {} jobs, one group commit",
+                flush.batches, flush.jobs
+            )
+            .unwrap();
+        } else {
+            for &id in &ids {
+                match &backing {
+                    StoreBacking::Plain(s) => s.apply_batch(id, &ops),
+                    StoreBacking::Durable(s, _) => s.apply_batch(id, &ops),
+                }
+                .map_err(|e| {
+                    CliError::failure(format!("update failed on doc #{}: {e}", id.slot()))
+                })?;
+            }
+        }
+        writeln!(
+            report,
+            "updates            {} ops applied to each of {} documents",
+            ops.len(),
+            ids.len()
+        )
+        .unwrap();
     }
     let store = backing.dom();
     let stats = store.symbol_stats();
@@ -864,6 +972,7 @@ mod tests {
         assert!(report.contains("documents          2"), "{report}");
         assert!(report.contains("durable lsn        2"), "{report}");
         assert!(report.contains("torn tail          none"), "{report}");
+        assert!(report.contains("open time          "), "{report}");
 
         // A fresh process recovers both documents purely from the log.
         let report = run(&args(&["store", "recover", "--wal", &dir])).unwrap();
@@ -874,10 +983,15 @@ mod tests {
         let report = run(&args(&["store", "checkpoint", "--wal", &dir])).unwrap();
         assert!(report.contains("checkpoint at lsn 2: 2 docs"), "{report}");
 
-        // ...after which recovery replays nothing.
+        // ...after which recovery replays nothing and the paged checkpoint
+        // leaves both documents undecoded until the report touches them.
         let report = run(&args(&["store", "recover", "--wal", &dir])).unwrap();
         assert!(report.contains("records replayed   0"), "{report}");
         assert!(report.contains("checkpoint         lsn 2, 2 documents"), "{report}");
+        assert!(
+            report.contains("lazy documents     2 (decoded on first touch)"),
+            "{report}"
+        );
 
         // A torn tail (half a record appended by a crashed writer) is
         // truncated and reported, not an error.
@@ -892,6 +1006,56 @@ mod tests {
         assert!(err.message.contains("--wal"));
         let err = run(&args(&["store", "checkpoint"])).unwrap_err();
         assert!(err.message.contains("--wal"));
+    }
+
+    #[test]
+    fn store_queue_coalesces_updates_into_one_record() {
+        let a = write_doc("queue-a.xml");
+        let b_path = write_doc("queue-b.xml");
+        let dir = temp_path("queue-dir");
+        let _ = fs::remove_dir_all(&dir);
+
+        // The queue fronts the durable store only.
+        let err = run(&args(&["store", &a, "--queue"])).unwrap_err();
+        assert!(err.message.contains("--wal"), "{}", err.message);
+
+        // Rename the first <item> of both documents through the queue: two
+        // submitted batches drain as one coalesced group commit, and the
+        // query afterwards sees the change.
+        let report = run(&args(&[
+            "store", &a, &b_path, "--wal", &dir, "--queue", "--rename", "1=offer", "--query",
+            "//offer",
+        ]))
+        .unwrap();
+        assert!(
+            report.contains("ingest queue       2 batches coalesced into 2 jobs"),
+            "{report}"
+        );
+        assert!(
+            report.contains("updates            1 ops applied to each of 2 documents"),
+            "{report}"
+        );
+        assert!(report.contains("doc #0    1 matches"), "{report}");
+        assert!(report.contains("doc #1    1 matches"), "{report}");
+
+        // The whole run logged three records: two loads plus ONE coalesced
+        // ApplyMany for both renames — and a fresh recovery replays them.
+        let report = run(&args(&["store", "recover", "--wal", &dir])).unwrap();
+        assert!(report.contains("records replayed   3"), "{report}");
+
+        // The direct (unqueued) path logs one record per document instead.
+        let dir = temp_path("queue-direct-dir");
+        let _ = fs::remove_dir_all(&dir);
+        let report = run(&args(&[
+            "store", &a, &b_path, "--wal", &dir, "--rename", "1=offer",
+        ]))
+        .unwrap();
+        assert!(
+            report.contains("updates            1 ops applied to each of 2 documents"),
+            "{report}"
+        );
+        let report = run(&args(&["store", "recover", "--wal", &dir])).unwrap();
+        assert!(report.contains("records replayed   4"), "{report}");
     }
 
     #[test]

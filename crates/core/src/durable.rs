@@ -38,22 +38,38 @@
 //!
 //! # Checkpoints and recovery
 //!
-//! [`DurableStore::checkpoint`] quiesces writers (a write-gate every
-//! mutator holds for read), captures the slab layout and every document's
-//! grammar (via `sltgrammar::serialize`, CRC-framed), writes the checkpoint
-//! file atomically (temp + rename), and only then truncates the log.
-//! Recovery reads the checkpoint (if any), restores the slab, replays log
-//! records with `lsn > checkpoint_lsn`, truncates a torn final record
-//! silently, and surfaces genuinely corrupt records as
+//! [`DurableStore::checkpoint`] is **fuzzy**: it holds only the lifecycle
+//! lock (freezing the slab layout and the shared alphabet — loads and
+//! removes wait, updates keep flowing) and serializes each document under
+//! that document's own commit lock, recording the durable LSN at that
+//! moment as the document's `doc_lsn`. Writers therefore only ever wait on
+//! the one document currently being serialized, never on the whole
+//! checkpoint. The image is written in the paged checkpoint-v3 layout
+//! (documented in [`crate::wal`]) **atomically** (temp + rename); the log
+//! is truncated afterwards only if it is provably covered
+//! ([`crate::wal::Wal::truncate_if_at`] — when writers raced past the
+//! checkpoint, the log survives and replay's per-document filter skips the
+//! folded records).
+//!
+//! Recovery reads the checkpoint (if any), adopts the symbol-table image
+//! wholesale and installs every document as an undecoded lazy payload
+//! (decoded on first touch — cold start is O(open) + O(touched docs), not
+//! O(fleet)), then replays log records with `lsn > checkpoint_lsn`,
+//! skipping per-document updates with `lsn <= doc_lsn` (already folded
+//! into that document's extent). A torn final record is truncated
+//! silently; genuinely corrupt records surface as
 //! [`RepairError::WalCorrupt`]. Replayed operations that failed originally
 //! (stale ids, out-of-range targets) fail identically on replay — per-op
 //! errors are deliberately not fatal to recovery. A `LoadGrammar` payload
 //! that fails to decode is *not* such a per-op error: the original commit
 //! encoded a real grammar, so an undecodable payload behind a valid frame
 //! CRC is inconsistency, and it too surfaces as [`RepairError::WalCorrupt`].
+//! Version-1 checkpoints (eager, monolithic) are still decoded by the
+//! backward-compatibility shim in [`decode_checkpoint`].
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use sltgrammar::serialize;
 use sltgrammar::Grammar;
@@ -71,17 +87,26 @@ use crate::wal::{read_log, DiskFs, StorageFs, Wal, WalEntry, WalRecord};
 
 /// Magic bytes of the checkpoint file.
 pub const CHECKPOINT_MAGIC: &[u8; 4] = b"SLCK";
-/// Version byte of the checkpoint format.
+/// Version byte of the original (eager, monolithic) checkpoint format,
+/// still accepted on open.
 pub const CHECKPOINT_VERSION: u8 = 1;
+/// Version byte of the paged, offset-indexed checkpoint format written by
+/// [`DurableStore::checkpoint`] (layout documented in [`crate::wal`]).
+pub const CHECKPOINT_VERSION_V3: u8 = 3;
 
-/// What [`DurableStore::open`] found and did.
+/// What [`DurableStore::open`] found and did, including the open-time
+/// breakdown: with a v3 checkpoint, `checkpoint_elapsed` covers reading and
+/// validating the image (no grammar decodes — `lazy_docs` counts the
+/// documents left undecoded for first touch) and `replay_elapsed` covers
+/// the log tail.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RecoveryReport {
     /// LSN recorded in the checkpoint (0 when none existed).
     pub checkpoint_lsn: u64,
     /// Documents restored from the checkpoint.
     pub checkpoint_docs: usize,
-    /// Log records replayed (those with `lsn > checkpoint_lsn`).
+    /// Log records replayed (those with `lsn > checkpoint_lsn` not already
+    /// folded into a document's checkpoint extent).
     pub replayed: u64,
     /// LSN of the last durable record after recovery.
     pub last_lsn: u64,
@@ -89,22 +114,36 @@ pub struct RecoveryReport {
     pub torn_tail: bool,
     /// Bytes the torn-tail truncation removed.
     pub truncated_bytes: u64,
+    /// Documents restored as undecoded lazy payloads (v3 checkpoints),
+    /// still pending first touch when `open` returned.
+    pub lazy_docs: usize,
+    /// Time spent reading/validating the checkpoint image.
+    pub checkpoint_elapsed: Duration,
+    /// Time spent scanning and replaying the log tail.
+    pub replay_elapsed: Duration,
+    /// Total wall time of `open`.
+    pub open_elapsed: Duration,
 }
 
 impl std::fmt::Display for RecoveryReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "recovered to lsn {} (checkpoint: lsn {}, {} docs; replayed {} records{})",
+            "recovered to lsn {} (checkpoint: lsn {}, {} docs, {} left lazy; \
+             replayed {} records{}; open {:?} = checkpoint {:?} + replay {:?})",
             self.last_lsn,
             self.checkpoint_lsn,
             self.checkpoint_docs,
+            self.lazy_docs,
             self.replayed,
             if self.torn_tail {
                 format!("; truncated a torn tail of {} bytes", self.truncated_bytes)
             } else {
                 String::new()
-            }
+            },
+            self.open_elapsed,
+            self.checkpoint_elapsed,
+            self.replay_elapsed,
         )
     }
 }
@@ -112,20 +151,29 @@ impl std::fmt::Display for RecoveryReport {
 /// What [`DurableStore::checkpoint`] wrote.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CheckpointReport {
-    /// LSN the checkpoint covers: replay skips records at or below it.
+    /// Base LSN of the checkpoint: every record at or below it is folded
+    /// in for every document (per-document extents may fold later records
+    /// too — see their `doc_lsn`s).
     pub last_lsn: u64,
     /// Documents serialized into the checkpoint.
     pub documents: usize,
     /// Size of the checkpoint file in bytes.
     pub bytes: usize,
+    /// Whether the log could be truncated afterwards (false when writers
+    /// committed during the fuzzy checkpoint — replay skips the folded
+    /// records either way).
+    pub log_truncated: bool,
 }
 
 impl std::fmt::Display for CheckpointReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "checkpoint at lsn {}: {} docs, {} bytes; log truncated",
-            self.last_lsn, self.documents, self.bytes
+            "checkpoint at lsn {}: {} docs, {} bytes; log {}",
+            self.last_lsn,
+            self.documents,
+            self.bytes,
+            if self.log_truncated { "truncated" } else { "kept (writers active)" }
         )
     }
 }
@@ -138,12 +186,11 @@ pub struct DurableStore {
     wal: Wal,
     fs: Arc<dyn StorageFs>,
     checkpoint_path: String,
-    /// Writers hold this for read across commit+apply; [`DurableStore::checkpoint`]
-    /// takes it for write to quiesce them all.
-    gate: RwLock<()>,
     /// Orders lifecycle events (load/remove) among themselves: they contend
     /// on the slab and the shared alphabet, so their log order must match
-    /// their apply order.
+    /// their apply order. [`DurableStore::checkpoint`] holds it across the
+    /// whole serialize (the slab and master alphabet stay frozen) — but
+    /// updates never take it, so writers keep flowing during a checkpoint.
     lifecycle: Mutex<()>,
     /// Per-document commit+apply locks: ops on one document must reach the
     /// log in the order they reach the grammar.
@@ -173,18 +220,37 @@ impl DurableStore {
     /// the seam the fault-injection suite drives with
     /// [`crate::wal::testing::FailpointFs`].
     pub fn open_with(fs: Arc<dyn StorageFs>, dir: &str) -> Result<(Self, RecoveryReport)> {
+        let open_start = Instant::now();
         let log = log_path(dir);
         let ckpt = checkpoint_path(dir);
         let store = DomStore::new();
         let mut report = RecoveryReport::default();
+        // Per-document fold horizons of a (fuzzy) v3 checkpoint: replay
+        // skips a document's updates at or below its recorded `doc_lsn`.
+        let mut doc_lsns: HashMap<DocId, u64> = HashMap::new();
 
         if let Some(bytes) = fs.read(&ckpt)? {
-            let (lsn, layout, docs) = decode_checkpoint(&bytes)?;
-            report.checkpoint_lsn = lsn;
-            report.checkpoint_docs = docs.len();
-            store.restore_slab(layout, docs)?;
+            match decode_checkpoint_any(&bytes)? {
+                CheckpointImage::V1 { last_lsn, layout, docs } => {
+                    report.checkpoint_lsn = last_lsn;
+                    report.checkpoint_docs = docs.len();
+                    store.restore_slab(layout, docs)?;
+                }
+                CheckpointImage::V3 { base_lsn, layout, segments, docs } => {
+                    report.checkpoint_lsn = base_lsn;
+                    report.checkpoint_docs = docs.len();
+                    let mut lazy = Vec::with_capacity(docs.len());
+                    for doc in docs {
+                        doc_lsns.insert(doc.id, doc.doc_lsn);
+                        lazy.push((doc.id, doc.payload, doc.crc));
+                    }
+                    store.restore_slab_lazy(layout, segments, lazy)?;
+                }
+            }
         }
+        report.checkpoint_elapsed = open_start.elapsed();
 
+        let replay_start = Instant::now();
         let log_bytes = fs.read(&log)?.unwrap_or_default();
         let replay = read_log(&log_bytes)?;
         if replay.torn {
@@ -194,15 +260,24 @@ impl DurableStore {
             fs.sync(&log)?;
         }
         let mut last_lsn = report.checkpoint_lsn.max(replay.last_lsn());
+        for &doc_lsn in doc_lsns.values() {
+            last_lsn = last_lsn.max(doc_lsn);
+        }
         for (lsn, offset, entry) in replay.records {
             if lsn <= report.checkpoint_lsn {
-                continue; // already folded into the checkpoint
+                continue; // already folded into the checkpoint for every doc
             }
+            let Some(entry) = filter_folded(entry, lsn, &doc_lsns) else {
+                continue; // folded into every targeted document's extent
+            };
             apply_entry(&store, lsn, offset, entry)?;
             report.replayed += 1;
             last_lsn = last_lsn.max(lsn);
         }
         report.last_lsn = last_lsn;
+        report.replay_elapsed = replay_start.elapsed();
+        report.lazy_docs = store.pending_count();
+        report.open_elapsed = open_start.elapsed();
 
         let wal = Wal::new(fs.clone(), log, report.last_lsn);
         Ok((
@@ -211,7 +286,6 @@ impl DurableStore {
                 wal,
                 fs,
                 checkpoint_path: ckpt,
-                gate: RwLock::new(()),
                 lifecycle: Mutex::new(()),
                 doc_locks: Mutex::new(HashMap::new()),
             },
@@ -237,7 +311,6 @@ impl DurableStore {
     /// Durable [`DomStore::load_xml`]: the fragment is logged and fsync'd,
     /// then compressed into the store.
     pub fn load_xml(&self, xml: &XmlTree) -> Result<DocId> {
-        let _gate = self.gate.read().expect("gate never poisoned");
         let _order = self.lifecycle.lock().expect("lifecycle lock never poisoned");
         self.wal.commit(&WalRecord::LoadXml { tree: xml })?;
         self.store.load_xml(xml)
@@ -246,7 +319,6 @@ impl DurableStore {
     /// Durable [`DomStore::load_grammar`]: the grammar's binary encoding is
     /// logged, then the grammar joins the store.
     pub fn load_grammar(&self, grammar: Grammar) -> Result<DocId> {
-        let _gate = self.gate.read().expect("gate never poisoned");
         let _order = self.lifecycle.lock().expect("lifecycle lock never poisoned");
         let bytes = serialize::encode(&grammar);
         self.wal.commit(&WalRecord::LoadGrammar { bytes: &bytes })?;
@@ -255,7 +327,6 @@ impl DurableStore {
 
     /// Durable [`DomStore::remove`].
     pub fn remove(&self, doc: DocId) -> Result<Grammar> {
-        let _gate = self.gate.read().expect("gate never poisoned");
         let _order = self.lifecycle.lock().expect("lifecycle lock never poisoned");
         let lock = self.doc_lock(doc);
         let _doc = lock.lock().expect("doc lock never poisoned");
@@ -272,7 +343,6 @@ impl DurableStore {
 
     /// Durable [`DomStore::apply`] (logged as a batch of one).
     pub fn apply(&self, doc: DocId, op: &UpdateOp) -> Result<(UpdateStats, MaintenanceReport)> {
-        let _gate = self.gate.read().expect("gate never poisoned");
         let lock = self.doc_lock(doc);
         let _doc = lock.lock().expect("doc lock never poisoned");
         self.wal.commit(&WalRecord::ApplyBatch {
@@ -288,7 +358,6 @@ impl DurableStore {
         doc: DocId,
         ops: &[UpdateOp],
     ) -> Result<(BatchStats, MaintenanceReport)> {
-        let _gate = self.gate.read().expect("gate never poisoned");
         let lock = self.doc_lock(doc);
         let _doc = lock.lock().expect("doc lock never poisoned");
         self.wal.commit(&WalRecord::ApplyBatch { doc, ops })?;
@@ -304,7 +373,6 @@ impl DurableStore {
         if jobs.is_empty() {
             return (Vec::new(), MaintenanceReport::default());
         }
-        let _gate = self.gate.read().expect("gate never poisoned");
         // Lock every distinct target in sorted order (no deadlocks with
         // concurrent multi-document batches).
         let mut targets: Vec<DocId> = jobs.iter().map(|(doc, _)| *doc).collect();
@@ -324,30 +392,46 @@ impl DurableStore {
 
     // ----- checkpointing -----
 
-    /// Quiesces writers, serializes the whole store (slab layout plus every
-    /// document's grammar) into the checkpoint file **atomically**
-    /// (temp + rename), then truncates the log. After a crash at any point
-    /// of this sequence, recovery sees either the old checkpoint plus the
-    /// full log or the new checkpoint (plus a log whose records it skips
-    /// by LSN) — never a half state.
+    /// Writes a **fuzzy** checkpoint in the paged v3 layout (see
+    /// [`crate::wal`]): the lifecycle lock is held across the whole call —
+    /// loads and removes wait, so the slab layout and master alphabet stay
+    /// frozen — but updates keep flowing; each document is serialized under
+    /// its own commit lock from an immutable grammar snapshot, with the
+    /// durable LSN at that moment recorded as the document's fold horizon
+    /// (`doc_lsn`). The image is written **atomically** (temp + rename) and
+    /// the log truncated only if provably covered. After a crash at any
+    /// point of this sequence, recovery sees either the old checkpoint plus
+    /// the full log or the new checkpoint (plus a log whose folded records
+    /// it skips by LSN) — never a half state.
+    ///
+    /// Reads are never blocked (they take none of these locks), and a
+    /// writer to document B proceeds while document A is being serialized.
     pub fn checkpoint(&self) -> Result<CheckpointReport> {
-        let _gate = self.gate.write().expect("gate never poisoned");
-        // Quiesced: no commit or apply is in flight anywhere.
-        let last_lsn = self.wal.durable_lsn();
+        let _order = self.lifecycle.lock().expect("lifecycle lock never poisoned");
+        let base_lsn = self.wal.durable_lsn();
         let layout = self.store.capture_slab();
-        let ids = layout.live.clone();
-        let mut docs = Vec::with_capacity(ids.len());
-        for &id in &ids {
-            let grammar = self.store.grammar(id)?;
-            docs.push((id, serialize::encode(&grammar)));
+        let segments = self.store.symbol_image();
+        let mut docs = Vec::with_capacity(layout.live.len());
+        for &id in &layout.live {
+            let lock = self.doc_lock(id);
+            let guard = lock.lock().expect("doc lock never poisoned");
+            // Read the horizon while holding the commit lock: every record
+            // for this doc with lsn <= doc_lsn was applied before we got
+            // the lock (commit+apply happen under it), so it is in the
+            // payload; any later record will have lsn > doc_lsn.
+            let doc_lsn = self.wal.durable_lsn();
+            let (payload, crc) = self.store.checkpoint_payload(id)?;
+            drop(guard);
+            docs.push(DocExtent { id, doc_lsn, payload, crc });
         }
-        let bytes = encode_checkpoint(last_lsn, &layout, &docs);
+        let bytes = encode_checkpoint_v3(base_lsn, &layout, &segments, &docs);
         self.fs.write_atomic(&self.checkpoint_path, &bytes)?;
-        self.wal.truncate()?;
+        let log_truncated = self.wal.truncate_if_at(base_lsn)?;
         Ok(CheckpointReport {
-            last_lsn,
-            documents: ids.len(),
+            last_lsn: base_lsn,
+            documents: docs.len(),
             bytes: bytes.len(),
+            log_truncated,
         })
     }
 
@@ -482,6 +566,7 @@ fn apply_entry(store: &DomStore, lsn: u64, offset: u64, entry: WalEntry) -> Resu
 
 // ----- checkpoint file format -----
 
+#[cfg(test)] // production writes v3; v1 encoding remains for compat tests
 fn encode_checkpoint(last_lsn: u64, layout: &SlabLayout, docs: &[(DocId, Vec<u8>)]) -> Vec<u8> {
     let mut out = Vec::new();
     out.extend_from_slice(CHECKPOINT_MAGIC);
@@ -582,6 +667,310 @@ fn bounded_count(r: &mut WireReader<'_>, min_bytes: usize, what: &str) -> Result
     Ok(n)
 }
 
+// ----- checkpoint v3 (paged, offset-indexed; layout in `crate::wal`) -----
+
+/// One document's extent in a v3 checkpoint: the serialized grammar bytes,
+/// the LSN horizon folded into them, and the CRC the lazy materialization
+/// path verifies on first touch.
+struct DocExtent {
+    id: DocId,
+    doc_lsn: u64,
+    payload: Vec<u8>,
+    crc: u32,
+}
+
+/// A decoded checkpoint file of either supported version.
+enum CheckpointImage {
+    /// Legacy eager image: every grammar decoded at open.
+    V1 {
+        last_lsn: u64,
+        layout: SlabLayout,
+        docs: Vec<(DocId, Grammar)>,
+    },
+    /// Paged lazy image: payloads adopted as undecoded bytes.
+    V3 {
+        base_lsn: u64,
+        layout: SlabLayout,
+        segments: Vec<(Vec<String>, Vec<usize>)>,
+        docs: Vec<DocExtent>,
+    },
+}
+
+fn decode_checkpoint_any(bytes: &[u8]) -> Result<CheckpointImage> {
+    if bytes.len() < 5 || &bytes[..4] != CHECKPOINT_MAGIC {
+        return Err(ckpt_err("bad magic bytes"));
+    }
+    match bytes[4] {
+        CHECKPOINT_VERSION => {
+            let (last_lsn, layout, docs) = decode_checkpoint(bytes)?;
+            Ok(CheckpointImage::V1 { last_lsn, layout, docs })
+        }
+        CHECKPOINT_VERSION_V3 => decode_checkpoint_v3(bytes),
+        v => Err(ckpt_err(format!("unsupported version {v}"))),
+    }
+}
+
+/// Bytes before the first section: magic, version, nine `u64` header
+/// fields, and the header CRC.
+const V3_HEADER_LEN: usize = 4 + 1 + 72 + 4;
+
+fn encode_checkpoint_v3(
+    base_lsn: u64,
+    layout: &SlabLayout,
+    segments: &[(Vec<String>, Vec<usize>)],
+    docs: &[DocExtent],
+) -> Vec<u8> {
+    let crc32 = sltgrammar::crc32::crc32;
+    // Section bodies first; the header offsets depend on their lengths.
+    let mut slab = Vec::new();
+    wire::write_varint(&mut slab, layout.generations.len() as u64);
+    for &generation in &layout.generations {
+        wire::write_varint(&mut slab, generation as u64);
+    }
+    wire::write_varint(&mut slab, layout.free.len() as u64);
+    for &slot in &layout.free {
+        wire::write_varint(&mut slab, slot as u64);
+    }
+    wire::write_varint(&mut slab, layout.live.len() as u64);
+    for &id in &layout.live {
+        wire::write_varint(&mut slab, id.slot() as u64);
+        wire::write_varint(&mut slab, id.generation() as u64);
+    }
+
+    let mut symtab = Vec::new();
+    wire::write_varint(&mut symtab, segments.len() as u64);
+    for (names, ranks) in segments {
+        wire::write_varint(&mut symtab, names.len() as u64);
+        for (name, &rank) in names.iter().zip(ranks) {
+            wire::write_varint(&mut symtab, rank as u64);
+            wire::write_varint(&mut symtab, name.len() as u64);
+            symtab.extend_from_slice(name.as_bytes());
+        }
+    }
+
+    let mut extents = Vec::new();
+    wire::write_varint(&mut extents, docs.len() as u64);
+    let mut payload_off = 0u64;
+    for doc in docs {
+        wire::write_varint(&mut extents, doc.id.slot() as u64);
+        wire::write_varint(&mut extents, doc.id.generation() as u64);
+        wire::write_varint(&mut extents, doc.doc_lsn);
+        wire::write_varint(&mut extents, payload_off);
+        wire::write_varint(&mut extents, doc.payload.len() as u64);
+        extents.extend_from_slice(&doc.crc.to_le_bytes());
+        payload_off += doc.payload.len() as u64;
+    }
+
+    let slab_off = V3_HEADER_LEN as u64;
+    let slab_len = (slab.len() + 4) as u64;
+    let symtab_off = slab_off + slab_len;
+    let symtab_len = (symtab.len() + 4) as u64;
+    let extents_off = symtab_off + symtab_len;
+    let extents_len = (extents.len() + 4) as u64;
+    let docs_off = extents_off + extents_len;
+    let docs_len = payload_off;
+
+    let mut out = Vec::with_capacity((docs_off + docs_len) as usize);
+    out.extend_from_slice(CHECKPOINT_MAGIC);
+    out.push(CHECKPOINT_VERSION_V3);
+    for field in [
+        base_lsn,
+        slab_off,
+        slab_len,
+        symtab_off,
+        symtab_len,
+        extents_off,
+        extents_len,
+        docs_off,
+        docs_len,
+    ] {
+        out.extend_from_slice(&field.to_le_bytes());
+    }
+    let header_crc = crc32(&out[5..77]);
+    out.extend_from_slice(&header_crc.to_le_bytes());
+    for body in [&slab, &symtab, &extents] {
+        out.extend_from_slice(&crc32(body).to_le_bytes());
+        out.extend_from_slice(body);
+    }
+    for doc in docs {
+        out.extend_from_slice(&doc.payload);
+    }
+    out
+}
+
+fn decode_checkpoint_v3(bytes: &[u8]) -> Result<CheckpointImage> {
+    let crc32 = sltgrammar::crc32::crc32;
+    if bytes.len() < V3_HEADER_LEN {
+        return Err(ckpt_err("v3 header truncated"));
+    }
+    let expected = u32::from_le_bytes(bytes[77..81].try_into().expect("4 bytes"));
+    let found = crc32(&bytes[5..77]);
+    if expected != found {
+        return Err(ckpt_err(format!(
+            "v3 header checksum mismatch (stored {expected:#010x}, found {found:#010x})"
+        )));
+    }
+    let mut fields = [0u64; 9];
+    for (i, f) in fields.iter_mut().enumerate() {
+        let at = 5 + i * 8;
+        *f = u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes"));
+    }
+    let [base_lsn, slab_off, slab_len, symtab_off, symtab_len, extents_off, extents_len, docs_off, docs_len] =
+        fields;
+    // Every byte of the file must be accounted for: header, then the three
+    // checksummed sections back to back, then the docs region — no gaps, no
+    // overlaps, no tail. (Docs-region bytes are covered by the per-extent
+    // payload CRCs, verified at first touch rather than here.)
+    let file_len = bytes.len() as u64;
+    let mut cursor = V3_HEADER_LEN as u64;
+    for (name, off, len, min) in [
+        ("slab", slab_off, slab_len, 4u64),
+        ("symbol-table", symtab_off, symtab_len, 4),
+        ("extents", extents_off, extents_len, 4),
+        ("docs", docs_off, docs_len, 0),
+    ] {
+        if off != cursor {
+            return Err(ckpt_err(format!(
+                "v3 {name} section at offset {off} does not follow the previous section \
+                 (expected offset {cursor})"
+            )));
+        }
+        if len < min {
+            return Err(ckpt_err(format!(
+                "v3 {name} section length {len} is shorter than its checksum"
+            )));
+        }
+        cursor = off
+            .checked_add(len)
+            .filter(|&end| end <= file_len)
+            .ok_or_else(|| {
+                ckpt_err(format!(
+                    "v3 {name} section (offset {off}, length {len}) exceeds the file"
+                ))
+            })?;
+    }
+    if cursor != file_len {
+        return Err(ckpt_err(format!(
+            "v3 trailing bytes: sections end at {cursor} but the file is {file_len} bytes"
+        )));
+    }
+    let section = |off: u64, len: u64, name: &str| -> Result<&[u8]> {
+        let start = off as usize;
+        let body = &bytes[start + 4..start + len as usize];
+        let expected = u32::from_le_bytes(bytes[start..start + 4].try_into().expect("4 bytes"));
+        let found = crc32(body);
+        if expected != found {
+            return Err(ckpt_err(format!(
+                "v3 {name} section checksum mismatch (stored {expected:#010x}, found {found:#010x})"
+            )));
+        }
+        Ok(body)
+    };
+    let fail = |e: xmltree::XmlError| ckpt_err(e.to_string());
+
+    let mut r = WireReader::new(section(slab_off, slab_len, "slab")?);
+    let mut layout = SlabLayout::default();
+    let slots = bounded_count(&mut r, 1, "slot")?;
+    for _ in 0..slots {
+        layout.generations.push(r.varint().map_err(fail)? as u32);
+    }
+    let free = bounded_count(&mut r, 1, "free-slot")?;
+    for _ in 0..free {
+        layout.free.push(r.varint().map_err(fail)? as u32);
+    }
+    let live = bounded_count(&mut r, 2, "live-doc")?;
+    for _ in 0..live {
+        let slot = r.varint().map_err(fail)? as u32;
+        let generation = r.varint().map_err(fail)? as u32;
+        layout.live.push(DocId::from_parts(slot, generation));
+    }
+    if !r.finished() {
+        return Err(ckpt_err("v3 slab section has trailing bytes"));
+    }
+
+    let mut r = WireReader::new(section(symtab_off, symtab_len, "symbol-table")?);
+    let segment_count = bounded_count(&mut r, 1, "symbol segment")?;
+    let mut segments = Vec::with_capacity(segment_count);
+    for _ in 0..segment_count {
+        let symbol_count = bounded_count(&mut r, 2, "symbol")?;
+        let mut names = Vec::with_capacity(symbol_count);
+        let mut ranks = Vec::with_capacity(symbol_count);
+        for _ in 0..symbol_count {
+            ranks.push(r.varint().map_err(fail)? as usize);
+            let len = r.varint().map_err(fail)? as usize;
+            let name = r.bytes(len).map_err(fail)?;
+            names.push(
+                std::str::from_utf8(name)
+                    .map_err(|_| ckpt_err("v3 symbol name is not valid UTF-8"))?
+                    .to_string(),
+            );
+        }
+        segments.push((names, ranks));
+    }
+    if !r.finished() {
+        return Err(ckpt_err("v3 symbol-table section has trailing bytes"));
+    }
+
+    let mut r = WireReader::new(section(extents_off, extents_len, "extents")?);
+    let doc_count = bounded_count(&mut r, 9, "document extent")?;
+    let mut docs = Vec::with_capacity(doc_count);
+    for _ in 0..doc_count {
+        let slot = r.varint().map_err(fail)? as u32;
+        let generation = r.varint().map_err(fail)? as u32;
+        let doc_lsn = r.varint().map_err(fail)?;
+        let payload_off = r.varint().map_err(fail)?;
+        let payload_len = r.varint().map_err(fail)?;
+        let crc = u32::from_le_bytes(r.bytes(4).map_err(fail)?.try_into().expect("4 bytes"));
+        payload_off
+            .checked_add(payload_len)
+            .filter(|&end| end <= docs_len)
+            .ok_or_else(|| {
+                ckpt_err(format!(
+                    "v3 document extent (offset {payload_off}, length {payload_len}) exceeds \
+                     the docs region of {docs_len} bytes"
+                ))
+            })?;
+        let start = (docs_off + payload_off) as usize;
+        let payload = bytes[start..start + payload_len as usize].to_vec();
+        docs.push(DocExtent {
+            id: DocId::from_parts(slot, generation),
+            doc_lsn,
+            payload,
+            crc,
+        });
+    }
+    if !r.finished() {
+        return Err(ckpt_err("v3 extents section has trailing bytes"));
+    }
+    Ok(CheckpointImage::V3 {
+        base_lsn,
+        layout,
+        segments,
+        docs,
+    })
+}
+
+/// Drops (or trims) a replayed record whose effects the checkpoint already
+/// folded into a document extent. A record counts as replayed only when
+/// some part of it survives this filter. Lifecycle records (loads, removes)
+/// are never filtered: they cannot commit during a checkpoint, so any in
+/// the tail postdate every extent.
+fn filter_folded(entry: WalEntry, lsn: u64, doc_lsns: &HashMap<DocId, u64>) -> Option<WalEntry> {
+    let folded = |doc: &DocId| doc_lsns.get(doc).is_some_and(|&d| lsn <= d);
+    match entry {
+        WalEntry::ApplyBatch { doc, .. } if folded(&doc) => None,
+        WalEntry::ApplyMany { mut jobs } => {
+            jobs.retain(|(doc, _)| !folded(doc));
+            if jobs.is_empty() {
+                None
+            } else {
+                Some(WalEntry::ApplyMany { jobs })
+            }
+        }
+        other => Some(other),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -600,7 +989,16 @@ mod tests {
     fn mem_store() -> (Arc<FailpointFs>, DurableStore) {
         let fs = Arc::new(FailpointFs::new());
         let (store, report) = DurableStore::open_with(fs.clone(), "db").unwrap();
-        assert_eq!(report, RecoveryReport::default());
+        // Timings are the only nonzero fields on a fresh open.
+        assert_eq!(
+            report,
+            RecoveryReport {
+                checkpoint_elapsed: report.checkpoint_elapsed,
+                replay_elapsed: report.replay_elapsed,
+                open_elapsed: report.open_elapsed,
+                ..RecoveryReport::default()
+            }
+        );
         (fs, store)
     }
 
@@ -768,17 +1166,113 @@ mod tests {
     #[test]
     fn corrupt_checkpoint_is_rejected() {
         let (fs, store) = mem_store();
-        store.load_xml(&doc("feed", 3)).unwrap();
+        let a = store.load_xml(&doc("feed", 3)).unwrap();
         store.checkpoint().unwrap();
         drop(store);
-        let mut bytes = fs.file("db/checkpoint.slck").unwrap();
-        let mid = bytes.len() / 2;
-        bytes[mid] ^= 0x10;
+        let pristine = fs.file("db/checkpoint.slck").unwrap();
+
+        // A flip in the indexed part of the file (here: a header field)
+        // fails at open.
+        let mut bytes = pristine.clone();
+        bytes[6] ^= 0x10;
         fs.set_file("db/checkpoint.slck", bytes);
         assert!(matches!(
-            DurableStore::open_with(fs, "db"),
+            DurableStore::open_with(fs.clone(), "db"),
             Err(RepairError::Storage { .. })
         ));
+
+        // A flip in the lazy docs region (the file's tail) passes open —
+        // nothing decodes the payload yet — and surfaces as a typed error
+        // on first touch.
+        let mut bytes = pristine;
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x10;
+        fs.set_file("db/checkpoint.slck", bytes);
+        let (recovered, report) = DurableStore::open_with(fs, "db").unwrap();
+        assert_eq!(report.lazy_docs, 1);
+        assert!(matches!(
+            recovered.to_xml(a),
+            Err(RepairError::Storage { .. })
+        ));
+    }
+
+    #[test]
+    fn v1_checkpoints_still_open() {
+        let (fs, store) = mem_store();
+        let a = store.load_xml(&doc("feed", 2)).unwrap();
+        let b = store.load_xml(&doc("blog", 1)).unwrap();
+        let want_a = store.to_xml(a).unwrap().to_xml();
+        let want_b = store.to_xml(b).unwrap().to_xml();
+        // Write the legacy eager image by hand, as an old binary would have.
+        let layout = store.store.capture_slab();
+        let docs = vec![
+            (a, serialize::encode(&store.store.grammar(a).unwrap())),
+            (b, serialize::encode(&store.store.grammar(b).unwrap())),
+        ];
+        let bytes = encode_checkpoint(store.wal.durable_lsn(), &layout, &docs);
+        fs.write_atomic("db/checkpoint.slck", &bytes).unwrap();
+        store.wal.truncate().unwrap();
+        drop(store);
+
+        let (recovered, report) = DurableStore::open_with(fs, "db").unwrap();
+        assert_eq!(report.checkpoint_docs, 2);
+        assert_eq!(report.lazy_docs, 0, "v1 images decode eagerly");
+        assert_eq!(recovered.to_xml(a).unwrap().to_xml(), want_a);
+        assert_eq!(recovered.to_xml(b).unwrap().to_xml(), want_b);
+    }
+
+    #[test]
+    fn checkpoint_does_not_block_readers_or_other_doc_writers() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let (_fs, store) = mem_store();
+        let a = store.load_xml(&doc("feed", 3)).unwrap();
+        let b = store.load_xml(&doc("blog", 3)).unwrap();
+        let store = Arc::new(store);
+
+        // Stall the checkpoint at its first document by holding that doc's
+        // commit lock from this thread. (`live` is slab order: doc a.)
+        let first = store.store.capture_slab().live[0];
+        assert_eq!(first, a);
+        let lock = store.doc_lock(first);
+        let guard = lock.lock().unwrap();
+        let done = Arc::new(AtomicBool::new(false));
+        let ckpt = {
+            let store = Arc::clone(&store);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let report = store.checkpoint();
+                done.store(true, Ordering::SeqCst);
+                report
+            })
+        };
+        // Wait until the checkpoint thread is parked on the held lock: it
+        // clones the lock's Arc out of the map (count 2 → 3) before
+        // blocking. From then on its base_lsn is already captured.
+        while Arc::strong_count(&lock) < 3 {
+            std::thread::yield_now();
+        }
+
+        // Mid-checkpoint: a writer to another document proceeds (the old
+        // implementation gated ALL writers out for the duration) and reads
+        // of the stalled document itself stay lock-free.
+        assert!(!done.load(Ordering::SeqCst), "checkpoint must be stalled");
+        store
+            .apply_batch(b, &[UpdateOp::Rename { target: 1, label: "entry".into() }])
+            .expect("writer to another doc must not block on a checkpoint");
+        store
+            .to_xml(first)
+            .expect("reads never block on a checkpoint");
+        assert!(
+            !done.load(Ordering::SeqCst),
+            "checkpoint still stalled on the held doc lock"
+        );
+
+        drop(guard);
+        let report = ckpt.join().unwrap().unwrap();
+        assert_eq!(report.documents, 2);
+        // Doc b's rename committed after base_lsn, under its doc lock, so
+        // its extent folds it: replay skips it either way.
+        assert!(!report.log_truncated, "a writer landed mid-checkpoint");
     }
 
     #[test]

@@ -27,12 +27,15 @@
 //!   (similar documents share one resident alphabet) and a store-level
 //!   scheduler that recompresses by *update debt* (edge growth since the
 //!   last recompression), draining the worst offenders on a budget.
-//! * [`wal`] / [`durable`] — crash safety: a length-prefixed, CRC-framed
-//!   write-ahead op log with leader-based group commit, and
-//!   [`durable::DurableStore`], a [`store::DomStore`] wrapper that logs every
-//!   mutation before applying it, checkpoints the whole store atomically and
-//!   recovers the exact pre-crash state (checkpoint + log-tail replay, torn
-//!   final records truncated, interior corruption rejected loudly).
+//! * [`wal`] / [`durable`] / [`queue`] — crash safety and ingestion: a
+//!   length-prefixed, CRC-framed write-ahead op log with leader-based group
+//!   commit; [`durable::DurableStore`], a [`store::DomStore`] wrapper that
+//!   logs every mutation before applying it, writes fuzzy checkpoints in a
+//!   paged, offset-indexed format whose documents are decoded lazily on
+//!   first touch, and recovers the exact pre-crash state (checkpoint +
+//!   log-tail replay, torn final records truncated, interior corruption
+//!   rejected loudly); and [`queue::IngestQueue`], which coalesces
+//!   submitted per-document batches into single group-committed records.
 //! * [`navigate`] / [`query`] — the read path: cursor navigation, streaming
 //!   preorder traversal, label statistics and child/descendant path queries,
 //!   all evaluated directly on the grammar without decompression and resolved
@@ -69,6 +72,7 @@ pub mod navigate;
 pub mod occ_index;
 pub mod occurrences;
 pub mod query;
+pub mod queue;
 pub mod repair;
 pub mod replace;
 pub mod session;
@@ -82,6 +86,7 @@ pub use durable::{CheckpointReport, DurableStore, RecoveryReport};
 pub use error::{RepairError, Result};
 pub use navigate::{Cursor, NavTables, PreorderLabels};
 pub use query::{PathQuery, QueryMatches};
+pub use queue::{IngestQueue, QueueStats, Ticket};
 pub use repair::{GrammarRePair, GrammarRePairConfig, RepairStats};
 pub use session::CompressedDom;
 pub use store::{DocId, DomStore, MaintenanceReport, SchedulerConfig, Snapshot};

@@ -1,0 +1,444 @@
+//! Store-level ingestion queue: batch coalescing in front of a
+//! [`DurableStore`].
+//!
+//! High-throughput ingestion workloads submit many small per-document
+//! batches. Pushing each one through [`DurableStore::apply_batch`] pays one
+//! WAL record — and, under light concurrency, close to one fsync — per
+//! batch. The [`IngestQueue`] decouples *submission* from *durability*:
+//! writers enqueue batches without blocking, and a **drain** folds
+//! everything pending into a single [`ApplyMany`](crate::wal::WalEntry)
+//! record, so the whole drain costs one group-committed fsync and one
+//! scheduler maintenance sweep no matter how many batches it absorbed.
+//!
+//! # Coalescing rules
+//!
+//! A drain takes the entire pending list and merges it into one job per
+//! *distinct document*: the ops of every batch for that document are
+//! concatenated in **submission order**, and jobs are emitted in
+//! first-submission order. This is a superset of adjacent-batch
+//! coalescing and is sound because the store gives no cross-document
+//! ordering guarantees (ops on different documents commute) while
+//! *per-document* order — the one that matters for replay — is exactly
+//! preserved. The coalesced record replays through the same non-fatal
+//! per-op semantics as the original batches, so recovery reproduces the
+//! identical (possibly partial) state.
+//!
+//! An error applying a document's coalesced job is reported to **every**
+//! ticket that contributed to that job: the submissions were logged as one
+//! record, so they share one outcome, mirroring what replay reconstructs.
+//!
+//! # Drain ordering
+//!
+//! At most one drain — a [`flush`](IngestQueue::flush) or a
+//! [`barrier`](IngestQueue::barrier) — runs at a time; later drains wait
+//! for the running one to finish. Because every drain commits its WAL
+//! record before the next drain starts, log order equals drain order, and
+//! a batch submitted *during* an in-flight drain simply lands in the next
+//! one; per-document submission order is never reordered across drains.
+//! Submissions themselves never wait on a drain. The store's background
+//! recompression scheduler runs once per drain (inside the store's apply
+//! path), i.e. *between* flushes, never in the middle of one.
+//!
+//! # Barrier semantics
+//!
+//! A writer that needs its document durable **now** calls
+//! [`barrier`](IngestQueue::barrier): it drains *only that document's*
+//! pending batches (one `ApplyBatch` record, one group-committed fsync)
+//! and leaves every other document queued. Writers therefore barrier only
+//! on their own document; cross-document batches fan out through
+//! [`DurableStore::apply_batch_many`] at the next flush. Mixing queued
+//! submissions with *direct* [`DurableStore`] mutations of the same
+//! document is the one thing the queue cannot order — barrier the
+//! document first.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+use xmltree::updates::UpdateOp;
+
+use crate::durable::DurableStore;
+use crate::error::{RepairError, Result};
+use crate::store::DocId;
+use crate::update::BatchStats;
+
+/// Receipt for one submitted batch; redeem it with
+/// [`IngestQueue::wait`]. Tickets are single-use: the result is consumed
+/// by the first wait.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ticket(u64);
+
+/// Counters the queue keeps across its lifetime (see
+/// [`IngestQueue::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Batches accepted by [`IngestQueue::submit`].
+    pub submitted: u64,
+    /// Drains that wrote an `ApplyMany` record ([`IngestQueue::flush`]
+    /// with a non-empty pending list).
+    pub flushes: u64,
+    /// Coalesced per-document jobs written across all flushes; the
+    /// coalescing win is `submitted / coalesced_jobs`.
+    pub coalesced_jobs: u64,
+    /// Single-document drains ([`IngestQueue::barrier`] that found work).
+    pub barriers: u64,
+}
+
+/// What one [`IngestQueue::flush`] drained.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlushReport {
+    /// Submitted batches absorbed by this drain.
+    pub batches: usize,
+    /// Distinct documents they coalesced into — the job count of the
+    /// single `ApplyMany` record (0 means the pending list was empty and
+    /// nothing was logged).
+    pub jobs: usize,
+}
+
+struct PendingBatch {
+    ticket: u64,
+    doc: DocId,
+    ops: Vec<UpdateOp>,
+}
+
+#[derive(Default)]
+struct QueueState {
+    pending: Vec<PendingBatch>,
+    next_ticket: u64,
+    results: HashMap<u64, Result<BatchStats>>,
+    /// A drain (flush or barrier) is in flight with the state lock
+    /// released; later drains wait on the condvar.
+    draining: bool,
+    stats: QueueStats,
+}
+
+/// An ingestion queue in front of a [`DurableStore`] (see the module
+/// docs for the coalescing, ordering and barrier contract).
+pub struct IngestQueue {
+    store: Arc<DurableStore>,
+    state: Mutex<QueueState>,
+    cond: Condvar,
+}
+
+impl IngestQueue {
+    /// Creates an empty queue feeding `store`.
+    pub fn new(store: Arc<DurableStore>) -> Self {
+        IngestQueue {
+            store,
+            state: Mutex::new(QueueState::default()),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// The store this queue drains into.
+    pub fn store(&self) -> &Arc<DurableStore> {
+        &self.store
+    }
+
+    /// Enqueues one batch for `doc` without blocking (drains in progress
+    /// don't stall submissions). Nothing is logged or applied until the
+    /// next [`flush`](IngestQueue::flush), [`barrier`](IngestQueue::barrier)
+    /// for this document, or [`wait`](IngestQueue::wait) on the ticket.
+    pub fn submit(&self, doc: DocId, ops: Vec<UpdateOp>) -> Ticket {
+        let mut st = self.state.lock().expect("queue lock never poisoned");
+        let ticket = st.next_ticket;
+        st.next_ticket += 1;
+        st.stats.submitted += 1;
+        st.pending.push(PendingBatch { ticket, doc, ops });
+        Ticket(ticket)
+    }
+
+    /// Drains everything pending as **one** coalesced `ApplyMany` record —
+    /// one group-committed fsync, one scheduler sweep — and posts each
+    /// document's outcome to all of its tickets. Waits first if another
+    /// drain is in flight.
+    pub fn flush(&self) -> FlushReport {
+        let mut st = self.state.lock().expect("queue lock never poisoned");
+        while st.draining {
+            st = self.cond.wait(st).expect("queue lock never poisoned");
+        }
+        if st.pending.is_empty() {
+            return FlushReport::default();
+        }
+        let batches = std::mem::take(&mut st.pending);
+        st.draining = true;
+        drop(st);
+
+        // Coalesce: one job per document, ops concatenated in submission
+        // order, documents in first-submission order.
+        let drained = batches.len();
+        let mut jobs: Vec<(DocId, Vec<UpdateOp>)> = Vec::new();
+        let mut tickets: Vec<Vec<u64>> = Vec::new();
+        let mut index: HashMap<DocId, usize> = HashMap::new();
+        for batch in batches {
+            let at = *index.entry(batch.doc).or_insert_with(|| {
+                jobs.push((batch.doc, Vec::new()));
+                tickets.push(Vec::new());
+                jobs.len() - 1
+            });
+            jobs[at].1.extend(batch.ops);
+            tickets[at].push(batch.ticket);
+        }
+        let (results, _maintenance) = self.store.apply_batch_many(&jobs);
+
+        let mut st = self.state.lock().expect("queue lock never poisoned");
+        st.stats.flushes += 1;
+        st.stats.coalesced_jobs += jobs.len() as u64;
+        for (at, result) in results.into_iter().enumerate() {
+            for &ticket in &tickets[at] {
+                st.results.insert(ticket, result.clone());
+            }
+        }
+        st.draining = false;
+        drop(st);
+        self.cond.notify_all();
+        FlushReport {
+            batches: drained,
+            jobs: jobs.len(),
+        }
+    }
+
+    /// Drains **only `doc`'s** pending batches as one `ApplyBatch` record
+    /// and returns their combined outcome (`None` when nothing was queued
+    /// for `doc`). Other documents stay queued. Waits first if another
+    /// drain is in flight — WAL order must match submission order for
+    /// this document, and the in-flight drain may hold earlier batches.
+    pub fn barrier(&self, doc: DocId) -> Option<Result<BatchStats>> {
+        let mut st = self.state.lock().expect("queue lock never poisoned");
+        while st.draining {
+            st = self.cond.wait(st).expect("queue lock never poisoned");
+        }
+        let mut ops = Vec::new();
+        let mut tickets = Vec::new();
+        st.pending.retain_mut(|batch| {
+            if batch.doc == doc {
+                ops.append(&mut batch.ops);
+                tickets.push(batch.ticket);
+                false
+            } else {
+                true
+            }
+        });
+        if tickets.is_empty() {
+            return None;
+        }
+        st.draining = true;
+        drop(st);
+
+        let result = self
+            .store
+            .apply_batch(doc, &ops)
+            .map(|(stats, _maintenance)| stats);
+
+        let mut st = self.state.lock().expect("queue lock never poisoned");
+        st.stats.barriers += 1;
+        for &ticket in &tickets {
+            st.results.insert(ticket, result.clone());
+        }
+        st.draining = false;
+        drop(st);
+        self.cond.notify_all();
+        Some(result)
+    }
+
+    /// Blocks until `ticket`'s batch is durable and applied, then returns
+    /// its outcome. If the batch is still queued and no drain is running,
+    /// the caller becomes the flush leader itself (a lone writer never
+    /// deadlocks waiting for someone else to flush). Waiting on a ticket
+    /// whose result was already consumed is an error.
+    pub fn wait(&self, ticket: Ticket) -> Result<BatchStats> {
+        let mut st = self.state.lock().expect("queue lock never poisoned");
+        loop {
+            if let Some(result) = st.results.remove(&ticket.0) {
+                return result;
+            }
+            let queued = st.pending.iter().any(|b| b.ticket == ticket.0);
+            if queued && !st.draining {
+                drop(st);
+                self.flush();
+                st = self.state.lock().expect("queue lock never poisoned");
+                continue;
+            }
+            if !queued && !st.draining {
+                return Err(RepairError::Storage {
+                    detail: format!(
+                        "ingest queue: unknown ticket {} (results are consumed once)",
+                        ticket.0
+                    ),
+                });
+            }
+            st = self.cond.wait(st).expect("queue lock never poisoned");
+        }
+    }
+
+    /// Batches currently queued (submitted but not yet drained).
+    pub fn pending_batches(&self) -> usize {
+        self.state
+            .lock()
+            .expect("queue lock never poisoned")
+            .pending
+            .len()
+    }
+
+    /// Lifetime counters: submissions, flushes, coalesced jobs, barriers.
+    pub fn stats(&self) -> QueueStats {
+        self.state.lock().expect("queue lock never poisoned").stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wal::testing::FailpointFs;
+    use xmltree::parse::parse_xml;
+    use xmltree::XmlTree;
+
+    fn doc(tag: &str, n: usize) -> XmlTree {
+        let mut s = format!("<{tag}>");
+        for _ in 0..n {
+            s.push_str("<item><title/><body><p/><p/></body></item>");
+        }
+        s.push_str(&format!("</{tag}>"));
+        parse_xml(&s).unwrap()
+    }
+
+    fn queue() -> (Arc<FailpointFs>, Arc<DurableStore>, IngestQueue) {
+        let fs = Arc::new(FailpointFs::new());
+        let (store, _) = DurableStore::open_with(fs.clone(), "db").unwrap();
+        let store = Arc::new(store);
+        (fs, store.clone(), IngestQueue::new(store))
+    }
+
+    fn rename(target: u32, label: &str) -> UpdateOp {
+        UpdateOp::Rename {
+            target: target as usize,
+            label: label.into(),
+        }
+    }
+
+    #[test]
+    fn a_flush_coalesces_per_document_and_logs_one_record() {
+        let (fs, store, queue) = queue();
+        let a = store.load_xml(&doc("feed", 3)).unwrap();
+        let b = store.load_xml(&doc("blog", 3)).unwrap();
+        let syncs_before = fs.sync_count();
+
+        let t1 = queue.submit(a, vec![rename(1, "entry")]);
+        let t2 = queue.submit(b, vec![rename(1, "post")]);
+        let t3 = queue.submit(a, vec![rename(5, "note")]);
+        assert_eq!(queue.pending_batches(), 3);
+
+        let report = queue.flush();
+        assert_eq!(report.batches, 3);
+        assert_eq!(report.jobs, 2, "two distinct documents");
+        assert_eq!(
+            fs.sync_count() - syncs_before,
+            1,
+            "one coalesced record, one fsync"
+        );
+
+        // Doc a's two batches share one coalesced outcome (2 ops); doc b's
+        // lone batch sees its own.
+        for (t, ops) in [(t1, 2), (t2, 1), (t3, 2)] {
+            assert_eq!(queue.wait(t).unwrap().ops, ops);
+        }
+        let a_xml = store.to_xml(a).unwrap().to_xml();
+        assert!(a_xml.contains("<entry") && a_xml.contains("<note"));
+        assert!(store.to_xml(b).unwrap().to_xml().contains("<post"));
+        let stats = queue.stats();
+        assert_eq!((stats.submitted, stats.flushes, stats.coalesced_jobs), (3, 1, 2));
+    }
+
+    #[test]
+    fn a_barrier_drains_only_its_own_document() {
+        let (_fs, store, queue) = queue();
+        let a = store.load_xml(&doc("feed", 3)).unwrap();
+        let b = store.load_xml(&doc("blog", 3)).unwrap();
+
+        let ta = queue.submit(a, vec![rename(1, "entry")]);
+        let tb = queue.submit(b, vec![rename(1, "post")]);
+
+        let stats = queue.barrier(a).expect("doc a had pending ops").unwrap();
+        assert_eq!(stats.ops, 1);
+        assert_eq!(queue.pending_batches(), 1, "doc b stays queued");
+        assert!(store.to_xml(a).unwrap().to_xml().contains("<entry>"));
+        assert!(!store.to_xml(b).unwrap().to_xml().contains("<post>"));
+        assert!(queue.barrier(a).is_none(), "nothing left for doc a");
+        assert_eq!(queue.wait(ta).unwrap().ops, 1);
+
+        queue.flush();
+        assert_eq!(queue.wait(tb).unwrap().ops, 1);
+        assert!(store.to_xml(b).unwrap().to_xml().contains("<post>"));
+    }
+
+    #[test]
+    fn wait_becomes_the_flush_leader_when_nobody_drains() {
+        let (_fs, store, queue) = queue();
+        let a = store.load_xml(&doc("feed", 2)).unwrap();
+        let t = queue.submit(a, vec![rename(1, "entry")]);
+        assert_eq!(queue.wait(t).unwrap().ops, 1, "wait flushed inline");
+        assert_eq!(queue.pending_batches(), 0);
+        // A ticket's result is consumed exactly once.
+        assert!(queue.wait(t).is_err());
+    }
+
+    #[test]
+    fn a_coalesced_failure_reaches_every_contributing_ticket() {
+        let (_fs, store, queue) = queue();
+        let a = store.load_xml(&doc("feed", 2)).unwrap();
+        let good = queue.submit(a, vec![rename(1, "entry")]);
+        // The reserved "#" label is rejected mid-batch.
+        let bad = queue.submit(a, vec![rename(5, "#")]);
+        let report = queue.flush();
+        assert_eq!((report.batches, report.jobs), (2, 1));
+        // One coalesced job, one outcome: both tickets see the error, just
+        // as replaying the single logged record would.
+        assert!(queue.wait(good).is_err());
+        assert!(queue.wait(bad).is_err());
+        assert!(
+            store.to_xml(a).unwrap().to_xml().contains("<entry>"),
+            "the batch prefix before the failing op stays applied"
+        );
+    }
+
+    #[test]
+    fn concurrent_submitters_share_group_commits() {
+        let (fs, store, queue) = queue();
+        let queue = Arc::new(queue);
+        let mut ids = Vec::new();
+        for d in 0..4 {
+            ids.push(store.load_xml(&doc(&format!("doc{d}"), 3)).unwrap());
+        }
+        let syncs_before = fs.sync_count();
+        let threads: Vec<_> = ids
+            .iter()
+            .map(|&id| {
+                let queue = Arc::clone(&queue);
+                std::thread::spawn(move || {
+                    let mut tickets = Vec::new();
+                    for i in 0..8 {
+                        tickets.push(queue.submit(id, vec![rename(1, &format!("r{i}"))]));
+                    }
+                    for t in tickets {
+                        queue.wait(t).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let flushed_syncs = fs.sync_count() - syncs_before;
+        let stats = queue.stats();
+        assert_eq!(stats.submitted, 32);
+        assert!(
+            flushed_syncs <= stats.flushes + stats.barriers,
+            "one fsync per drain at most (group commit may merge even those): \
+             {flushed_syncs} syncs for {} drains",
+            stats.flushes + stats.barriers
+        );
+        assert!(
+            flushed_syncs < 32,
+            "coalescing must beat one fsync per submitted batch"
+        );
+    }
+}

@@ -154,8 +154,9 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
 use std::time::Duration;
 
+use sltgrammar::crc32::crc32;
 use sltgrammar::fingerprint::derived_size;
-use sltgrammar::{Grammar, SymbolTable};
+use sltgrammar::{serialize, Grammar, SymbolTable};
 use xmltree::binary::{from_binary, to_binary};
 use xmltree::updates::UpdateOp;
 use xmltree::XmlTree;
@@ -476,11 +477,24 @@ impl DocShard {
     }
 }
 
-/// One slab slot: its current generation plus the shard, if live.
+/// A checkpointed document not yet decoded: the raw shared-alphabet payload
+/// ([`sltgrammar::serialize::encode_with_shared`]) a lazy restore installs,
+/// decoded on first touch. The CRC comes from the checkpoint's extent table
+/// and is verified at materialization time, not at open — the trade-off
+/// that keeps cold start O(open) (see the layout docs in `core::wal`).
+#[derive(Debug)]
+struct PendingDoc {
+    bytes: Vec<u8>,
+    crc: u32,
+}
+
+/// One slab slot: its current generation plus the shard, if live — or the
+/// undecoded checkpoint payload of a lazily restored document.
 #[derive(Debug, Clone, Default)]
 struct Slot {
     generation: u32,
     shard: Option<Arc<DocShard>>,
+    pending: Option<Arc<PendingDoc>>,
 }
 
 /// The copy-on-write document map readers resolve through. Replaced
@@ -529,11 +543,67 @@ struct StoreInner {
 
 impl StoreInner {
     fn resolve(&self, doc: DocId) -> Result<Arc<DocShard>> {
-        self.map
-            .load()
-            .get(doc)
-            .cloned()
-            .ok_or(RepairError::NoSuchDocument { id: doc.slot })
+        let map = self.map.load();
+        let slot = map
+            .slots
+            .get(doc.index())
+            .filter(|slot| slot.generation == doc.generation)
+            .ok_or(RepairError::NoSuchDocument { id: doc.slot })?;
+        if let Some(shard) = &slot.shard {
+            return Ok(shard.clone());
+        }
+        match &slot.pending {
+            Some(pending) => {
+                let pending = pending.clone();
+                drop(map);
+                self.materialize(doc, pending)
+            }
+            None => Err(RepairError::NoSuchDocument { id: doc.slot }),
+        }
+    }
+
+    /// Decodes a lazily restored document and swaps its shard into the map —
+    /// the first-touch half of the O(open) restore. The CRC check and decode
+    /// run outside every lock: racing materializers decode the same bytes
+    /// against the same frozen shared prefix and agree; one wins the
+    /// copy-on-write swap, the rest adopt the winner's shard.
+    fn materialize(&self, doc: DocId, pending: Arc<PendingDoc>) -> Result<Arc<DocShard>> {
+        let found = crc32(&pending.bytes);
+        if found != pending.crc {
+            return Err(RepairError::Storage {
+                detail: format!(
+                    "checkpoint corrupt: document payload (slot {}, generation {}) fails \
+                     its CRC (expected {:08x}, found {found:08x})",
+                    doc.slot, doc.generation, pending.crc
+                ),
+            });
+        }
+        let master = self.symbols.lock().expect("master lock never poisoned").clone();
+        let grammar =
+            serialize::decode_with_shared(&pending.bytes, &master).map_err(|e| {
+                RepairError::Storage {
+                    detail: format!(
+                        "checkpoint corrupt: document (slot {}, generation {}): {e}",
+                        doc.slot, doc.generation
+                    ),
+                }
+            })?;
+        let shard = Arc::new(DocShard::new(grammar));
+        let _guard = self.map_write.lock().expect("map lock never poisoned");
+        let mut map = (*self.map.load()).clone();
+        let slot = map
+            .slots
+            .get_mut(doc.index())
+            .filter(|slot| slot.generation == doc.generation)
+            .ok_or(RepairError::NoSuchDocument { id: doc.slot })?;
+        if let Some(existing) = &slot.shard {
+            // Lost the materialization race; the winner's shard is canonical.
+            return Ok(existing.clone());
+        }
+        slot.pending = None;
+        slot.shard = Some(shard.clone());
+        self.map.store(Arc::new(map));
+        Ok(shard)
     }
 
     /// Interns `xml`'s alphabet into the master under the master lock and
@@ -803,6 +873,8 @@ impl Clone for DomStore {
             .map(|slot| Slot {
                 generation: slot.generation,
                 shard: slot.shard.as_ref().map(|s| Arc::new(s.duplicate())),
+                // Undecoded payloads are immutable; the clone shares them.
+                pending: slot.pending.clone(),
             })
             .collect();
         let map = DocMap {
@@ -1011,6 +1083,22 @@ impl DomStore {
     /// state (which this call may then return without them) or fail with
     /// [`RepairError::NoSuchDocument`].
     pub fn remove(&self, doc: DocId) -> Result<Grammar> {
+        // A lazily restored document is decoded first: the call returns the
+        // grammar, and a corrupt payload must surface as the typed decode
+        // error here rather than as a bogus `NoSuchDocument`.
+        let needs_materialize = {
+            let map = self.inner.map.load();
+            map.slots
+                .get(doc.index())
+                .is_some_and(|slot| {
+                    slot.generation == doc.generation
+                        && slot.shard.is_none()
+                        && slot.pending.is_some()
+                })
+        };
+        if needs_materialize {
+            self.inner.resolve(doc)?;
+        }
         let shard = {
             let _guard = self.inner.map_write.lock().expect("map lock");
             let mut map = (*self.inner.map.load()).clone();
@@ -1018,7 +1106,10 @@ impl DomStore {
                 .slots
                 .get_mut(doc.index())
                 .filter(|slot| slot.generation == doc.generation)
-                .and_then(|slot| slot.shard.take())
+                .and_then(|slot| {
+                    slot.pending = None;
+                    slot.shard.take()
+                })
                 .ok_or(RepairError::NoSuchDocument { id: doc.slot })?;
             map.free.push(doc.slot);
             map.live.retain(|&id| id != doc);
@@ -1038,9 +1129,14 @@ impl DomStore {
         Ok(Arc::try_unwrap(grammar).unwrap_or_else(|shared| (*shared).clone()))
     }
 
-    /// Whether `doc` names a live document.
+    /// Whether `doc` names a live document (including one still in
+    /// undecoded, lazily restored form).
     pub fn contains(&self, doc: DocId) -> bool {
-        self.inner.map.load().get(doc).is_some()
+        let map = self.inner.map.load();
+        map.slots.get(doc.index()).is_some_and(|slot| {
+            slot.generation == doc.generation
+                && (slot.shard.is_some() || slot.pending.is_some())
+        })
     }
 
     /// Ids of all live documents, in insertion order.
@@ -1306,6 +1402,7 @@ impl DomStore {
             .map(|&generation| Slot {
                 generation,
                 shard: None,
+                pending: None,
             })
             .collect();
         for (id, mut grammar) in docs {
@@ -1339,6 +1436,117 @@ impl DomStore {
             live: layout.live,
         }));
         Ok(())
+    }
+
+    /// Rebuilds an **empty** store from a checkpoint-v3 image: the master
+    /// symbol table is adopted wholesale from its sealed segment runs (no
+    /// per-symbol re-intern, segment boundaries intact) and every document
+    /// is installed as an undecoded pending payload `(bytes, crc)` at its
+    /// recorded `(slot, generation)`, decoded lazily on first touch — so
+    /// the restore itself is O(image), not O(decode + rebase) over the
+    /// fleet.
+    pub(crate) fn restore_slab_lazy(
+        &self,
+        layout: SlabLayout,
+        segments: Vec<(Vec<String>, Vec<usize>)>,
+        docs: Vec<(DocId, Vec<u8>, u32)>,
+    ) -> Result<()> {
+        let _guard = self.inner.map_write.lock().expect("map lock never poisoned");
+        if !self.inner.map.load().live.is_empty() {
+            return Err(RepairError::Storage {
+                detail: "checkpoint restore requires an empty store".to_string(),
+            });
+        }
+        let master =
+            SymbolTable::from_sealed_segments(segments).map_err(|e| RepairError::Storage {
+                detail: format!("checkpoint corrupt: symbol table image: {e}"),
+            })?;
+        *self.inner.symbols.lock().expect("master lock never poisoned") = master;
+        let mut slots: Vec<Slot> = layout
+            .generations
+            .iter()
+            .map(|&generation| Slot {
+                generation,
+                shard: None,
+                pending: None,
+            })
+            .collect();
+        for (id, bytes, crc) in docs {
+            let slot = slots.get_mut(id.index()).ok_or(RepairError::Storage {
+                detail: format!("checkpoint document slot {} exceeds the slab", id.slot),
+            })?;
+            if slot.generation != id.generation || slot.pending.is_some() {
+                return Err(RepairError::Storage {
+                    detail: format!(
+                        "checkpoint document (slot {}, generation {}) conflicts with the slab layout",
+                        id.slot, id.generation
+                    ),
+                });
+            }
+            slot.pending = Some(Arc::new(PendingDoc { bytes, crc }));
+        }
+        for &id in &layout.live {
+            let ok = slots
+                .get(id.index())
+                .is_some_and(|slot| slot.generation == id.generation && slot.pending.is_some());
+            if !ok {
+                return Err(RepairError::Storage {
+                    detail: format!("checkpoint live document (slot {}) has no payload", id.slot),
+                });
+            }
+        }
+        self.inner.map.store(Arc::new(DocMap {
+            slots,
+            free: layout.free,
+            live: layout.live,
+        }));
+        Ok(())
+    }
+
+    /// The checkpoint-v3 extent payload for one document, with its CRC: a
+    /// still-pending document hands back its stored bytes verbatim (never
+    /// decoded just to be re-encoded), a live one is serialized from its
+    /// authoritative write state. The durable layer calls this under the
+    /// document's commit lock, so the payload reflects exactly the records
+    /// committed so far for this document.
+    pub(crate) fn checkpoint_payload(&self, doc: DocId) -> Result<(Vec<u8>, u32)> {
+        let map = self.inner.map.load();
+        let slot = map
+            .slots
+            .get(doc.index())
+            .filter(|slot| slot.generation == doc.generation)
+            .ok_or(RepairError::NoSuchDocument { id: doc.slot })?;
+        if let Some(pending) = &slot.pending {
+            return Ok((pending.bytes.clone(), pending.crc));
+        }
+        if let Some(shard) = &slot.shard {
+            // Hold the shard lock only to clone the grammar `Arc`; the
+            // serialization runs on the immutable clone.
+            let grammar = shard.write.lock().expect("shard lock never poisoned").clone();
+            let bytes = serialize::encode_with_shared(&grammar);
+            let crc = crc32(&bytes);
+            return Ok((bytes, crc));
+        }
+        Err(RepairError::NoSuchDocument { id: doc.slot })
+    }
+
+    /// The master symbol table's sealed segment runs — the checkpoint-v3
+    /// symbol image adopted wholesale on restore. The master is always
+    /// fully sealed (loads commit sealed scratch tables), so the runs
+    /// cover every shared id any document references.
+    pub(crate) fn symbol_image(&self) -> Vec<(Vec<String>, Vec<usize>)> {
+        let master = self.inner.symbols.lock().expect("master lock never poisoned");
+        debug_assert_eq!(master.shared_len(), master.len(), "master is always sealed");
+        master
+            .sealed_segment_runs()
+            .map(|(names, ranks)| (names.to_vec(), ranks.to_vec()))
+            .collect()
+    }
+
+    /// Number of documents still in undecoded, lazily restored form.
+    pub(crate) fn pending_count(&self) -> usize {
+        let map = self.inner.map.load();
+        map.slots.iter().filter(|slot| slot.pending.is_some()).count()
     }
 }
 

@@ -279,7 +279,21 @@ pub fn decode(data: &[u8]) -> Result<Grammar> {
         symbol_ranks.push(rank);
     }
 
-    // Rule headers.
+    let (rule_names, rule_ranks, bodies) = decode_rules(&mut r, symbol_count, &symbol_ranks)?;
+    if !r.finished() {
+        return Err(r.error("trailing bytes after the grammar"));
+    }
+    assemble(symbols, rule_names, rule_ranks, bodies)
+}
+
+/// Reads the rule headers and preorder bodies (the format tail shared by
+/// [`decode`] and [`decode_with_shared`]). Counts are bounded against the
+/// remaining input before sizing any allocation.
+fn decode_rules(
+    r: &mut Reader<'_>,
+    symbol_count: usize,
+    symbol_ranks: &[usize],
+) -> Result<(Vec<String>, Vec<usize>, Vec<RhsTree>)> {
     let rule_count = r.count(2, "rule")?;
     if rule_count == 0 {
         return Err(r.error("grammar must have at least a start rule"));
@@ -291,7 +305,6 @@ pub fn decode(data: &[u8]) -> Result<Grammar> {
         rule_names.push(r.string()?);
     }
 
-    // Rule bodies.
     let mut bodies: Vec<RhsTree> = Vec::with_capacity(rule_count);
     for rule_name in rule_names.iter().take(rule_count) {
         let node_count = r.count(2, "node")?;
@@ -321,21 +334,139 @@ pub fn decode(data: &[u8]) -> Result<Grammar> {
             };
             kinds.push(kind);
         }
-        bodies.push(rebuild_tree(&r, &kinds, &symbol_ranks, &rule_ranks)?);
+        bodies.push(rebuild_tree(r, &kinds, symbol_ranks, &rule_ranks)?);
     }
-    if !r.finished() {
-        return Err(r.error("trailing bytes after the grammar"));
-    }
+    Ok((rule_names, rule_ranks, bodies))
+}
 
-    // Assemble the grammar: the start rule (index 0) first, then the rest.
+/// Assembles and validates a grammar from decoded parts: the start rule
+/// (index 0) first, then the rest in written order.
+fn assemble(
+    symbols: SymbolTable,
+    rule_names: Vec<String>,
+    rule_ranks: Vec<usize>,
+    bodies: Vec<RhsTree>,
+) -> Result<Grammar> {
     let mut grammar = Grammar::new(symbols, bodies[0].clone());
     let start = grammar.start();
     grammar.rename_rule(start, &rule_names[0]);
-    for i in 1..rule_count {
+    for i in 1..rule_names.len() {
         grammar.add_rule(&rule_names[i], rule_ranks[i], bodies[i].clone());
     }
     grammar.validate()?;
     Ok(grammar)
+}
+
+// ----- shared-alphabet encoding (checkpoint extents) -----
+
+/// Encodes a grammar whose symbol table shares a sealed master prefix,
+/// writing only the private tail of the alphabet. This is the per-document
+/// extent payload of the store's checkpoint-v3 format:
+///
+/// ```text
+/// shared prefix length  (varint — ids below this come from the master table)
+/// tail symbol count     (varint)
+///   per tail symbol: rank (varint), name length (varint), name bytes
+/// rule headers + preorder bodies exactly as in the standalone format,
+///   except terminal nodes store the *raw* `TermId` (valid against the
+///   reconstructed master-prefix + tail table, so no remapping happens on
+///   either side)
+/// ```
+///
+/// There is no magic/version/CRC framing: the enclosing checkpoint indexes
+/// and checksums each extent. [`decode_with_shared`] reverses this against
+/// the restored master table.
+pub fn encode_with_shared(g: &Grammar) -> Vec<u8> {
+    let mut out = Vec::new();
+    let shared_len = g.symbols.shared_len();
+    write_varint(&mut out, shared_len as u64);
+    write_varint(&mut out, (g.symbols.len() - shared_len) as u64);
+    for (id, name, rank) in g.symbols.iter() {
+        if id.index() < shared_len {
+            continue;
+        }
+        write_varint(&mut out, rank as u64);
+        write_varint(&mut out, name.len() as u64);
+        out.extend_from_slice(name.as_bytes());
+    }
+
+    let mut order: Vec<NtId> = vec![g.start()];
+    order.extend(g.nonterminals().into_iter().filter(|&nt| nt != g.start()));
+    let index_of = |nt: NtId| -> u64 {
+        order
+            .iter()
+            .position(|&x| x == nt)
+            .expect("every referenced rule is live") as u64
+    };
+    write_varint(&mut out, order.len() as u64);
+    for &nt in &order {
+        let rule = g.rule(nt);
+        write_varint(&mut out, rule.rank as u64);
+        write_varint(&mut out, rule.name.len() as u64);
+        out.extend_from_slice(rule.name.as_bytes());
+    }
+    for &nt in &order {
+        let rhs = &g.rule(nt).rhs;
+        let preorder = rhs.preorder();
+        write_varint(&mut out, preorder.len() as u64);
+        for node in preorder {
+            match rhs.kind(node) {
+                NodeKind::Term(t) => {
+                    out.push(0);
+                    write_varint(&mut out, t.0 as u64);
+                }
+                NodeKind::Nt(callee) => {
+                    out.push(1);
+                    write_varint(&mut out, index_of(callee));
+                }
+                NodeKind::Param(i) => {
+                    out.push(2);
+                    write_varint(&mut out, i as u64);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Decodes an [`encode_with_shared`] payload against the master symbol
+/// table it was encoded under (or any master extending it): the recorded
+/// shared prefix is adopted zero-copy via [`SymbolTable::shared_prefix`]
+/// (segment `Arc`s shared, nothing re-interned) and only the private tail
+/// is interned on top. Safe on untrusted bytes: counts are bounded before
+/// allocation, the prefix length must be a master segment boundary, tail
+/// symbols must extend (not collide with) the prefix, and every terminal
+/// id is range-checked. The result is validated before it is returned.
+pub fn decode_with_shared(data: &[u8], master: &SymbolTable) -> Result<Grammar> {
+    let mut r = Reader::new(data);
+    let shared_len = r.varint()? as usize;
+    if shared_len > master.len() {
+        return Err(r.error(&format!(
+            "shared prefix length {shared_len} exceeds the master table ({} symbols)",
+            master.len()
+        )));
+    }
+    let mut symbols = master.shared_prefix(shared_len)?;
+    let tail_count = r.count(2, "tail symbol")?;
+    for i in 0..tail_count {
+        let rank = r.varint()? as usize;
+        let name = r.string()?;
+        let id = symbols.intern(&name, rank)?;
+        if id.index() != shared_len + i {
+            return Err(r.error(&format!(
+                "tail symbol `{name}` collides with the shared prefix"
+            )));
+        }
+    }
+    let symbol_count = symbols.len();
+    let symbol_ranks: Vec<usize> = (0..symbol_count)
+        .map(|i| symbols.rank(TermId(i as u32)))
+        .collect();
+    let (rule_names, rule_ranks, bodies) = decode_rules(&mut r, symbol_count, &symbol_ranks)?;
+    if !r.finished() {
+        return Err(r.error("trailing bytes after the grammar"));
+    }
+    assemble(symbols, rule_names, rule_ranks, bodies)
 }
 
 /// Rebuilds an [`RhsTree`] from its preorder label stream; the rank of every
@@ -538,6 +669,84 @@ mod tests {
             let mut r = Reader::new(&buf);
             assert_eq!(r.varint().unwrap(), value);
             assert!(r.finished());
+        }
+    }
+
+    #[test]
+    fn shared_roundtrip_adopts_the_master_prefix() {
+        // A fully sealed document table whose alphabet is a prefix of a
+        // larger master: the payload records no tail and decodes against
+        // the master's segments without re-interning anything.
+        let mut g = paper_grammar();
+        g.symbols.seal();
+        let mut master = g.symbols.clone();
+        master.intern("later-doc-label", 3).unwrap();
+        master.seal();
+
+        let bytes = encode_with_shared(&g);
+        let back = decode_with_shared(&bytes, &master).unwrap();
+        assert_eq!(fingerprint(&g), fingerprint(&back));
+        assert_eq!(print_grammar(&g), print_grammar(&back));
+        assert_eq!(back.symbols.shared_len(), g.symbols.len());
+        // The payload is smaller than the standalone encoding: no symbol
+        // names, no CRC framing.
+        assert!(bytes.len() < encode(&g).len());
+    }
+
+    #[test]
+    fn shared_roundtrip_with_a_private_tail() {
+        // shared prefix [f, a] + private tail [b]; S -> f(a, b).
+        let mut table = SymbolTable::new();
+        let f = table.intern("f", 2).unwrap();
+        let a = table.intern("a", 0).unwrap();
+        table.seal();
+        let master = table.clone();
+        let b = table.intern("b", 0).unwrap();
+        let mut rhs = RhsTree::singleton(NodeKind::Term(f));
+        let root = rhs.root();
+        for leaf in [a, b] {
+            let node = rhs.add_leaf(NodeKind::Term(leaf));
+            rhs.push_child(root, node);
+        }
+        let g = Grammar::new(table, rhs);
+        g.validate().unwrap();
+
+        let bytes = encode_with_shared(&g);
+        let back = decode_with_shared(&bytes, &master).unwrap();
+        assert_eq!(fingerprint(&g), fingerprint(&back));
+        assert_eq!(print_grammar(&g), print_grammar(&back));
+        assert_eq!(back.symbols.shared_len(), 2);
+        assert_eq!(back.symbols.len(), 3);
+    }
+
+    #[test]
+    fn shared_decode_rejects_corrupt_prefixes_and_tails() {
+        let mut g = paper_grammar();
+        g.symbols.seal();
+        let master = g.symbols.clone();
+        let bytes = encode_with_shared(&g);
+
+        // A prefix length that is not a segment boundary of the master.
+        let mut bad = bytes.clone();
+        assert!(g.symbols.len() > 1, "test needs a multi-symbol grammar");
+        bad[0] = 1; // varint shared_len = 1, mid-segment
+        assert!(matches!(
+            decode_with_shared(&bad, &master),
+            Err(GrammarError::Decode { .. })
+        ));
+
+        // A prefix length beyond the master table.
+        let mut bad = Vec::new();
+        write_varint(&mut bad, master.len() as u64 + 10);
+        bad.extend_from_slice(&bytes[1..]);
+        assert!(decode_with_shared(&bad, &master).is_err());
+
+        // Truncations at every length must error, never panic.
+        for len in 0..bytes.len() {
+            assert!(
+                decode_with_shared(&bytes[..len], &master).is_err(),
+                "truncation to {len} bytes must fail"
+            );
         }
     }
 

@@ -292,6 +292,123 @@ impl SymbolTable {
             .iter()
             .map(|seg| (Arc::as_ptr(seg) as usize, seg.heap_bytes()))
     }
+
+    // ----- sealed-segment images (checkpoint serialization seam) -----
+
+    /// The sealed segments as `(names, ranks)` runs in id order — the
+    /// serializable image of the shared prefix. Together with
+    /// [`SymbolTable::from_sealed_segments`] this round-trips a fully sealed
+    /// table (segment boundaries included) without re-interning.
+    pub fn sealed_segment_runs(&self) -> impl Iterator<Item = (&[String], &[usize])> + '_ {
+        self.segments
+            .iter()
+            .map(|seg| (seg.names.as_slice(), seg.ranks.as_slice()))
+    }
+
+    /// Rebuilds a fully sealed table from segment runs (the output shape of
+    /// [`SymbolTable::sealed_segment_runs`]): ids are assigned sequentially
+    /// across the runs and each run becomes one immutable shared segment, so
+    /// segment boundaries — and therefore every derived table's
+    /// [`SymbolTable::shared_len`] — survive the round trip. The per-segment
+    /// name index is built in one pass; nothing is re-interned against an
+    /// existing table. Rejects duplicate names (within or across runs): the
+    /// image of a real table never contains any, so a duplicate means the
+    /// image is corrupt and lookups would silently resolve to the wrong id.
+    pub fn from_sealed_segments(runs: Vec<(Vec<String>, Vec<usize>)>) -> Result<Self> {
+        let mut seen: HashMap<&str, ()> = HashMap::new();
+        let mut segments = Vec::with_capacity(runs.len());
+        let mut start = 0u32;
+        for (names, ranks) in &runs {
+            if names.len() != ranks.len() {
+                return Err(GrammarError::Decode {
+                    offset: 0,
+                    detail: format!(
+                        "segment run has {} names but {} ranks",
+                        names.len(),
+                        ranks.len()
+                    ),
+                });
+            }
+            let mut by_name = HashMap::with_capacity(names.len());
+            for (i, name) in names.iter().enumerate() {
+                if by_name
+                    .insert(name.clone(), TermId(start + i as u32))
+                    .is_some()
+                    || seen.contains_key(name.as_str())
+                {
+                    return Err(GrammarError::Decode {
+                        offset: 0,
+                        detail: format!("duplicate symbol `{name}` in segment image"),
+                    });
+                }
+            }
+            for name in names {
+                // Borrow from `runs` (outlives the loop) for the cross-run check.
+                seen.insert(name.as_str(), ());
+            }
+            segments.push((start, by_name));
+            start += names.len() as u32;
+        }
+        let segments = runs
+            .into_iter()
+            .zip(segments)
+            .map(|((names, ranks), (start, by_name))| {
+                Arc::new(Segment {
+                    start,
+                    names,
+                    ranks,
+                    by_name,
+                })
+            })
+            .collect();
+        Ok(SymbolTable {
+            segments,
+            shared_len: start,
+            local_names: Vec::new(),
+            local_ranks: Vec::new(),
+            local_by_name: HashMap::new(),
+        })
+    }
+
+    /// A table sharing this table's sealed segments covering exactly the ids
+    /// below `len` — the zero-copy reconstruction of a document table whose
+    /// shared prefix is a prefix of this (master) table. The returned table
+    /// shares the segment `Arc`s (no strings are copied) and has an empty
+    /// local tail. Errors unless `len` falls on a segment boundary within
+    /// the sealed prefix, which is how a corrupt recorded prefix length
+    /// surfaces as a typed error instead of a wrong alphabet.
+    pub fn shared_prefix(&self, len: usize) -> Result<Self> {
+        let len = u32::try_from(len).map_err(|_| GrammarError::Decode {
+            offset: 0,
+            detail: format!("shared prefix length {len} overflows the id space"),
+        })?;
+        let mut segments = Vec::new();
+        let mut covered = 0u32;
+        for seg in &self.segments {
+            if covered == len {
+                break;
+            }
+            segments.push(seg.clone());
+            covered += seg.len();
+        }
+        if covered != len {
+            return Err(GrammarError::Decode {
+                offset: 0,
+                detail: format!(
+                    "shared prefix length {len} is not a segment boundary \
+                     (sealed prefix covers {covered} of {} ids)",
+                    self.shared_len
+                ),
+            });
+        }
+        Ok(SymbolTable {
+            segments,
+            shared_len: len,
+            local_names: Vec::new(),
+            local_ranks: Vec::new(),
+            local_by_name: HashMap::new(),
+        })
+    }
 }
 
 #[cfg(test)]

@@ -33,6 +33,11 @@ pub use grammar_repair::store::{DocId, DomStore, Snapshot};
 /// write-ahead log with checkpointing and recovery.
 pub use grammar_repair::durable::{CheckpointReport, DurableStore, RecoveryReport};
 
+/// Convenience re-export of the ingestion queue that coalesces submitted
+/// batches into single group-committed WAL records in front of a
+/// [`DurableStore`].
+pub use grammar_repair::queue::IngestQueue;
+
 /// Convenience re-export of the read-only navigation cursor over a grammar.
 pub use grammar_repair::navigate::Cursor;
 

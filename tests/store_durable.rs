@@ -13,13 +13,14 @@
 
 use std::sync::Arc;
 
+use proptest::prelude::*;
 use slt_xml::datasets::workload::{random_update_sequence, WorkloadMix};
 use slt_xml::grammar_repair::wal::testing::FailpointFs;
 use slt_xml::grammar_repair::RepairError;
 use slt_xml::xmltree::parse::parse_xml;
 use slt_xml::xmltree::updates::UpdateOp;
 use slt_xml::xmltree::XmlTree;
-use slt_xml::{DocId, DomStore, DurableStore};
+use slt_xml::{DocId, DomStore, DurableStore, IngestQueue};
 
 /// Structurally different documents over overlapping alphabets.
 fn corpus() -> Vec<XmlTree> {
@@ -399,4 +400,281 @@ fn torn_tails_truncate_silently_but_interior_corruption_is_loud() {
         .err()
         .expect("interior corruption must fail recovery loudly");
     assert!(matches!(err, RepairError::WalCorrupt { .. }), "got {err:?}");
+}
+
+// ----- ingestion-queue kill matrix -----
+
+/// One step of the scripted *queued* workload. Submits enqueue without
+/// logging anything; only drains (`Flush`, `Barrier`) reach the WAL, as a
+/// single coalesced record each.
+#[derive(Clone)]
+enum QueueAction {
+    Load(usize),
+    Submit(usize, Vec<UpdateOp>),
+    Flush,
+    Barrier(usize),
+    Checkpoint,
+}
+
+/// A deterministic queued workload over three documents: bursts of
+/// per-document submissions coalesced by flushes, a single-document
+/// barrier with other documents left queued, and a mid-script fuzzy
+/// checkpoint.
+fn queue_script() -> (Vec<XmlTree>, Vec<QueueAction>) {
+    let docs = corpus();
+    let s0 = workload(&docs[0], 12, 0xBEE0);
+    let s1 = workload(&docs[1], 8, 0xBEE1);
+    let s2 = workload(&docs[2], 12, 0xBEE2);
+    let chunk = |s: &[UpdateOp], i: usize| s[i * 4..(i + 1) * 4].to_vec();
+
+    let actions = vec![
+        QueueAction::Load(0),
+        QueueAction::Load(1),
+        QueueAction::Load(2),
+        // A mixed burst: two chunks of doc 0 and one each of docs 1 and 2
+        // coalesce into one three-job ApplyMany record.
+        QueueAction::Submit(0, chunk(&s0, 0)),
+        QueueAction::Submit(1, chunk(&s1, 0)),
+        QueueAction::Submit(0, chunk(&s0, 1)),
+        QueueAction::Submit(2, chunk(&s2, 0)),
+        QueueAction::Flush,
+        // A barrier drains only doc 1; docs 0 and 2 stay queued across it
+        // and across the checkpoint that follows.
+        QueueAction::Submit(2, chunk(&s2, 1)),
+        QueueAction::Submit(1, chunk(&s1, 1)),
+        QueueAction::Submit(0, chunk(&s0, 2)),
+        QueueAction::Barrier(1),
+        QueueAction::Checkpoint,
+        QueueAction::Flush,
+        QueueAction::Submit(2, chunk(&s2, 2)),
+        QueueAction::Flush,
+    ];
+    (docs, actions)
+}
+
+/// Runs the queued script until it completes or the injected fault kills
+/// the store. Tickets are awaited after every full flush, so a dead disk
+/// (surfacing as per-job commit errors) stops the script like `run_script`.
+fn run_queue_script(store: &Arc<DurableStore>, corpus: &[XmlTree], actions: &[QueueAction]) {
+    let queue = IngestQueue::new(Arc::clone(store));
+    let mut ids: Vec<DocId> = Vec::new();
+    let mut outstanding: Vec<(usize, slt_xml::grammar_repair::queue::Ticket)> = Vec::new();
+    for action in actions {
+        let ok = match action {
+            QueueAction::Load(c) => match store.load_xml(&corpus[*c]) {
+                Ok(id) => {
+                    ids.push(id);
+                    true
+                }
+                Err(_) => false,
+            },
+            QueueAction::Submit(d, ops) => {
+                outstanding.push((*d, queue.submit(ids[*d], ops.clone())));
+                true
+            }
+            QueueAction::Flush => {
+                queue.flush();
+                outstanding.drain(..).all(|(_, t)| queue.wait(t).is_ok())
+            }
+            QueueAction::Barrier(d) => {
+                let drained = queue.barrier(ids[*d]);
+                outstanding.retain(|(od, _)| od != d);
+                !matches!(drained, Some(Err(_)))
+            }
+            QueueAction::Checkpoint => store.checkpoint().is_ok(),
+        };
+        if !ok {
+            return; // the disk is dead; the rest of the script is lost
+        }
+    }
+}
+
+/// The queue oracle: replays the *same coalescing* the queue performs on a
+/// plain in-memory store, counting one LSN per drained record (loads count
+/// one each; checkpoints and submits none), stopping at the committed
+/// prefix.
+fn queue_oracle(corpus: &[XmlTree], actions: &[QueueAction], committed: u64) -> DomStore {
+    let store = DomStore::new();
+    let mut ids: Vec<DocId> = Vec::new();
+    let mut pending: Vec<(usize, Vec<UpdateOp>)> = Vec::new();
+    let mut lsn = 0u64;
+    for action in actions {
+        match action {
+            QueueAction::Load(c) => {
+                if lsn == committed {
+                    return store;
+                }
+                lsn += 1;
+                ids.push(store.load_xml(&corpus[*c]).unwrap());
+            }
+            QueueAction::Submit(d, ops) => pending.push((*d, ops.clone())),
+            QueueAction::Flush => {
+                if pending.is_empty() {
+                    continue;
+                }
+                if lsn == committed {
+                    return store;
+                }
+                lsn += 1;
+                // Coalesce exactly like the queue: one job per document,
+                // ops in submission order, documents in first-submission
+                // order.
+                let mut jobs: Vec<(usize, Vec<UpdateOp>)> = Vec::new();
+                for (d, ops) in pending.drain(..) {
+                    if let Some(job) = jobs.iter_mut().find(|(jd, _)| *jd == d) {
+                        job.1.extend(ops);
+                    } else {
+                        jobs.push((d, ops));
+                    }
+                }
+                for (d, ops) in jobs {
+                    store.apply_batch(ids[d], &ops).unwrap();
+                }
+            }
+            QueueAction::Barrier(d) => {
+                let mut ops = Vec::new();
+                pending.retain_mut(|(pd, pops)| {
+                    if pd == d {
+                        ops.append(pops);
+                        false
+                    } else {
+                        true
+                    }
+                });
+                if ops.is_empty() {
+                    continue;
+                }
+                if lsn == committed {
+                    return store;
+                }
+                lsn += 1;
+                store.apply_batch(ids[*d], &ops).unwrap();
+            }
+            QueueAction::Checkpoint => {}
+        }
+    }
+    assert_eq!(lsn, committed, "script shorter than the committed prefix");
+    store
+}
+
+/// The queued analogue of the main kill matrix: a crash at **every** fault
+/// point of a workload whose writes reach the log only as coalesced
+/// `ApplyMany` drains (plus one barrier and one fuzzy v3 checkpoint)
+/// recovers exactly the committed prefix — a mid-flush kill loses the
+/// whole drain, never half of one.
+#[test]
+fn kill_during_coalesced_flushes_recovers_the_committed_prefix() {
+    let (corpus, actions) = queue_script();
+    let fs = Arc::new(FailpointFs::new());
+    let (store, _) = DurableStore::open_with(fs.clone(), "db").unwrap();
+    let store = Arc::new(store);
+    run_queue_script(&store, &corpus, &actions);
+    drop(store);
+    let total = fs.consumed();
+    assert!(total > 100, "matrix suspiciously small: {total} fault points");
+
+    let stride = matrix_stride(total);
+    let mut point = 1;
+    while point <= total {
+        let fs = Arc::new(FailpointFs::new());
+        let (store, _) = DurableStore::open_with(fs.clone(), "db").unwrap();
+        let store = Arc::new(store);
+        fs.arm(point);
+        run_queue_script(&store, &corpus, &actions);
+        fs.disarm();
+        drop(store);
+
+        let (recovered, report) = DurableStore::open_with(fs, "db")
+            .unwrap_or_else(|e| panic!("recovery after kill at point {point} failed: {e}"));
+        let oracle = queue_oracle(&corpus, &actions, report.last_lsn);
+        assert_matches_oracle(
+            &recovered,
+            &oracle,
+            &format!("queued kill at point {point}"),
+        );
+        point += stride;
+    }
+}
+
+// ----- checkpoint-v3 adversarial proptests -----
+
+/// Builds a real v3 checkpoint image (with an empty covering log) for the
+/// adversarial tests: three documents, a batch each, then a quiescent
+/// checkpoint — so the log truncates and the checkpoint alone carries the
+/// state.
+fn v3_checkpoint_image() -> (Vec<u8>, usize) {
+    let docs = corpus();
+    let fs = Arc::new(FailpointFs::new());
+    let (store, _) = DurableStore::open_with(fs.clone(), "db").unwrap();
+    for (i, xml) in docs.iter().enumerate() {
+        let id = store.load_xml(xml).unwrap();
+        store
+            .apply_batch(id, &workload(xml, 4, 0xC4E0 + i as u64))
+            .unwrap();
+    }
+    let report = store.checkpoint().unwrap();
+    assert!(report.log_truncated, "single-threaded checkpoint is quiescent");
+    drop(store);
+    (fs.file("db/checkpoint.slck").unwrap(), docs.len())
+}
+
+/// Opens a store whose disk holds exactly `checkpoint` (and no log) and
+/// touches every document, forcing lazy materialization. Returns `Err` if
+/// the open or any touch reports corruption.
+fn open_and_touch_all(checkpoint: Vec<u8>) -> Result<(), RepairError> {
+    let fs = Arc::new(FailpointFs::new());
+    fs.set_file("db/checkpoint.slck", checkpoint);
+    let (store, _) = DurableStore::open_with(fs, "db")?;
+    for id in store.doc_ids() {
+        store.to_xml(id)?;
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every byte of a v3 checkpoint is covered by some integrity check:
+    /// the header and the three indexed sections by CRCs verified at open,
+    /// the lazy docs region by per-extent payload CRCs verified at first
+    /// touch. A single bit flip anywhere must therefore surface as a typed
+    /// error from open or from touching the documents — never silently,
+    /// never as a panic.
+    #[test]
+    fn prop_v3_bit_flips_are_always_detected(seed in any::<u64>()) {
+        let (pristine, doc_count) = v3_checkpoint_image();
+        let bit = (seed as usize) % (pristine.len() * 8);
+        let mut flipped = pristine;
+        flipped[bit / 8] ^= 1 << (bit % 8);
+        let outcome = open_and_touch_all(flipped);
+        prop_assert!(outcome.is_err(), "flipped bit {} went undetected across {} docs", bit, doc_count);
+        prop_assert!(
+            matches!(outcome, Err(RepairError::Storage { .. })),
+            "corruption must be the typed checkpoint error, got {:?}", outcome
+        );
+    }
+
+    /// Truncating a v3 checkpoint at any length fails at open: the header
+    /// demands the file end exactly where the docs region ends.
+    #[test]
+    fn prop_v3_truncations_fail_at_open(seed in any::<u64>()) {
+        let (pristine, _) = v3_checkpoint_image();
+        let len = (seed as usize) % pristine.len();
+        let outcome = open_and_touch_all(pristine[..len].to_vec());
+        prop_assert!(outcome.is_err(), "truncation to {} bytes went undetected", len);
+    }
+
+    /// Arbitrary bytes — raw or hiding behind the real magic and version —
+    /// never panic the checkpoint decoder and never open successfully
+    /// unless they happen to decode into a consistent (empty) image.
+    #[test]
+    fn prop_v3_decoder_survives_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        let _ = open_and_touch_all(bytes.clone());
+        let mut framed = b"SLCK\x03".to_vec();
+        framed.extend_from_slice(&bytes);
+        let _ = open_and_touch_all(framed);
+        let mut legacy = b"SLCK\x01".to_vec();
+        legacy.extend_from_slice(&bytes);
+        let _ = open_and_touch_all(legacy);
+    }
 }
