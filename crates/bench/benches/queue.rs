@@ -140,7 +140,7 @@ fn bench_queue(c: &mut Criterion) {
     let direct_syncs = direct_fs.sync_count() - before;
     let before = queued_fs.sync_count();
     for (id, ops) in &queued_batches {
-        queue.submit(*id, ops.clone());
+        queue.submit(*id, ops.clone()).expect("unbounded queue");
     }
     let report = queue.flush();
     let queued_syncs = queued_fs.sync_count() - before;
@@ -168,7 +168,7 @@ fn bench_queue(c: &mut Criterion) {
             b.iter(|| {
                 let tickets: Vec<_> = batches
                     .iter()
-                    .map(|(id, ops)| queue.submit(*id, ops.clone()))
+                    .map(|(id, ops)| queue.submit(*id, ops.clone()).expect("unbounded queue"))
                     .collect();
                 queue.flush();
                 for ticket in tickets {

@@ -1,0 +1,241 @@
+//! Criterion benches for PR 10's network edge: the `server_throughput`
+//! group measures the full wire path — 4 concurrent clients over a unix
+//! socket (TCP loopback elsewhere), each pipelining acknowledged update
+//! batches into a server whose auto-drainer coalesces them into shared
+//! group commits — against the same 4 threads committing directly through
+//! `DurableStore::apply_batch`, one WAL record and fsync per batch.
+//!
+//! Like the queue bench this runs on the in-memory fault-injection
+//! filesystem: the gate pins the *software* cost (framing, socket hops,
+//! drain scheduling, group-commit protocol), not fsync hardware noise.
+//! The coalescing contract itself — acknowledged requests vastly
+//! outnumber fsyncs — is asserted outside the measurement loop, and a
+//! warmup round reports ops/sec with p50/p99 reply latencies.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datasets::catalog::Dataset;
+use datasets::workload::{random_update_sequence, WorkloadMix};
+use grammar_repair::durable::DurableStore;
+use grammar_repair::queue::DrainPolicy;
+use grammar_repair::server::{Server, ServerConfig};
+use grammar_repair::store::DocId;
+use grammar_repair::wal::testing::FailpointFs;
+use grammar_repair::client::PendingApply;
+use grammar_repair::Client;
+use xmltree::updates::UpdateOp;
+use xmltree::XmlTree;
+
+const CLIENTS: usize = 4;
+const BATCHES_PER_CLIENT: usize = 12;
+const OPS_PER_BATCH: usize = 6;
+/// Acknowledged batches each client keeps in flight: the window is what
+/// feeds the drainer whole runs of batches to coalesce.
+const WINDOW: usize = 8;
+
+fn fleet() -> Vec<XmlTree> {
+    (0..CLIENTS)
+        .map(|i| Dataset::ExiWeblog.generate(0.03 + 0.004 * i as f64))
+        .collect()
+}
+
+/// Steady-state rename-only batches for one client's document, valid on
+/// every re-application.
+fn client_batches(xml: &XmlTree, seed: u64) -> Vec<Vec<UpdateOp>> {
+    random_update_sequence(
+        xml,
+        BATCHES_PER_CLIENT * OPS_PER_BATCH,
+        seed,
+        WorkloadMix {
+            rename_probability: 1.0,
+            locality: 0.7,
+            ..WorkloadMix::default()
+        },
+    )
+    .chunks(OPS_PER_BATCH)
+    .map(<[UpdateOp]>::to_vec)
+    .collect()
+}
+
+fn server_config() -> ServerConfig {
+    ServerConfig {
+        drain: DrainPolicy {
+            max_pending_ops: 128,
+            max_batch_age: Duration::from_micros(500),
+            idle_flush: Duration::from_micros(200),
+        },
+        ..ServerConfig::default()
+    }
+}
+
+#[cfg(unix)]
+fn serve(store: Arc<DurableStore>) -> (Server, Vec<Client>) {
+    let path = std::env::temp_dir().join(format!("sltxml-bench-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let server = Server::serve_unix(store, &path, server_config()).expect("socket path is free");
+    let clients = (0..CLIENTS).map(|_| Client::connect_unix(&path)).collect();
+    (server, clients)
+}
+
+#[cfg(not(unix))]
+fn serve(store: Arc<DurableStore>) -> (Server, Vec<Client>) {
+    let server =
+        Server::serve_tcp(store, "127.0.0.1:0", server_config()).expect("loopback listens");
+    let addr = server.local_addr().expect("tcp server has an address").to_string();
+    let clients = (0..CLIENTS).map(|_| Client::connect_tcp(addr.clone())).collect();
+    (server, clients)
+}
+
+/// One client's round: pipeline `WINDOW` acknowledged batches over the
+/// socket, returning each reply's latency (send → `Applied` ack).
+fn run_pipelined(client: &Client, id: DocId, batches: &[Vec<UpdateOp>]) -> Vec<Duration> {
+    let mut latencies = Vec::with_capacity(batches.len());
+    let mut inflight: VecDeque<(PendingApply, Instant)> = VecDeque::with_capacity(WINDOW);
+    for ops in batches {
+        if inflight.len() == WINDOW {
+            let (pending, sent) = inflight.pop_front().expect("non-empty window");
+            pending.wait_applied().expect("renames stay valid");
+            latencies.push(sent.elapsed());
+        }
+        let sent = Instant::now();
+        let pending = client
+            .begin_apply_batch(id, ops.clone())
+            .expect("live server accepts writes");
+        inflight.push_back((pending, sent));
+    }
+    while let Some((pending, sent)) = inflight.pop_front() {
+        pending.wait_applied().expect("renames stay valid");
+        latencies.push(sent.elapsed());
+    }
+    latencies
+}
+
+/// Drives all clients concurrently for one round, collecting every reply
+/// latency.
+fn pipelined_round(clients: &[Client], ids: &[DocId], batches: &[Vec<Vec<UpdateOp>>]) -> Vec<Duration> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = clients
+            .iter()
+            .zip(ids)
+            .zip(batches)
+            .map(|((client, &id), batches)| {
+                scope.spawn(move || run_pipelined(client, id, batches))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread completes"))
+            .collect()
+    })
+}
+
+fn direct_round(store: &DurableStore, ids: &[DocId], batches: &[Vec<Vec<UpdateOp>>]) {
+    std::thread::scope(|scope| {
+        for (&id, batches) in ids.iter().zip(batches) {
+            scope.spawn(move || {
+                for ops in batches {
+                    store.apply_batch(id, ops).expect("renames stay valid");
+                }
+            });
+        }
+    });
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn bench_server(c: &mut Criterion) {
+    let mut group = c.benchmark_group("server_throughput");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+
+    let docs = fleet();
+    let batches: Vec<Vec<Vec<UpdateOp>>> = docs
+        .iter()
+        .enumerate()
+        .map(|(i, xml)| client_batches(xml, 0x5E4E + i as u64))
+        .collect();
+    let total_batches = (CLIENTS * BATCHES_PER_CLIENT) as u64;
+
+    // --- Served fleet: 4 pipelined clients over one socket ---------------
+    let served_fs = Arc::new(FailpointFs::new());
+    let (served_store, _) = DurableStore::open_with(served_fs.clone(), "db").expect("fresh dir");
+    let (server, clients) = serve(Arc::new(served_store));
+    let served_ids: Vec<DocId> = docs
+        .iter()
+        .map(|xml| {
+            clients[0]
+                .load_xml(xml)
+                .expect("dataset labels intern over the wire")
+        })
+        .collect();
+
+    // Outside the measurement loop: the coalescing contract and the reply
+    // latency profile. Every batch below is *acknowledged* — each ack is a
+    // group-committed fsync the client observed — yet the fsyncs are a
+    // fraction of the requests.
+    let started = Instant::now();
+    let syncs_before = served_fs.sync_count();
+    let mut latencies = pipelined_round(&clients, &served_ids, &batches);
+    let round_time = started.elapsed();
+    let syncs = served_fs.sync_count() - syncs_before;
+    assert_eq!(latencies.len(), total_batches as usize);
+    assert!(
+        syncs * 2 < total_batches,
+        "acked batches must share group commits: {syncs} fsyncs for {total_batches} acks"
+    );
+    latencies.sort();
+    eprintln!(
+        "server_throughput: {total_batches} acked batches in {round_time:?} \
+         ({:.0} batches/s), {syncs} fsyncs, reply latency p50 {:?} p99 {:?}",
+        total_batches as f64 / round_time.as_secs_f64(),
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.99),
+    );
+
+    group.bench_with_input(
+        BenchmarkId::new("paper_mix_4clients", "pipelined_socket_48_batches"),
+        &(&clients, &served_ids, &batches),
+        |b, (clients, ids, batches)| {
+            b.iter(|| pipelined_round(clients, ids, batches).len())
+        },
+    );
+
+    // --- Direct fleet: the same 4 threads, one commit per batch ----------
+    let direct_fs = Arc::new(FailpointFs::new());
+    let (direct_store, _) = DurableStore::open_with(direct_fs.clone(), "db").expect("fresh dir");
+    let direct_ids: Vec<DocId> = docs
+        .iter()
+        .map(|xml| direct_store.load_xml(xml).expect("dataset labels intern"))
+        .collect();
+    let syncs_before = direct_fs.sync_count();
+    direct_round(&direct_store, &direct_ids, &batches);
+    let direct_syncs = direct_fs.sync_count() - syncs_before;
+    assert!(
+        direct_syncs >= total_batches / 2,
+        "direct commits may share fsyncs only via the WAL's group-commit leader: \
+         {direct_syncs} fsyncs for {total_batches} batches"
+    );
+
+    group.bench_with_input(
+        BenchmarkId::new("paper_mix_4clients", "direct_48_batches"),
+        &(&direct_store, &direct_ids, &batches),
+        |b, (store, ids, batches)| {
+            b.iter(|| {
+                direct_round(store, ids, batches);
+                batches.len()
+            })
+        },
+    );
+    group.finish();
+    drop(server);
+}
+
+criterion_group!(benches, bench_server);
+criterion_main!(benches);

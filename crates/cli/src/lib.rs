@@ -15,9 +15,20 @@
 //!                   [--insert idx=<xml>]... [--query <path>] [--wal <dir>] [--queue]
 //! sltxml store      checkpoint --wal <dir>
 //! sltxml store      recover    --wal <dir>
+//! sltxml serve      --wal <dir> (--tcp <addr> | --sock <path>)
+//!                   [--max-pending <ops>] [--fail-fast] [--for <secs>]
+//! sltxml client     (--tcp <addr> | --sock <path>) [<in.xml>...]
+//!                   [--rename idx=label]... [--delete idx]... [--insert idx=<xml>]...
+//!                   [--query <path>] [--to-xml] [--checkpoint] [--stats]
 //! sltxml sizes      <in.xml>
 //! sltxml generate   <dataset> [--scale f] -o <out.xml>
 //! ```
+//!
+//! `serve` puts the wire-protocol server (`grammar_repair::server`) in
+//! front of the durable store in `--wal <dir>`: writes route through the
+//! ingestion queue's background drainer, so concurrent clients share
+//! group-committed fsyncs. `client` drives a session against it over the
+//! same socket kinds.
 //!
 //! With `--wal <dir>` the store becomes durable: documents are loaded
 //! through a write-ahead log in `<dir>`, `store checkpoint` folds the log
@@ -40,10 +51,11 @@ use dag_xml::Dag;
 use datasets::Dataset;
 use grammar_repair::navigate::{element_count, label_counts};
 use grammar_repair::query::PathQuery;
-use grammar_repair::queue::IngestQueue;
-use grammar_repair::update::{delete, insert_before, rename};
+use grammar_repair::queue::{BackpressurePolicy, IngestQueue};
 use grammar_repair::{
-    DomStore, DurableStore, GrammarRePair, GrammarRePairConfig, RecoveryReport,
+    update::{delete, insert_before, rename},
+    Client, DomStore, DurableStore, GrammarRePair, GrammarRePairConfig, RecoveryReport, Server,
+    ServerConfig,
 };
 use sltgrammar::{serialize, Grammar};
 use succinct_xml::SuccinctDom;
@@ -93,6 +105,11 @@ USAGE:
                     [--insert idx=<xml>]... [--query <path>] [--wal <dir>] [--queue]
   sltxml store      checkpoint --wal <dir>
   sltxml store      recover    --wal <dir>
+  sltxml serve      --wal <dir> (--tcp <addr> | --sock <path>)
+                    [--max-pending <ops>] [--fail-fast] [--for <secs>]
+  sltxml client     (--tcp <addr> | --sock <path>) [<in.xml>...]
+                    [--rename idx=label]... [--delete idx]... [--insert idx=<xml>]...
+                    [--query <path>] [--to-xml] [--checkpoint] [--stats]
   sltxml sizes      <in.xml>
   sltxml generate   <dataset> [--scale f] -o <out.xml>
       datasets: exi-weblog, xmark, exi-telecomp, treebank, medline, ncbi";
@@ -111,6 +128,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "query" => cmd_query(rest),
         "update" => cmd_update(rest),
         "store" => cmd_store(rest),
+        "serve" => cmd_serve(rest),
+        "client" => cmd_client(rest),
         "sizes" => cmd_sizes(rest),
         "generate" => cmd_generate(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
@@ -136,6 +155,10 @@ const VALUE_OPTIONS: &[&str] = &[
     "--insert",
     "--query",
     "--wal",
+    "--tcp",
+    "--sock",
+    "--for",
+    "--max-pending",
 ];
 
 fn parse_args(args: &[String]) -> Result<Parsed, CliError> {
@@ -622,8 +645,24 @@ fn cmd_store(args: &[String]) -> Result<String, CliError> {
             let queue = IngestQueue::new(Arc::clone(durable));
             let tickets: Vec<_> = ids
                 .iter()
-                .map(|&id| queue.submit(id, ops.clone()))
+                .map(|&id| {
+                    queue
+                        .submit(id, ops.clone())
+                        .expect("unbounded queue accepts every submission")
+                })
                 .collect();
+            let pending = queue.stats();
+            writeln!(
+                report,
+                "queue pending      {} ops across {} batches, oldest {}",
+                pending.pending_ops,
+                tickets.len(),
+                pending
+                    .oldest_pending_age
+                    .map(|age| format!("{age:.2?}"))
+                    .unwrap_or_else(|| "-".to_string()),
+            )
+            .unwrap();
             let flush = queue.flush();
             for ticket in tickets {
                 queue
@@ -690,6 +729,216 @@ fn cmd_store(args: &[String]) -> Result<String, CliError> {
                 .map_err(|e| CliError::failure(e.to_string()))?;
             writeln!(report, "  doc #{:<4} {count} matches", id.slot()).unwrap();
         }
+    }
+    Ok(report)
+}
+
+/// `sltxml serve`: put a wire-protocol server in front of a durable store.
+///
+/// Runs until stdin reaches EOF (ctrl-D), or for `--for <secs>` when
+/// given (scripting and tests). `--max-pending <ops>` arms the queue's
+/// high-watermark; with `--fail-fast` overload is answered with
+/// backpressure errors instead of blocking the connection.
+fn cmd_serve(args: &[String]) -> Result<String, CliError> {
+    let parsed = parse_args(args)?;
+    if !parsed.positionals.is_empty() {
+        return Err(CliError::usage("serve takes no positional arguments"));
+    }
+    let Some(dir) = parsed.option(&["--wal"]) else {
+        return Err(CliError::usage("serve needs `--wal <dir>`"));
+    };
+    let mut config = ServerConfig::default();
+    if let Some(spec) = parsed.option(&["--max-pending"]) {
+        let ops: usize = spec
+            .parse()
+            .map_err(|_| CliError::usage(format!("invalid --max-pending `{spec}`")))?;
+        config.queue.high_watermark_ops = Some(ops);
+    }
+    if parsed.flag("--fail-fast") {
+        config.queue.backpressure = BackpressurePolicy::Fail;
+    }
+    let (store, recovery) = open_wal_dir(dir)?;
+    let store = Arc::new(store);
+    let server = match (parsed.option(&["--tcp"]), parsed.option(&["--sock"])) {
+        (Some(addr), None) => {
+            let server = Server::serve_tcp(store, addr, config)
+                .map_err(|e| CliError::failure(format!("cannot listen on tcp `{addr}`: {e}")))?;
+            let bound = server
+                .local_addr()
+                .map(|a| a.to_string())
+                .unwrap_or_else(|| addr.to_string());
+            println!("listening on tcp {bound}");
+            server
+        }
+        #[cfg(unix)]
+        (None, Some(path)) => {
+            let server = Server::serve_unix(store, Path::new(path), config).map_err(|e| {
+                CliError::failure(format!("cannot listen on unix socket `{path}`: {e}"))
+            })?;
+            println!("listening on unix socket {path}");
+            server
+        }
+        #[cfg(not(unix))]
+        (None, Some(_)) => {
+            return Err(CliError::failure(
+                "unix sockets are not available on this platform",
+            ));
+        }
+        _ => {
+            return Err(CliError::usage(
+                "serve needs exactly one of `--tcp <addr>` or `--sock <path>`",
+            ));
+        }
+    };
+    if let Some(spec) = parsed.option(&["--for"]) {
+        let secs: f64 = spec
+            .parse()
+            .map_err(|_| CliError::usage(format!("invalid --for `{spec}`")))?;
+        std::thread::sleep(std::time::Duration::from_secs_f64(secs));
+    } else {
+        println!("reading stdin; EOF (ctrl-D) shuts the server down");
+        let mut sink = [0u8; 4096];
+        let mut stdin = std::io::stdin().lock();
+        loop {
+            match std::io::Read::read(&mut stdin, &mut sink) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {}
+            }
+        }
+    }
+    let stats = server.stats();
+    drop(server); // shutdown: join handlers, final queue drain
+    let mut report = String::new();
+    recovery_lines(&mut report, &recovery);
+    writeln!(
+        report,
+        "served             {} connections, {} requests ({} protocol errors)",
+        stats.connections, stats.requests, stats.protocol_errors
+    )
+    .unwrap();
+    Ok(report)
+}
+
+fn client_connect(parsed: &Parsed) -> Result<Client, CliError> {
+    match (parsed.option(&["--tcp"]), parsed.option(&["--sock"])) {
+        (Some(addr), None) => Ok(Client::connect_tcp(addr)),
+        #[cfg(unix)]
+        (None, Some(path)) => Ok(Client::connect_unix(path)),
+        #[cfg(not(unix))]
+        (None, Some(_)) => Err(CliError::failure(
+            "unix sockets are not available on this platform",
+        )),
+        _ => Err(CliError::usage(
+            "client needs exactly one of `--tcp <addr>` or `--sock <path>`",
+        )),
+    }
+}
+
+/// `sltxml client`: a session against a running `sltxml serve`. Loads each
+/// XML input, applies the update options to every loaded document (each
+/// `applied` line is a durable, group-committed write by the time it
+/// prints), then runs the optional query/serialize/checkpoint/stats steps.
+fn cmd_client(args: &[String]) -> Result<String, CliError> {
+    let parsed = parse_args(args)?;
+    if parsed.positionals.is_empty() && !parsed.flag("--stats") && !parsed.flag("--checkpoint") {
+        return Err(CliError::usage(
+            "client expects XML inputs and/or `--stats` / `--checkpoint`",
+        ));
+    }
+    let client = client_connect(&parsed)?;
+    let ops = store_update_ops(&parsed)?;
+    let mut report = String::new();
+    let mut ids = Vec::new();
+    for path in &parsed.positionals {
+        let Input::Xml(xml) = load_input(path)? else {
+            return Err(CliError::failure(format!(
+                "`{path}` is already compressed; the wire client sends plain XML"
+            )));
+        };
+        let id = client
+            .load_xml(&xml)
+            .map_err(|e| CliError::failure(format!("load of `{path}` failed: {e}")))?;
+        let short = Path::new(path)
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.clone());
+        writeln!(report, "loaded  {short:<28} doc #{}", id.slot()).unwrap();
+        ids.push(id);
+    }
+    if !ops.is_empty() {
+        for &id in &ids {
+            let stats = client.apply_batch(id, ops.clone()).map_err(|e| {
+                CliError::failure(format!("update failed on doc #{}: {e}", id.slot()))
+            })?;
+            writeln!(
+                report,
+                "applied doc #{:<4} {} ops, {} -> {} edges (durable on ack)",
+                id.slot(),
+                stats.ops,
+                stats.edges_before,
+                stats.edges_after
+            )
+            .unwrap();
+        }
+    }
+    if let Some(path) = parsed.option(&["--query"]) {
+        for &id in &ids {
+            let matches = client
+                .query(id, path)
+                .map_err(|e| CliError::failure(e.to_string()))?;
+            writeln!(
+                report,
+                "query   doc #{:<4} {} matches for {path}",
+                id.slot(),
+                matches.len()
+            )
+            .unwrap();
+        }
+    }
+    if parsed.flag("--to-xml") {
+        for &id in &ids {
+            let xml = client
+                .to_xml(id)
+                .map_err(|e| CliError::failure(e.to_string()))?;
+            writeln!(report, "{xml}").unwrap();
+        }
+    }
+    if parsed.flag("--checkpoint") {
+        let cp = client
+            .checkpoint()
+            .map_err(|e| CliError::failure(format!("checkpoint failed: {e}")))?;
+        writeln!(
+            report,
+            "checkpoint         lsn {} | {} documents | {} B{}",
+            cp.last_lsn,
+            cp.documents,
+            cp.bytes,
+            if cp.log_truncated { " | log truncated" } else { "" }
+        )
+        .unwrap();
+    }
+    if parsed.flag("--stats") {
+        let s = client
+            .stats()
+            .map_err(|e| CliError::failure(format!("stats failed: {e}")))?;
+        writeln!(
+            report,
+            "server             {} documents | durable lsn {} | {} wal syncs",
+            s.documents, s.durable_lsn, s.wal_syncs
+        )
+        .unwrap();
+        writeln!(
+            report,
+            "queue              {} submitted | {} flushes | {} coalesced jobs | {} ops pending",
+            s.submitted, s.flushes, s.coalesced_jobs, s.pending_ops
+        )
+        .unwrap();
+        writeln!(
+            report,
+            "connections        {} total | {} requests served",
+            s.connections, s.requests
+        )
+        .unwrap();
     }
     Ok(report)
 }
@@ -1032,6 +1281,10 @@ mod tests {
             "{report}"
         );
         assert!(
+            report.contains("queue pending      2 ops across 2 batches, oldest "),
+            "{report}"
+        );
+        assert!(
             report.contains("updates            1 ops applied to each of 2 documents"),
             "{report}"
         );
@@ -1056,6 +1309,57 @@ mod tests {
         );
         let report = run(&args(&["store", "recover", "--wal", &dir])).unwrap();
         assert!(report.contains("records replayed   4"), "{report}");
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn serve_and_client_roundtrip_over_a_unix_socket() {
+        let a = write_doc("serve-a.xml");
+        let dir = temp_path("serve-dir");
+        let _ = fs::remove_dir_all(&dir);
+        let sock = temp_path("serve.sock");
+        let _ = fs::remove_file(&sock);
+
+        let serve_args = args(&["serve", "--wal", &dir, "--sock", &sock, "--for", "1.5"]);
+        let server = std::thread::spawn(move || run(&serve_args));
+        for _ in 0..100 {
+            if Path::new(&sock).exists() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        }
+
+        let report = run(&args(&[
+            "client",
+            "--sock",
+            &sock,
+            &a,
+            "--rename",
+            "1=offer",
+            "--query",
+            "//offer",
+            "--checkpoint",
+            "--stats",
+        ]))
+        .unwrap();
+        assert!(report.contains("loaded"), "{report}");
+        assert!(report.contains("applied doc #0"), "{report}");
+        assert!(report.contains("1 matches for //offer"), "{report}");
+        assert!(report.contains("checkpoint         lsn"), "{report}");
+        assert!(report.contains("server             1 documents"), "{report}");
+
+        let report = server.join().unwrap().unwrap();
+        assert!(report.contains("1 connections"), "{report}");
+
+        // The served session is durable: a fresh recovery sees the state.
+        let report = run(&args(&["store", "recover", "--wal", &dir])).unwrap();
+        assert!(report.contains("documents          1"), "{report}");
+
+        // Endpoint validation.
+        let err = run(&args(&["client", "--stats"])).unwrap_err();
+        assert!(err.message.contains("exactly one of"), "{}", err.message);
+        let err = run(&args(&["serve", "--sock", &sock])).unwrap_err();
+        assert!(err.message.contains("--wal"), "{}", err.message);
     }
 
     #[test]

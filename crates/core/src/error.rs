@@ -37,6 +37,13 @@ pub enum RepairError {
         /// Description of the failed operation.
         detail: String,
     },
+    /// A wire-protocol frame failed validation (bad CRC, oversized length,
+    /// unknown record kind, malformed body) — the network edge's analogue
+    /// of `WalCorrupt`, raised by `core::server` / `core::client`.
+    Protocol {
+        /// Description of the violation.
+        detail: String,
+    },
     /// A write-ahead-log record failed its integrity check *before* the end
     /// of the log — genuine corruption, as opposed to the torn final record
     /// a crash legitimately leaves behind (which recovery truncates).
@@ -65,6 +72,7 @@ impl fmt::Display for RepairError {
             RepairError::Grammar(e) => write!(f, "grammar error: {e}"),
             RepairError::Xml(e) => write!(f, "xml error: {e}"),
             RepairError::Storage { detail } => write!(f, "storage error: {detail}"),
+            RepairError::Protocol { detail } => write!(f, "protocol error: {detail}"),
             RepairError::WalCorrupt { lsn, offset, detail } => write!(
                 f,
                 "write-ahead log corrupt at byte {offset} (last intact record: lsn {lsn}): {detail}"

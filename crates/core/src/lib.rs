@@ -65,6 +65,7 @@
 
 #![warn(missing_docs)]
 
+pub mod client;
 pub mod durable;
 pub mod error;
 pub mod isolate;
@@ -75,6 +76,7 @@ pub mod query;
 pub mod queue;
 pub mod repair;
 pub mod replace;
+pub mod server;
 pub mod session;
 pub mod store;
 pub mod sync;
@@ -82,11 +84,15 @@ pub mod udc;
 pub mod update;
 pub mod wal;
 
+pub use client::{Client, ClientConfig, Endpoint};
 pub use durable::{CheckpointReport, DurableStore, RecoveryReport};
 pub use error::{RepairError, Result};
 pub use navigate::{Cursor, NavTables, PreorderLabels};
 pub use query::{PathQuery, QueryMatches};
-pub use queue::{IngestQueue, QueueStats, Ticket};
+pub use queue::{
+    BackpressurePolicy, DrainPolicy, IngestQueue, QueueConfig, QueueError, QueueStats, Ticket,
+};
+pub use server::{Server, ServerConfig, ServerStats};
 pub use repair::{GrammarRePair, GrammarRePairConfig, RepairStats};
 pub use session::CompressedDom;
 pub use store::{DocId, DomStore, MaintenanceReport, SchedulerConfig, Snapshot};

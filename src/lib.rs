@@ -38,6 +38,13 @@ pub use grammar_repair::durable::{CheckpointReport, DurableStore, RecoveryReport
 /// [`DurableStore`].
 pub use grammar_repair::queue::IngestQueue;
 
+/// Convenience re-export of the network service edge: a wire-protocol
+/// server over the ingestion queue and its reconnecting, pipelining
+/// client library.
+pub use grammar_repair::client::{Client, ClientConfig, Endpoint};
+/// Convenience re-export of the wire-protocol server (see [`Client`]).
+pub use grammar_repair::server::{Server, ServerConfig};
+
 /// Convenience re-export of the read-only navigation cursor over a grammar.
 pub use grammar_repair::navigate::Cursor;
 

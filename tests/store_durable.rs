@@ -469,7 +469,10 @@ fn run_queue_script(store: &Arc<DurableStore>, corpus: &[XmlTree], actions: &[Qu
                 Err(_) => false,
             },
             QueueAction::Submit(d, ops) => {
-                outstanding.push((*d, queue.submit(ids[*d], ops.clone())));
+                let ticket = queue
+                    .submit(ids[*d], ops.clone())
+                    .expect("unbounded queue accepts every submission");
+                outstanding.push((*d, ticket));
                 true
             }
             QueueAction::Flush => {
